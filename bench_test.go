@@ -1,0 +1,544 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), plus microbenchmarks of each controller stage and of the §6.5
+// overhead claims. Figure benches report the experiment's headline numbers
+// as custom metrics (gain_pct, fairness) so `go test -bench` output doubles
+// as a results table; EXPERIMENTS.md records a paper-vs-measured index.
+//
+// Experiment benches use 2 repeats per pair to keep one benchmark
+// iteration to seconds; run `cmd/dps-sim -exp all -repeats 10` for
+// paper-scale statistics.
+package dps_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dps"
+	"dps/internal/core"
+	"dps/internal/exp"
+	"dps/internal/hier"
+	"dps/internal/history"
+	"dps/internal/kalman"
+	"dps/internal/power"
+	"dps/internal/priority"
+	"dps/internal/proto"
+	"dps/internal/signal"
+	"dps/internal/stateless"
+	"dps/internal/workload"
+)
+
+func benchOpts() exp.Options { return exp.Options{Repeats: 2, Seed: 11} }
+
+// BenchmarkFigure1Motivation replays the two-unit motivational scenario
+// under all four policies (E1).
+func BenchmarkFigure1Motivation(b *testing.B) {
+	var imbalance power.Watts
+	for i := 0; i < b.N; i++ {
+		mot, err := exp.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		imbalance = mot.FinalImbalance("SLURM") - mot.FinalImbalance("DPS")
+	}
+	b.ReportMetric(float64(imbalance), "slurm_minus_dps_imbalance_w")
+}
+
+// BenchmarkFigure2Traces generates the three power-phase traces (E2).
+func BenchmarkFigure2Traces(b *testing.B) {
+	var samples int
+	for i := 0; i < b.N; i++ {
+		traces, err := exp.Figure2(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = 0
+		for _, tr := range traces {
+			samples += len(tr.Power)
+		}
+	}
+	b.ReportMetric(float64(samples), "trace_samples")
+}
+
+// BenchmarkTable2SparkBaseline measures all Spark workloads under constant
+// allocation (E3).
+func BenchmarkTable2SparkBaseline(b *testing.B) {
+	opts := exp.Options{Repeats: 1, Seed: 11}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range res.Rows {
+			rel := row.Values["duration_s"]/row.Values["paper_s"] - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst_duration_error_pct")
+}
+
+// BenchmarkTable4NPBBaseline measures all NPB workloads under constant
+// allocation (E4).
+func BenchmarkTable4NPBBaseline(b *testing.B) {
+	opts := exp.Options{Repeats: 1, Seed: 11}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range res.Rows {
+			rel := row.Values["duration_s"]/row.Values["paper_s"] - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst_duration_error_pct")
+}
+
+// BenchmarkFigure4LowUtility runs the 28-pair low-utility experiment (E5).
+func BenchmarkFigure4LowUtility(b *testing.B) {
+	var dpsMean float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, row := range res.Rows {
+			sum += row.Values["DPS"]
+		}
+		dpsMean = sum / float64(len(res.Rows))
+	}
+	b.ReportMetric((dpsMean-1)*100, "dps_gain_pct")
+}
+
+// BenchmarkFigure5HighUtility runs the GMM-paired high-utility experiment
+// (E6).
+func BenchmarkFigure5HighUtility(b *testing.B) {
+	var dpsOverSlurm float64
+	for i := 0; i < b.N; i++ {
+		_, fb, err := exp.Figure5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, row := range fb.Rows {
+			sum += row.Values["DPS"]/row.Values["SLURM"] - 1
+		}
+		dpsOverSlurm = sum / float64(len(fb.Rows))
+	}
+	b.ReportMetric(dpsOverSlurm*100, "dps_over_slurm_pct")
+}
+
+// BenchmarkFigure6SparkNPB runs the 56-pair Spark × NPB experiment (E7).
+func BenchmarkFigure6SparkNPB(b *testing.B) {
+	var dpsMean float64
+	for i := 0; i < b.N; i++ {
+		fa, _, err := exp.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, row := range fa.Rows {
+			sum += row.Values["DPS"]
+		}
+		dpsMean = sum / float64(len(fa.Rows))
+	}
+	b.ReportMetric((dpsMean-1)*100, "dps_gain_pct")
+}
+
+// BenchmarkFigure7Fairness runs the fairness analysis (E8).
+func BenchmarkFigure7Fairness(b *testing.B) {
+	var dpsFair, slurmFair float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Name {
+			case "high-utility/DPS":
+				dpsFair = row.Values["mean"]
+			case "high-utility/SLURM":
+				slurmFair = row.Values["mean"]
+			}
+		}
+	}
+	b.ReportMetric(dpsFair, "dps_fairness")
+	b.ReportMetric(slurmFair, "slurm_fairness")
+}
+
+// BenchmarkSweepPowerLimits runs the multi-budget sweep (the evaluation
+// the paper leaves as future work; E11 in DESIGN.md).
+func BenchmarkSweepPowerLimits(b *testing.B) {
+	var tightMargin float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Sweep(benchOpts(), []float64{0.5, 0.667, 0.85})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tightMargin = res.Rows[0].Values["dps_over_slurm"]
+	}
+	b.ReportMetric(tightMargin*100, "dps_over_slurm_at_50pct_tdp")
+}
+
+// BenchmarkDRAMStudy runs the package/DRAM plane-splitting study (E15).
+func BenchmarkDRAMStudy(b *testing.B) {
+	var memGain float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.DRAMStudy(exp.Options{Repeats: 1, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Name == "memory" {
+				memGain = row.Values["Static(85/15)"]/row.Values["Dynamic"] - 1
+			}
+		}
+	}
+	b.ReportMetric(memGain*100, "dynamic_gain_on_memory_pct")
+}
+
+// BenchmarkBaselinesExperiment runs the widened manager lineup (E14).
+func BenchmarkBaselinesExperiment(b *testing.B) {
+	var fbVsSlurm float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Baselines(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Name == "MEAN" {
+				fbVsSlurm = row.Values["Feedback"]/row.Values["SLURM"] - 1
+			}
+		}
+	}
+	b.ReportMetric(fbVsSlurm*100, "feedback_over_slurm_pct")
+}
+
+// BenchmarkThroughputExperiment runs the job-stream study (E13).
+func BenchmarkThroughputExperiment(b *testing.B) {
+	var dpsVsConst float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Throughput(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dpsT, constT float64
+		for _, row := range res.Rows {
+			switch row.Name {
+			case "DPS":
+				dpsT = row.Values["turnaround_s"]
+			case "Constant":
+				constT = row.Values["turnaround_s"]
+			}
+		}
+		if dpsT > 0 {
+			dpsVsConst = constT/dpsT - 1
+		}
+	}
+	b.ReportMetric(dpsVsConst*100, "dps_turnaround_gain_pct")
+}
+
+// --- §6.5 overhead: the controller decision loop at scale (E9) ---
+
+func benchControllerLoop(b *testing.B, units int) {
+	budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+	cfg := core.DefaultConfig(units, budget)
+	d, err := core.NewDPS(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	readings := make(power.Vector, units)
+	for i := range readings {
+		readings[i] = power.Watts(40 + rng.Float64()*120)
+	}
+	snap := core.Snapshot{Power: readings, Interval: 1}
+	for i := 0; i < 25; i++ { // fill the history
+		d.Decide(snap)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readings[i%units] += power.Watts(rng.NormFloat64() * 2)
+		d.Decide(snap)
+	}
+}
+
+func BenchmarkControllerLoop20(b *testing.B)    { benchControllerLoop(b, 20) }
+func BenchmarkControllerLoop200(b *testing.B)   { benchControllerLoop(b, 200) }
+func BenchmarkControllerLoop2000(b *testing.B)  { benchControllerLoop(b, 2000) }
+func BenchmarkControllerLoop20000(b *testing.B) { benchControllerLoop(b, 20000) }
+
+// benchHierLoop measures the two-level controller at scale; compare with
+// the flat controller at the same unit count.
+func benchHierLoop(b *testing.B, groups, unitsPerGroup int) {
+	units := groups * unitsPerGroup
+	budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+	cfg := hier.DefaultConfig(groups, unitsPerGroup, budget)
+	m, err := hier.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	readings := make(power.Vector, units)
+	for i := range readings {
+		readings[i] = power.Watts(40 + rng.Float64()*120)
+	}
+	snap := core.Snapshot{Power: readings, Interval: 1}
+	for i := 0; i < 25; i++ {
+		m.Decide(snap)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readings[i%units] += power.Watts(rng.NormFloat64() * 2)
+		m.Decide(snap)
+	}
+}
+
+func BenchmarkHierLoop20x1000(b *testing.B) { benchHierLoop(b, 20, 1000) }
+func BenchmarkHierLoop100x200(b *testing.B) { benchHierLoop(b, 100, 200) }
+
+// BenchmarkHierarchyExperiment runs the two-level-vs-flat study (DESIGN.md
+// E12).
+func BenchmarkHierarchyExperiment(b *testing.B) {
+	var kept float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Hierarchy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Name == "MEAN" {
+				flat, hr := row.Values["DPS"]-1, row.Values["HierDPS"]-1
+				if flat > 0 {
+					kept = hr / flat
+				}
+			}
+		}
+	}
+	b.ReportMetric(kept*100, "gain_retention_pct")
+}
+
+// BenchmarkProtoRoundTrip measures one node's wire work per decision round
+// (report batch out, cap batch in — 2 sockets, the paper's 3-byte records).
+func BenchmarkProtoRoundTrip(b *testing.B) {
+	vals := []power.Watts{110.5, 87.3}
+	buf := make([]byte, 2*proto.RecordSize)
+	dst := make([]power.Watts, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for u, v := range vals {
+			proto.PutRecord(buf[u*proto.RecordSize:], proto.Record{LocalUnit: uint8(u), Value: proto.ToDeciwatts(v)})
+		}
+		for u := range dst {
+			rec := proto.GetRecord(buf[u*proto.RecordSize:])
+			dst[rec.LocalUnit] = proto.FromDeciwatts(rec.Value)
+		}
+	}
+	b.ReportMetric(float64(len(buf)), "bytes_per_direction")
+}
+
+// --- controller-stage microbenchmarks ---
+
+func BenchmarkKalmanStep(b *testing.B) {
+	f, err := kalman.New(kalman.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		f.Step(power.Watts(100 + i%20))
+	}
+}
+
+func BenchmarkPeakDetection(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]power.Watts, 20) // the default history length
+	for i := range xs {
+		xs[i] = power.Watts(60 + rng.Float64()*100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signal.CountProminentPeaks(xs, 20)
+	}
+}
+
+func BenchmarkStatelessStep(b *testing.B) {
+	m, err := stateless.New(stateless.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := power.Budget{Total: 2200, UnitMax: 165, UnitMin: 10}
+	caps := power.NewVector(20, 110)
+	readings := make(power.Vector, 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := range readings {
+		readings[i] = power.Watts(40 + rng.Float64()*120)
+	}
+	changed := make([]bool, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(readings, caps, budget, changed)
+	}
+}
+
+func BenchmarkPriorityUpdate(b *testing.B) {
+	const units = 20
+	m, err := priority.New(priority.DefaultConfig(), units)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist := history.NewSet(units, 20)
+	rng := rand.New(rand.NewSource(1))
+	for u := 0; u < units; u++ {
+		for s := 0; s < 20; s++ {
+			hist.Push(power.UnitID(u), power.Watts(60+rng.Float64()*100), 1)
+		}
+	}
+	readings := power.NewVector(units, 100)
+	caps := power.NewVector(units, 110)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(hist, readings, caps, 110)
+	}
+}
+
+// BenchmarkMachineStep measures the simulated platform itself: one
+// discrete-time step of the 20-socket machine with two active workloads.
+func BenchmarkMachineStep(b *testing.B) {
+	m, err := dps.NewMachine(dps.DefaultMachineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	gmm, err := dps.WorkloadByName("GMM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lda, err := dps.WorkloadByName("LDA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Cluster(0).SetRun(dps.NewWorkloadRun(gmm, rng))
+	m.Cluster(1).SetRun(dps.NewWorkloadRun(lda, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(1); err != nil {
+			b.Fatal(err)
+		}
+		// Keep the clusters busy across long benches.
+		if r := m.Cluster(0).Run(); r == nil || r.Done() {
+			m.Cluster(0).SetRun(dps.NewWorkloadRun(gmm, rng))
+		}
+		if r := m.Cluster(1).Run(); r == nil || r.Done() {
+			m.Cluster(1).SetRun(dps.NewWorkloadRun(lda, rng))
+		}
+	}
+}
+
+// BenchmarkPairExperiment measures a complete small co-execution
+// experiment end to end (workload generation, closed-loop control,
+// metrics).
+func BenchmarkPairExperiment(b *testing.B) {
+	a, err := dps.WorkloadByName("Sort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := dps.WorkloadByName("Wordcount")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := dps.RunPair(dps.PairConfig{
+			WorkloadA: a, WorkloadB: w, Repeats: 2, Seed: int64(i + 1),
+		}, dps.DPSFactory())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BudgetViolations != 0 {
+			b.Fatalf("budget violated %d times", res.BudgetViolations)
+		}
+	}
+}
+
+// --- ablation benches: the design choices DESIGN.md calls out, measured
+// on the hardest pair (LDA + GMM under contention) ---
+
+func benchAblation(b *testing.B, modify func(*core.Config)) {
+	lda, err := dps.WorkloadByName("LDA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmm, err := dps.WorkloadByName("GMM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dps.PairConfig{WorkloadA: lda, WorkloadB: gmm, Repeats: 2, Seed: 7}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		base, err := dps.RunPair(cfg, dps.ConstantFactory())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dps.RunPair(cfg, dps.DPSFactoryWith(modify))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sa, err := dps.Speedup(base.A.HMeanDuration, res.A.HMeanDuration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb, err := dps.Speedup(base.B.HMeanDuration, res.B.HMeanDuration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = dps.HMean([]float64{sa, sb})
+	}
+	b.ReportMetric((gain-1)*100, "gain_over_constant_pct")
+}
+
+func BenchmarkAblationFullDPS(b *testing.B) { benchAblation(b, nil) }
+func BenchmarkAblationNoKalman(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.DisableKalman = true })
+}
+func BenchmarkAblationNoFrequency(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.DisableFrequency = true })
+}
+func BenchmarkAblationNoRestore(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.DisableRestore = true })
+}
+func BenchmarkAblationNoPriority(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.DisablePriority = true })
+}
+func BenchmarkAblationNoAtCap(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.Priority.AtCapFraction = 0 })
+}
+func BenchmarkAblationHistory5(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.HistoryLen = 5 })
+}
+func BenchmarkAblationHistory60(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.HistoryLen = 60 })
+}
+
+// BenchmarkWorkloadGeneration measures phase-list generation for the whole
+// catalog (the per-run cost of the workload substrate).
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	specs := workload.All()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.NewRun(specs[i%len(specs)], rng)
+	}
+}

@@ -1,0 +1,114 @@
+// Command dps-analyze digests a per-step experiment log (the CSV written
+// by `dps-sim -pair ... -log file.csv` or by a deployed controller) the way
+// the paper's artifact analysis scripts do: per-socket power/cap/priority
+// statistics, cluster-group balance, and ASCII time-series charts.
+//
+// Usage:
+//
+//	dps-analyze steps.csv
+//	dps-analyze -unit 3 steps.csv           # chart one socket
+//	dps-analyze -groups 0:10,10:10 steps.csv  # balance between two clusters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dps/internal/analysis"
+	"dps/internal/power"
+	"dps/internal/tracelog"
+)
+
+func main() {
+	var (
+		unit   = flag.Int("unit", -1, "chart this unit's power/cap series")
+		groups = flag.String("groups", "", "two first:count ranges to compare, e.g. 0:10,10:10")
+		width  = flag.Int("width", 100, "chart width in columns")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dps-analyze [-unit N] [-groups a:n,b:m] <steps.csv>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := tracelog.NewReader(f).ReadAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	sum, err := analysis.Summarize(recs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(analysis.FormatSummary(sum))
+
+	if *groups != "" {
+		ga, gb, err := parseGroups(*groups)
+		if err != nil {
+			fatal(err)
+		}
+		sa, sb, score, err := analysis.Balance(sum, ga, gb)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ngroup balance (1 − |throttled(A) − throttled(B)|): %.3f\n", score)
+		for _, g := range []analysis.GroupStats{sa, sb} {
+			fmt.Printf("  %-8s units [%d,%d): mean %.1f W under mean cap %.1f W, throttled %.1f%%, %.0f J\n",
+				g.Group.Name, g.Group.First, int(g.Group.First)+g.Group.Count,
+				g.MeanPower, g.MeanCap, g.ThrottledFrac*100, g.EnergyJ)
+		}
+	}
+
+	if *unit >= 0 {
+		_, powers, caps := analysis.Series(recs, power.UnitID(*unit))
+		if len(powers) == 0 {
+			fatal(fmt.Errorf("no records for unit %d", *unit))
+		}
+		fmt.Printf("\nunit %d power (#) and cap (-):\n", *unit)
+		fmt.Print(analysis.RenderSeries(powers, caps, *width))
+	}
+}
+
+func parseGroups(s string) (analysis.Group, analysis.Group, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return analysis.Group{}, analysis.Group{}, fmt.Errorf("-groups wants two ranges, got %q", s)
+	}
+	parse := func(name, spec string) (analysis.Group, error) {
+		fc := strings.Split(spec, ":")
+		if len(fc) != 2 {
+			return analysis.Group{}, fmt.Errorf("range %q is not first:count", spec)
+		}
+		first, err := strconv.Atoi(fc[0])
+		if err != nil {
+			return analysis.Group{}, fmt.Errorf("bad first in %q: %w", spec, err)
+		}
+		count, err := strconv.Atoi(fc[1])
+		if err != nil {
+			return analysis.Group{}, fmt.Errorf("bad count in %q: %w", spec, err)
+		}
+		return analysis.Group{Name: name, First: power.UnitID(first), Count: count}, nil
+	}
+	a, err := parse("groupA", strings.TrimSpace(parts[0]))
+	if err != nil {
+		return analysis.Group{}, analysis.Group{}, err
+	}
+	b, err := parse("groupB", strings.TrimSpace(parts[1]))
+	if err != nil {
+		return analysis.Group{}, analysis.Group{}, err
+	}
+	return a, b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dps-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command dps-trace prints workload power-demand traces — the data behind
+// the paper's Figure 2 power-phase plots — either as ASCII strip charts or
+// as CSV for external plotting.
+//
+// Usage:
+//
+//	dps-trace                          # LDA, Bayes, LR (the Figure 2 trio)
+//	dps-trace -workloads GMM,EP -csv   # CSV demand series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dps/internal/exp"
+	"dps/internal/power"
+)
+
+func main() {
+	var (
+		names = flag.String("workloads", "LDA,Bayes,LR", "comma-separated workload names")
+		seed  = flag.Int64("seed", 42, "run seed")
+		dt    = flag.Float64("dt", 1, "sampling interval in seconds")
+		csv   = flag.Bool("csv", false, "emit CSV (time_s,workload,demand_w) instead of charts")
+		width = flag.Int("width", 100, "chart width in columns")
+	)
+	flag.Parse()
+
+	var list []string
+	for _, n := range strings.Split(*names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			list = append(list, n)
+		}
+	}
+	traces, err := exp.Traces(*seed, power.Seconds(*dt), list...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dps-trace:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("time_s,workload,demand_w")
+		for _, tr := range traces {
+			for i, p := range tr.Power {
+				fmt.Printf("%.1f,%s,%.2f\n", float64(i)*float64(tr.DT), tr.Workload, p)
+			}
+		}
+		return
+	}
+	for _, tr := range traces {
+		fmt.Println(tr.Format(*width))
+	}
+}

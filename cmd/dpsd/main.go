@@ -1,0 +1,132 @@
+// Command dpsd is the DPS controller daemon: it accepts node-agent
+// connections, runs the control system once per decision interval, and
+// pushes per-unit power caps back over the 3-byte-record protocol.
+//
+// Usage:
+//
+//	dpsd -listen :7891 -units 20 -budget 2200 -policy dps
+//
+// Agents (cmd/dps-agent) connect, each claiming a contiguous global unit
+// range. Units without a live agent coast on their last report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dps/internal/baseline"
+	"dps/internal/core"
+	"dps/internal/daemon"
+	"dps/internal/power"
+	"dps/internal/stateless"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7891", "TCP address to accept agents on")
+		units    = flag.Int("units", 20, "total power-capping units across all nodes")
+		budgetW  = flag.Float64("budget", 0, "cluster-wide power budget in watts (0 = 110 W per unit)")
+		unitMax  = flag.Float64("unit-max", 165, "hardware maximum cap per unit (TDP)")
+		unitMin  = flag.Float64("unit-min", 10, "hardware minimum cap per unit")
+		interval = flag.Duration("interval", time.Second, "decision loop period")
+		policy   = flag.String("policy", "dps", "power policy: dps|slurm|constant")
+		seed     = flag.Int64("seed", 1, "controller seed (random cap-raise order)")
+		quiet    = flag.Bool("quiet", false, "suppress operational logging")
+		httpAddr = flag.String("http", "", "serve /status, /metrics and /healthz on this address (e.g. :7892)")
+		confPath = flag.String("config", "", "JSON config file (overrides all other flags)")
+	)
+	flag.Parse()
+
+	var mgr core.Manager
+	var err error
+	nUnits := *units
+	listenAddr := *listen
+	interval_ := *interval
+	statusAddr := *httpAddr
+
+	if *confPath != "" {
+		fc, err := daemon.LoadFileConfig(*confPath)
+		if err != nil {
+			log.Fatalf("dpsd: %v", err)
+		}
+		mgr, err = fc.BuildManager()
+		if err != nil {
+			log.Fatalf("dpsd: %v", err)
+		}
+		nUnits = fc.Units
+		listenAddr = fc.Listen
+		interval_ = fc.Interval()
+		statusAddr = fc.HTTP
+	} else {
+		total := power.Watts(*budgetW)
+		if total == 0 {
+			total = power.Watts(*units) * 110
+		}
+		budget := power.Budget{Total: total, UnitMax: power.Watts(*unitMax), UnitMin: power.Watts(*unitMin)}
+		switch *policy {
+		case "dps":
+			cfg := core.DefaultConfig(*units, budget)
+			cfg.Seed = *seed
+			mgr, err = core.NewDPS(cfg)
+		case "slurm":
+			mgr, err = baseline.NewSLURM(*units, budget, stateless.DefaultConfig(), *seed)
+		case "constant":
+			mgr, err = baseline.NewConstant(*units, budget)
+		default:
+			err = fmt.Errorf("unknown policy %q (want dps, slurm or constant)", *policy)
+		}
+		if err != nil {
+			log.Fatalf("dpsd: %v", err)
+		}
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := daemon.NewServer(daemon.ServerConfig{
+		Manager:  mgr,
+		Units:    nUnits,
+		Interval: interval_,
+		Logf:     logf,
+	})
+	if err != nil {
+		log.Fatalf("dpsd: %v", err)
+	}
+
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		log.Fatalf("dpsd: %v", err)
+	}
+	log.Printf("dpsd: %s policy over %d units, budget %.0f W, listening on %s",
+		mgr.Name(), nUnits, mgr.Budget().Total, l.Addr())
+
+	if statusAddr != "" {
+		go func() {
+			log.Printf("dpsd: status endpoint on http://%s/status", statusAddr)
+			if err := http.ListenAndServe(statusAddr, srv.StatusHandler()); err != nil {
+				log.Printf("dpsd: status endpoint: %v", err)
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Printf("dpsd: shutting down after %d decision rounds", srv.Rounds())
+		srv.Close()
+		l.Close()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("dpsd: %v", err)
+	}
+}

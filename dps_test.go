@@ -1,0 +1,138 @@
+package dps_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dps"
+)
+
+// TestPublicManagerLifecycle drives every manager the facade exposes
+// through a realistic decision sequence, verifying the budget invariant at
+// the public API boundary.
+func TestPublicManagerLifecycle(t *testing.T) {
+	const units = 4
+	budget := dps.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+
+	d, err := dps.NewDPS(dps.DefaultConfig(units, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dps.NewConstant(units, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dps.NewSLURM(units, budget, dps.DefaultStatelessConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := dps.NewOracle(units, budget, dps.DefaultOracleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	demand := dps.Vector{160, 40, 90, 150}
+	for step := 0; step < 30; step++ {
+		for _, mgr := range []dps.Manager{d, c, s, o} {
+			caps := mgr.Caps()
+			drawn := make(dps.Vector, units)
+			for u := range drawn {
+				drawn[u] = demand[u]
+				if caps[u] < drawn[u] {
+					drawn[u] = caps[u]
+				}
+			}
+			next := mgr.Decide(dps.Snapshot{Power: drawn, Interval: 1, Demand: demand})
+			if got := next.Sum(); got > budget.Total+1e-6 {
+				t.Fatalf("%s: caps sum %v exceeds budget at step %d", mgr.Name(), got, step)
+			}
+		}
+	}
+}
+
+func TestPublicWorkloadCatalog(t *testing.T) {
+	if got := len(dps.SparkWorkloads()); got != 11 {
+		t.Errorf("SparkWorkloads = %d, want 11", got)
+	}
+	if got := len(dps.NPBWorkloads()); got != 8 {
+		t.Errorf("NPBWorkloads = %d, want 8", got)
+	}
+	if got := len(dps.AllWorkloads()); got != 19 {
+		t.Errorf("AllWorkloads = %d, want 19", got)
+	}
+	if _, err := dps.WorkloadByName("LDA"); err != nil {
+		t.Errorf("WorkloadByName(LDA): %v", err)
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	a, err := dps.WorkloadByName("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dps.WorkloadByName("Wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dps.RunPair(dps.PairConfig{
+		WorkloadA: a, WorkloadB: b, Repeats: 2, Seed: 3,
+	}, dps.DPSFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetViolations != 0 {
+		t.Errorf("budget violations: %d", res.BudgetViolations)
+	}
+	if len(res.A.Runs) < 2 || len(res.B.Runs) < 2 {
+		t.Errorf("runs: A=%d B=%d", len(res.A.Runs), len(res.B.Runs))
+	}
+}
+
+func TestPublicRAPL(t *testing.T) {
+	dev, err := dps.NewSimRAPL(dps.DefaultSimRAPLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(120)
+	if err := dev.SetCap(100); err != nil {
+		t.Fatal(err)
+	}
+	meter := dps.NewMeter(dev)
+	if _, err := meter.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(1)
+	w, err := meter.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 90 || w > 110 {
+		t.Errorf("metered %v W under a 100 W cap (σ=2 noise)", w)
+	}
+}
+
+// ExampleNewDPS shows the minimal control loop: readings in, caps out.
+func ExampleNewDPS() {
+	budget := dps.Budget{Total: 220, UnitMax: 165, UnitMin: 10}
+	mgr, err := dps.NewDPS(dps.DefaultConfig(2, budget))
+	if err != nil {
+		panic(err)
+	}
+	// Unit 0 draws its full cap (throttled); unit 1 idles at 20 W.
+	var caps dps.Vector
+	for i := 0; i < 5; i++ {
+		caps = mgr.Decide(dps.Snapshot{Power: dps.Vector{mgr.Caps()[0], 20}, Interval: 1})
+	}
+	fmt.Printf("budget respected: %v\n", caps.Sum() <= budget.Total)
+	fmt.Printf("throttled unit got more than idle unit: %v\n", caps[0] > caps[1])
+	// Output:
+	// budget respected: true
+	// throttled unit got more than idle unit: true
+}
+
+// ExampleHMean shows the paper's aggregate for paired workloads.
+func ExampleHMean() {
+	fmt.Printf("%.2f\n", dps.HMean([]float64{2, 6}))
+	// Output:
+	// 3.00
+}

@@ -1,0 +1,168 @@
+// Clusterdaemon: the deployed topology on one machine, over real TCP.
+//
+// A DPS controller daemon listens on localhost. Five in-process node
+// agents connect, each owning two simulated RAPL sockets (the paper's
+// 10-node, 20-socket platform shrunk to 5 nodes to keep the demo short).
+// Nodes 0–2 replay GMM's power demand, nodes 3–4 replay LDA's. Everything
+// — handshake, 3-byte power reports, cap pushes, RAPL programming — runs
+// through the same code paths a real deployment uses, just with a 50 ms
+// decision interval instead of one second so the demo converges in a few
+// wall-clock seconds.
+//
+// Run with: go run ./examples/clusterdaemon
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"dps"
+)
+
+const (
+	nodes      = 5
+	socketsPer = 2
+	interval   = 50 * time.Millisecond
+	demoRounds = 100 // ~5 s of wall clock
+	budgetPerW = 110
+)
+
+func main() {
+	units := nodes * socketsPer
+	budget := dps.Budget{Total: budgetPerW * dps.Watts(units), UnitMax: 165, UnitMin: 10}
+
+	mgr, err := dps.NewDPS(dps.DefaultConfig(units, budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := dps.NewServer(dps.ServerConfig{Manager: mgr, Units: units, Interval: interval})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Printf("server: %v", err)
+		}
+	}()
+	fmt.Printf("controller listening on %s, %d units, budget %.0f W\n", l.Addr(), units, budget.Total)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// One agent per node, each with two simulated sockets replaying a
+	// workload demand trace.
+	devices := make([]*dps.SimRAPL, units)
+	for n := 0; n < nodes; n++ {
+		wlName := "GMM"
+		if n >= 3 {
+			wlName = "LDA"
+		}
+		spec, err := dps.WorkloadByName(wlName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var local []dps.RAPLDevice
+		for s := 0; s < socketsPer; s++ {
+			cfg := dps.DefaultSimRAPLConfig()
+			cfg.Seed = int64(n*10 + s + 1)
+			dev, err := dps.NewSimRAPL(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			devices[n*socketsPer+s] = dev
+			local = append(local, dev)
+		}
+		agent, err := dps.DialAgent("tcp", l.Addr().String(), dps.AgentConfig{
+			FirstUnit: dps.UnitID(n * socketsPer),
+			Devices:   local,
+			Interval:  interval,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := agent.Run(ctx); err != nil {
+				log.Printf("agent: %v", err)
+			}
+		}()
+		go driveNode(ctx, spec, devices[n*socketsPer:n*socketsPer+socketsPer], int64(n+1))
+		fmt.Printf("node %d: %s trace on units [%d,%d)\n", n, wlName, n*socketsPer, (n+1)*socketsPer)
+	}
+
+	// Let the control loop run, then report what it converged to.
+	time.Sleep(time.Duration(demoRounds) * interval)
+	readings := srv.Readings()
+	fmt.Printf("\nafter %d decision rounds:\n", srv.Rounds())
+	var gmmCaps, ldaCaps dps.Vector
+	for u, dev := range devices {
+		c, _ := dev.Cap()
+		fmt.Printf("  unit %2d: reported %6.1f W, cap %6.1f W\n", u, readings[u], c)
+		if u < 6 {
+			gmmCaps = append(gmmCaps, c)
+		} else {
+			ldaCaps = append(ldaCaps, c)
+		}
+	}
+	var total dps.Watts
+	for _, dev := range devices {
+		c, _ := dev.Cap()
+		total += c
+	}
+	fmt.Printf("\ncap sum %.0f W (budget %.0f W); GMM sockets avg %.0f W, LDA sockets avg %.0f W\n",
+		total, budget.Total, gmmCaps.Sum()/6, ldaCaps.Sum()/4)
+	srv.Close()
+	l.Close()
+}
+
+// driveNode replays a workload's demand on a node's sockets, one virtual
+// second per real interval.
+func driveNode(ctx context.Context, spec *dps.Workload, devs []*dps.SimRAPL, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	run := dps.NewWorkloadRun(spec, rng)
+	perf := dps.DefaultPerfModel()
+	// Tick faster than the agents report so the two loops cannot
+	// phase-lock with the meter reads (which would make interval energy
+	// deltas bounce between zero and double).
+	ticker := time.NewTicker(interval / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if run.Done() {
+				run = dps.NewWorkloadRun(spec, rng)
+			}
+			d := run.Demand()
+			speed := 1.0
+			for _, dev := range devs {
+				dev.SetLoad(d)
+				// Energy accrues in real time so the agent's meter (which
+				// divides by real elapsed seconds) reports true watts.
+				dev.Advance(dps.Seconds(interval.Seconds() / 4))
+				c, _ := dev.Cap()
+				if s := perf.Speed(c, d); s < speed {
+					speed = s
+				}
+			}
+			// Workload progress is time-dilated: a quarter virtual second
+			// per tick, so the demo walks real phase structure fast.
+			remaining := dps.Seconds(0.25)
+			for remaining > 1e-9 && !run.Done() {
+				used := run.Advance(speed, remaining)
+				if used <= 0 {
+					break
+				}
+				remaining -= used
+			}
+		}
+	}
+}

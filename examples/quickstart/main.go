@@ -1,0 +1,73 @@
+// Quickstart: drive a DPS controller by hand.
+//
+// Four sockets under a 440 W cluster budget (110 W each if split evenly).
+// Socket 0 ramps to full power early, socket 1 follows later — the
+// paper's Figure 1 situation in miniature. Watch DPS first give socket 0
+// the headroom nobody else is using, then rebalance the caps the moment
+// socket 1's demand appears, instead of leaving socket 1 starved the way
+// a stateless manager would.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dps"
+)
+
+func main() {
+	const units = 4
+	budget := dps.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+
+	mgr, err := dps.NewDPS(dps.DefaultConfig(units, budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scripted demand: what each socket would draw with no cap.
+	demand := func(t int) dps.Vector {
+		d := dps.Vector{30, 30, 30, 30}
+		if t >= 3 {
+			d[0] = 165 // socket 0 ramps first
+		}
+		if t >= 8 {
+			d[1] = 165 // socket 1 follows five steps later
+		}
+		return d
+	}
+
+	fmt.Println("t   demand              power(drawn)        caps(next)")
+	caps := mgr.Caps().Clone()
+	for t := 0; t < 16; t++ {
+		d := demand(t)
+		// A socket draws its demand, clipped by its cap (that is all RAPL
+		// capping does).
+		drawn := make(dps.Vector, units)
+		for u := range drawn {
+			if d[u] < caps[u] {
+				drawn[u] = d[u]
+			} else {
+				drawn[u] = caps[u]
+			}
+		}
+		next := mgr.Decide(dps.Snapshot{Power: drawn, Interval: 1})
+		fmt.Printf("%-3d %-19s %-19s %s\n", t, fmtVec(d), fmtVec(drawn), fmtVec(next))
+		caps = next.Clone()
+	}
+
+	fmt.Printf("\nfinal caps sum %.0f W within budget %.0f W; socket 0 and 1 balanced at %.0f/%.0f W\n",
+		caps.Sum(), budget.Total, caps[0], caps[1])
+}
+
+func fmtVec(v dps.Vector) string {
+	s := "["
+	for i, w := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%3.0f", w)
+	}
+	return s + "]"
+}

@@ -1,0 +1,135 @@
+package dps
+
+import (
+	"dps/internal/analysis"
+	"dps/internal/baseline"
+	"dps/internal/dram"
+	"dps/internal/hier"
+	"dps/internal/p2p"
+	"dps/internal/sched"
+	"dps/internal/sim"
+	"dps/internal/tracelog"
+)
+
+// Extension types: the hierarchical controller, the batch scheduler, and
+// log analysis. These go beyond the paper's published system (see
+// DESIGN.md E11–E13): a two-level DPS in the style the paper's related
+// work attributes to Argo, job-stream throughput evaluation in the style
+// of Ellsworth et al., and the artifact's log-analysis capabilities.
+type (
+	// HierConfig assembles a two-level hierarchical DPS.
+	HierConfig = hier.Config
+	// HierManager is the two-level controller (implements Manager).
+	HierManager = hier.Manager
+	// SchedConfig describes a batch-scheduling experiment.
+	SchedConfig = sched.Config
+	// SchedJob is one queued workload execution.
+	SchedJob = sched.Job
+	// SchedResult aggregates a batch run.
+	SchedResult = sched.Result
+	// JobResult is one completed job's timing.
+	JobResult = sched.JobResult
+	// TraceRecord is one unit's state at one logged decision step.
+	TraceRecord = tracelog.Record
+	// TraceWriter streams per-step records as CSV.
+	TraceWriter = tracelog.Writer
+	// TraceReader parses a per-step CSV log.
+	TraceReader = tracelog.Reader
+	// LogSummary is a digested per-step log.
+	LogSummary = analysis.Summary
+	// LogUnitSummary aggregates one unit's trajectory.
+	LogUnitSummary = analysis.UnitSummary
+	// LogGroup identifies a contiguous unit range in a log.
+	LogGroup = analysis.Group
+	// P2PConfig tunes the decentralized peer-to-peer manager.
+	P2PConfig = p2p.Config
+	// P2PManager is the gossip-based power manager (implements Manager).
+	P2PManager = p2p.Manager
+	// FeedbackConfig tunes the PShifter-style feedback baseline.
+	FeedbackConfig = baseline.FeedbackConfig
+	// PlaneLimits is a socket's package/DRAM hardware envelope.
+	PlaneLimits = dram.PlaneLimits
+	// PlaneSplitter divides a socket budget between its power planes.
+	PlaneSplitter = dram.Splitter
+	// PlaneWorkload is a two-plane phase sequence.
+	PlaneWorkload = dram.Workload
+	// PlaneResult is a plane-splitting run's outcome.
+	PlaneResult = dram.Result
+)
+
+// NewHierarchicalDPS builds a two-level DPS controller.
+func NewHierarchicalDPS(cfg HierConfig) (*HierManager, error) { return hier.New(cfg) }
+
+// DefaultHierConfig returns a hierarchy of groups × unitsPerGroup units
+// with a 5-step top-level epoch.
+func DefaultHierConfig(groups, unitsPerGroup int, budget Budget) HierConfig {
+	return hier.DefaultConfig(groups, unitsPerGroup, budget)
+}
+
+// HierarchicalDPSFactory builds the two-level DPS for experiments.
+var HierarchicalDPSFactory = func(groups, epoch int) ManagerFactory {
+	return hierFactory(groups, epoch)
+}
+
+// RunBatch executes a job batch under the manager the factory builds.
+func RunBatch(cfg SchedConfig, factory ManagerFactory) (SchedResult, error) {
+	return sched.Run(cfg, factory)
+}
+
+// RandomBatch draws n jobs from the given workloads with exponential
+// inter-arrival times, deterministically for a seed.
+func RandomBatch(specs []*Workload, n int, meanInterarrival Seconds, seed int64) ([]SchedJob, error) {
+	return sched.RandomBatch(specs, n, meanInterarrival, seed)
+}
+
+// NewTraceWriter wraps an io.Writer for per-step CSV logging.
+var NewTraceWriter = tracelog.NewWriter
+
+// NewTraceReader wraps an io.Reader over a per-step CSV log.
+var NewTraceReader = tracelog.NewReader
+
+// SummarizeLog digests a per-step log into per-unit statistics.
+var SummarizeLog = analysis.Summarize
+
+// LogBalance compares two unit groups from a digested log; the score is
+// the log-derived fairness analogue (1 − |throttledA − throttledB|).
+var LogBalance = analysis.Balance
+
+// NewP2P builds a decentralized peer-to-peer manager.
+func NewP2P(cfg P2PConfig) (*P2PManager, error) { return p2p.New(cfg) }
+
+// DefaultP2PConfig returns the gossip defaults for n units.
+func DefaultP2PConfig(n int, budget Budget) P2PConfig { return p2p.DefaultConfig(n, budget) }
+
+// P2PFactory builds the peer-to-peer manager for experiments.
+var P2PFactory = sim.P2PFactory
+
+// NewFeedback builds the PShifter-style feedback baseline.
+func NewFeedback(n int, budget Budget, cfg FeedbackConfig) (Manager, error) {
+	return baseline.NewFeedback(n, budget, cfg)
+}
+
+// DefaultFeedbackConfig returns the feedback baseline defaults.
+var DefaultFeedbackConfig = baseline.DefaultFeedbackConfig
+
+// FeedbackFactory builds the feedback baseline for experiments.
+var FeedbackFactory = sim.FeedbackFactory
+
+// RunPlaneStudy executes one two-plane workload under a plane budget and
+// splitter (the Sarood et al. package/DRAM partitioning study).
+var RunPlaneStudy = dram.Run
+
+// DefaultPlaneLimits models one socket's package and DRAM planes.
+var DefaultPlaneLimits = dram.DefaultLimits
+
+// PlaneCatalog returns the plane-splitting study's workloads.
+var PlaneCatalog = dram.Catalog
+
+// DynamicPlaneSplitter returns DPS's at-cap methodology applied to plane
+// splitting.
+func DynamicPlaneSplitter() PlaneSplitter { return dram.DefaultDynamic() }
+
+// StaticPlaneSplitter returns a fixed-ratio splitter.
+func StaticPlaneSplitter(cpuFraction float64) PlaneSplitter {
+	return dram.Static{CPUFraction: cpuFraction}
+}

@@ -1,0 +1,121 @@
+package dps_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dps"
+)
+
+func TestPublicHierarchicalDPS(t *testing.T) {
+	budget := dps.Budget{Total: 880, UnitMax: 165, UnitMin: 10}
+	m, err := dps.NewHierarchicalDPS(dps.DefaultHierConfig(2, 4, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := m.Decide(dps.Snapshot{Power: dps.NewVector(8, 100), Interval: 1})
+	if caps.Sum() > budget.Total+1e-6 {
+		t.Errorf("caps sum %v exceeds budget", caps.Sum())
+	}
+}
+
+func TestPublicP2P(t *testing.T) {
+	budget := dps.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+	m, err := dps.NewP2P(dps.DefaultP2PConfig(4, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Caps().Sum()
+	caps := m.Decide(dps.Snapshot{Power: dps.NewVector(4, 110), Interval: 1})
+	if caps.Sum() != before {
+		t.Errorf("p2p trades not zero-sum: %v -> %v", before, caps.Sum())
+	}
+}
+
+func TestPublicFeedback(t *testing.T) {
+	budget := dps.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+	m, err := dps.NewFeedback(4, budget, dps.DefaultFeedbackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := m.Decide(dps.Snapshot{Power: dps.NewVector(4, 110), Interval: 1})
+	if caps.Sum() > budget.Total+1e-6 {
+		t.Errorf("caps sum %v exceeds budget", caps.Sum())
+	}
+}
+
+func TestPublicPlaneStudy(t *testing.T) {
+	ws := dps.PlaneCatalog()
+	if len(ws) != 3 {
+		t.Fatalf("plane catalog has %d workloads", len(ws))
+	}
+	res, err := dps.RunPlaneStudy(ws[1], 130, dps.DefaultPlaneLimits(), dps.DynamicPlaneSplitter(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 || res.BudgetViolations != 0 {
+		t.Errorf("plane study result: %+v", res)
+	}
+	static, err := dps.RunPlaneStudy(ws[1], 130, dps.DefaultPlaneLimits(), dps.StaticPlaneSplitter(0.85), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration >= static.Duration {
+		t.Errorf("dynamic %.0fs not below static %.0fs on the memory workload", res.Duration, static.Duration)
+	}
+}
+
+func TestPublicTraceLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := dps.NewTraceWriter(&buf)
+	if err := w.WriteStep(1, dps.Vector{100, 50}, dps.Vector{110, 90}, []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := dps.NewTraceReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := dps.SummarizeLog(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Units) != 2 {
+		t.Errorf("summary units: %d", len(sum.Units))
+	}
+	ga, gb, score, err := dps.LogBalance(sum,
+		dps.LogGroup{Name: "a", First: 0, Count: 1},
+		dps.LogGroup{Name: "b", First: 1, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ga
+	_ = gb
+	if score < 0 || score > 1 {
+		t.Errorf("balance score %v", score)
+	}
+}
+
+func TestPublicBatchScheduling(t *testing.T) {
+	sortW, err := dps.WorkloadByName("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toy, err := dps.ScaledWorkload(sortW, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []dps.SchedJob{{ID: 0, Workload: toy}, {ID: 1, Workload: toy}}
+	machine := dps.DefaultMachineConfig()
+	machine.Clusters = 2
+	machine.NodesPerCluster = 1
+	res, err := dps.RunBatch(dps.SchedConfig{Machine: machine, Jobs: jobs, Seed: 1}, dps.DPSFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 || res.TimedOut {
+		t.Errorf("batch result: %d jobs, timedout=%v", len(res.Jobs), res.TimedOut)
+	}
+}

@@ -1,0 +1,285 @@
+// Package analysis post-processes per-step experiment logs (the tracelog
+// CSV format): per-unit power/cap statistics, throttling and priority
+// occupancy, cluster-group balance, and ASCII time-series rendering. The
+// paper's artifact ships equivalent plotting/analysis scripts for matching
+// power data to workloads and computing fairness from the logs.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dps/internal/power"
+	"dps/internal/signal"
+	"dps/internal/tracelog"
+)
+
+// UnitSummary aggregates one unit's trajectory over a whole log.
+type UnitSummary struct {
+	Unit  power.UnitID
+	Steps int
+	// MeanPower and MeanCap are time-weighted over the log.
+	MeanPower power.Watts
+	MeanCap   power.Watts
+	MaxPower  power.Watts
+	// EnergyJ integrates measured power over the inter-record intervals.
+	EnergyJ power.Joules
+	// ThrottledFrac is the fraction of steps with power within 95 % of the
+	// cap — the unit was being held back.
+	ThrottledFrac float64
+	// HighPriorityFrac is the fraction of steps DPS marked the unit high
+	// priority (0 for other managers).
+	HighPriorityFrac float64
+	// CapChanges counts steps where the assigned cap moved by ≥ 0.1 W.
+	CapChanges int
+	// ProminentPeaks counts prominent power peaks (> 20 W) in the unit's
+	// series — the high-frequency signature.
+	ProminentPeaks int
+}
+
+// Summary is a whole log digested.
+type Summary struct {
+	Units []UnitSummary
+	// Duration is the time span covered by the log.
+	Duration power.Seconds
+	// Steps is the number of distinct timestamps.
+	Steps int
+	// MaxCapSum is the largest observed sum of caps at one timestamp; it
+	// must never exceed the experiment's budget.
+	MaxCapSum power.Watts
+}
+
+// Summarize digests a record stream. Records may arrive in any order; they
+// are grouped by timestamp and unit. An empty input is an error.
+func Summarize(recs []tracelog.Record) (Summary, error) {
+	if len(recs) == 0 {
+		return Summary{}, fmt.Errorf("analysis: empty log")
+	}
+	byUnit := map[power.UnitID][]tracelog.Record{}
+	timestamps := map[power.Seconds]power.Watts{} // t → cap sum
+	var tMin, tMax power.Seconds
+	tMin = recs[0].Time
+	for _, r := range recs {
+		byUnit[r.Unit] = append(byUnit[r.Unit], r)
+		timestamps[r.Time] += r.Cap
+		if r.Time < tMin {
+			tMin = r.Time
+		}
+		if r.Time > tMax {
+			tMax = r.Time
+		}
+	}
+
+	s := Summary{Duration: tMax - tMin, Steps: len(timestamps)}
+	for _, sum := range timestamps {
+		if sum > s.MaxCapSum {
+			s.MaxCapSum = sum
+		}
+	}
+
+	units := make([]power.UnitID, 0, len(byUnit))
+	for u := range byUnit {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+
+	for _, u := range units {
+		series := byUnit[u]
+		sort.Slice(series, func(i, j int) bool { return series[i].Time < series[j].Time })
+		us := UnitSummary{Unit: u, Steps: len(series)}
+		var powSum, capSum float64
+		throttled := 0
+		highPrio := 0
+		powers := make([]power.Watts, len(series))
+		var prevCap power.Watts
+		for i, r := range series {
+			powers[i] = r.Power
+			powSum += float64(r.Power)
+			capSum += float64(r.Cap)
+			if r.Power > us.MaxPower {
+				us.MaxPower = r.Power
+			}
+			if r.Cap > 0 && r.Power >= r.Cap*0.95 {
+				throttled++
+			}
+			if r.HighPriority {
+				highPrio++
+			}
+			if i > 0 {
+				dt := float64(r.Time - series[i-1].Time)
+				if dt > 0 {
+					us.EnergyJ += power.Joules(float64(r.Power) * dt)
+				}
+				if math.Abs(float64(r.Cap-prevCap)) >= 0.1 {
+					us.CapChanges++
+				}
+			}
+			prevCap = r.Cap
+		}
+		n := float64(len(series))
+		us.MeanPower = power.Watts(powSum / n)
+		us.MeanCap = power.Watts(capSum / n)
+		us.ThrottledFrac = float64(throttled) / n
+		us.HighPriorityFrac = float64(highPrio) / n
+		us.ProminentPeaks = signal.CountProminentPeaks(powers, 20)
+		s.Units = append(s.Units, us)
+	}
+	return s, nil
+}
+
+// Group identifies a contiguous unit range, e.g. one cluster.
+type Group struct {
+	Name  string
+	First power.UnitID
+	Count int
+}
+
+// contains reports whether u falls in the group.
+func (g Group) contains(u power.UnitID) bool {
+	return u >= g.First && int(u) < int(g.First)+g.Count
+}
+
+// GroupStats aggregates a summary over a unit group.
+type GroupStats struct {
+	Group Group
+	// MeanPower and MeanCap average the member units' means.
+	MeanPower power.Watts
+	MeanCap   power.Watts
+	// ThrottledFrac averages member throttling occupancy — the proxy for
+	// how hard the group was penalized.
+	ThrottledFrac float64
+	// EnergyJ totals member energy.
+	EnergyJ power.Joules
+}
+
+// Balance compares two groups from a digested log. The returned score is
+// 1 − |throttledA − throttledB|: the log-derived analogue of the paper's
+// fairness (true satisfaction needs uncapped runs, which a deployment log
+// cannot contain; throttling occupancy is the observable penalty).
+func Balance(s Summary, a, b Group) (GroupStats, GroupStats, float64, error) {
+	ga, err := groupStats(s, a)
+	if err != nil {
+		return GroupStats{}, GroupStats{}, 0, err
+	}
+	gb, err := groupStats(s, b)
+	if err != nil {
+		return GroupStats{}, GroupStats{}, 0, err
+	}
+	score := 1 - math.Abs(ga.ThrottledFrac-gb.ThrottledFrac)
+	return ga, gb, score, nil
+}
+
+func groupStats(s Summary, g Group) (GroupStats, error) {
+	if g.Count <= 0 {
+		return GroupStats{}, fmt.Errorf("analysis: group %q has no units", g.Name)
+	}
+	out := GroupStats{Group: g}
+	n := 0
+	for _, us := range s.Units {
+		if !g.contains(us.Unit) {
+			continue
+		}
+		n++
+		out.MeanPower += us.MeanPower
+		out.MeanCap += us.MeanCap
+		out.ThrottledFrac += us.ThrottledFrac
+		out.EnergyJ += us.EnergyJ
+	}
+	if n == 0 {
+		return GroupStats{}, fmt.Errorf("analysis: group %q matches no logged units", g.Name)
+	}
+	out.MeanPower /= power.Watts(n)
+	out.MeanCap /= power.Watts(n)
+	out.ThrottledFrac /= float64(n)
+	return out, nil
+}
+
+// Series extracts one unit's (time, power, cap) trajectory in time order.
+func Series(recs []tracelog.Record, unit power.UnitID) (times []power.Seconds, powers, caps []power.Watts) {
+	var filtered []tracelog.Record
+	for _, r := range recs {
+		if r.Unit == unit {
+			filtered = append(filtered, r)
+		}
+	}
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i].Time < filtered[j].Time })
+	for _, r := range filtered {
+		times = append(times, r.Time)
+		powers = append(powers, r.Power)
+		caps = append(caps, r.Cap)
+	}
+	return times, powers, caps
+}
+
+// RenderSeries draws an ASCII strip chart of a unit's power (#) under its
+// cap (-), downsampled to width columns.
+func RenderSeries(powers, caps []power.Watts, width int) string {
+	if len(powers) == 0 {
+		return "(empty series)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+	max := power.Watts(1)
+	for i := range powers {
+		if powers[i] > max {
+			max = powers[i]
+		}
+		if i < len(caps) && caps[i] > max {
+			max = caps[i]
+		}
+	}
+	const bands = 10
+	cols := len(powers)
+	if cols > width {
+		cols = width
+	}
+	grid := make([][]byte, bands)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	level := func(w power.Watts) int {
+		l := int(float64(w) / float64(max) * bands)
+		if l >= bands {
+			l = bands - 1
+		}
+		if l < 0 {
+			l = 0
+		}
+		return l
+	}
+	for c := 0; c < cols; c++ {
+		idx := c * len(powers) / cols
+		pl := level(powers[idx])
+		for r := 0; r <= pl; r++ {
+			grid[bands-1-r][c] = '#'
+		}
+		if idx < len(caps) {
+			cl := level(caps[idx])
+			if grid[bands-1-cl][c] == ' ' {
+				grid[bands-1-cl][c] = '-'
+			}
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		fmt.Fprintf(&b, "%5.0fW |%s|\n", float64(max)*float64(bands-r)/bands, row)
+	}
+	return b.String()
+}
+
+// FormatSummary renders the per-unit table.
+func FormatSummary(s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "log: %d steps over %.0f s, max cap sum %.1f W\n", s.Steps, s.Duration, s.MaxCapSum)
+	fmt.Fprintf(&b, "%-5s %9s %9s %9s %10s %9s %9s %7s\n",
+		"unit", "meanW", "maxW", "meanCapW", "throttled", "highPrio", "capMoves", "peaks")
+	for _, u := range s.Units {
+		fmt.Fprintf(&b, "%-5d %9.1f %9.1f %9.1f %9.1f%% %8.1f%% %9d %7d\n",
+			u.Unit, u.MeanPower, u.MaxPower, u.MeanCap,
+			u.ThrottledFrac*100, u.HighPriorityFrac*100, u.CapChanges, u.ProminentPeaks)
+	}
+	return b.String()
+}

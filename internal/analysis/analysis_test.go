@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dps/internal/power"
+	"dps/internal/tracelog"
+)
+
+// makeLog builds a two-unit log: unit 0 throttled at its cap, unit 1 idle
+// far below its cap.
+func makeLog(steps int) []tracelog.Record {
+	var recs []tracelog.Record
+	for t := 0; t < steps; t++ {
+		recs = append(recs,
+			tracelog.Record{Time: power.Seconds(t), Unit: 0, Power: 110, Cap: 110, HighPriority: true},
+			tracelog.Record{Time: power.Seconds(t), Unit: 1, Power: 30, Cap: 90},
+		)
+	}
+	return recs
+}
+
+func TestSummarize(t *testing.T) {
+	sum, err := Summarize(makeLog(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Steps != 10 {
+		t.Errorf("Steps = %d", sum.Steps)
+	}
+	if sum.Duration != 9 {
+		t.Errorf("Duration = %v", sum.Duration)
+	}
+	if sum.MaxCapSum != 200 {
+		t.Errorf("MaxCapSum = %v", sum.MaxCapSum)
+	}
+	if len(sum.Units) != 2 {
+		t.Fatalf("units: %d", len(sum.Units))
+	}
+	u0, u1 := sum.Units[0], sum.Units[1]
+	if u0.Unit != 0 || u1.Unit != 1 {
+		t.Fatalf("unit order: %d %d", u0.Unit, u1.Unit)
+	}
+	if u0.MeanPower != 110 || u0.ThrottledFrac != 1 || u0.HighPriorityFrac != 1 {
+		t.Errorf("unit 0 summary: %+v", u0)
+	}
+	if u1.ThrottledFrac != 0 || u1.HighPriorityFrac != 0 {
+		t.Errorf("unit 1 summary: %+v", u1)
+	}
+	// Energy: 9 intervals × 110 W for unit 0.
+	if u0.EnergyJ != 990 {
+		t.Errorf("unit 0 energy = %v, want 990", u0.EnergyJ)
+	}
+	if u0.CapChanges != 0 {
+		t.Errorf("unit 0 cap changes = %d", u0.CapChanges)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize accepted an empty log")
+	}
+}
+
+func TestSummarizeCountsCapChanges(t *testing.T) {
+	recs := []tracelog.Record{
+		{Time: 0, Unit: 0, Power: 50, Cap: 100},
+		{Time: 1, Unit: 0, Power: 50, Cap: 110},
+		{Time: 2, Unit: 0, Power: 50, Cap: 110},
+		{Time: 3, Unit: 0, Power: 50, Cap: 90},
+	}
+	sum, err := Summarize(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Units[0].CapChanges; got != 2 {
+		t.Errorf("CapChanges = %d, want 2", got)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	sum, err := Summarize(makeLog(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Group{Name: "A", First: 0, Count: 1}
+	b := Group{Name: "B", First: 1, Count: 1}
+	sa, sb, score, err := Balance(sum, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully throttled, B never: the balance score is 0.
+	if score != 0 {
+		t.Errorf("score = %v, want 0 for maximal imbalance", score)
+	}
+	if sa.MeanPower != 110 || sb.MeanPower != 30 {
+		t.Errorf("group means: %v %v", sa.MeanPower, sb.MeanPower)
+	}
+	// Symmetric groups score 1.
+	_, _, same, err := Balance(sum, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != 1 {
+		t.Errorf("self-balance = %v, want 1", same)
+	}
+}
+
+func TestBalanceErrors(t *testing.T) {
+	sum, _ := Summarize(makeLog(2))
+	if _, _, _, err := Balance(sum, Group{Name: "x", Count: 0}, Group{Name: "y", First: 1, Count: 1}); err == nil {
+		t.Error("Balance accepted an empty group")
+	}
+	if _, _, _, err := Balance(sum, Group{Name: "x", First: 50, Count: 2}, Group{Name: "y", First: 1, Count: 1}); err == nil {
+		t.Error("Balance accepted a group with no logged units")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	recs := makeLog(4)
+	times, powers, caps := Series(recs, 1)
+	if len(times) != 4 || len(powers) != 4 || len(caps) != 4 {
+		t.Fatalf("series lengths %d/%d/%d", len(times), len(powers), len(caps))
+	}
+	for i := range powers {
+		if powers[i] != 30 || caps[i] != 90 {
+			t.Errorf("sample %d = %v/%v", i, powers[i], caps[i])
+		}
+	}
+	if _, p, _ := Series(recs, 99); p != nil {
+		t.Error("series for an absent unit not empty")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	powers := []power.Watts{10, 50, 100, 150}
+	caps := []power.Watts{160, 160, 160, 160}
+	out := RenderSeries(powers, caps, 40)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "-") {
+		t.Errorf("chart missing power or cap marks:\n%s", out)
+	}
+	if got := RenderSeries(nil, nil, 10); !strings.Contains(got, "empty") {
+		t.Errorf("empty series rendering: %q", got)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	sum, _ := Summarize(makeLog(3))
+	out := FormatSummary(sum)
+	for _, want := range []string{"unit", "throttled", "100.0%", "max cap sum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSummary missing %q:\n%s", want, out)
+		}
+	}
+}

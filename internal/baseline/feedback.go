@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"fmt"
+
+	"dps/internal/core"
+	"dps/internal/power"
+)
+
+// FeedbackConfig tunes the PShifter-style baseline.
+type FeedbackConfig struct {
+	// Setpoint is the target utilization (power / cap) for every unit.
+	// Units above it receive budget, units below it donate.
+	Setpoint float64
+	// Gain is the integral gain: the fraction of a unit's accumulated
+	// utilization error converted to watts each step.
+	Gain float64
+	// MaxStep bounds the per-step cap movement in watts, for stability.
+	MaxStep power.Watts
+}
+
+// DefaultFeedbackConfig: aim for 90 % utilization, move up to 8 W per
+// second per unit.
+func DefaultFeedbackConfig() FeedbackConfig {
+	return FeedbackConfig{Setpoint: 0.90, Gain: 0.5, MaxStep: 8}
+}
+
+// Validate reports whether the configuration is stable.
+func (c FeedbackConfig) Validate() error {
+	switch {
+	case c.Setpoint <= 0 || c.Setpoint >= 1:
+		return fmt.Errorf("baseline: feedback setpoint %v outside (0,1)", c.Setpoint)
+	case c.Gain <= 0 || c.Gain > 1:
+		return fmt.Errorf("baseline: feedback gain %v outside (0,1]", c.Gain)
+	case c.MaxStep <= 0:
+		return fmt.Errorf("baseline: non-positive feedback step %v", c.MaxStep)
+	}
+	return nil
+}
+
+// Feedback is a feedback-control power shifter in the spirit of PShifter
+// (Gholkar et al., HPDC '18, cited in the paper's §2.2): each unit runs an
+// integral controller on its utilization error relative to a setpoint, and
+// the manager shifts watts from donors (utilization below setpoint) to
+// receivers (above), conserving the budget exactly. Like DPS it needs no
+// model; unlike DPS it keeps only a scalar error integral per unit — no
+// power dynamics — so it reacts smoothly but cannot anticipate phases and
+// has no constant-allocation lower bound.
+type Feedback struct {
+	budget   power.Budget
+	cfg      FeedbackConfig
+	caps     power.Vector
+	integral []float64
+}
+
+var _ core.Manager = (*Feedback)(nil)
+
+// NewFeedback returns a feedback manager for n units starting at the
+// constant allocation.
+func NewFeedback(n int, budget power.Budget, cfg FeedbackConfig) (*Feedback, error) {
+	if err := budget.Validate(n); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Feedback{
+		budget:   budget,
+		cfg:      cfg,
+		caps:     power.NewVector(n, budget.ConstantCap(n)),
+		integral: make([]float64, n),
+	}, nil
+}
+
+// Name implements core.Manager.
+func (f *Feedback) Name() string { return "Feedback" }
+
+// Budget implements core.Manager.
+func (f *Feedback) Budget() power.Budget { return f.budget }
+
+// Caps implements core.Manager.
+func (f *Feedback) Caps() power.Vector { return f.caps }
+
+// Decide implements core.Manager: accumulate utilization error, derive a
+// desired per-unit delta, then balance deltas so the budget is conserved.
+func (f *Feedback) Decide(snap core.Snapshot) power.Vector {
+	n := len(f.caps)
+	if len(snap.Power) != n {
+		panic(fmt.Sprintf("baseline: %d readings for %d units", len(snap.Power), n))
+	}
+	desired := make([]float64, n)
+	var posSum, negSum float64
+	for u := 0; u < n; u++ {
+		util := 0.0
+		if f.caps[u] > 0 {
+			util = float64(snap.Power[u] / f.caps[u])
+			if util > 1 {
+				util = 1
+			}
+		}
+		err := util - f.cfg.Setpoint
+		// Sign-flip anti-windup: a unit that just became throttled must
+		// not pay down an integral accumulated during its idle phase (and
+		// vice versa) — without this, phase transitions stall for the
+		// whole windup depth and the controller starves ramping units.
+		if (err > 0 && f.integral[u] < 0) || (err < 0 && f.integral[u] > 0) {
+			f.integral[u] = 0
+		}
+		f.integral[u] += err
+		const windup = 2
+		if f.integral[u] > windup {
+			f.integral[u] = windup
+		}
+		if f.integral[u] < -windup {
+			f.integral[u] = -windup
+		}
+		// PI form: the proportional term reacts within a step, the
+		// integral sustains pressure while the error persists.
+		d := float64(f.cfg.MaxStep) * (1.2*err + f.cfg.Gain*f.integral[u])
+		if d > float64(f.cfg.MaxStep) {
+			d = float64(f.cfg.MaxStep)
+		}
+		if d < -float64(f.cfg.MaxStep) {
+			d = -float64(f.cfg.MaxStep)
+		}
+		desired[u] = d
+		if d > 0 {
+			posSum += d
+		} else {
+			negSum -= d
+		}
+	}
+
+	// Conserve: receivers can only take what donors give (plus any slack
+	// between the current cap sum and the budget).
+	slack := float64(f.budget.Total - f.caps.Sum())
+	if slack < 0 {
+		slack = 0
+	}
+	avail := negSum + slack
+	scale := 1.0
+	if posSum > avail && posSum > 0 {
+		scale = avail / posSum
+	}
+	for u := 0; u < n; u++ {
+		d := desired[u]
+		if d > 0 {
+			d *= scale
+		}
+		next := f.caps[u] + power.Watts(d)
+		if next > f.budget.UnitMax {
+			next = f.budget.UnitMax
+		}
+		if next < f.budget.UnitMin {
+			next = f.budget.UnitMin
+		}
+		f.caps[u] = next
+	}
+	// Final conservation clamp against rounding drift.
+	if total := f.caps.Sum(); total > f.budget.Total {
+		excess := total - f.budget.Total
+		var above power.Watts
+		for _, c := range f.caps {
+			above += c - f.budget.UnitMin
+		}
+		if above > 0 {
+			frac := excess / above
+			for u := range f.caps {
+				f.caps[u] -= (f.caps[u] - f.budget.UnitMin) * frac
+			}
+		}
+	}
+	return f.caps
+}

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/core"
+	"dps/internal/power"
+)
+
+func TestFeedbackConfigValidation(t *testing.T) {
+	if err := DefaultFeedbackConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []FeedbackConfig{
+		{Setpoint: 0, Gain: 0.5, MaxStep: 8},
+		{Setpoint: 1, Gain: 0.5, MaxStep: 8},
+		{Setpoint: 0.9, Gain: 0, MaxStep: 8},
+		{Setpoint: 0.9, Gain: 1.5, MaxStep: 8},
+		{Setpoint: 0.9, Gain: 0.5, MaxStep: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewFeedback(2, testBudget, cfg); err == nil {
+			t.Errorf("NewFeedback accepted %+v", cfg)
+		}
+	}
+}
+
+func TestFeedbackShiftsTowardThrottledUnit(t *testing.T) {
+	budget := power.Budget{Total: 220, UnitMax: 165, UnitMin: 10}
+	f, err := NewFeedback(2, budget, DefaultFeedbackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "Feedback" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	// Unit 0 pinned at its cap, unit 1 at 30 % utilization.
+	var caps power.Vector
+	for i := 0; i < 40; i++ {
+		caps = f.Caps()
+		readings := power.Vector{caps[0], caps[1] * 0.3}
+		caps = f.Decide(core.Snapshot{Power: readings, Interval: 1})
+	}
+	if caps[0] <= caps[1] {
+		t.Errorf("caps %v: throttled unit did not receive budget", caps)
+	}
+	if caps[0] < 130 {
+		t.Errorf("throttled unit's cap %v after 40 steps, want a substantial shift", caps[0])
+	}
+}
+
+func TestFeedbackConservesBudgetProperty(t *testing.T) {
+	budget := power.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+	f := func(seed int64, steps uint8) bool {
+		mgr, err := NewFeedback(4, budget, DefaultFeedbackConfig())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for s := 0; s < int(steps%60)+1; s++ {
+			readings := make(power.Vector, 4)
+			for u := range readings {
+				readings[u] = power.Watts(rng.Float64() * 180)
+			}
+			caps := mgr.Decide(core.Snapshot{Power: readings, Interval: 1})
+			if !budget.Respected(caps, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeedbackStabilizesOnBalancedLoad(t *testing.T) {
+	budget := power.Budget{Total: 220, UnitMax: 165, UnitMin: 10}
+	f, err := NewFeedback(2, budget, DefaultFeedbackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both units permanently at cap: symmetric pressure, caps must stay
+	// within a few watts of each other (no runaway oscillation).
+	for i := 0; i < 100; i++ {
+		caps := f.Caps()
+		f.Decide(core.Snapshot{Power: power.Vector{caps[0], caps[1]}, Interval: 1})
+	}
+	caps := f.Caps()
+	if power.AbsDiff(caps[0], caps[1]) > 5 {
+		t.Errorf("symmetric load diverged: %v", caps)
+	}
+}
+
+func TestFeedbackPanicsOnSizeMismatch(t *testing.T) {
+	f, err := NewFeedback(2, testBudget, DefaultFeedbackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decide with wrong reading count did not panic")
+		}
+	}()
+	f.Decide(core.Snapshot{Power: power.Vector{1}, Interval: 1})
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dps/internal/power"
+	"dps/internal/workload"
+)
+
+// quietConfig returns a small, noise-free machine for exact arithmetic.
+func quietConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clusters = 2
+	cfg.NodesPerCluster = 1
+	cfg.SocketsPerNode = 2
+	cfg.Rapl.NoiseStdDev = 0
+	cfg.DemandJitterSD = 0
+	return cfg
+}
+
+// specOf builds a jitter-free workload from an explicit phase list.
+func specOf(phases ...workload.Phase) *workload.Spec {
+	return workload.Custom("synthetic", phases)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Clusters = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted zero clusters")
+	}
+	bad = DefaultConfig()
+	bad.DemandJitterSD = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted negative jitter")
+	}
+	if got := DefaultConfig().Units(); got != 20 {
+		t.Errorf("default Units = %d, want 20 (2×5×2)", got)
+	}
+}
+
+func TestIdleMachineDrawsIdlePower(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, err := m.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, r := range readings {
+		if r != quietConfig().Rapl.IdlePower {
+			t.Errorf("idle unit %d reads %v W, want the idle floor %v", u, r, quietConfig().Rapl.IdlePower)
+		}
+	}
+}
+
+func TestApplyCapsClampsThroughDevices(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := power.NewVector(m.Units(), 500)
+	if err := m.ApplyCaps(caps); err != nil {
+		t.Fatal(err)
+	}
+	for u, c := range m.Caps() {
+		if c != 165 {
+			t.Errorf("cap[%d] = %v, want clamped to TDP", u, c)
+		}
+	}
+	if err := m.ApplyCaps(power.Vector{1}); err == nil {
+		t.Error("ApplyCaps accepted a short vector")
+	}
+}
+
+func TestWorkloadDrivesDemandAndProgress(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specOf(workload.Phase{Demand: 150, Work: 10})
+	run := workload.NewRun(spec, rand.New(rand.NewSource(1)))
+	m.Cluster(0).SetRun(run)
+
+	// Uncapped: finishes in exactly 10 steps.
+	steps := 0
+	for !run.Done() && steps < 50 {
+		if _, err := m.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if steps != 10 {
+		t.Errorf("uncapped run took %d steps, want 10", steps)
+	}
+	if got := run.Elapsed(); math.Abs(float64(got)-10) > 1e-9 {
+		t.Errorf("Elapsed = %v, want 10", got)
+	}
+}
+
+func TestCappedRunSlowsDown(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specOf(workload.Phase{Demand: 150, Work: 10})
+	run := workload.NewRun(spec, rand.New(rand.NewSource(1)))
+	m.Cluster(0).SetRun(run)
+	caps := power.NewVector(m.Units(), 110)
+	if err := m.ApplyCaps(caps); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !run.Done() && steps < 100 {
+		m.Step(1)
+		steps++
+	}
+	perf := workload.DefaultPerfModel()
+	want := int(math.Ceil(10 / perf.Speed(110, 150)))
+	if steps != want {
+		t.Errorf("capped run took %d steps, want %d", steps, want)
+	}
+}
+
+func TestStragglerGatesWholeCluster(t *testing.T) {
+	// BSP semantics: one starved socket slows the entire cluster's run.
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specOf(workload.Phase{Demand: 150, Work: 10})
+	run := workload.NewRun(spec, rand.New(rand.NewSource(1)))
+	m.Cluster(0).SetRun(run)
+	caps := power.NewVector(m.Units(), 165)
+	caps[1] = 80 // the straggler
+	if err := m.ApplyCaps(caps); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !run.Done() && steps < 100 {
+		m.Step(1)
+		steps++
+	}
+	perf := workload.DefaultPerfModel()
+	want := int(math.Ceil(10 / perf.Speed(80, 150)))
+	if steps != want {
+		t.Errorf("straggled run took %d steps, want %d (gated by the slow socket)", steps, want)
+	}
+}
+
+func TestReadingsReflectCapsAndDemand(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specOf(workload.Phase{Demand: 150, Work: 1000})
+	m.Cluster(0).SetRun(workload.NewRun(spec, rand.New(rand.NewSource(1))))
+	caps := power.NewVector(m.Units(), 110)
+	m.ApplyCaps(caps)
+	readings, err := m.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0 (units 0,1) capped at 110 with demand 150: draws 110.
+	for _, u := range m.Cluster(0).Units() {
+		if readings[u] != 110 {
+			t.Errorf("unit %d reads %v, want the cap 110", u, readings[u])
+		}
+	}
+	// Cluster 1 idle: idle power.
+	for _, u := range m.Cluster(1).Units() {
+		if readings[u] != 20 {
+			t.Errorf("idle unit %d reads %v, want 20", u, readings[u])
+		}
+	}
+	// True demands visible to the oracle only.
+	d := m.TrueDemands()
+	for _, u := range m.Cluster(0).Units() {
+		if d[u] != 150 {
+			t.Errorf("true demand[%d] = %v, want 150", u, d[u])
+		}
+	}
+}
+
+func TestRunMeanPowerAccounting(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specOf(workload.Phase{Demand: 150, Work: 1000})
+	cl := m.Cluster(0)
+	cl.SetRun(workload.NewRun(spec, rand.New(rand.NewSource(1))))
+	caps := power.NewVector(m.Units(), 110)
+	m.ApplyCaps(caps)
+	for i := 0; i < 10; i++ {
+		m.Step(1)
+	}
+	if got := cl.RunMeanPower(); math.Abs(float64(got)-110) > 1e-6 {
+		t.Errorf("RunMeanPower = %v, want 110", got)
+	}
+	if got := cl.RunWall(); got != 10 {
+		t.Errorf("RunWall = %v, want 10", got)
+	}
+	cl.SetRun(nil)
+	if cl.RunMeanPower() != 0 || cl.RunWall() != 0 {
+		t.Error("per-run accounting not reset by SetRun")
+	}
+}
+
+func TestStepRejectsBadInterval(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(0); err == nil {
+		t.Error("Step(0) did not error")
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() power.Vector {
+		cfg := DefaultConfig()
+		cfg.Seed = 77
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := specOf(workload.Phase{Demand: 150, Work: 500})
+		m.Cluster(0).SetRun(workload.NewRun(spec, rand.New(rand.NewSource(1))))
+		var last power.Vector
+		for i := 0; i < 20; i++ {
+			r, err := m.Step(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = r.Clone()
+		}
+		return last
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed machines diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	m, err := NewMachine(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClusters() != 2 {
+		t.Errorf("NumClusters = %d", m.NumClusters())
+	}
+	cl := m.Cluster(1)
+	if cl.Index() != 1 {
+		t.Errorf("Index = %d", cl.Index())
+	}
+	if len(cl.Units()) != 2 {
+		t.Errorf("Units = %v", cl.Units())
+	}
+	if cl.Active() {
+		t.Error("idle cluster reports Active")
+	}
+	if m.Elapsed() != 0 {
+		t.Errorf("Elapsed = %v before any step", m.Elapsed())
+	}
+	m.Step(1)
+	if m.Elapsed() != 1 {
+		t.Errorf("Elapsed = %v after one step", m.Elapsed())
+	}
+}

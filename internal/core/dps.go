@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"dps/internal/history"
+	"dps/internal/kalman"
+	"dps/internal/power"
+	"dps/internal/priority"
+	"dps/internal/readjust"
+	"dps/internal/stateless"
+)
+
+// Config assembles a DPS controller.
+type Config struct {
+	// Units is the number of power-capping units (sockets) managed.
+	Units int
+	// Budget is the cluster-wide power envelope.
+	Budget power.Budget
+	// HistoryLen is the number of estimated power samples kept per unit
+	// (the paper's default is 20, i.e. 20 s of state at dT = 1 s).
+	HistoryLen int
+	// Stateless configures the Algorithm 1 MIMD stage.
+	Stateless stateless.Config
+	// Kalman configures the per-unit measurement filters.
+	Kalman kalman.Config
+	// Priority configures the Algorithm 2 classification stage.
+	Priority priority.Config
+	// Readjust configures the Algorithm 3/4 stage.
+	Readjust readjust.Config
+	// Seed makes the stateless module's random visiting order reproducible.
+	Seed int64
+
+	// Ablation knobs (all false in the paper's system).
+
+	// DisableKalman feeds raw readings straight into the power history.
+	DisableKalman bool
+	// DisableFrequency turns off high-frequency detection; priorities come
+	// from the derivative alone.
+	DisableFrequency bool
+	// DisableRestore turns off Algorithm 3.
+	DisableRestore bool
+	// DisablePriority turns off Algorithms 2–4 entirely, reducing DPS to
+	// its stateless module (the SLURM baseline with DPS's plumbing).
+	DisablePriority bool
+}
+
+// DefaultConfig returns the paper's defaults for n units under the given
+// budget.
+func DefaultConfig(n int, budget power.Budget) Config {
+	return Config{
+		Units:      n,
+		Budget:     budget,
+		HistoryLen: 20,
+		Stateless:  stateless.DefaultConfig(),
+		Kalman:     kalman.DefaultConfig(),
+		Priority:   priority.DefaultConfig(),
+		Readjust:   readjust.DefaultConfig(),
+		Seed:       1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Budget.Validate(c.Units); err != nil {
+		return err
+	}
+	if c.HistoryLen < 2 {
+		return fmt.Errorf("core: HistoryLen %d must be at least 2", c.HistoryLen)
+	}
+	if err := c.Stateless.Validate(); err != nil {
+		return err
+	}
+	if err := c.Priority.Validate(); err != nil {
+		return err
+	}
+	return c.Readjust.Validate()
+}
+
+// DPS is the Dynamic Power Scheduler: stateless MIMD base decision, Kalman
+// estimation, power-dynamics priorities, and cap readjustment, exactly the
+// four-module pipeline of the paper's Figure 3.
+type DPS struct {
+	cfg         Config
+	constantCap power.Watts
+
+	statelessM *stateless.Module
+	filters    *kalman.Bank
+	hist       *history.Set
+	priorityM  *priority.Module
+	readjustM  *readjust.Module
+
+	caps    power.Vector
+	changed []bool
+
+	lastRestored bool
+	steps        uint64
+}
+
+var _ Manager = (*DPS)(nil)
+
+// NewDPS builds a DPS controller. All units start at the constant cap, the
+// same initial condition as constant allocation.
+func NewDPS(cfg Config) (*DPS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sm, err := stateless.New(cfg.Stateless, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	filters, err := kalman.NewBank(cfg.Units, cfg.Kalman)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := priority.New(cfg.Priority, cfg.Units)
+	if err != nil {
+		return nil, err
+	}
+	pm.DisableFrequency = cfg.DisableFrequency
+	rcfg := cfg.Readjust
+	rcfg.DisableRestore = rcfg.DisableRestore || cfg.DisableRestore
+	rm, err := readjust.New(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &DPS{
+		cfg:         cfg,
+		constantCap: cfg.Budget.ConstantCap(cfg.Units),
+		statelessM:  sm,
+		filters:     filters,
+		hist:        history.NewSet(cfg.Units, cfg.HistoryLen),
+		priorityM:   pm,
+		readjustM:   rm,
+		caps:        power.NewVector(cfg.Units, 0),
+		changed:     make([]bool, cfg.Units),
+	}
+	for i := range d.caps {
+		d.caps[i] = d.constantCap
+	}
+	return d, nil
+}
+
+// Name implements Manager.
+func (d *DPS) Name() string {
+	if d.cfg.DisablePriority {
+		return "DPS(stateless-only)"
+	}
+	return "DPS"
+}
+
+// Budget implements Manager.
+func (d *DPS) Budget() power.Budget { return d.cfg.Budget }
+
+// Caps implements Manager.
+func (d *DPS) Caps() power.Vector { return d.caps }
+
+// ConstantCap returns the per-unit constant allocation cap (budget divided
+// evenly), DPS's initial condition and restoration target.
+func (d *DPS) ConstantCap() power.Watts { return d.constantCap }
+
+// Priorities returns the current high-priority flags, for logging (the
+// paper's artifact logs priority per socket per decision). The slice is
+// owned by the controller.
+func (d *DPS) Priorities() []bool { return d.priorityM.Priorities() }
+
+// Restored reports whether the last Decide call triggered Algorithm 3's
+// restoration.
+func (d *DPS) Restored() bool { return d.lastRestored }
+
+// Steps returns the number of Decide calls so far.
+func (d *DPS) Steps() uint64 { return d.steps }
+
+// Decide implements Manager: one pass of the Figure 3 pipeline.
+func (d *DPS) Decide(snap Snapshot) power.Vector {
+	if len(snap.Power) != d.cfg.Units {
+		panic(fmt.Sprintf("core: %d readings for %d units", len(snap.Power), d.cfg.Units))
+	}
+	dt := snap.Interval
+	if dt <= 0 {
+		dt = 1
+	}
+	d.steps++
+
+	// Kalman estimation feeds the power history (the controller's state).
+	for u := 0; u < d.cfg.Units; u++ {
+		est := snap.Power[u]
+		if !d.cfg.DisableKalman {
+			est = d.filters.Step(power.UnitID(u), est)
+		}
+		d.hist.Push(power.UnitID(u), est, dt)
+	}
+
+	// Stateless module: temporary cap allocation from current power alone.
+	d.statelessM.Apply(snap.Power, d.caps, d.cfg.Budget, d.changed)
+
+	if !d.cfg.DisablePriority {
+		// Priority module: power dynamics → high/low priority per unit.
+		prio := d.priorityM.Update(d.hist, snap.Power, d.caps, d.constantCap)
+
+		// Cap readjusting module: restore, else readjust.
+		d.lastRestored = d.readjustM.Restore(snap.Power, d.caps, d.constantCap, d.changed)
+		if !d.lastRestored {
+			d.readjustM.Readjust(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed)
+		}
+	}
+
+	d.enforceBudget()
+	return d.caps
+}
+
+// enforceBudget is the final safety clamp: caps inside hardware limits and
+// their sum inside the cluster budget. The pipeline maintains these
+// invariants already; this pass absorbs floating-point drift so the
+// budget-respected property (which the paper reports held in every
+// experiment) is unconditional.
+func (d *DPS) enforceBudget() {
+	b := d.cfg.Budget
+	d.caps.Clamp(b.UnitMin, b.UnitMax)
+	total := d.caps.Sum()
+	if total <= b.Total {
+		return
+	}
+	// Scale down the headroom above UnitMin proportionally.
+	excess := total - b.Total
+	var above power.Watts
+	for _, c := range d.caps {
+		above += c - b.UnitMin
+	}
+	if above <= 0 {
+		return
+	}
+	frac := excess / above
+	for u := range d.caps {
+		d.caps[u] -= (d.caps[u] - b.UnitMin) * frac
+	}
+}
+
+// SetTotalBudget changes the cluster-wide power limit at runtime, keeping
+// the per-unit hardware bounds. The constant cap (initial condition,
+// restore target, and lower-bound floor) is re-derived. A hierarchical
+// deployment uses this: a top-level coordinator reassigns group budgets
+// and each group's local DPS adopts its new total between decisions.
+// Existing caps above the new budget are pulled back proportionally on
+// the next Decide by the final budget clamp.
+func (d *DPS) SetTotalBudget(total power.Watts) error {
+	b := d.cfg.Budget
+	b.Total = total
+	if err := b.Validate(d.cfg.Units); err != nil {
+		return err
+	}
+	d.cfg.Budget = b
+	d.constantCap = b.ConstantCap(d.cfg.Units)
+	return nil
+}
+
+// Reset returns the controller to its initial state (constant caps, empty
+// history, unprimed filters, all priorities low).
+func (d *DPS) Reset() {
+	for u := 0; u < d.cfg.Units; u++ {
+		d.caps[u] = d.constantCap
+		d.filters.Unit(power.UnitID(u)).Reset()
+		d.hist.Unit(power.UnitID(u)).Reset()
+	}
+	d.priorityM.Reset()
+	d.lastRestored = false
+	d.steps = 0
+}

@@ -1,0 +1,45 @@
+// Package core contains the paper's primary contribution: the Dynamic
+// Power Scheduler (DPS), a model-free *stateful* cluster power manager, and
+// the Manager interface every power-management policy in this repository
+// implements.
+//
+// A Manager is the control system of the paper's Figure 3: each decision
+// step it receives the current per-unit power readings and returns the
+// per-unit power caps for the next interval, never exceeding the
+// cluster-wide budget.
+package core
+
+import (
+	"dps/internal/power"
+)
+
+// Snapshot is the input to one decision step.
+type Snapshot struct {
+	// Power holds the measured average power of each unit over the last
+	// interval (possibly noisy — managers must tolerate sensor jitter).
+	Power power.Vector
+	// Interval is the measurement interval, the paper's dT (default 1 s).
+	Interval power.Seconds
+	// Demand optionally carries each unit's true uncapped power demand.
+	// Only the Oracle baseline may read it; it is nil in deployment and
+	// for all realizable managers.
+	Demand power.Vector
+}
+
+// Manager decides per-unit power caps from per-unit power readings.
+type Manager interface {
+	// Name identifies the policy in experiment output ("DPS", "SLURM",
+	// "Constant", "Oracle").
+	Name() string
+	// Decide consumes one snapshot and returns the caps to apply for the
+	// next interval. The returned vector is owned by the manager and valid
+	// until the next Decide call; callers that retain it must clone it.
+	// Implementations must keep the sum of caps within the budget and each
+	// cap within hardware limits.
+	Decide(snap Snapshot) power.Vector
+	// Caps returns the manager's current cap vector (same ownership rules
+	// as Decide).
+	Caps() power.Vector
+	// Budget returns the budget the manager was configured with.
+	Budget() power.Budget
+}

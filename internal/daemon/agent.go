@@ -1,0 +1,260 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dps/internal/power"
+	"dps/internal/proto"
+	"dps/internal/rapl"
+)
+
+// AgentConfig configures one node's client.
+type AgentConfig struct {
+	// FirstUnit is the node's first global unit ID; local unit i maps to
+	// global FirstUnit+i.
+	FirstUnit power.UnitID
+	// Devices are the node's power-capping units, in local order.
+	Devices []rapl.Device
+	// Interval is the report period, matching the server's decision loop.
+	Interval time.Duration
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c AgentConfig) validate() error {
+	switch {
+	case len(c.Devices) == 0:
+		return errors.New("daemon: agent needs at least one device")
+	case len(c.Devices) > 0xFF+1:
+		return fmt.Errorf("daemon: %d devices exceed the protocol's per-node space", len(c.Devices))
+	case c.Interval <= 0:
+		return fmt.Errorf("daemon: non-positive agent interval %v", c.Interval)
+	}
+	return (proto.Hello{FirstUnit: c.FirstUnit, Units: len(c.Devices)}).Validate()
+}
+
+// Agent is a node client: it reads power from local RAPL devices, reports
+// it, and applies the caps the controller pushes back. Reporting and cap
+// application run on separate goroutines (see Run), so each direction owns
+// its buffer and the counters are atomic.
+type Agent struct {
+	cfg    AgentConfig
+	meters []*rapl.Meter
+	conn   net.Conn
+
+	reportBuf []power.Watts
+	capBuf    []power.Watts
+	reports   atomic.Uint64
+	applied   atomic.Uint64
+}
+
+// NewAgent builds an agent over the node's devices.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		cfg:       cfg,
+		meters:    make([]*rapl.Meter, len(cfg.Devices)),
+		reportBuf: make([]power.Watts, len(cfg.Devices)),
+		capBuf:    make([]power.Watts, len(cfg.Devices)),
+	}
+	for i, d := range cfg.Devices {
+		a.meters[i] = rapl.NewMeter(d)
+	}
+	return a, nil
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// Handshake introduces the agent on conn and waits for the server's
+// acknowledgement. The connection is retained for subsequent rounds.
+func (a *Agent) Handshake(conn net.Conn) error {
+	h := proto.Hello{FirstUnit: a.cfg.FirstUnit, Units: len(a.cfg.Devices)}
+	if err := proto.WriteHello(conn, h); err != nil {
+		conn.Close()
+		return fmt.Errorf("daemon: agent handshake: %w", err)
+	}
+	if err := proto.ReadAck(conn); err != nil {
+		conn.Close()
+		return fmt.Errorf("daemon: agent handshake: %w", err)
+	}
+	a.conn = conn
+	// Prime the meters so the first report is a real interval average.
+	for _, m := range a.meters {
+		if _, err := m.Read(power.Seconds(a.cfg.Interval.Seconds())); err != nil {
+			return fmt.Errorf("daemon: priming meter: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReportOnce reads every local meter over the given elapsed interval and
+// sends one power report batch.
+func (a *Agent) ReportOnce(elapsed power.Seconds) error {
+	if a.conn == nil {
+		return errors.New("daemon: agent not connected")
+	}
+	for i, m := range a.meters {
+		w, err := m.Read(elapsed)
+		if err != nil {
+			return fmt.Errorf("daemon: reading unit %d: %w", int(a.cfg.FirstUnit)+i, err)
+		}
+		a.reportBuf[i] = w
+	}
+	if err := proto.WriteBatch(a.conn, a.reportBuf); err != nil {
+		return fmt.Errorf("daemon: sending report: %w", err)
+	}
+	a.reports.Add(1)
+	return nil
+}
+
+// ReceiveCaps blocks for one cap batch from the controller and programs
+// every local device.
+func (a *Agent) ReceiveCaps() error {
+	if a.conn == nil {
+		return errors.New("daemon: agent not connected")
+	}
+	if err := proto.ReadBatch(a.conn, a.capBuf); err != nil {
+		return fmt.Errorf("daemon: receiving caps: %w", err)
+	}
+	for i, c := range a.capBuf {
+		if err := a.cfg.Devices[i].SetCap(c); err != nil {
+			return fmt.Errorf("daemon: capping unit %d: %w", int(a.cfg.FirstUnit)+i, err)
+		}
+	}
+	a.applied.Add(1)
+	return nil
+}
+
+// Reports returns the number of report batches sent. Safe to call from
+// any goroutine.
+func (a *Agent) Reports() uint64 { return a.reports.Load() }
+
+// Applied returns the number of cap batches applied. Safe to call from
+// any goroutine.
+func (a *Agent) Applied() uint64 { return a.applied.Load() }
+
+// Run drives the agent until ctx is done or the connection fails: a
+// reporting ticker on one side, a cap-applying read loop on the other.
+// The connection must already be handshaken.
+func (a *Agent) Run(ctx context.Context) error {
+	if a.conn == nil {
+		return errors.New("daemon: agent not connected")
+	}
+	errc := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(a.cfg.Interval)
+		defer ticker.Stop()
+		last := time.Now()
+		for {
+			select {
+			case <-ctx.Done():
+				errc <- ctx.Err()
+				return
+			case now := <-ticker.C:
+				elapsed := power.Seconds(now.Sub(last).Seconds())
+				last = now
+				if err := a.ReportOnce(elapsed); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+	}()
+
+	go func() {
+		defer wg.Done()
+		for {
+			if err := a.ReceiveCaps(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	// Join both directions before returning: a reconnecting caller will
+	// reuse the agent's buffers, so no goroutine from this session may
+	// outlive it.
+	err := <-errc
+	a.conn.Close()
+	wg.Wait()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}
+
+// RunWithReconnect keeps the agent connected until ctx is done: it dials,
+// handshakes, runs, and on any failure retries with exponential backoff
+// (baseBackoff doubling up to maxBackoff). A node whose controller
+// restarts rejoins by itself — during the outage its sockets coast on
+// their last caps, which is the safe direction (caps can only be stale,
+// never absent). Counters (Reports/Applied) accumulate across
+// reconnections.
+func (a *Agent) RunWithReconnect(ctx context.Context, network, addr string, baseBackoff, maxBackoff time.Duration) error {
+	if baseBackoff <= 0 {
+		baseBackoff = 250 * time.Millisecond
+	}
+	if maxBackoff < baseBackoff {
+		maxBackoff = 8 * time.Second
+	}
+	backoff := baseBackoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		conn, err := net.Dial(network, addr)
+		if err == nil {
+			err = a.Handshake(conn)
+		}
+		if err == nil {
+			backoff = baseBackoff
+			a.logf("daemon: agent connected to %s", addr)
+			err = a.Run(ctx)
+			if ctx.Err() != nil {
+				return nil
+			}
+		}
+		a.logf("daemon: agent connection lost (%v); retrying in %v", err, backoff)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// Dial connects, handshakes, and returns a ready agent in one call.
+func Dial(network, addr string, cfg AgentConfig) (*Agent, error) {
+	a, err := NewAgent(cfg)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: dialing controller: %w", err)
+	}
+	if err := a.Handshake(conn); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

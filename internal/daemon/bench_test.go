@@ -1,0 +1,190 @@
+package daemon
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/power"
+	"dps/internal/rapl"
+)
+
+// benchRound measures one full decision round over real loopback TCP with
+// `agents` connected 2-socket nodes: the §6.5 claim is that fan-out to
+// 1,000 nodes costs milliseconds against a one-second loop.
+func benchRound(b *testing.B, agents int) {
+	units := agents * 2
+	mgr, err := core.NewDPS(core.DefaultConfig(units, power.Budget{
+		Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Manager: mgr, Units: units, Interval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.Handle(conn)
+		}
+	}()
+
+	// Connect the agents and run their cap-receiving loops so the server's
+	// pushes drain.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer srv.Close()
+	agentList := make([]*Agent, agents)
+	for i := 0; i < agents; i++ {
+		devs := make([]rapl.Device, 2)
+		for j := range devs {
+			cfg := rapl.DefaultSimConfig()
+			cfg.NoiseStdDev = 0
+			d, err := rapl.NewSimDevice(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.SetLoad(120)
+			d.Advance(1)
+			devs[j] = d
+		}
+		a, err := Dial("tcp", l.Addr().String(), AgentConfig{
+			FirstUnit: power.UnitID(i * 2),
+			Devices:   devs,
+			Interval:  time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agentList[i] = a
+		wg.Add(1)
+		go func(a *Agent) {
+			defer wg.Done()
+			for a.ReceiveCaps() == nil {
+			}
+		}(a)
+	}
+	// One report each so the server has readings.
+	for _, a := range agentList {
+		if err := a.ReportOnce(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Wait for all reports to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := srv.Readings()
+		ok := true
+		for _, w := range r {
+			if w == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.DecideOnce(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(agents), "nodes")
+}
+
+func BenchmarkDaemonRound10Nodes(b *testing.B)  { benchRound(b, 10) }
+func BenchmarkDaemonRound100Nodes(b *testing.B) { benchRound(b, 100) }
+
+// BenchmarkProtoBatchPerNode isolates one node's wire encoding per round.
+func BenchmarkProtoBatchPerNode(b *testing.B) {
+	srv, agent := func() (*Server, *Agent) {
+		mgr, err := core.NewDPS(core.DefaultConfig(2, testBudget(2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := NewServer(ServerConfig{Manager: mgr, Units: 2, Interval: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, devs := func() (*Agent, []*rapl.SimDevice) {
+			devs := make([]rapl.Device, 2)
+			sims := make([]*rapl.SimDevice, 2)
+			for i := range devs {
+				cfg := rapl.DefaultSimConfig()
+				cfg.NoiseStdDev = 0
+				d, err := rapl.NewSimDevice(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d.SetLoad(120)
+				devs[i] = d
+				sims[i] = d
+			}
+			a, err := NewAgent(AgentConfig{FirstUnit: 0, Devices: devs, Interval: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return a, sims
+		}()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			conn, err := l.Accept()
+			if err == nil {
+				go srv.Handle(conn)
+			}
+			l.Close()
+		}()
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Handshake(conn); err != nil {
+			b.Fatal(err)
+		}
+		_ = devs
+		return srv, a
+	}()
+	defer srv.Close()
+
+	go func() {
+		for agent.ReceiveCaps() == nil {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, dev := range agent.cfg.Devices {
+			dev.(*rapl.SimDevice).Advance(0.001)
+		}
+		if err := agent.ReportOnce(0.001); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 0 {
+			if _, err := srv.DecideOnce(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if srv.Rounds() == 0 {
+		b.Fatal("no rounds completed")
+	}
+}

@@ -1,0 +1,140 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dps/internal/baseline"
+	"dps/internal/core"
+	"dps/internal/power"
+	"dps/internal/stateless"
+)
+
+// FileConfig is dpsd's JSON configuration: everything the daemon needs to
+// come up without flags, checked into a cluster's configuration management
+// the way production services are deployed.
+//
+//	{
+//	  "listen": ":7891",
+//	  "http": ":7892",
+//	  "units": 20,
+//	  "budget_w": 2200,
+//	  "unit_max_w": 165,
+//	  "unit_min_w": 10,
+//	  "interval_ms": 1000,
+//	  "policy": "dps",
+//	  "seed": 1,
+//	  "history_len": 20,
+//	  "disable_restore": false
+//	}
+type FileConfig struct {
+	Listen     string  `json:"listen"`
+	HTTP       string  `json:"http,omitempty"`
+	Units      int     `json:"units"`
+	BudgetW    float64 `json:"budget_w,omitempty"`
+	UnitMaxW   float64 `json:"unit_max_w,omitempty"`
+	UnitMinW   float64 `json:"unit_min_w,omitempty"`
+	IntervalMS int     `json:"interval_ms,omitempty"`
+	Policy     string  `json:"policy,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+
+	// DPS-specific tuning (ignored by other policies).
+	HistoryLen     int  `json:"history_len,omitempty"`
+	DisableRestore bool `json:"disable_restore,omitempty"`
+}
+
+// LoadFileConfig parses and normalizes a config file.
+func LoadFileConfig(path string) (FileConfig, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return FileConfig{}, fmt.Errorf("daemon: reading config: %w", err)
+	}
+	var fc FileConfig
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return FileConfig{}, fmt.Errorf("daemon: parsing config %s: %w", path, err)
+	}
+	fc.applyDefaults()
+	if err := fc.validate(); err != nil {
+		return FileConfig{}, fmt.Errorf("daemon: config %s: %w", path, err)
+	}
+	return fc, nil
+}
+
+func (fc *FileConfig) applyDefaults() {
+	if fc.Listen == "" {
+		fc.Listen = ":7891"
+	}
+	if fc.BudgetW == 0 {
+		fc.BudgetW = 110 * float64(fc.Units)
+	}
+	if fc.UnitMaxW == 0 {
+		fc.UnitMaxW = 165
+	}
+	if fc.UnitMinW == 0 {
+		fc.UnitMinW = 10
+	}
+	if fc.IntervalMS == 0 {
+		fc.IntervalMS = 1000
+	}
+	if fc.Policy == "" {
+		fc.Policy = "dps"
+	}
+	if fc.Seed == 0 {
+		fc.Seed = 1
+	}
+	if fc.HistoryLen == 0 {
+		fc.HistoryLen = 20
+	}
+}
+
+func (fc FileConfig) validate() error {
+	switch {
+	case fc.Units <= 0:
+		return fmt.Errorf("non-positive units %d", fc.Units)
+	case fc.IntervalMS <= 0:
+		return fmt.Errorf("non-positive interval %d ms", fc.IntervalMS)
+	}
+	switch fc.Policy {
+	case "dps", "slurm", "constant":
+	default:
+		return fmt.Errorf("unknown policy %q (want dps, slurm or constant)", fc.Policy)
+	}
+	return fc.Budget().Validate(fc.Units)
+}
+
+// Budget derives the power envelope.
+func (fc FileConfig) Budget() power.Budget {
+	return power.Budget{
+		Total:   power.Watts(fc.BudgetW),
+		UnitMax: power.Watts(fc.UnitMaxW),
+		UnitMin: power.Watts(fc.UnitMinW),
+	}
+}
+
+// Interval derives the decision period.
+func (fc FileConfig) Interval() time.Duration {
+	return time.Duration(fc.IntervalMS) * time.Millisecond
+}
+
+// BuildManager constructs the configured policy.
+func (fc FileConfig) BuildManager() (core.Manager, error) {
+	budget := fc.Budget()
+	switch fc.Policy {
+	case "dps":
+		cfg := core.DefaultConfig(fc.Units, budget)
+		cfg.Seed = fc.Seed
+		cfg.HistoryLen = fc.HistoryLen
+		cfg.DisableRestore = fc.DisableRestore
+		return core.NewDPS(cfg)
+	case "slurm":
+		return baseline.NewSLURM(fc.Units, budget, stateless.DefaultConfig(), fc.Seed)
+	case "constant":
+		return baseline.NewConstant(fc.Units, budget)
+	}
+	return nil, fmt.Errorf("daemon: unknown policy %q", fc.Policy)
+}

@@ -1,0 +1,115 @@
+package daemon
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dpsd.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFileConfigDefaults(t *testing.T) {
+	fc, err := LoadFileConfig(writeConfig(t, `{"units": 20}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Listen != ":7891" || fc.Policy != "dps" {
+		t.Errorf("defaults: %+v", fc)
+	}
+	if fc.BudgetW != 2200 {
+		t.Errorf("default budget = %v, want 110 W × 20", fc.BudgetW)
+	}
+	if fc.Interval() != time.Second {
+		t.Errorf("default interval = %v", fc.Interval())
+	}
+	b := fc.Budget()
+	if b.Total != 2200 || b.UnitMax != 165 || b.UnitMin != 10 {
+		t.Errorf("budget: %+v", b)
+	}
+}
+
+func TestLoadFileConfigFull(t *testing.T) {
+	fc, err := LoadFileConfig(writeConfig(t, `{
+		"listen": ":9000",
+		"http": ":9001",
+		"units": 8,
+		"budget_w": 900,
+		"unit_max_w": 150,
+		"unit_min_w": 12,
+		"interval_ms": 500,
+		"policy": "slurm",
+		"seed": 99
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Listen != ":9000" || fc.HTTP != ":9001" || fc.Units != 8 || fc.Seed != 99 {
+		t.Errorf("parsed: %+v", fc)
+	}
+	if fc.Interval() != 500*time.Millisecond {
+		t.Errorf("interval = %v", fc.Interval())
+	}
+	mgr, err := fc.BuildManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Name() != "SLURM" {
+		t.Errorf("manager = %q", mgr.Name())
+	}
+}
+
+func TestLoadFileConfigBuildsAllPolicies(t *testing.T) {
+	for _, policy := range []string{"dps", "slurm", "constant"} {
+		fc, err := LoadFileConfig(writeConfig(t, `{"units": 4, "policy": "`+policy+`"}`))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if _, err := fc.BuildManager(); err != nil {
+			t.Errorf("%s: BuildManager: %v", policy, err)
+		}
+	}
+}
+
+func TestLoadFileConfigRejections(t *testing.T) {
+	cases := map[string]string{
+		"missing file":    "", // handled below
+		"bad json":        `{units: 20}`,
+		"unknown field":   `{"units": 20, "wattage": 1}`,
+		"zero units":      `{"units": 0}`,
+		"unknown policy":  `{"units": 4, "policy": "ml"}`,
+		"invalid budget":  `{"units": 4, "budget_w": 1, "unit_min_w": 10}`,
+		"negative period": `{"units": 4, "interval_ms": -5}`,
+	}
+	for name, content := range cases {
+		if name == "missing file" {
+			if _, err := LoadFileConfig(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+				t.Error("missing file accepted")
+			}
+			continue
+		}
+		if _, err := LoadFileConfig(writeConfig(t, content)); err == nil {
+			t.Errorf("%s: config accepted: %s", name, content)
+		}
+	}
+}
+
+func TestDPSTuningFieldsApplied(t *testing.T) {
+	fc, err := LoadFileConfig(writeConfig(t, `{"units": 4, "history_len": 40, "disable_restore": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.HistoryLen != 40 || !fc.DisableRestore {
+		t.Errorf("tuning fields: %+v", fc)
+	}
+	if _, err := fc.BuildManager(); err != nil {
+		t.Fatal(err)
+	}
+}

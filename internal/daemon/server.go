@@ -1,0 +1,288 @@
+// Package daemon implements the deployed form of DPS (paper §4.3): a
+// controller server on a central node and one agent per compute node. The
+// agent reads socket power through RAPL and reports it over the paper's
+// 3-byte-per-unit protocol; the server runs the control system once per
+// decision interval and pushes new caps back; the agent programs them.
+//
+// The pieces are factored so tests can drive them deterministically
+// without wall-clock time: Server.Handle serves one connection,
+// Server.DecideOnce runs one decision round, Agent.ReportOnce and
+// Agent.ReceiveCaps perform one half-step each. Serve and Run compose
+// those with real listeners and tickers.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/power"
+	"dps/internal/proto"
+)
+
+// ServerConfig configures the controller daemon.
+type ServerConfig struct {
+	// Manager is the decision policy (normally a core.DPS). The server is
+	// its only caller, from the control loop goroutine.
+	Manager core.Manager
+	// Units is the total number of power-capping units across all nodes.
+	Units int
+	// Interval is the decision loop period (paper: one second).
+	Interval time.Duration
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) validate() error {
+	switch {
+	case c.Manager == nil:
+		return errors.New("daemon: ServerConfig.Manager is nil")
+	case c.Units <= 0:
+		return fmt.Errorf("daemon: non-positive unit count %d", c.Units)
+	case c.Units > 0x10000:
+		return fmt.Errorf("daemon: %d units exceed the protocol's addressable space", c.Units)
+	case c.Interval <= 0:
+		return fmt.Errorf("daemon: non-positive interval %v", c.Interval)
+	}
+	return nil
+}
+
+// Server is the DPS controller daemon.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	readings power.Vector
+	lastCaps power.Vector  // caps from the most recent decision round
+	owner    []*serverConn // per-unit owning connection, nil if unclaimed
+	conns    map[*serverConn]struct{}
+	closed   bool
+	rounds   uint64
+}
+
+type serverConn struct {
+	conn    net.Conn
+	hello   proto.Hello
+	writeMu sync.Mutex
+	scratch []power.Watts
+}
+
+// NewServer builds a controller daemon around a manager.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		readings: make(power.Vector, cfg.Units),
+		lastCaps: cfg.Manager.Caps().Clone(),
+		owner:    make([]*serverConn, cfg.Units),
+		conns:    make(map[*serverConn]struct{}),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handle serves one agent connection: handshake, then a report-reading
+// loop until the connection fails or the server closes. It blocks; run it
+// in its own goroutine per connection (Serve does).
+func (s *Server) Handle(conn net.Conn) error {
+	hello, err := proto.ReadHello(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	sc := &serverConn{conn: conn, hello: hello, scratch: make([]power.Watts, hello.Units)}
+	if err := s.register(sc); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := proto.WriteAck(conn); err != nil {
+		s.unregister(sc)
+		conn.Close()
+		return err
+	}
+	s.logf("daemon: agent connected, units [%d,%d)", hello.FirstUnit, int(hello.FirstUnit)+hello.Units)
+
+	defer func() {
+		s.unregister(sc)
+		conn.Close()
+		s.logf("daemon: agent for units [%d,%d) disconnected", hello.FirstUnit, int(hello.FirstUnit)+hello.Units)
+	}()
+	for {
+		if err := proto.ReadBatch(conn, sc.scratch); err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		for i, v := range sc.scratch {
+			s.readings[int(hello.FirstUnit)+i] = v
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) register(sc *serverConn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("daemon: server closed")
+	}
+	first, n := int(sc.hello.FirstUnit), sc.hello.Units
+	if first+n > len(s.owner) {
+		return fmt.Errorf("daemon: agent claims units [%d,%d) beyond the configured %d", first, first+n, len(s.owner))
+	}
+	for u := first; u < first+n; u++ {
+		if s.owner[u] != nil {
+			return fmt.Errorf("daemon: unit %d already owned by another agent", u)
+		}
+	}
+	for u := first; u < first+n; u++ {
+		s.owner[u] = sc
+	}
+	s.conns[sc] = struct{}{}
+	return nil
+}
+
+func (s *Server) unregister(sc *serverConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first, n := int(sc.hello.FirstUnit), sc.hello.Units
+	for u := first; u < first+n; u++ {
+		if s.owner[u] == sc {
+			s.owner[u] = nil
+		}
+	}
+	delete(s.conns, sc)
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Connected returns the number of live agent connections.
+func (s *Server) Connected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Rounds returns the number of completed decision rounds.
+func (s *Server) Rounds() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// Readings returns a copy of the latest per-unit power reports.
+func (s *Server) Readings() power.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readings.Clone()
+}
+
+// DecideOnce runs one decision round: snapshot the latest readings, run
+// the manager, and push each connected agent its cap assignments. Units
+// without a live agent still participate in the decision (their last
+// report persists) but receive no message. It returns the caps decided.
+//
+// DecideOnce must not be called concurrently with itself (the manager is
+// single-threaded); Serve guarantees that by calling it from one loop.
+func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
+	s.mu.Lock()
+	snap := core.Snapshot{Power: s.readings.Clone(), Interval: interval}
+	targets := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		targets = append(targets, sc)
+	}
+	s.mu.Unlock()
+
+	caps := s.cfg.Manager.Decide(snap)
+
+	var firstErr error
+	for _, sc := range targets {
+		first, n := int(sc.hello.FirstUnit), sc.hello.Units
+		sc.writeMu.Lock()
+		err := proto.WriteBatch(sc.conn, caps[first:first+n])
+		sc.writeMu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("daemon: pushing caps to units [%d,%d): %w", first, first+n, err)
+		}
+	}
+	s.mu.Lock()
+	s.rounds++
+	copy(s.lastCaps, caps)
+	s.mu.Unlock()
+	return caps, firstErr
+}
+
+// Serve accepts agent connections on l and runs the decision loop until
+// Close. It blocks. Push errors to individual agents are logged, not
+// fatal — a dead agent's units coast on their last caps, exactly like a
+// real cluster losing a node.
+func (s *Server) Serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	// Close unblocks Accept by closing the listener.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		ticker := time.NewTicker(s.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if _, err := s.DecideOnce(power.Seconds(s.cfg.Interval.Seconds())); err != nil {
+					s.logf("daemon: decision round: %v", err)
+				}
+			}
+		}
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Handle(conn); err != nil {
+				s.logf("daemon: connection: %v", err)
+			}
+		}()
+	}
+}
+
+// Close marks the server closed and drops all agent connections. The
+// caller should also close the listener passed to Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dps/internal/core"
+	"dps/internal/power"
+)
+
+// Status is the controller's observable state, served as JSON for
+// dashboards and scrapers. Every deployed power manager needs this view:
+// what each socket reported, what cap it was assigned, and whether the
+// budget holds.
+type Status struct {
+	Policy   string    `json:"policy"`
+	Units    int       `json:"units"`
+	Agents   int       `json:"agents"`
+	Rounds   uint64    `json:"rounds"`
+	BudgetW  float64   `json:"budget_w"`
+	CapSumW  float64   `json:"cap_sum_w"`
+	Readings []float64 `json:"readings_w"`
+	Caps     []float64 `json:"caps_w"`
+	Priority []bool    `json:"high_priority,omitempty"`
+	Restored bool      `json:"restored,omitempty"`
+}
+
+// Snapshot assembles the current Status.
+func (s *Server) Snapshot() Status {
+	s.mu.Lock()
+	readings := s.readings.Clone()
+	agents := len(s.conns)
+	rounds := s.rounds
+	caps := s.lastCaps.Clone()
+	s.mu.Unlock()
+
+	st := Status{
+		Policy:   s.cfg.Manager.Name(),
+		Units:    s.cfg.Units,
+		Agents:   agents,
+		Rounds:   rounds,
+		BudgetW:  float64(s.cfg.Manager.Budget().Total),
+		Readings: toFloats(readings),
+		Caps:     toFloats(caps),
+		CapSumW:  float64(caps.Sum()),
+	}
+	if d, ok := s.cfg.Manager.(*core.DPS); ok {
+		// Priorities are read between decision rounds; the slice is only
+		// mutated inside Decide, which Serve single-threads.
+		st.Priority = append([]bool(nil), d.Priorities()...)
+		st.Restored = d.Restored()
+	}
+	return st
+}
+
+func toFloats(v power.Vector) []float64 {
+	out := make([]float64, len(v))
+	for i, w := range v {
+		out[i] = float64(w)
+	}
+	return out
+}
+
+// StatusHandler returns an http.Handler serving:
+//
+//	GET /status   controller state as JSON
+//	GET /metrics  Prometheus-style plaintext gauges
+//	GET /healthz  200 once at least one decision round has run
+func (s *Server) StatusHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP dps_rounds_total Decision rounds completed.\n")
+		fmt.Fprintf(w, "# TYPE dps_rounds_total counter\n")
+		fmt.Fprintf(w, "dps_rounds_total %d\n", st.Rounds)
+		fmt.Fprintf(w, "# HELP dps_agents Connected node agents.\n")
+		fmt.Fprintf(w, "# TYPE dps_agents gauge\n")
+		fmt.Fprintf(w, "dps_agents %d\n", st.Agents)
+		fmt.Fprintf(w, "# HELP dps_budget_watts Cluster-wide power budget.\n")
+		fmt.Fprintf(w, "# TYPE dps_budget_watts gauge\n")
+		fmt.Fprintf(w, "dps_budget_watts %g\n", st.BudgetW)
+		fmt.Fprintf(w, "# HELP dps_cap_sum_watts Sum of assigned caps.\n")
+		fmt.Fprintf(w, "# TYPE dps_cap_sum_watts gauge\n")
+		fmt.Fprintf(w, "dps_cap_sum_watts %g\n", st.CapSumW)
+		fmt.Fprintf(w, "# HELP dps_unit_power_watts Last reported power per unit.\n")
+		fmt.Fprintf(w, "# TYPE dps_unit_power_watts gauge\n")
+		for u, p := range st.Readings {
+			fmt.Fprintf(w, "dps_unit_power_watts{unit=\"%d\"} %g\n", u, p)
+		}
+		fmt.Fprintf(w, "# HELP dps_unit_cap_watts Assigned cap per unit.\n")
+		fmt.Fprintf(w, "# TYPE dps_unit_cap_watts gauge\n")
+		for u, c := range st.Caps {
+			fmt.Fprintf(w, "dps_unit_cap_watts{unit=\"%d\"} %g\n", u, c)
+		}
+		if st.Priority != nil {
+			fmt.Fprintf(w, "# HELP dps_unit_high_priority DPS priority flag per unit.\n")
+			fmt.Fprintf(w, "# TYPE dps_unit_high_priority gauge\n")
+			for u, hp := range st.Priority {
+				v := 0
+				if hp {
+					v = 1
+				}
+				fmt.Fprintf(w, "dps_unit_high_priority{unit=\"%d\"} %d\n", u, v)
+			}
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Rounds() == 0 {
+			http.Error(w, "no decision rounds yet", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,96 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dps/internal/baseline"
+)
+
+func TestStatusEndpoint(t *testing.T) {
+	srv := newTestServer(t, 2)
+	h := srv.StatusHandler()
+
+	// Before any round: healthz must report not-ready.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Errorf("healthz before first round = %d, want 503", rec.Code)
+	}
+
+	if _, err := srv.DecideOnce(1); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/status = %d", rec.Code)
+	}
+	var st Status
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != "DPS" || st.Units != 2 || st.Rounds != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	if len(st.Caps) != 2 || len(st.Readings) != 2 {
+		t.Errorf("vectors: caps=%d readings=%d", len(st.Caps), len(st.Readings))
+	}
+	if st.CapSumW > st.BudgetW+1e-6 {
+		t.Errorf("reported cap sum %v exceeds budget %v", st.CapSumW, st.BudgetW)
+	}
+	if st.Priority == nil {
+		t.Error("DPS status missing priorities")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"dps_rounds_total 1",
+		"dps_agents 0",
+		"dps_budget_watts",
+		"dps_unit_power_watts{unit=\"0\"}",
+		"dps_unit_cap_watts{unit=\"1\"}",
+		"dps_unit_high_priority{unit=\"0\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("healthz after a round = %d", rec.Code)
+	}
+}
+
+func TestStatusForNonDPSPolicy(t *testing.T) {
+	// A constant-allocation server has no priorities to report.
+	mgr, err := baseline.NewConstant(2, testBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Manager: mgr, Units: 2, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.DecideOnce(1); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Snapshot()
+	if st.Priority != nil {
+		t.Error("constant policy reported priorities")
+	}
+	if st.Policy != "Constant" {
+		t.Errorf("policy = %q", st.Policy)
+	}
+}

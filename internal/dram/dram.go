@@ -1,0 +1,347 @@
+// Package dram studies intra-socket power partitioning between the CPU
+// package plane and the DRAM plane — the extension of constant-allocation
+// overprovisioning that the paper cites as Sarood et al. (CLUSTER '13,
+// §2.1: "extended this system to include power limits on DRAM"). RAPL
+// exposes both planes (intel-rapl:N and its :N:0 DRAM subdomain); a unit's
+// power budget must be split between them, and the right split depends on
+// whether the running phase is compute- or memory-bound.
+//
+// The module is a self-contained micro-study: a single socket with two
+// planes, phase-structured two-plane demand, and three splitting policies —
+//
+//   - Static: a fixed CPU:DRAM ratio (the Sarood et al. baseline practice);
+//   - Proportional: split by the planes' measured power plus headroom (an
+//     oracle-flavoured splitter — it sees the current draw of both planes);
+//   - Dynamic: DPS's methodology at plane granularity — a plane pinned at
+//     its cap takes budget from an unpinned plane, multiplicatively, from
+//     power readings alone.
+//
+// Execution speed is the minimum of the planes' speeds (the bottleneck
+// model: a starved memory system stalls the cores and vice versa), so a
+// memory-bound phase under a CPU-heavy static split crawls — exactly the
+// effect dynamic splitting removes.
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dps/internal/power"
+	"dps/internal/workload"
+)
+
+// Phase is one two-plane power phase.
+type Phase struct {
+	// CPU is the package plane's uncapped demand.
+	CPU power.Watts
+	// DRAM is the memory plane's uncapped demand.
+	DRAM power.Watts
+	// Work is seconds of execution at full speed.
+	Work power.Seconds
+}
+
+// Workload is a named two-plane phase sequence.
+type Workload struct {
+	Name   string
+	Phases []Phase
+}
+
+// PlaneLimits is the hardware envelope of one socket's planes.
+type PlaneLimits struct {
+	// CPUMax/DRAMMax are the planes' maximum settable caps.
+	CPUMax, DRAMMax power.Watts
+	// CPUMin/DRAMMin are the planes' floors.
+	CPUMin, DRAMMin power.Watts
+	// CPUIdle/DRAMIdle are drawn even with no load.
+	CPUIdle, DRAMIdle power.Watts
+}
+
+// DefaultLimits models one socket: 165 W package TDP, 48 W DRAM TDP.
+func DefaultLimits() PlaneLimits {
+	return PlaneLimits{
+		CPUMax: 165, DRAMMax: 48,
+		CPUMin: 10, DRAMMin: 4,
+		CPUIdle: 20, DRAMIdle: 5,
+	}
+}
+
+// Validate reports whether the limits are physical.
+func (l PlaneLimits) Validate() error {
+	switch {
+	case l.CPUMax <= 0 || l.DRAMMax <= 0:
+		return fmt.Errorf("dram: non-positive plane maxima %v/%v", l.CPUMax, l.DRAMMax)
+	case l.CPUMin < 0 || l.CPUMin > l.CPUMax:
+		return fmt.Errorf("dram: CPU min %v outside [0,%v]", l.CPUMin, l.CPUMax)
+	case l.DRAMMin < 0 || l.DRAMMin > l.DRAMMax:
+		return fmt.Errorf("dram: DRAM min %v outside [0,%v]", l.DRAMMin, l.DRAMMax)
+	case l.CPUIdle < 0 || l.CPUIdle > l.CPUMax:
+		return fmt.Errorf("dram: CPU idle %v outside [0,%v]", l.CPUIdle, l.CPUMax)
+	case l.DRAMIdle < 0 || l.DRAMIdle > l.DRAMMax:
+		return fmt.Errorf("dram: DRAM idle %v outside [0,%v]", l.DRAMIdle, l.DRAMMax)
+	}
+	return nil
+}
+
+// Splitter divides one socket's power budget between its planes, from the
+// planes' measured power alone (the same observability constraint DPS
+// operates under).
+type Splitter interface {
+	Name() string
+	// Split returns the plane caps for the next interval. caps in effect
+	// and measured plane powers for the last interval are provided; the
+	// returned caps must sum to at most budget.
+	Split(budget power.Watts, limits PlaneLimits, cpuCap, dramCap, cpuPower, dramPower power.Watts) (power.Watts, power.Watts)
+}
+
+// Static is a fixed-ratio splitter.
+type Static struct {
+	// CPUFraction of the budget goes to the package plane.
+	CPUFraction float64
+}
+
+// Name implements Splitter.
+func (s Static) Name() string {
+	return fmt.Sprintf("Static(%.0f/%.0f)", s.CPUFraction*100, (1-s.CPUFraction)*100)
+}
+
+// Split implements Splitter.
+func (s Static) Split(budget power.Watts, limits PlaneLimits, _, _, _, _ power.Watts) (power.Watts, power.Watts) {
+	cpu := budget * power.Watts(s.CPUFraction)
+	dram := budget - cpu
+	return clampPlanes(cpu, dram, budget, limits)
+}
+
+// Proportional splits by the planes' measured draw plus equal headroom —
+// it needs both planes' current power, making it the informed reference.
+type Proportional struct {
+	// Headroom is granted above each plane's measured power before
+	// distributing the remainder evenly.
+	Headroom power.Watts
+}
+
+// Name implements Splitter.
+func (p Proportional) Name() string { return "Proportional" }
+
+// Split implements Splitter.
+func (p Proportional) Split(budget power.Watts, limits PlaneLimits, _, _, cpuPower, dramPower power.Watts) (power.Watts, power.Watts) {
+	want1 := cpuPower + p.Headroom
+	want2 := dramPower + p.Headroom
+	total := want1 + want2
+	if total <= 0 {
+		return clampPlanes(budget/2, budget/2, budget, limits)
+	}
+	cpu := budget * want1 / total
+	return clampPlanes(cpu, budget-cpu, budget, limits)
+}
+
+// Dynamic is the DPS-methodology splitter: multiplicative shifts driven by
+// which plane is pinned at its cap. A pinned plane takes ShiftFraction of
+// the other plane's slack each step; if both or neither are pinned, the
+// split holds.
+type Dynamic struct {
+	// AtCap is the pinned-detection threshold (fraction of the cap).
+	AtCap float64
+	// ShiftFraction of the donor plane's slack moves per step.
+	ShiftFraction float64
+	// Margin is the minimum measured slack (watts) before any shift.
+	// Without it, measurement noise ratchets budget away from a throttled
+	// plane: a downward noise dip fabricates slack that gets donated, and
+	// the both-pinned hold never returns it. Set it above ~3σ of the
+	// sensor noise.
+	Margin power.Watts
+}
+
+// DefaultDynamic mirrors the stateless module's thresholds, with a 6 W
+// slack margin (3σ of the default 2 W sensor noise).
+func DefaultDynamic() Dynamic { return Dynamic{AtCap: 0.95, ShiftFraction: 0.5, Margin: 6} }
+
+// Name implements Splitter.
+func (d Dynamic) Name() string { return "Dynamic" }
+
+// Split implements Splitter.
+func (d Dynamic) Split(budget power.Watts, limits PlaneLimits, cpuCap, dramCap, cpuPower, dramPower power.Watts) (power.Watts, power.Watts) {
+	if cpuCap <= 0 || dramCap <= 0 {
+		return clampPlanes(budget/2, budget/2, budget, limits)
+	}
+	cpuPinned := cpuPower >= cpuCap*power.Watts(d.AtCap)
+	dramPinned := dramPower >= dramCap*power.Watts(d.AtCap)
+	cpu, dram := cpuCap, dramCap
+	switch {
+	case cpuPinned && !dramPinned:
+		slack := dramCap - dramPower
+		if slack > d.Margin {
+			move := (slack - d.Margin) * power.Watts(d.ShiftFraction)
+			cpu += move
+			dram -= move
+		}
+	case dramPinned && !cpuPinned:
+		slack := cpuCap - cpuPower
+		if slack > d.Margin {
+			move := (slack - d.Margin) * power.Watts(d.ShiftFraction)
+			dram += move
+			cpu -= move
+		}
+	}
+	// Rescale to the budget (handles budget changes between steps).
+	if sum := cpu + dram; sum > 0 && sum != budget {
+		cpu = cpu * budget / sum
+		dram = budget - cpu
+	}
+	return clampPlanes(cpu, dram, budget, limits)
+}
+
+// clampPlanes enforces plane hardware ranges while keeping the sum within
+// the budget.
+func clampPlanes(cpu, dram, budget power.Watts, limits PlaneLimits) (power.Watts, power.Watts) {
+	if cpu > limits.CPUMax {
+		cpu = limits.CPUMax
+	}
+	if cpu < limits.CPUMin {
+		cpu = limits.CPUMin
+	}
+	if dram > limits.DRAMMax {
+		dram = limits.DRAMMax
+	}
+	if dram < limits.DRAMMin {
+		dram = limits.DRAMMin
+	}
+	// If clamping pushed the sum over the budget, trim the larger plane.
+	if cpu+dram > budget {
+		over := cpu + dram - budget
+		if cpu-over >= limits.CPUMin {
+			cpu -= over
+		} else if dram-over >= limits.DRAMMin {
+			dram -= over
+		}
+	}
+	return cpu, dram
+}
+
+// Result is one run's outcome under a splitter.
+type Result struct {
+	Splitter string
+	Workload string
+	// Duration is wall-clock completion time.
+	Duration power.Seconds
+	// MeanCPUCap/MeanDRAMCap are time-averaged plane caps.
+	MeanCPUCap, MeanDRAMCap power.Watts
+	// BudgetViolations counts steps where plane caps exceeded the budget.
+	BudgetViolations int
+}
+
+// Run executes one workload on one socket under a total plane budget and
+// a splitter, with Gaussian measurement noise on plane readings.
+func Run(w Workload, budget power.Watts, limits PlaneLimits, sp Splitter, noiseSD power.Watts, seed int64) (Result, error) {
+	if err := limits.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(w.Phases) == 0 {
+		return Result{}, fmt.Errorf("dram: workload %q has no phases", w.Name)
+	}
+	if budget < limits.CPUMin+limits.DRAMMin {
+		return Result{}, fmt.Errorf("dram: budget %v below the plane floors", budget)
+	}
+	perf := workload.DefaultPerfModel()
+	dramPerf := workload.PerfModel{IdlePower: limits.DRAMIdle, MinSpeed: perf.MinSpeed, Exponent: perf.Exponent}
+	cpuPerf := workload.PerfModel{IdlePower: limits.CPUIdle, MinSpeed: perf.MinSpeed, Exponent: perf.Exponent}
+	rng := rand.New(rand.NewSource(seed))
+
+	res := Result{Splitter: sp.Name(), Workload: w.Name}
+	cpuCap, dramCap := clampPlanes(budget/2, budget/2, budget, limits)
+	const dt = power.Seconds(1)
+	var capCPUSum, capDRAMSum float64
+	steps := 0
+	phase := 0
+	var done power.Seconds
+
+	for phase < len(w.Phases) {
+		if steps > 1_000_000 {
+			return Result{}, fmt.Errorf("dram: run exceeded a million steps")
+		}
+		ph := w.Phases[phase]
+		// Planes draw their demand clipped by their caps (never below idle).
+		cpuDraw := minW(ph.CPU, cpuCap)
+		if cpuDraw < limits.CPUIdle {
+			cpuDraw = limits.CPUIdle
+		}
+		dramDraw := minW(ph.DRAM, dramCap)
+		if dramDraw < limits.DRAMIdle {
+			dramDraw = limits.DRAMIdle
+		}
+		// Bottleneck progress.
+		speed := cpuPerf.Speed(cpuCap, ph.CPU)
+		if s := dramPerf.Speed(dramCap, ph.DRAM); s < speed {
+			speed = s
+		}
+		remaining := dt
+		for remaining > 1e-9 && phase < len(w.Phases) {
+			ph = w.Phases[phase]
+			left := ph.Work - done
+			need := left / power.Seconds(speed)
+			if need <= remaining {
+				phase++
+				done = 0
+				remaining -= need
+				if phase < len(w.Phases) {
+					// Recompute speed for the new phase.
+					speed = cpuPerf.Speed(cpuCap, w.Phases[phase].CPU)
+					if s := dramPerf.Speed(dramCap, w.Phases[phase].DRAM); s < speed {
+						speed = s
+					}
+				}
+			} else {
+				done += power.Seconds(speed) * remaining
+				remaining = 0
+			}
+		}
+		res.Duration += dt
+		capCPUSum += float64(cpuCap)
+		capDRAMSum += float64(dramCap)
+		steps++
+
+		// Noisy readings → next split.
+		cpuMeas := cpuDraw + power.Watts(rng.NormFloat64())*noiseSD
+		dramMeas := dramDraw + power.Watts(rng.NormFloat64())*noiseSD
+		if cpuMeas < 0 {
+			cpuMeas = 0
+		}
+		if dramMeas < 0 {
+			dramMeas = 0
+		}
+		cpuCap, dramCap = sp.Split(budget, limits, cpuCap, dramCap, cpuMeas, dramMeas)
+		if cpuCap+dramCap > budget+1e-6 {
+			res.BudgetViolations++
+		}
+	}
+	res.MeanCPUCap = power.Watts(capCPUSum / float64(steps))
+	res.MeanDRAMCap = power.Watts(capDRAMSum / float64(steps))
+	return res, nil
+}
+
+func minW(a, b power.Watts) power.Watts {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Catalog returns the micro-study's workloads: compute-bound,
+// memory-bound, and a phased mix, all with 300 s of nominal work.
+func Catalog() []Workload {
+	return []Workload{
+		{Name: "compute", Phases: []Phase{{CPU: 150, DRAM: 12, Work: 300}}},
+		{Name: "memory", Phases: []Phase{{CPU: 70, DRAM: 44, Work: 300}}},
+		{Name: "mixed", Phases: repeatPhases([]Phase{
+			{CPU: 150, DRAM: 12, Work: 30},
+			{CPU: 70, DRAM: 44, Work: 30},
+		}, 5)},
+	}
+}
+
+func repeatPhases(ps []Phase, n int) []Phase {
+	var out []Phase
+	for i := 0; i < n; i++ {
+		out = append(out, ps...)
+	}
+	return out
+}

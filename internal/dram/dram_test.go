@@ -1,0 +1,182 @@
+package dram
+
+import (
+	"testing"
+
+	"dps/internal/power"
+)
+
+const budget = power.Watts(130) // per-socket plane budget for the study
+
+func TestLimitsValidate(t *testing.T) {
+	if err := DefaultLimits().Validate(); err != nil {
+		t.Errorf("default limits invalid: %v", err)
+	}
+	bad := []PlaneLimits{
+		{CPUMax: 0, DRAMMax: 48},
+		{CPUMax: 165, DRAMMax: 48, CPUMin: 200},
+		{CPUMax: 165, DRAMMax: 48, DRAMMin: 60},
+		{CPUMax: 165, DRAMMax: 48, CPUIdle: 300},
+		{CPUMax: 165, DRAMMax: 48, DRAMIdle: 60},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", l)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Workload{Name: "empty"}, budget, DefaultLimits(), Static{0.8}, 0, 1); err == nil {
+		t.Error("Run accepted an empty workload")
+	}
+	if _, err := Run(Catalog()[0], 5, DefaultLimits(), Static{0.8}, 0, 1); err == nil {
+		t.Error("Run accepted a budget below the plane floors")
+	}
+}
+
+func TestStaticSplitRespectsBudgetAndLimits(t *testing.T) {
+	limits := DefaultLimits()
+	cpu, dram := Static{0.8}.Split(budget, limits, 0, 0, 0, 0)
+	if cpu+dram > budget+1e-9 {
+		t.Errorf("split %v+%v exceeds budget", cpu, dram)
+	}
+	if dram > limits.DRAMMax {
+		t.Errorf("DRAM cap %v above its TDP", dram)
+	}
+	// Extreme ratio still clamps to the DRAM plane's range.
+	_, dram = Static{0.1}.Split(budget, limits, 0, 0, 0, 0)
+	if dram > limits.DRAMMax {
+		t.Errorf("DRAM cap %v above its TDP at a DRAM-heavy ratio", dram)
+	}
+}
+
+func TestDynamicShiftsTowardPinnedPlane(t *testing.T) {
+	limits := DefaultLimits()
+	d := DefaultDynamic()
+	// DRAM pinned at its 30 W cap, CPU drawing 60 of 100.
+	cpu, dram := d.Split(130, limits, 100, 30, 60, 30)
+	if dram <= 30 {
+		t.Errorf("pinned DRAM plane not granted budget: %v", dram)
+	}
+	if cpu >= 100 {
+		t.Errorf("donor CPU plane not reduced: %v", cpu)
+	}
+	if cpu+dram > 130+1e-9 {
+		t.Errorf("split %v+%v exceeds budget", cpu, dram)
+	}
+	// Symmetric: CPU pinned.
+	cpu2, _ := d.Split(130, limits, 90, 40, 90, 20)
+	if cpu2 <= 90 {
+		t.Errorf("pinned CPU plane not granted budget: %v", cpu2)
+	}
+	// Both pinned: hold (after budget rescale the ratio persists).
+	cpu3, dram3 := d.Split(130, limits, 95, 35, 95, 35)
+	if power.AbsDiff(cpu3, 95) > 1e-6 || power.AbsDiff(dram3, 35) > 1e-6 {
+		t.Errorf("both-pinned split moved: %v/%v", cpu3, dram3)
+	}
+}
+
+func TestMemoryBoundPrefersDynamicSplit(t *testing.T) {
+	// The Sarood et al. effect: a memory-bound workload under a CPU-heavy
+	// static split crawls; dynamic splitting recovers most of the loss.
+	var memory Workload
+	for _, w := range Catalog() {
+		if w.Name == "memory" {
+			memory = w
+		}
+	}
+	static, err := Run(memory, budget, DefaultLimits(), Static{0.85}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := Run(memory, budget, DefaultLimits(), DefaultDynamic(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Run(memory, budget, DefaultLimits(), Proportional{Headroom: 3}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.Duration >= static.Duration {
+		t.Errorf("dynamic %.0fs not faster than static %.0fs on a memory-bound workload",
+			dynamic.Duration, static.Duration)
+	}
+	// The informed proportional splitter bounds what dynamic can achieve
+	// (within a few percent).
+	if float64(dynamic.Duration) > float64(prop.Duration)*1.10 {
+		t.Errorf("dynamic %.0fs more than 10%% behind proportional %.0fs",
+			dynamic.Duration, prop.Duration)
+	}
+	for _, r := range []Result{static, dynamic, prop} {
+		if r.BudgetViolations != 0 {
+			t.Errorf("%s: %d budget violations", r.Splitter, r.BudgetViolations)
+		}
+	}
+}
+
+func TestComputeBoundIndifferentToSplit(t *testing.T) {
+	// A compute-bound workload barely uses DRAM: static 85/15 and dynamic
+	// should finish within a few percent of each other.
+	var compute Workload
+	for _, w := range Catalog() {
+		if w.Name == "compute" {
+			compute = w
+		}
+	}
+	static, err := Run(compute, budget, DefaultLimits(), Static{0.85}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := Run(compute, budget, DefaultLimits(), DefaultDynamic(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dynamic.Duration) / float64(static.Duration)
+	if ratio > 1.05 || ratio < 0.90 {
+		t.Errorf("compute-bound durations diverge: static %.0fs dynamic %.0fs",
+			static.Duration, dynamic.Duration)
+	}
+}
+
+func TestMixedPhasesFavorDynamic(t *testing.T) {
+	var mixed Workload
+	for _, w := range Catalog() {
+		if w.Name == "mixed" {
+			mixed = w
+		}
+	}
+	static, err := Run(mixed, budget, DefaultLimits(), Static{0.85}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := Run(mixed, budget, DefaultLimits(), DefaultDynamic(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.Duration >= static.Duration {
+		t.Errorf("dynamic %.0fs not faster than static %.0fs on phased two-plane demand",
+			dynamic.Duration, static.Duration)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	w := Catalog()[2]
+	a, err := Run(w, budget, DefaultLimits(), DefaultDynamic(), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, budget, DefaultLimits(), DefaultDynamic(), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.MeanCPUCap != b.MeanCPUCap {
+		t.Errorf("same-seed runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSplitterNames(t *testing.T) {
+	if (Static{0.8}).Name() == "" || (Proportional{}).Name() == "" || DefaultDynamic().Name() == "" {
+		t.Error("splitter names empty")
+	}
+}

@@ -1,0 +1,53 @@
+package exp
+
+import "testing"
+
+func TestBaselinesOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 7 pairs under 5 managers")
+	}
+	res, err := Baselines(Options{Repeats: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean Row
+	for _, row := range res.Rows {
+		if row.Name == "MEAN" {
+			mean = row
+		}
+	}
+	if mean.Values == nil {
+		t.Fatal("no MEAN row")
+	}
+	slurm := mean.Values["SLURM"]
+	fb := mean.Values["Feedback"]
+	p2pGain := mean.Values["P2P"]
+	dps := mean.Values["DPS"]
+	oracle := mean.Values["Oracle"]
+	// The expected ordering under contention:
+	// SLURM < Feedback ≲ P2P ≲ DPS ≤ Oracle.
+	if fb <= slurm {
+		t.Errorf("feedback %.3f not above SLURM %.3f", fb, slurm)
+	}
+	if p2pGain <= fb {
+		t.Errorf("P2P %.3f not above feedback %.3f", p2pGain, fb)
+	}
+	if dps < p2pGain-0.01 {
+		t.Errorf("DPS %.3f below P2P %.3f", dps, p2pGain)
+	}
+	if dps <= fb {
+		t.Errorf("DPS %.3f not above feedback %.3f", dps, fb)
+	}
+	if dps > oracle+0.02 {
+		t.Errorf("DPS %.3f implausibly above the oracle %.3f", dps, oracle)
+	}
+	// Feedback has no lower-bound guarantee; DPS does.
+	for _, row := range res.Rows {
+		if row.Name == "MEAN" {
+			continue
+		}
+		if row.Values["DPS"] < 0.99 {
+			t.Errorf("%s: DPS %.3f below the constant-allocation lower bound", row.Name, row.Values["DPS"])
+		}
+	}
+}

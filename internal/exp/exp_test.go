@@ -1,0 +1,358 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment tests fast while preserving the qualitative
+// shape; the bench harness and cmd/dps-sim run the paper-scale versions.
+func quickOpts() Options { return Options{Repeats: 2, Seed: 11} }
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		ID:      "Test",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Name: "w1", Values: map[string]float64{"a": 1.5}},
+		},
+		Notes: []string{"hello"},
+	}
+	out := r.Format()
+	for _, want := range []string{"Test", "demo", "w1", "1.5000", "hello", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Motivation(t *testing.T) {
+	mot, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mot.Steps) != 4 {
+		t.Fatalf("policies simulated: %d", len(mot.Steps))
+	}
+	// Constant never moves.
+	for _, st := range mot.Steps["Constant"] {
+		if st.Caps[0] != 110 || st.Caps[1] != 110 {
+			t.Fatalf("constant caps moved: %+v", st)
+		}
+	}
+	// The budget holds for every policy at every step.
+	for pol, steps := range mot.Steps {
+		for _, st := range steps {
+			if st.Caps.Sum() > mot.Budget.Total+1e-6 {
+				t.Errorf("%s step %d: caps %v exceed the budget", pol, st.T, st.Caps)
+			}
+		}
+	}
+	// The figure's story: the stateless policy ends skewed; DPS and the
+	// oracle end balanced.
+	dpsImb := mot.FinalImbalance("DPS")
+	slurmImb := mot.FinalImbalance("SLURM")
+	oracleImb := mot.FinalImbalance("Oracle")
+	if dpsImb > 5 {
+		t.Errorf("DPS final imbalance %v W, want balanced", dpsImb)
+	}
+	if oracleImb > 5 {
+		t.Errorf("oracle final imbalance %v W, want balanced", oracleImb)
+	}
+	if slurmImb < 15 {
+		t.Errorf("SLURM final imbalance %v W, want the stateless skew (> 15 W)", slurmImb)
+	}
+	if out := mot.Format(); !strings.Contains(out, "dps") || !strings.Contains(out, "demand0") {
+		t.Error("Format output incomplete")
+	}
+}
+
+func TestFigure2Traces(t *testing.T) {
+	traces, err := Figure2(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("Figure2 returned %d traces, want LDA/Bayes/LR", len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr.Power) < 100 {
+			t.Errorf("%s trace only %d samples", tr.Workload, len(tr.Power))
+		}
+		if out := tr.Format(80); !strings.Contains(out, tr.Workload) {
+			t.Errorf("%s: Format output missing the name", tr.Workload)
+		}
+	}
+	if _, err := Traces(1, 1, "NoSuchWorkload"); err == nil {
+		t.Error("Traces accepted an unknown workload")
+	}
+}
+
+func TestTablesCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates every workload under constant allocation")
+	}
+	opts := Options{Repeats: 1, Seed: 11}
+	for _, tc := range []struct {
+		name string
+		run  func(Options) (Result, error)
+		rows int
+	}{
+		{"Table2", Table2, 11},
+		{"Table4", Table4, 8},
+	} {
+		res, err := tc.run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.Rows) != tc.rows {
+			t.Fatalf("%s: %d rows, want %d", tc.name, len(res.Rows), tc.rows)
+		}
+		for _, row := range res.Rows {
+			measured := row.Values["duration_s"]
+			paper := row.Values["paper_s"]
+			if rel := abs(measured-paper) / paper; rel > 0.15 {
+				t.Errorf("%s %s: measured %.1f s vs paper %.1f s (%.0f%% off)",
+					tc.name, row.Name, measured, paper, rel*100)
+			}
+			if abs(row.Values["above110"]-row.Values["paper_f"]) > 0.08 {
+				t.Errorf("%s %s: above-110W %.3f vs paper %.3f",
+					tc.name, row.Name, row.Values["above110"], row.Values["paper_f"])
+			}
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 7 contended pairs under 3 managers")
+	}
+	a, b, err := Figure5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 7 || len(b.Rows) != 7 {
+		t.Fatalf("rows: 5a=%d 5b=%d, want 7 each", len(a.Rows), len(b.Rows))
+	}
+	for _, row := range a.Rows {
+		// Paper: DPS delivers the same performance or improvements
+		// compared to constant allocation (lower bound).
+		if row.Values["DPS"] < 0.98 {
+			t.Errorf("5a %s: DPS gain %.3f below the constant-allocation lower bound", row.Name, row.Values["DPS"])
+		}
+	}
+	slurmPenalized := 0
+	for _, row := range a.Rows {
+		if row.Values["SLURM"] < 0.99 {
+			slurmPenalized++
+		}
+	}
+	// Paper: SLURM penalizes all paired workloads except GMM itself.
+	if slurmPenalized < 5 {
+		t.Errorf("SLURM penalized only %d/7 workloads; expected the stateless penalty", slurmPenalized)
+	}
+	for _, row := range b.Rows {
+		if row.Values["DPS"] < row.Values["SLURM"]-0.005 {
+			t.Errorf("5b %s: DPS %.3f below SLURM %.3f", row.Name, row.Values["DPS"], row.Values["SLURM"])
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 28 pairs under 4 managers")
+	}
+	res, err := Figure4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(res.Rows))
+	}
+	var dpsSum, oracleSum float64
+	for _, row := range res.Rows {
+		dps, oracle := row.Values["DPS"], row.Values["Oracle"]
+		dpsSum += dps
+		oracleSum += oracle
+		// Low utility: DPS at or above constant for every workload.
+		if dps < 0.99 {
+			t.Errorf("%s: DPS gain %.3f below constant at low utility", row.Name, dps)
+		}
+		// The oracle caps what any manager can achieve (within noise).
+		if dps > oracle+0.03 {
+			t.Errorf("%s: DPS %.3f implausibly above the oracle %.3f", row.Name, dps, oracle)
+		}
+	}
+	// Paper: both DPS and the oracle improve 5–8 % on average.
+	if mean := dpsSum / 7; mean < 1.03 || mean > 1.12 {
+		t.Errorf("DPS mean low-utility gain %.3f outside the paper's 5–8%% band (±3%%)", mean)
+	}
+	// Paper: SLURM loses on the high-frequency workloads (LR −4 %).
+	for _, row := range res.Rows {
+		if row.Name == "LR" && row.Values["SLURM"] > 1.0 {
+			t.Errorf("LR under SLURM gained %.3f; the paper's high-frequency penalty is absent", row.Values["SLURM"])
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 56 pairs under 3 managers")
+	}
+	a, b, err := Figure6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 7 || len(b.Rows) != 8 {
+		t.Fatalf("rows: 6a=%d 6b=%d", len(a.Rows), len(b.Rows))
+	}
+	// Paper: DPS improves every Spark group and every NPB group, and
+	// always beats SLURM.
+	for _, res := range []Result{a, b} {
+		for _, row := range res.Rows {
+			if row.Values["DPS"] < 1.0 {
+				t.Errorf("%s %s: DPS gain %.3f below constant", res.ID, row.Name, row.Values["DPS"])
+			}
+			if row.Values["DPS"] <= row.Values["SLURM"] {
+				t.Errorf("%s %s: DPS %.3f not above SLURM %.3f", res.ID, row.Name, row.Values["DPS"], row.Values["SLURM"])
+			}
+		}
+	}
+	// Paper §6.3: SLURM does comparatively better with short-duration NPB
+	// kernels (FT, MG) than with long ones (SP, BT).
+	short := (b.rowValue(t, "FT", "SLURM") + b.rowValue(t, "MG", "SLURM")) / 2
+	long := (b.rowValue(t, "SP", "SLURM") + b.rowValue(t, "BT", "SLURM")) / 2
+	if short <= long {
+		t.Errorf("SLURM short-NPB gain %.3f not above long-NPB gain %.3f", short, long)
+	}
+}
+
+// rowValue fetches one cell, failing the test if absent.
+func (r Result) rowValue(t *testing.T, name, col string) float64 {
+	t.Helper()
+	for _, row := range r.Rows {
+		if row.Name == name {
+			if v, ok := row.Values[col]; ok {
+				return v
+			}
+		}
+	}
+	t.Fatalf("%s: no value for %s/%s", r.ID, name, col)
+	return 0
+}
+
+func TestFigure7Fairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates both contended groups")
+	}
+	res, err := Figure7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	get := func(name string) float64 { return res.rowValue(t, name, "mean") }
+	// Paper §6.4: DPS is fairer than SLURM in both contended groups.
+	if get("high-utility/DPS") <= get("high-utility/SLURM") {
+		t.Errorf("high utility: DPS fairness %.3f not above SLURM %.3f",
+			get("high-utility/DPS"), get("high-utility/SLURM"))
+	}
+	if get("spark-npb/DPS") <= get("spark-npb/SLURM") {
+		t.Errorf("spark-npb: DPS fairness %.3f not above SLURM %.3f",
+			get("spark-npb/DPS"), get("spark-npb/SLURM"))
+	}
+	// DPS fairness near the paper's 0.96–0.97.
+	if get("high-utility/DPS") < 0.90 {
+		t.Errorf("high-utility DPS fairness %.3f, paper reports 0.97", get("high-utility/DPS"))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates both contended groups")
+	}
+	res, err := Summary(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Values["mean"] <= 0 {
+			t.Errorf("%s: mean DPS-over-SLURM gain %.3f, want positive (paper: 5.4%%/8.0%%)",
+				row.Name, row.Values["mean"])
+		}
+		// At the test's 2 repeats, Spark run-to-run variance can push a
+		// single pair slightly negative; at the paper's scale (Repeats ≥ 4)
+		// the minimum is positive (+1.7 %, matching the paper exactly).
+		if row.Values["min"] < -0.04 {
+			t.Errorf("%s: min gain %.3f; the paper reports DPS always outperforms SLURM", row.Name, row.Values["min"])
+		}
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	res, err := Overhead([]int{20, 200}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		us := row.Values["us_per_step"]
+		// A one-second decision loop leaves 10^6 µs; the controller must
+		// use a tiny fraction even at 200 units.
+		if us > 100_000 {
+			t.Errorf("%s: %v µs per decision step", row.Name, us)
+		}
+		if row.Values["bytes_per_node"] != 12 {
+			t.Errorf("%s: %v bytes per node per round, want 12 (2 sockets × 3 B × 2 dirs)",
+				row.Name, row.Values["bytes_per_node"])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 9 pairs under 9 manager variants")
+	}
+	res, err := Ablations(Options{Repeats: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean Row
+	for _, row := range res.Rows {
+		if row.Name == "MEAN" {
+			mean = row
+		}
+	}
+	if mean.Values == nil {
+		t.Fatal("no MEAN row")
+	}
+	full := mean.Values["DPS"]
+	if full < 1.0 {
+		t.Errorf("full DPS mean gain %.3f below constant", full)
+	}
+	// Removing the priority machinery must hurt the most (it reduces DPS
+	// to a stateless controller).
+	if mean.Values["NoPrio"] >= full {
+		t.Errorf("NoPrio ablation %.3f not below full DPS %.3f", mean.Values["NoPrio"], full)
+	}
+	// No ablation should *beat* full DPS by a meaningful margin.
+	for name, v := range mean.Values {
+		if v > full+0.02 {
+			t.Errorf("ablation %s mean %.3f beats full DPS %.3f", name, v, full)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

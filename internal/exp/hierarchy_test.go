@@ -1,0 +1,42 @@
+package exp
+
+import "testing"
+
+func TestHierarchyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 5 pairs under 4 managers")
+	}
+	res, err := Hierarchy(Options{Repeats: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean Row
+	for _, row := range res.Rows {
+		if row.Name == "MEAN" {
+			mean = row
+		}
+	}
+	if mean.Values == nil {
+		t.Fatal("no MEAN row")
+	}
+	flat, hier, slurm := mean.Values["DPS"], mean.Values["HierDPS"], mean.Values["SLURM"]
+	// The hierarchy must keep most of flat DPS's gain...
+	if got := retention(hier, flat); got < 0.7 {
+		t.Errorf("hierarchy retained only %.0f%% of flat DPS's gain (flat %.3f, hier %.3f)",
+			got*100, flat, hier)
+	}
+	// ...and must not beat it (flat DPS sees everything every step).
+	if hier > flat+0.01 {
+		t.Errorf("hierarchy %.3f implausibly above flat DPS %.3f", hier, flat)
+	}
+	// It must clearly beat both SLURM and the constant baseline.
+	if hier <= slurm || hier < 1.0 {
+		t.Errorf("hierarchy %.3f does not dominate SLURM %.3f / constant 1.0", hier, slurm)
+	}
+	// Per-pair: the hierarchy never falls below the constant baseline.
+	for _, row := range res.Rows {
+		if row.Values["HierDPS"] < 0.99 {
+			t.Errorf("%s: hierarchical gain %.3f below constant", row.Name, row.Values["HierDPS"])
+		}
+	}
+}

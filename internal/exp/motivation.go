@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dps/internal/core"
+	"dps/internal/power"
+	"dps/internal/sim"
+)
+
+// MotivationStep is one timestep of the Figure 1 scenario for one policy.
+type MotivationStep struct {
+	T       int
+	Demand  power.Vector // the two units' uncapped demand
+	Power   power.Vector // what each unit actually drew
+	Caps    power.Vector // caps the policy assigned for the next step
+	Manager string
+}
+
+// MotivationResult is the Figure 1 scenario replayed under every policy.
+type MotivationResult struct {
+	Budget   power.Budget
+	Policies []string
+	Steps    map[string][]MotivationStep
+}
+
+// Figure1 reproduces the paper's motivational example: a two-unit
+// overprovisioned system where unit 0 ramps to maximum power two steps
+// before unit 1, under a budget that cannot hold both at maximum. The
+// stateless policy ends up starving unit 1 (it keeps the skewed
+// allocation once both sit at their caps); the oracle and DPS converge to
+// a balanced split.
+//
+// The schedule stretches the paper's five schematic timesteps so DPS has
+// the few samples of history its priority module needs.
+func Figure1() (MotivationResult, error) {
+	const steps = 16
+	budget := power.Budget{Total: 220, UnitMax: 165, UnitMin: 10}
+	demand := func(t int) power.Vector {
+		d := power.Vector{40, 40}
+		if t >= 4 { // unit 0 ramps first
+			d[0] = 165
+		}
+		switch { // unit 1 ramps two steps later, through an intermediate level
+		case t >= 8:
+			d[1] = 165
+		case t >= 6:
+			d[1] = 100
+		}
+		return d
+	}
+
+	factories := sim.StandardFactories(true)
+	res := MotivationResult{
+		Budget:   budget,
+		Policies: []string{"Constant", "Oracle", "SLURM", "DPS"},
+		Steps:    make(map[string][]MotivationStep),
+	}
+	for _, name := range res.Policies {
+		mgr, err := factories[name](2, budget, 1)
+		if err != nil {
+			return MotivationResult{}, err
+		}
+		caps := mgr.Caps().Clone()
+		var trace []MotivationStep
+		for t := 0; t < steps; t++ {
+			d := demand(t)
+			drew := power.Vector{min2(d[0], caps[0]), min2(d[1], caps[1])}
+			next := mgr.Decide(core.Snapshot{Power: drew, Interval: 1, Demand: d})
+			trace = append(trace, MotivationStep{
+				T: t, Demand: d.Clone(), Power: drew, Caps: next.Clone(), Manager: name,
+			})
+			caps = next.Clone()
+		}
+		res.Steps[name] = trace
+	}
+	return res, nil
+}
+
+func min2(a, b power.Watts) power.Watts {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Format renders the scenario as a per-policy cap table.
+func (m MotivationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — motivational example (budget %.0f W, unit max %.0f W)\n", m.Budget.Total, m.Budget.UnitMax)
+	if len(m.Steps) == 0 {
+		return b.String()
+	}
+	any := m.Steps[m.Policies[0]]
+	fmt.Fprintf(&b, "  %-9s", "t:")
+	for _, st := range any {
+		fmt.Fprintf(&b, " %6d", st.T)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %-9s", "demand0")
+	for _, st := range any {
+		fmt.Fprintf(&b, " %6.0f", st.Demand[0])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %-9s", "demand1")
+	for _, st := range any {
+		fmt.Fprintf(&b, " %6.0f", st.Demand[1])
+	}
+	b.WriteByte('\n')
+	for _, pol := range m.Policies {
+		for u := 0; u < 2; u++ {
+			fmt.Fprintf(&b, "  %-9s", fmt.Sprintf("%s c%d", shortPolicy(pol), u))
+			for _, st := range m.Steps[pol] {
+				fmt.Fprintf(&b, " %6.0f", st.Caps[u])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func shortPolicy(p string) string {
+	switch p {
+	case "Constant":
+		return "const"
+	case "Oracle":
+		return "orcl"
+	default:
+		return strings.ToLower(p)
+	}
+}
+
+// FinalImbalance returns |cap0 − cap1| at the last step for the given
+// policy — the quantity Figure 1 is about: stateless stays skewed, DPS
+// converges to balance.
+func (m MotivationResult) FinalImbalance(policy string) power.Watts {
+	trace := m.Steps[policy]
+	if len(trace) == 0 {
+		return 0
+	}
+	last := trace[len(trace)-1]
+	return power.AbsDiff(last.Caps[0], last.Caps[1])
+}

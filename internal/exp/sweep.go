@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+
+	"dps/internal/metrics"
+	"dps/internal/power"
+	"dps/internal/sim"
+	"dps/internal/workload"
+)
+
+// Sweep implements the evaluation the paper explicitly leaves open (§6:
+// "experiments with multiple power limits lower than the TDP can provide a
+// more comprehensive evaluation of DPS"): the same contended pairs under a
+// range of cluster power limits, from near-starvation to near-TDP.
+//
+// Expected shape: at generous budgets every manager meets every demand and
+// the gains converge; as the budget tightens, the stateless manager's
+// unfairness costs more and DPS's margin over SLURM widens, until budgets
+// are so tight that even fair allocations pin everything at the floor and
+// the differences compress again.
+func Sweep(opts Options, fractions []float64) (Result, error) {
+	opts = opts.withDefaults()
+	if len(fractions) == 0 {
+		// 66.7 % is the paper's single operating point.
+		fractions = []float64{0.50, 0.60, 0.667, 0.75, 0.85}
+	}
+	pairs := [][2]string{
+		{"LDA", "GMM"},   // long phases vs sustained high power
+		{"LR", "GMM"},    // high frequency vs sustained high power
+		{"Kmeans", "BT"}, // Spark iterations vs NPB kernel
+	}
+
+	res := Result{
+		ID:      "Sweep",
+		Title:   "DPS and SLURM pair hmean gain vs cluster power limit (fraction of TDP)",
+		Columns: []string{"SLURM", "DPS", "dps_over_slurm"},
+	}
+	factories := sim.StandardFactories(false)
+
+	for _, frac := range fractions {
+		var slurmGains, dpsGains []float64
+		for _, p := range pairs {
+			a, err := workload.ByName(p[0])
+			if err != nil {
+				return Result{}, err
+			}
+			b, err := workload.ByName(p[1])
+			if err != nil {
+				return Result{}, err
+			}
+			out, err := runPairBudget(opts, a, b, frac, factories)
+			if err != nil {
+				return Result{}, err
+			}
+			s, err := out.pairHMeanGain("SLURM")
+			if err != nil {
+				return Result{}, err
+			}
+			d, err := out.pairHMeanGain("DPS")
+			if err != nil {
+				return Result{}, err
+			}
+			slurmGains = append(slurmGains, s)
+			dpsGains = append(dpsGains, d)
+		}
+		s := metrics.HMean(slurmGains)
+		d := metrics.HMean(dpsGains)
+		res.Rows = append(res.Rows, Row{
+			Name: fmt.Sprintf("%.1f%% TDP", frac*100),
+			Values: map[string]float64{
+				"SLURM":          s,
+				"DPS":            d,
+				"dps_over_slurm": d/s - 1,
+			},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"constant allocation at the same limit is each column's baseline (gain 1.0)",
+		"paper's operating point is 66.7% of TDP (110 W per 165 W socket)")
+	return res, nil
+}
+
+// runPairBudget is runPairAll with an explicit cluster power limit.
+func runPairBudget(opts Options, a, b *workload.Spec, tdpFraction float64, factories map[string]sim.ManagerFactory) (pairOutcome, error) {
+	out := pairOutcome{a: a, b: b, results: make(map[string]sim.PairResult, len(factories))}
+	seed := opts.Seed
+	for _, c := range a.Name + "|" + b.Name {
+		seed = seed*131 + int64(c)
+	}
+	seed += int64(tdpFraction * 1000)
+
+	machine := defaultMachine(seed)
+	units := machine.Units()
+	budget := power.Budget{
+		Total:   power.Watts(float64(units) * float64(machine.Rapl.TDP) * tdpFraction),
+		UnitMax: machine.Rapl.TDP,
+		UnitMin: machine.Rapl.MinCap,
+	}
+	for name, factory := range factories {
+		cfg := sim.PairConfig{
+			Machine:   machine,
+			Budget:    budget,
+			WorkloadA: a,
+			WorkloadB: b,
+			Repeats:   opts.Repeats,
+			Seed:      seed,
+		}
+		res, err := sim.RunPair(cfg, factory)
+		if err != nil {
+			return out, fmt.Errorf("exp: sweep pair %s+%s at %.0f%% under %s: %w",
+				a.Name, b.Name, tdpFraction*100, name, err)
+		}
+		if res.BudgetViolations > 0 {
+			return out, fmt.Errorf("exp: sweep pair %s+%s at %.0f%% under %s violated the budget",
+				a.Name, b.Name, tdpFraction*100, name)
+		}
+		out.results[name] = res
+	}
+	opts.progress("sweep pair %s + %s at %.1f%% done", a.Name, b.Name, tdpFraction*100)
+	return out, nil
+}

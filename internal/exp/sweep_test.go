@@ -1,0 +1,47 @@
+package exp
+
+import "testing"
+
+func TestSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 3 pairs × 3 managers × 4 budgets")
+	}
+	fractions := []float64{0.50, 0.667, 0.85}
+	res, err := Sweep(Options{Repeats: 2, Seed: 11}, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(fractions) {
+		t.Fatalf("%d rows for %d fractions", len(res.Rows), len(fractions))
+	}
+	// DPS stays at or above constant at every budget (the lower bound).
+	for _, row := range res.Rows {
+		if row.Values["DPS"] < 0.99 {
+			t.Errorf("%s: DPS gain %.3f below constant", row.Name, row.Values["DPS"])
+		}
+	}
+	// The DPS-over-SLURM margin widens as the budget tightens: tightest
+	// budget must show a clearly larger margin than the loosest.
+	tight := res.Rows[0].Values["dps_over_slurm"]
+	loose := res.Rows[len(res.Rows)-1].Values["dps_over_slurm"]
+	if tight <= loose {
+		t.Errorf("margin at 50%% TDP (%.3f) not above margin at 85%% TDP (%.3f)", tight, loose)
+	}
+	if tight < 0.05 {
+		t.Errorf("tight-budget margin %.3f, want the contention effect (> 5%%)", tight)
+	}
+}
+
+func TestSweepRejectsUnknownDefaults(t *testing.T) {
+	// Default fractions path must work too (smoke, tiny repeats).
+	if testing.Short() {
+		t.Skip("simulates the default 5-point sweep")
+	}
+	res, err := Sweep(Options{Repeats: 1, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("default sweep has %d rows, want 5", len(res.Rows))
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+
+	"dps/internal/cluster"
+	"dps/internal/sched"
+	"dps/internal/sim"
+	"dps/internal/workload"
+)
+
+// Throughput measures power management as job throughput: a randomized
+// batch of mid/high-power Spark jobs streams through a 4-cluster machine
+// under one shared power budget, and each manager is scored on makespan,
+// mean turnaround, and jobs per hour. This is the job-stream setting in
+// which prior work (Ellsworth et al., SC '15) motivates dynamic power
+// sharing; the pair experiments of §6 are its two-job special case.
+func Throughput(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+
+	machine := cluster.DefaultConfig()
+	machine.Clusters = 4
+	machine.NodesPerCluster = 2
+	machine.SocketsPerNode = 2
+	machine.Seed = opts.Seed
+
+	var specs []*workload.Spec
+	for _, s := range workload.MidHighSpark() {
+		switch s.Name {
+		case "Bayes", "RF", "LR", "Linear":
+			specs = append(specs, s)
+		}
+	}
+	// Repeats scales the batch size: 4 jobs per repeat keeps the run
+	// bounded while saturating the 4 clusters.
+	jobs, err := sched.RandomBatch(specs, 4*opts.Repeats, 45, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		ID:      "Throughput",
+		Title:   "Batch job stream: makespan / turnaround / throughput per manager",
+		Columns: []string{"makespan_s", "turnaround_s", "wait_s", "jobs_per_h"},
+	}
+	managers := []struct {
+		name    string
+		factory sim.ManagerFactory
+	}{
+		{"Constant", sim.ConstantFactory()},
+		{"SLURM", sim.SLURMFactory()},
+		{"DPS", sim.DPSFactory()},
+		{"HierDPS", sim.HierarchicalDPSFactory(4, 4)},
+	}
+	var constantTurn, dpsTurn, slurmTurn float64
+	for _, m := range managers {
+		cfg := sched.Config{Machine: machine, Jobs: jobs, Seed: opts.Seed}
+		out, err := sched.Run(cfg, m.factory)
+		if err != nil {
+			return Result{}, fmt.Errorf("exp: throughput under %s: %w", m.name, err)
+		}
+		if out.TimedOut {
+			return Result{}, fmt.Errorf("exp: throughput under %s timed out", m.name)
+		}
+		if out.BudgetViolations > 0 {
+			return Result{}, fmt.Errorf("exp: throughput under %s violated the budget", m.name)
+		}
+		res.Rows = append(res.Rows, Row{
+			Name: m.name,
+			Values: map[string]float64{
+				"makespan_s":   float64(out.Makespan),
+				"turnaround_s": float64(out.MeanTurnaround),
+				"wait_s":       float64(out.MeanWait),
+				"jobs_per_h":   out.ThroughputPerHour,
+			},
+		})
+		switch m.name {
+		case "Constant":
+			constantTurn = float64(out.MeanTurnaround)
+		case "SLURM":
+			slurmTurn = float64(out.MeanTurnaround)
+		case "DPS":
+			dpsTurn = float64(out.MeanTurnaround)
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d jobs over 4 clusters, shared %d-socket budget", len(jobs), machine.Units()),
+		fmt.Sprintf("DPS turnaround vs constant %+.1f%%, vs SLURM %+.1f%%",
+			(dpsTurn/constantTurn-1)*100, (dpsTurn/slurmTurn-1)*100))
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package exp
+
+import "testing"
+
+func TestThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a batch under 4 managers")
+	}
+	res, err := Throughput(Options{Repeats: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	get := func(mgr, col string) float64 { return res.rowValue(t, mgr, col) }
+	// DPS must not be slower than constant or SLURM on turnaround.
+	if get("DPS", "turnaround_s") > get("Constant", "turnaround_s")*1.02 {
+		t.Errorf("DPS turnaround %v above constant %v",
+			get("DPS", "turnaround_s"), get("Constant", "turnaround_s"))
+	}
+	if get("DPS", "turnaround_s") > get("SLURM", "turnaround_s")*1.02 {
+		t.Errorf("DPS turnaround %v above SLURM %v",
+			get("DPS", "turnaround_s"), get("SLURM", "turnaround_s"))
+	}
+	// The hierarchy stays close to flat DPS.
+	if get("HierDPS", "turnaround_s") > get("DPS", "turnaround_s")*1.10 {
+		t.Errorf("hierarchical turnaround %v more than 10%% above flat %v",
+			get("HierDPS", "turnaround_s"), get("DPS", "turnaround_s"))
+	}
+	for _, row := range res.Rows {
+		if row.Values["jobs_per_h"] <= 0 || row.Values["makespan_s"] <= 0 {
+			t.Errorf("%s: degenerate aggregates %+v", row.Name, row.Values)
+		}
+	}
+}

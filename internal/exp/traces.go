@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dps/internal/power"
+	"dps/internal/signal"
+	"dps/internal/workload"
+)
+
+// Trace is one workload's uncapped power-demand time series (the paper's
+// Figure 2 plots these for LDA, Bayes, and LR).
+type Trace struct {
+	Workload string
+	DT       power.Seconds
+	Power    []power.Watts
+}
+
+// Figure2 samples the uncapped demand of the three workloads the paper
+// plots, at 1 Hz, for one seeded run each.
+func Figure2(seed int64) ([]Trace, error) {
+	return Traces(seed, 1, "LDA", "Bayes", "LR")
+}
+
+// Traces samples uncapped demand for any named workloads.
+func Traces(seed int64, dt power.Seconds, names ...string) ([]Trace, error) {
+	var out []Trace
+	for i, name := range names {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed*257 + int64(i)))
+		run := workload.NewRun(spec, rng)
+		out = append(out, Trace{Workload: name, DT: dt, Power: run.DemandTrace(dt)})
+	}
+	return out, nil
+}
+
+// Format renders a trace as an ASCII strip chart plus the power-dynamics
+// statistics the paper's §3.1 observations are about.
+func (t Trace) Format(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	var b strings.Builder
+	max := power.Watts(1)
+	for _, p := range t.Power {
+		if p > max {
+			max = p
+		}
+	}
+	fmt.Fprintf(&b, "%s — %d s uncapped demand (peak %.0f W)\n", t.Workload, len(t.Power), max)
+	// Downsample to the requested width, one row per ~20 W band.
+	const bands = 8
+	cols := len(t.Power)
+	if cols > width {
+		cols = width
+	}
+	grid := make([][]byte, bands)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for c := 0; c < cols; c++ {
+		idx := c * len(t.Power) / cols
+		level := int(float64(t.Power[idx]) / float64(max) * bands)
+		if level >= bands {
+			level = bands - 1
+		}
+		for r := 0; r <= level; r++ {
+			grid[bands-1-r][c] = '#'
+		}
+	}
+	for r, rowBytes := range grid {
+		fmt.Fprintf(&b, "  %3.0fW |%s|\n", float64(max)*float64(bands-r)/bands, rowBytes)
+	}
+	peaks := signal.CountProminentPeaks(t.Power, 20)
+	fmt.Fprintf(&b, "  prominent peaks (>20 W): %d, stddev: %.1f W, above 110 W: %.1f%%\n",
+		peaks, signal.StdDev(t.Power), 100*fractionAbove(t.Power, 110))
+	return b.String()
+}
+
+func fractionAbove(ps []power.Watts, thr power.Watts) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range ps {
+		if p > thr {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ps))
+}

@@ -1,0 +1,223 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/core"
+	"dps/internal/power"
+)
+
+func testBudget(units int) power.Budget {
+	return power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig(2, 10, testBudget(20))
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Groups: 0, UnitsPerGroup: 10, Budget: testBudget(20), Epoch: 5},
+		{Groups: 2, UnitsPerGroup: 0, Budget: testBudget(20), Epoch: 5},
+		{Groups: 2, UnitsPerGroup: 10, Budget: testBudget(20), Epoch: 0},
+		{Groups: 2, UnitsPerGroup: 10, Budget: power.Budget{}, Epoch: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestInitialConditionMatchesFlatDPS(t *testing.T) {
+	m, err := New(DefaultConfig(2, 10, testBudget(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "DPS(hierarchical)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	for u, c := range m.Caps() {
+		if c != 110 {
+			t.Errorf("initial cap[%d] = %v, want the constant cap 110", u, c)
+		}
+	}
+	gb := m.GroupBudgets()
+	if gb[0] != 1100 || gb[1] != 1100 {
+		t.Errorf("initial group budgets %v, want an even 1100/1100 split", gb)
+	}
+}
+
+func TestDecidePanicsOnSizeMismatch(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, testBudget(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decide with wrong reading count did not panic")
+		}
+	}()
+	m.Decide(core.Snapshot{Power: power.Vector{1, 2}, Interval: 1})
+}
+
+// The composed budget invariant: cluster-wide cap sum within the cluster
+// budget, and each group's cap sum within that group's assigned budget,
+// for arbitrary reading sequences.
+func TestComposedBudgetInvariantProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		cfg := DefaultConfig(3, 4, testBudget(12))
+		cfg.Seed = seed
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for s := 0; s < int(steps%50)+1; s++ {
+			readings := make(power.Vector, 12)
+			for u := range readings {
+				readings[u] = power.Watts(rng.Float64() * 180)
+			}
+			caps := m.Decide(core.Snapshot{Power: readings, Interval: 1})
+			if caps.Sum() > cfg.Budget.Total+1e-6 {
+				return false
+			}
+			gb := m.GroupBudgets()
+			if gb.Sum() > cfg.Budget.Total+1e-6 {
+				return false
+			}
+			for g := 0; g < 3; g++ {
+				var groupSum power.Watts
+				for _, c := range caps[g*4 : (g+1)*4] {
+					groupSum += c
+				}
+				if groupSum > gb[g]+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopLevelReallocatesBetweenGroups(t *testing.T) {
+	// Group 0 saturates while group 1 idles: after a few epochs the top
+	// level must move budget toward group 0.
+	cfg := DefaultConfig(2, 4, testBudget(8)) // 880 W total, 440 each
+	cfg.Epoch = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 40; step++ {
+		readings := make(power.Vector, 8)
+		caps := m.Caps()
+		for u := 0; u < 4; u++ { // group 0: wants 165 per unit
+			readings[u] = min2(165, caps[u])
+		}
+		for u := 4; u < 8; u++ { // group 1: idle
+			readings[u] = 20
+		}
+		m.Decide(core.Snapshot{Power: readings, Interval: 1})
+	}
+	gb := m.GroupBudgets()
+	if gb[0] <= gb[1] {
+		t.Errorf("group budgets %v: the saturated group did not receive more", gb)
+	}
+	if gb[0] < 500 {
+		t.Errorf("saturated group budget %v, want a clear majority of the 880 W", gb[0])
+	}
+}
+
+func TestRebalanceAfterLateGroupRamps(t *testing.T) {
+	// The Figure 1 story across *groups*: group 0 hogs the budget, then
+	// group 1 ramps; the top level must pull budgets back toward even.
+	cfg := DefaultConfig(2, 4, testBudget(8))
+	cfg.Epoch = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(d0, d1 power.Watts) {
+		readings := make(power.Vector, 8)
+		caps := m.Caps()
+		for u := 0; u < 4; u++ {
+			readings[u] = min2(d0, caps[u])
+		}
+		for u := 4; u < 8; u++ {
+			readings[u] = min2(d1, caps[u])
+		}
+		m.Decide(core.Snapshot{Power: readings, Interval: 1})
+	}
+	for i := 0; i < 30; i++ {
+		step(165, 20)
+	}
+	skewed := m.GroupBudgets().Clone()
+	if skewed[0] <= skewed[1] {
+		t.Fatal("setup failed: budget not skewed toward group 0")
+	}
+	for i := 0; i < 60; i++ {
+		step(165, 165)
+	}
+	gb := m.GroupBudgets()
+	imbalance := power.AbsDiff(gb[0], gb[1])
+	if imbalance > 60 {
+		t.Errorf("group budgets %v still imbalanced by %v W after group 1 ramped", gb, imbalance)
+	}
+}
+
+func TestEpochGatesTopLevelChanges(t *testing.T) {
+	cfg := DefaultConfig(2, 2, testBudget(4))
+	cfg.Epoch = 10
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate group 0 for a few steps (< epoch): group budgets must not
+	// move between epoch boundaries.
+	var prev power.Vector
+	for step := 0; step < 9; step++ {
+		readings := power.Vector{165, 165, 20, 20}
+		caps := m.Caps()
+		readings[0] = min2(readings[0], caps[0])
+		readings[1] = min2(readings[1], caps[1])
+		m.Decide(core.Snapshot{Power: readings, Interval: 1})
+		gb := m.GroupBudgets().Clone()
+		if step > 0 { // step 0 is an epoch boundary (steps counter starts at 0)
+			for g := range gb {
+				if gb[g] != prev[g] {
+					t.Fatalf("group budgets moved mid-epoch at step %d: %v -> %v", step, prev, gb)
+				}
+			}
+		}
+		prev = gb
+	}
+}
+
+func TestCustomLocalAndTopConfigs(t *testing.T) {
+	localCfg := core.DefaultConfig(1, testBudget(1)) // Units/Budget overwritten
+	localCfg.DisablePriority = true
+	topCfg := core.DefaultConfig(1, testBudget(1))
+	cfg := DefaultConfig(2, 3, testBudget(6))
+	cfg.Local = &localCfg
+	cfg.Top = &topCfg
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Group(0).Name() != "DPS(stateless-only)" {
+		t.Errorf("local config not applied: %q", m.Group(0).Name())
+	}
+}
+
+func min2(a, b power.Watts) power.Watts {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+// Package history provides fixed-capacity ring buffers for recent power
+// samples. DPS is "stateful" precisely in that it keeps this small history:
+// the paper's default is 20 estimated power samples per unit plus the
+// duration of each measurement interval, which together are the only state
+// the priority module consumes.
+package history
+
+import (
+	"fmt"
+
+	"dps/internal/power"
+)
+
+// Ring is a fixed-capacity FIFO of power samples with their measurement
+// intervals. The zero value is not usable; construct with NewRing.
+type Ring struct {
+	powers    []power.Watts
+	durations []power.Seconds
+	head      int // index of the oldest sample
+	n         int // number of valid samples
+}
+
+// NewRing returns a ring holding at most capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("history: non-positive ring capacity %d", capacity))
+	}
+	return &Ring{
+		powers:    make([]power.Watts, capacity),
+		durations: make([]power.Seconds, capacity),
+	}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.powers) }
+
+// Len returns the number of samples currently stored.
+func (r *Ring) Len() int { return r.n }
+
+// Full reports whether the ring holds Cap() samples.
+func (r *Ring) Full() bool { return r.n == len(r.powers) }
+
+// Push appends a sample, evicting the oldest if the ring is full.
+func (r *Ring) Push(p power.Watts, dt power.Seconds) {
+	idx := (r.head + r.n) % len(r.powers)
+	r.powers[idx] = p
+	r.durations[idx] = dt
+	if r.n < len(r.powers) {
+		r.n++
+	} else {
+		r.head = (r.head + 1) % len(r.powers)
+	}
+}
+
+// At returns the i-th sample, 0 being the oldest. It panics if i is out of
+// range, mirroring slice semantics.
+func (r *Ring) At(i int) (power.Watts, power.Seconds) {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("history: index %d out of range [0,%d)", i, r.n))
+	}
+	idx := (r.head + i) % len(r.powers)
+	return r.powers[idx], r.durations[idx]
+}
+
+// Last returns the most recent sample. ok is false if the ring is empty.
+func (r *Ring) Last() (p power.Watts, dt power.Seconds, ok bool) {
+	if r.n == 0 {
+		return 0, 0, false
+	}
+	p, dt = r.At(r.n - 1)
+	return p, dt, true
+}
+
+// Powers copies the stored power samples, oldest first, into a new slice.
+func (r *Ring) Powers() []power.Watts {
+	out := make([]power.Watts, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i], _ = r.At(i)
+	}
+	return out
+}
+
+// PowersInto fills dst with the stored power samples, oldest first, and
+// returns the filled prefix. It avoids allocation when dst has capacity
+// for Len() samples; the controller's hot loop uses this form.
+func (r *Ring) PowersInto(dst []power.Watts) []power.Watts {
+	if cap(dst) < r.n {
+		dst = make([]power.Watts, r.n)
+	}
+	dst = dst[:r.n]
+	for i := 0; i < r.n; i++ {
+		dst[i], _ = r.At(i)
+	}
+	return dst
+}
+
+// Durations copies the stored measurement intervals, oldest first.
+func (r *Ring) Durations() []power.Seconds {
+	out := make([]power.Seconds, r.n)
+	for i := 0; i < r.n; i++ {
+		_, out[i] = r.At(i)
+	}
+	return out
+}
+
+// TailDuration returns the summed duration of the most recent k samples
+// (all samples if k exceeds Len). This is the denominator of the priority
+// module's windowed derivative (Algorithm 2 line 16).
+func (r *Ring) TailDuration(k int) power.Seconds {
+	if k > r.n {
+		k = r.n
+	}
+	var s power.Seconds
+	for i := r.n - k; i < r.n; i++ {
+		_, dt := r.At(i)
+		s += dt
+	}
+	return s
+}
+
+// Reset discards all samples but keeps the capacity.
+func (r *Ring) Reset() {
+	r.head = 0
+	r.n = 0
+}
+
+// Set holds one ring per unit, the controller-side "estimated power
+// history" global of Figure 3.
+type Set struct {
+	rings []*Ring
+}
+
+// NewSet creates n rings of the given capacity.
+func NewSet(n, capacity int) *Set {
+	s := &Set{rings: make([]*Ring, n)}
+	for i := range s.rings {
+		s.rings[i] = NewRing(capacity)
+	}
+	return s
+}
+
+// Unit returns the ring for unit u.
+func (s *Set) Unit(u power.UnitID) *Ring { return s.rings[u] }
+
+// Len returns the number of units.
+func (s *Set) Len() int { return len(s.rings) }
+
+// Push records one sample for unit u.
+func (s *Set) Push(u power.UnitID, p power.Watts, dt power.Seconds) {
+	s.rings[u].Push(p, dt)
+}

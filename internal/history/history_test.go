@@ -1,0 +1,168 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dps/internal/power"
+)
+
+func TestRingPushAndOrder(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 || r.Full() {
+		t.Fatalf("fresh ring: Len=%d Full=%v", r.Len(), r.Full())
+	}
+	r.Push(1, 1)
+	r.Push(2, 1)
+	if got := r.Powers(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Powers = %v, want [1 2]", got)
+	}
+	r.Push(3, 1)
+	if !r.Full() {
+		t.Error("ring with Cap samples not Full")
+	}
+	r.Push(4, 1) // evicts 1
+	got := r.Powers()
+	want := []power.Watts{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after eviction Powers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingAtAndLast(t *testing.T) {
+	r := NewRing(4)
+	r.Push(10, 2)
+	r.Push(20, 3)
+	p, d := r.At(0)
+	if p != 10 || d != 2 {
+		t.Errorf("At(0) = (%v,%v), want (10,2)", p, d)
+	}
+	p, d, ok := r.Last()
+	if !ok || p != 20 || d != 3 {
+		t.Errorf("Last = (%v,%v,%v), want (20,3,true)", p, d, ok)
+	}
+	var empty Ring
+	_ = empty // the zero value is documented unusable; Last on a fresh ring:
+	fresh := NewRing(2)
+	if _, _, ok := fresh.Last(); ok {
+		t.Error("Last on empty ring reported ok")
+	}
+}
+
+func TestRingAtPanicsOutOfRange(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("At(1) on a 1-element ring did not panic")
+		}
+	}()
+	r.At(1)
+}
+
+func TestNewRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestRingTailDuration(t *testing.T) {
+	r := NewRing(5)
+	for i := 1; i <= 4; i++ {
+		r.Push(power.Watts(i), power.Seconds(i)) // durations 1,2,3,4
+	}
+	if got := r.TailDuration(2); got != 7 { // 3+4
+		t.Errorf("TailDuration(2) = %v, want 7", got)
+	}
+	if got := r.TailDuration(100); got != 10 { // all
+		t.Errorf("TailDuration(100) = %v, want 10", got)
+	}
+}
+
+func TestRingPowersInto(t *testing.T) {
+	r := NewRing(3)
+	r.Push(5, 1)
+	r.Push(6, 1)
+	buf := make([]power.Watts, 0, 3)
+	got := r.PowersInto(buf)
+	if len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Errorf("PowersInto = %v, want [5 6]", got)
+	}
+	// Small destination must not panic; a fresh slice is allocated.
+	got = r.PowersInto(nil)
+	if len(got) != 2 {
+		t.Errorf("PowersInto(nil) len = %d, want 2", len(got))
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1, 1)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", r.Len())
+	}
+	r.Push(9, 1)
+	if p, _ := r.At(0); p != 9 {
+		t.Errorf("ring unusable after Reset: At(0) = %v", p)
+	}
+}
+
+func TestRingDurations(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1, 0.5)
+	r.Push(2, 1.5)
+	d := r.Durations()
+	if len(d) != 2 || d[0] != 0.5 || d[1] != 1.5 {
+		t.Errorf("Durations = %v, want [0.5 1.5]", d)
+	}
+}
+
+// The ring always reports the most recent min(pushes, capacity) samples in
+// push order, for any capacity and push count.
+func TestRingWindowProperty(t *testing.T) {
+	f := func(capRaw uint8, nRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		n := int(nRaw % 64)
+		r := NewRing(capacity)
+		for i := 0; i < n; i++ {
+			r.Push(power.Watts(i), 1)
+		}
+		wantLen := n
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if r.Len() != wantLen {
+			return false
+		}
+		got := r.Powers()
+		for i := 0; i < wantLen; i++ {
+			if got[i] != power.Watts(n-wantLen+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(3, 4)
+	if s.Len() != 3 {
+		t.Fatalf("Set.Len = %d, want 3", s.Len())
+	}
+	s.Push(1, 42, 1)
+	if s.Unit(0).Len() != 0 {
+		t.Error("push to unit 1 leaked into unit 0")
+	}
+	if p, _ := s.Unit(1).At(0); p != 42 {
+		t.Errorf("Unit(1).At(0) = %v, want 42", p)
+	}
+}

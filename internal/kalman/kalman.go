@@ -1,0 +1,136 @@
+// Package kalman implements the 1-dimensional Kalman filter DPS uses to
+// estimate true socket power from noisy RAPL readings (paper §4.3.2,
+// standard Welch–Bishop formulation).
+//
+// The state is a single scalar: the unit's true power. The process model is
+// a random walk (power is assumed locally constant between control steps,
+// with process noise Q absorbing real phase changes), and the measurement
+// model is identity plus Gaussian sensor noise R. Per step:
+//
+//	predict: x̂⁻ = x̂,      P⁻ = P + Q
+//	update:  K  = P⁻/(P⁻+R), x̂ = x̂⁻ + K(z − x̂⁻), P = (1−K)P⁻
+//
+// Q and R trade responsiveness against smoothing: the paper picks them so
+// the filter suppresses RAPL jitter but still tracks multi-second power
+// phases; our defaults do the same for the simulated RAPL noise.
+package kalman
+
+import (
+	"fmt"
+
+	"dps/internal/power"
+)
+
+// Config holds the filter's noise model.
+type Config struct {
+	// ProcessNoise (Q) is the variance, in W², added to the estimate
+	// uncertainty each step. Larger values make the filter trust new
+	// measurements more (faster tracking, less smoothing).
+	ProcessNoise float64
+	// MeasurementNoise (R) is the sensor variance in W². Larger values make
+	// the filter trust its prediction more (more smoothing).
+	MeasurementNoise float64
+	// InitialVariance (P₀) is the uncertainty assigned to the first
+	// estimate. A large value makes the filter adopt the first measurement
+	// almost verbatim.
+	InitialVariance float64
+}
+
+// DefaultConfig matches the reproduction's simulated RAPL noise (σ ≈ 2 W)
+// while tracking second-scale power phases: the steady-state gain is
+// ≈0.75, so a phase transition reaches the estimate within ~2 steps — the
+// priority module's derivative detector depends on that responsiveness.
+func DefaultConfig() Config {
+	return Config{
+		ProcessNoise:     25.0, // power may swing several watts per second
+		MeasurementNoise: 4.0,  // RAPL jitter σ≈2W
+		InitialVariance:  1e4,
+	}
+}
+
+// Filter is a 1-D Kalman filter over one unit's power. The zero value is
+// not usable; construct with New.
+type Filter struct {
+	cfg      Config
+	estimate power.Watts
+	variance float64
+	primed   bool
+}
+
+// New returns a filter with the given configuration.
+func New(cfg Config) (*Filter, error) {
+	if cfg.ProcessNoise < 0 || cfg.MeasurementNoise < 0 || cfg.InitialVariance < 0 {
+		return nil, fmt.Errorf("kalman: negative variance in config %+v", cfg)
+	}
+	return &Filter{cfg: cfg, variance: cfg.InitialVariance}, nil
+}
+
+// Step folds one measurement into the estimate and returns the new
+// estimated power.
+func (f *Filter) Step(z power.Watts) power.Watts {
+	if !f.primed {
+		// First measurement: adopt it, keeping the configured uncertainty.
+		f.estimate = z
+		f.primed = true
+		return f.estimate
+	}
+	// Predict.
+	pPrior := f.variance + f.cfg.ProcessNoise
+	// Update.
+	denom := pPrior + f.cfg.MeasurementNoise
+	var gain float64
+	if denom > 0 {
+		gain = pPrior / denom
+	} else {
+		gain = 1 // both noises zero: trust the measurement exactly
+	}
+	f.estimate += power.Watts(gain * float64(z-f.estimate))
+	f.variance = (1 - gain) * pPrior
+	return f.estimate
+}
+
+// Estimate returns the current estimate without folding in a measurement.
+func (f *Filter) Estimate() power.Watts { return f.estimate }
+
+// Variance returns the current estimate variance (P).
+func (f *Filter) Variance() float64 { return f.variance }
+
+// Primed reports whether at least one measurement has been observed.
+func (f *Filter) Primed() bool { return f.primed }
+
+// Reset returns the filter to its initial state.
+func (f *Filter) Reset() {
+	f.estimate = 0
+	f.variance = f.cfg.InitialVariance
+	f.primed = false
+}
+
+// Bank is one filter per unit, the controller-side companion of the power
+// history set.
+type Bank struct {
+	filters []*Filter
+}
+
+// NewBank creates n filters sharing one configuration.
+func NewBank(n int, cfg Config) (*Bank, error) {
+	b := &Bank{filters: make([]*Filter, n)}
+	for i := range b.filters {
+		f, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.filters[i] = f
+	}
+	return b, nil
+}
+
+// Step folds a measurement for unit u and returns its new estimate.
+func (b *Bank) Step(u power.UnitID, z power.Watts) power.Watts {
+	return b.filters[u].Step(z)
+}
+
+// Unit returns the filter for unit u.
+func (b *Bank) Unit(u power.UnitID) *Filter { return b.filters[u] }
+
+// Len returns the number of units.
+func (b *Bank) Len() int { return len(b.filters) }

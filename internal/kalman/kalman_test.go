@@ -1,0 +1,200 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/power"
+)
+
+func TestNewRejectsNegativeVariances(t *testing.T) {
+	bad := []Config{
+		{ProcessNoise: -1},
+		{MeasurementNoise: -1},
+		{InitialVariance: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted a negative variance", cfg)
+		}
+	}
+}
+
+func TestFirstMeasurementAdopted(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Primed() {
+		t.Error("fresh filter claims to be primed")
+	}
+	if got := f.Step(123); got != 123 {
+		t.Errorf("first Step = %v, want the measurement 123", got)
+	}
+	if !f.Primed() {
+		t.Error("filter not primed after first measurement")
+	}
+}
+
+func TestConvergesToConstantSignal(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const truth = 150.0
+	var est power.Watts
+	for i := 0; i < 50; i++ {
+		est = f.Step(truth)
+	}
+	if math.Abs(float64(est)-truth) > 1e-6 {
+		t.Errorf("estimate %v after 50 constant measurements, want %v", est, truth)
+	}
+}
+
+func TestNoiseSuppression(t *testing.T) {
+	// The filter's whole job in DPS: the estimate's variance around the
+	// true power must be smaller than the raw measurements' variance.
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const truth, sigma = 110.0, 2.0
+	var rawVar, estVar float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		z := truth + rng.NormFloat64()*sigma
+		est := float64(f.Step(power.Watts(z)))
+		rawVar += (z - truth) * (z - truth)
+		estVar += (est - truth) * (est - truth)
+	}
+	rawVar /= n
+	estVar /= n
+	if estVar >= rawVar {
+		t.Errorf("estimate variance %.3f not below measurement variance %.3f", estVar, rawVar)
+	}
+}
+
+func TestStepResponseWithinTwoSteps(t *testing.T) {
+	// DPS's priority detection needs phase transitions visible within ~2
+	// steps; the default gain must carry most of a jump through quickly.
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f.Step(60)
+	}
+	f.Step(160)
+	second := f.Step(160)
+	if second < 60+0.9*(160-60) {
+		t.Errorf("estimate %v two steps after a 60→160 jump, want ≥ 90%% of the way", second)
+	}
+}
+
+func TestZeroNoiseConfigTrustsMeasurement(t *testing.T) {
+	f, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Step(10)
+	// With Q=R=P0=0 the gain falls back to 1: the filter tracks exactly.
+	if got := f.Step(99); got != 99 {
+		t.Errorf("zero-noise filter Step = %v, want 99", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Step(100)
+	f.Reset()
+	if f.Primed() || f.Estimate() != 0 {
+		t.Errorf("after Reset: primed=%v estimate=%v", f.Primed(), f.Estimate())
+	}
+	if f.Variance() != DefaultConfig().InitialVariance {
+		t.Errorf("variance after Reset = %v, want %v", f.Variance(), DefaultConfig().InitialVariance)
+	}
+}
+
+// The estimate is always a convex combination of past measurements, so it
+// can never leave the range the measurements span.
+func TestEstimateWithinMeasurementRangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		flt, err := New(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			z := math.Mod(math.Abs(r), 300)
+			if math.IsNaN(z) {
+				z = 0
+			}
+			if z < min {
+				min = z
+			}
+			if z > max {
+				max = z
+			}
+			est := float64(flt.Step(power.Watts(z)))
+			const eps = 1e-9
+			if est < min-eps || est > max+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceConvergesToSteadyState(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		f.Step(100)
+	}
+	v1 := f.Variance()
+	f.Step(100)
+	v2 := f.Variance()
+	if math.Abs(v1-v2) > 1e-9 {
+		t.Errorf("variance not at steady state: %v then %v", v1, v2)
+	}
+	if v1 <= 0 || v1 > DefaultConfig().InitialVariance {
+		t.Errorf("steady-state variance %v outside (0, P0]", v1)
+	}
+}
+
+func TestBank(t *testing.T) {
+	b, err := NewBank(3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Bank.Len = %d, want 3", b.Len())
+	}
+	b.Step(0, 100)
+	if b.Unit(1).Primed() {
+		t.Error("stepping unit 0 primed unit 1")
+	}
+	if got := b.Unit(0).Estimate(); got != 100 {
+		t.Errorf("unit 0 estimate = %v, want 100", got)
+	}
+}
+
+func TestNewBankPropagatesConfigError(t *testing.T) {
+	if _, err := NewBank(2, Config{ProcessNoise: -1}); err == nil {
+		t.Error("NewBank accepted an invalid config")
+	}
+}

@@ -1,0 +1,112 @@
+// Package metrics implements the paper's evaluation metrics: satisfaction
+// (Equation 1), fairness (Equation 2), speedup relative to the constant
+// allocation baseline, and harmonic-mean aggregation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"dps/internal/power"
+)
+
+// Satisfaction is Equation 1: the ratio of a workload's average power under
+// its current caps to the average power it would draw uncapped, over the
+// workload's lifetime. It is clamped to [0, 1]: measurement noise can push
+// the raw ratio marginally above 1, which has no physical meaning.
+func Satisfaction(avgCapped, avgUncapped power.Watts) float64 {
+	if avgUncapped <= 0 {
+		return 0
+	}
+	s := float64(avgCapped / avgUncapped)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Fairness is Equation 2: 1 − |satisfaction(i) − satisfaction(j)|, in
+// [0, 1]. Two workloads whose demands are met in equal proportion have
+// fairness 1; the paper observes fairness correlates positively with
+// harmonic-mean performance.
+func Fairness(satI, satJ float64) float64 {
+	f := 1 - math.Abs(satI-satJ)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Speedup converts durations to the paper's performance metric: the
+// baseline (constant allocation) mean throughput time divided by the
+// measured mean throughput time. Values above 1 are gains.
+func Speedup(baseline, measured power.Seconds) (float64, error) {
+	if baseline <= 0 || measured <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive durations baseline=%v measured=%v", baseline, measured)
+	}
+	return float64(baseline / measured), nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// HMean returns the harmonic mean of xs, the paper's aggregate for paired
+// workload performance. Empty input or any non-positive entry yields 0.
+func HMean(xs []float64) float64 { return power.HMean(xs) }
+
+// HMeanDurations returns the harmonic mean of a slice of durations.
+func HMeanDurations(ds []power.Seconds) power.Seconds {
+	if len(ds) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	return power.Seconds(HMean(xs))
+}
+
+// MeanDurations returns the arithmetic mean of a slice of durations.
+func MeanDurations(ds []power.Seconds) power.Seconds {
+	if len(ds) == 0 {
+		return 0
+	}
+	var s power.Seconds
+	for _, d := range ds {
+		s += d
+	}
+	return s / power.Seconds(len(ds))
+}
+
+// MinMax returns the smallest and largest entries of xs; ok is false for
+// empty input.
+func MinMax(xs []float64) (min, max float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, true
+}

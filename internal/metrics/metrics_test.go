@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/power"
+)
+
+func TestSatisfaction(t *testing.T) {
+	if got := Satisfaction(110, 150); math.Abs(got-110.0/150.0) > 1e-12 {
+		t.Errorf("Satisfaction(110,150) = %v", got)
+	}
+	if got := Satisfaction(150, 150); got != 1 {
+		t.Errorf("fully met demand: %v, want 1", got)
+	}
+	// Noise can push the measured mean marginally above uncapped; clamp.
+	if got := Satisfaction(151, 150); got != 1 {
+		t.Errorf("Satisfaction above 1 not clamped: %v", got)
+	}
+	if got := Satisfaction(-5, 150); got != 0 {
+		t.Errorf("negative power not clamped: %v", got)
+	}
+	if got := Satisfaction(100, 0); got != 0 {
+		t.Errorf("zero uncapped power: %v, want 0", got)
+	}
+}
+
+func TestFairness(t *testing.T) {
+	if got := Fairness(0.9, 0.9); got != 1 {
+		t.Errorf("equal satisfaction fairness = %v, want 1", got)
+	}
+	if got := Fairness(1.0, 0.75); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Fairness(1,0.75) = %v, want 0.75", got)
+	}
+}
+
+// Fairness is symmetric and in [0,1] for any satisfactions in [0,1].
+func TestFairnessSymmetryProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		si := math.Mod(math.Abs(a), 1)
+		sj := math.Mod(math.Abs(b), 1)
+		fij, fji := Fairness(si, sj), Fairness(sj, si)
+		return fij == fji && fij >= 0 && fij <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(power.Seconds(120), power.Seconds(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1.2) > 1e-12 {
+		t.Errorf("Speedup = %v, want 1.2", s)
+	}
+	if _, err := Speedup(0, 100); err == nil {
+		t.Error("Speedup accepted a zero baseline")
+	}
+	if _, err := Speedup(100, 0); err == nil {
+		t.Error("Speedup accepted a zero measurement")
+	}
+}
+
+func TestMeanAndHMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := HMean([]float64{2, 6}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("HMean = %v", got)
+	}
+}
+
+func TestDurationAggregates(t *testing.T) {
+	ds := []power.Seconds{100, 300}
+	if got := MeanDurations(ds); got != 200 {
+		t.Errorf("MeanDurations = %v", got)
+	}
+	if got := HMeanDurations(ds); math.Abs(float64(got)-150) > 1e-9 {
+		t.Errorf("HMeanDurations = %v, want 150", got)
+	}
+	if MeanDurations(nil) != 0 || HMeanDurations(nil) != 0 {
+		t.Error("empty duration aggregates non-zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, ok := MinMax([]float64{3, 1, 2})
+	if !ok || min != 1 || max != 3 {
+		t.Errorf("MinMax = %v %v %v", min, max, ok)
+	}
+	if _, _, ok := MinMax(nil); ok {
+		t.Error("MinMax(nil) reported ok")
+	}
+}

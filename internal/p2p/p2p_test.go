@@ -1,0 +1,199 @@
+package p2p
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/core"
+	"dps/internal/power"
+)
+
+func testBudget(units int) power.Budget {
+	return power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig(4, testBudget(4)).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.AtCap = 0 },
+		func(c *Config) { c.AtCap = 1.5 },
+		func(c *Config) { c.SlackThreshold = 0 },
+		func(c *Config) { c.SlackThreshold = 0.99 },
+		func(c *Config) { c.ShiftFraction = 0 },
+		func(c *Config) { c.Margin = -1 },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.Units = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig(4, testBudget(4))
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestInitialEvenSplit(t *testing.T) {
+	m, err := New(DefaultConfig(4, testBudget(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "P2P" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	for u, b := range m.Caps() {
+		if b != 110 {
+			t.Errorf("initial budget[%d] = %v, want 110", u, b)
+		}
+	}
+}
+
+// Transfers are zero-sum: the cluster budget is conserved to the bit, not
+// just bounded — the structural advantage of peer-to-peer trading.
+func TestBudgetConservedExactlyProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		cfg := DefaultConfig(6, testBudget(6))
+		cfg.Seed = seed
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		total := m.Caps().Sum()
+		rng := rand.New(rand.NewSource(seed))
+		for s := 0; s < int(steps%60)+1; s++ {
+			readings := make(power.Vector, 6)
+			for u := range readings {
+				readings[u] = power.Watts(rng.Float64() * 180)
+			}
+			caps := m.Decide(core.Snapshot{Power: readings, Interval: 1})
+			if math.Abs(float64(caps.Sum()-total)) > 1e-9 {
+				return false
+			}
+			for _, c := range caps {
+				if c < cfg.Budget.UnitMin-1e-9 || c > cfg.Budget.UnitMax+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPinnedUnitDrainsIdlePartner(t *testing.T) {
+	cfg := DefaultConfig(2, power.Budget{Total: 220, UnitMax: 165, UnitMin: 10})
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit 0 pinned at its budget, unit 1 idle at 20 W.
+	var caps power.Vector
+	for i := 0; i < 30; i++ {
+		caps = m.Caps()
+		m.Decide(core.Snapshot{Power: power.Vector{caps[0], 20}, Interval: 1})
+	}
+	caps = m.Caps()
+	if caps[0] < 160 {
+		t.Errorf("pinned unit's budget %v after 30 rounds, want close to UnitMax", caps[0])
+	}
+	if caps[1] > 60 {
+		t.Errorf("idle unit kept %v W", caps[1])
+	}
+}
+
+func TestGossipConvergesSlowerThanCentralDPS(t *testing.T) {
+	// The architectural trade: replay the Figure 1 scenario on 8 units
+	// (unit 0 ramps first, all others later) and count rounds until the
+	// late units recover 90 % of their fair share. P2P must converge, but
+	// in more rounds than centralized DPS's equalization.
+	budget := power.Budget{Total: 880, UnitMax: 165, UnitMin: 10}
+	scenario := func(mgr core.Manager) int {
+		for i := 0; i < 10; i++ { // unit 0 hogs
+			caps := mgr.Caps()
+			readings := power.NewVector(8, 20)
+			readings[0] = min2(165, caps[0])
+			mgr.Decide(core.Snapshot{Power: readings, Interval: 1})
+		}
+		for step := 1; step <= 300; step++ { // all units ramp
+			caps := mgr.Caps()
+			readings := make(power.Vector, 8)
+			for u := range readings {
+				readings[u] = min2(165, caps[u])
+			}
+			caps = mgr.Decide(core.Snapshot{Power: readings, Interval: 1})
+			if caps.Min() >= 0.9*110 {
+				return step
+			}
+		}
+		return 301
+	}
+
+	p2pMgr, err := New(DefaultConfig(8, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpsMgr, err := core.NewDPS(core.DefaultConfig(8, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2pRounds := scenario(p2pMgr)
+	dpsRounds := scenario(dpsMgr)
+	if p2pRounds > 300 {
+		t.Fatalf("P2P never recovered the starved units")
+	}
+	if dpsRounds >= p2pRounds {
+		t.Errorf("central DPS (%d rounds) not faster than gossip (%d rounds)", dpsRounds, p2pRounds)
+	}
+	t.Logf("recovery: central DPS %d rounds, P2P gossip %d rounds", dpsRounds, p2pRounds)
+}
+
+func TestMoreRoundsConvergeFaster(t *testing.T) {
+	budget := power.Budget{Total: 880, UnitMax: 165, UnitMin: 10}
+	converge := func(rounds int) power.Watts {
+		cfg := DefaultConfig(8, budget)
+		cfg.Rounds = rounds
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unit 7 pinned, others idle; measure unit 7's budget after 5 steps.
+		for i := 0; i < 5; i++ {
+			caps := m.Caps()
+			readings := power.NewVector(8, 20)
+			readings[7] = min2(165, caps[7])
+			m.Decide(core.Snapshot{Power: readings, Interval: 1})
+		}
+		return m.Caps()[7]
+	}
+	one := converge(1)
+	four := converge(4)
+	if four < one {
+		t.Errorf("4 gossip rounds (%v W) not at least as fast as 1 (%v W)", four, one)
+	}
+}
+
+func TestDecidePanicsOnSizeMismatch(t *testing.T) {
+	m, err := New(DefaultConfig(4, testBudget(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decide with wrong reading count did not panic")
+		}
+	}()
+	m.Decide(core.Snapshot{Power: power.Vector{1}, Interval: 1})
+}
+
+func min2(a, b power.Watts) power.Watts {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+// Package priority implements the paper's Algorithm 2: classifying every
+// power-capping unit as high or low priority from its recent *power
+// dynamics* — the frequency of its power changes and the first derivative
+// of its power.
+//
+// Frequency first: a unit whose estimated power history shows more than
+// PeakCountThreshold prominent peaks is flagged high-frequency and pinned
+// to high priority, because the manager cannot react faster than such a
+// unit's phases and must instead guarantee it headroom (this is the
+// mechanism behind the constant-allocation lower bound). The flag is
+// sticky: it clears only when both the peak count AND the standard
+// deviation of the history fall below their thresholds — the extra stddev
+// check catches histories that oscillate violently without producing
+// countable peaks.
+//
+// Unpinned units are classified by the windowed average derivative of their
+// power: a fast rise marks the unit high priority (it needs power now or
+// soon), a fast fall marks it low priority (its tasks are draining), and
+// anything in between leaves the previous priority untouched — a unit that
+// ramped up stays high priority until its power actually comes back down.
+//
+// Two mechanisms realize the paper's "(1) need power now" case directly
+// (§4.4; see DESIGN.md): a unit pinned at its cap (power within
+// AtCapFraction of the cap) is high priority regardless of its derivative
+// — throttling is the unambiguous need-power-now signal, and the
+// derivative alone cannot see it because a capped unit's power is flat at
+// its cap. Conversely, a unit that is unthrottled, flat, and drawing
+// almost nothing (below IdleRevertFraction of the constant cap) reverts to
+// low priority, so a noise-induced high flag cannot stick to an idle unit
+// forever.
+package priority
+
+import (
+	"fmt"
+
+	"dps/internal/history"
+	"dps/internal/power"
+	"dps/internal/signal"
+)
+
+// Config holds Algorithm 2's thresholds.
+type Config struct {
+	// DerivIncThreshold (W/s): a windowed derivative above this marks the
+	// unit high priority.
+	DerivIncThreshold power.Watts
+	// DerivDecThreshold (W/s, negative): a windowed derivative below this
+	// marks the unit low priority.
+	DerivDecThreshold power.Watts
+	// StdThreshold (W): the history's standard deviation must fall below
+	// this (in addition to the peak count) to clear a high-frequency flag.
+	StdThreshold power.Watts
+	// PeakProminence (W): minimum prominence for a local maximum to count
+	// as a peak.
+	PeakProminence power.Watts
+	// PeakCountThreshold: more prominent peaks than this in the history
+	// flags the unit high-frequency.
+	PeakCountThreshold int
+	// DerivWindow (direv_length): number of history samples spanned by the
+	// derivative estimate.
+	DerivWindow int
+	// MinSamples: units with fewer history samples keep their current
+	// priority; the paper notes DPS needs at most one history length
+	// (default 20 s) to start making desired decisions.
+	MinSamples int
+	// AtCapFraction: a unit whose measured power is at least this fraction
+	// of its cap is throttled and therefore high priority ("needs power
+	// now"). Zero disables the check (ablation).
+	AtCapFraction float64
+	// IdleRevertFraction: a unit that is not high-frequency, not at its
+	// cap, has a dead-zone derivative, and draws less than this fraction
+	// of the constant cap reverts to low priority. Zero disables the check.
+	IdleRevertFraction float64
+}
+
+// DefaultConfig matches the reproduction's one-second loop and 20-sample
+// history: a filtered phase ramp of 5 W/s is decisive (a capped unit's
+// visible rise is only the gap between its cap and its previous power, ~25 %
+// of the cap, further smoothed by the Kalman filter — thresholds must sit
+// well below that but well above the ~1 W/s filtered noise floor), and
+// three or more 20 W peaks in 20 s mean the unit flips faster than the
+// manager can follow.
+func DefaultConfig() Config {
+	return Config{
+		DerivIncThreshold:  5,
+		DerivDecThreshold:  -5,
+		StdThreshold:       15,
+		PeakProminence:     20,
+		PeakCountThreshold: 2,
+		DerivWindow:        3,
+		MinSamples:         3,
+		AtCapFraction:      0.95,
+		IdleRevertFraction: 0.5,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.DerivIncThreshold <= 0:
+		return fmt.Errorf("priority: DerivIncThreshold %v must be positive", c.DerivIncThreshold)
+	case c.DerivDecThreshold >= 0:
+		return fmt.Errorf("priority: DerivDecThreshold %v must be negative", c.DerivDecThreshold)
+	case c.StdThreshold < 0:
+		return fmt.Errorf("priority: negative StdThreshold %v", c.StdThreshold)
+	case c.PeakProminence <= 0:
+		return fmt.Errorf("priority: PeakProminence %v must be positive", c.PeakProminence)
+	case c.PeakCountThreshold < 1:
+		return fmt.Errorf("priority: PeakCountThreshold %d must be at least 1", c.PeakCountThreshold)
+	case c.DerivWindow < 2:
+		return fmt.Errorf("priority: DerivWindow %d must be at least 2", c.DerivWindow)
+	case c.MinSamples < 2:
+		return fmt.Errorf("priority: MinSamples %d must be at least 2", c.MinSamples)
+	case c.AtCapFraction < 0 || c.AtCapFraction > 1:
+		return fmt.Errorf("priority: AtCapFraction %v outside [0,1]", c.AtCapFraction)
+	case c.IdleRevertFraction < 0 || c.IdleRevertFraction > 1:
+		return fmt.Errorf("priority: IdleRevertFraction %v outside [0,1]", c.IdleRevertFraction)
+	}
+	return nil
+}
+
+// Module tracks per-unit priorities across decision steps.
+type Module struct {
+	cfg      Config
+	highFreq []bool
+	prio     []bool
+	// DisableFrequency skips the peak/stddev classification entirely (an
+	// ablation knob: priorities then come from the derivative alone).
+	DisableFrequency bool
+
+	powScratch []power.Watts
+	durScratch []power.Seconds
+}
+
+// New returns a module for n units; all units start low priority.
+func New(cfg Config, n int) (*Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("priority: non-positive unit count %d", n)
+	}
+	return &Module{
+		cfg:      cfg,
+		highFreq: make([]bool, n),
+		prio:     make([]bool, n),
+	}, nil
+}
+
+// Config returns the module's configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Priorities returns the current priority flags (true = high priority).
+// The returned slice is owned by the module; callers must not mutate it.
+func (m *Module) Priorities() []bool { return m.prio }
+
+// HighFrequency returns the current high-frequency flags. The returned
+// slice is owned by the module; callers must not mutate it.
+func (m *Module) HighFrequency() []bool { return m.highFreq }
+
+// Update reclassifies every unit and returns the updated priority flags
+// (true = high priority). hist holds the estimated power histories;
+// powerNow and caps are the current measured power and programmed cap per
+// unit (for the at-cap and idle-reversion checks); constantCap is the
+// even-split cap. The returned slice is owned by the module.
+func (m *Module) Update(hist *history.Set, powerNow, caps power.Vector, constantCap power.Watts) []bool {
+	if hist.Len() != len(m.prio) {
+		panic(fmt.Sprintf("priority: history for %d units, module for %d", hist.Len(), len(m.prio)))
+	}
+	if len(powerNow) != len(m.prio) || len(caps) != len(m.prio) {
+		panic(fmt.Sprintf("priority: %d readings / %d caps for %d units", len(powerNow), len(caps), len(m.prio)))
+	}
+	for u := 0; u < hist.Len(); u++ {
+		m.updateUnit(power.UnitID(u), hist.Unit(power.UnitID(u)), powerNow[u], caps[u], constantCap)
+	}
+	return m.prio
+}
+
+func (m *Module) updateUnit(u power.UnitID, ring *history.Ring, pNow, capNow, constantCap power.Watts) {
+	if ring.Len() < m.cfg.MinSamples {
+		return // not enough dynamics yet; keep the current priority
+	}
+	m.powScratch = ring.PowersInto(m.powScratch)
+
+	if !m.DisableFrequency {
+		peaks := signal.CountProminentPeaks(m.powScratch, m.cfg.PeakProminence)
+		if !m.highFreq[u] {
+			if peaks > m.cfg.PeakCountThreshold {
+				m.highFreq[u] = true
+				m.prio[u] = true
+				return
+			}
+		} else {
+			if peaks <= m.cfg.PeakCountThreshold && signal.StdDev(m.powScratch) < m.cfg.StdThreshold {
+				m.highFreq[u] = false
+				m.prio[u] = false
+				// Fall through to the derivative check: the unit just
+				// settled, and its slope decides its fresh priority.
+			} else {
+				m.prio[u] = true
+				return
+			}
+		}
+	}
+
+	// Need-power-now: a unit pinned at its cap is throttled; its flat
+	// power hides its true demand, so the derivative below would miss it.
+	atCap := m.cfg.AtCapFraction > 0 && capNow > 0 && pNow >= capNow*power.Watts(m.cfg.AtCapFraction)
+	if atCap {
+		m.prio[u] = true
+		return
+	}
+
+	// Derivative classification for low-frequency, unthrottled units.
+	if cap(m.durScratch) < ring.Len() {
+		m.durScratch = make([]power.Seconds, ring.Len())
+	}
+	m.durScratch = m.durScratch[:0]
+	for i := 0; i < ring.Len(); i++ {
+		_, dt := ring.At(i)
+		m.durScratch = append(m.durScratch, dt)
+	}
+	d := signal.WindowedDerivative(m.powScratch, m.durScratch, m.cfg.DerivWindow)
+	switch {
+	case d > m.cfg.DerivIncThreshold:
+		m.prio[u] = true
+	case d < m.cfg.DerivDecThreshold:
+		m.prio[u] = false
+	default:
+		// Dead zone: priority unchanged, per Algorithm 2 — after a power
+		// rise the unit stays high priority until its power falls again.
+		// Exception: an unthrottled unit drawing almost nothing is idle,
+		// not anticipating; revert it so noise-induced flags cannot stick.
+		if m.cfg.IdleRevertFraction > 0 && pNow < constantCap*power.Watts(m.cfg.IdleRevertFraction) {
+			m.prio[u] = false
+		}
+	}
+}
+
+// Reset clears all flags to the initial (low priority, low frequency)
+// state.
+func (m *Module) Reset() {
+	for i := range m.prio {
+		m.prio[i] = false
+		m.highFreq[i] = false
+	}
+}

@@ -1,0 +1,57 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"dps/internal/power"
+)
+
+// FuzzReadHello feeds arbitrary bytes to the handshake parser: it must
+// never panic and must only accept frames it could itself have produced.
+func FuzzReadHello(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteHello(&seed, Hello{FirstUnit: 18, Units: 2}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("DPS1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHello(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode to the same bytes.
+		var out bytes.Buffer
+		if err := WriteHello(&out, h); err != nil {
+			t.Fatalf("accepted hello %+v cannot be re-encoded: %v", h, err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:HelloSize]) {
+			t.Fatalf("roundtrip mismatch: read %+v from %v, wrote %v", h, data[:HelloSize], out.Bytes())
+		}
+	})
+}
+
+// FuzzReadBatch feeds arbitrary bytes to the batch parser for a fixed unit
+// count: no panics, and every accepted value is representable.
+func FuzzReadBatch(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBatch(&seed, []power.Watts{110, 42.5}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := make([]power.Watts, 2)
+		if err := ReadBatch(bytes.NewReader(data), dst); err != nil {
+			return
+		}
+		for i, w := range dst {
+			if w < 0 || w > FromDeciwatts(MaxDeciwatts) {
+				t.Fatalf("unit %d decoded to unrepresentable %v W", i, w)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package proto
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/power"
+)
+
+func TestRecordIsThreeBytes(t *testing.T) {
+	// The paper's overhead claim rests on this constant.
+	if RecordSize != 3 {
+		t.Fatalf("RecordSize = %d, the paper's protocol is 3 bytes per request", RecordSize)
+	}
+	var buf [RecordSize]byte
+	PutRecord(buf[:], Record{LocalUnit: 7, Value: 1234})
+	got := GetRecord(buf[:])
+	if got.LocalUnit != 7 || got.Value != 1234 {
+		t.Errorf("roundtrip = %+v", got)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(unit uint8, value uint16) bool {
+		var buf [RecordSize]byte
+		PutRecord(buf[:], Record{LocalUnit: unit, Value: value})
+		got := GetRecord(buf[:])
+		return got.LocalUnit == unit && got.Value == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeciwattQuantization(t *testing.T) {
+	// Wire quantization error is bounded by half a deciwatt.
+	for _, w := range []power.Watts{0, 0.04, 19.96, 110.55, 165, 6553.5} {
+		got := FromDeciwatts(ToDeciwatts(w))
+		if math.Abs(float64(got-w)) > 0.05 {
+			t.Errorf("%v W roundtrips to %v (error > 0.05 W)", w, got)
+		}
+	}
+	if ToDeciwatts(-5) != 0 {
+		t.Error("negative power not clamped to 0")
+	}
+	if ToDeciwatts(1e9) != MaxDeciwatts {
+		t.Error("huge power not clamped to the uint16 ceiling")
+	}
+}
+
+func TestQuantizationErrorBoundProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		w := power.Watts(math.Mod(math.Abs(raw), 6553))
+		got := FromDeciwatts(ToDeciwatts(w))
+		return math.Abs(float64(got-w)) <= 0.05+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := Hello{FirstUnit: 18, Units: 2}
+	if err := WriteHello(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != HelloSize {
+		t.Errorf("handshake is %d bytes, want %d", buf.Len(), HelloSize)
+	}
+	got, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("roundtrip = %+v, want %+v", got, h)
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	bad := []Hello{
+		{FirstUnit: -1, Units: 1},
+		{FirstUnit: 0, Units: 0},
+		{FirstUnit: 0, Units: 300},
+		{FirstUnit: 0xFFFF, Units: 2}, // range overflows the unit space
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", h)
+		}
+		var buf bytes.Buffer
+		if err := WriteHello(&buf, h); err == nil {
+			t.Errorf("WriteHello accepted %+v", h)
+		}
+	}
+}
+
+func TestReadHelloRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"short":       {1, 2, 3},
+		"bad magic":   {'N', 'O', 'P', 'E', Version, 0, 0, 1},
+		"bad version": {'D', 'P', 'S', '1', 99, 0, 0, 1},
+		"bad units":   {'D', 'P', 'S', '1', Version, 0, 0, 0},
+	}
+	for name, raw := range cases {
+		if _, err := ReadHello(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: ReadHello accepted %v", name, raw)
+		}
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAck(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadAck(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadAck(strings.NewReader("NO")); err == nil {
+		t.Error("ReadAck accepted a bad ack")
+	}
+	if err := ReadAck(strings.NewReader("")); err == nil {
+		t.Error("ReadAck accepted EOF")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []power.Watts{110.5, 87.3, 0, 165}
+	if err := WriteBatch(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != len(in)*RecordSize {
+		t.Errorf("batch wire size = %d, want %d (3 bytes per unit)", got, len(in)*RecordSize)
+	}
+	out := make([]power.Watts, len(in))
+	if err := ReadBatch(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if math.Abs(float64(out[i]-in[i])) > 0.05 {
+			t.Errorf("batch[%d] = %v, want ~%v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadBatchRejectsOutOfRangeUnit(t *testing.T) {
+	// A record claiming local unit 5 in a 2-unit batch is a protocol
+	// violation.
+	raw := make([]byte, 2*RecordSize)
+	PutRecord(raw[0:], Record{LocalUnit: 0, Value: 100})
+	PutRecord(raw[3:], Record{LocalUnit: 5, Value: 100})
+	dst := make([]power.Watts, 2)
+	if err := ReadBatch(bytes.NewReader(raw), dst); err == nil {
+		t.Error("ReadBatch accepted a record for a unit outside the batch")
+	}
+}
+
+func TestReadBatchShortInput(t *testing.T) {
+	dst := make([]power.Watts, 2)
+	if err := ReadBatch(bytes.NewReader([]byte{1, 2}), dst); err == nil {
+		t.Error("ReadBatch accepted truncated input")
+	}
+}
+
+func TestWriteBatchTooLarge(t *testing.T) {
+	if err := WriteBatch(&bytes.Buffer{}, make([]power.Watts, 300)); err == nil {
+		t.Error("WriteBatch accepted 300 units (exceeds uint8 local space)")
+	}
+}

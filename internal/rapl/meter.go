@@ -1,0 +1,55 @@
+package rapl
+
+import (
+	"fmt"
+
+	"dps/internal/power"
+)
+
+// Meter turns a Device's cumulative energy counter into average power per
+// interval, handling 32-bit counter wraparound. This is exactly what the
+// paper's node client does between decision steps: two counter reads and a
+// division.
+type Meter struct {
+	dev    Device
+	lastUJ uint64
+	primed bool
+}
+
+// NewMeter wraps a device. The first Read primes the meter and reports the
+// device's idle assumption (0 W) because no interval has elapsed yet.
+func NewMeter(dev Device) *Meter {
+	return &Meter{dev: dev}
+}
+
+// Read returns the average power since the previous Read, over the given
+// elapsed interval. It tolerates exactly one counter wrap per interval —
+// the same constraint real RAPL monitoring has. A 32-bit µJ counter holds
+// ~4295 J, so at the 165 W TDP it wraps every ~26 s; a 1 s decision loop
+// consumes under 4 % of the counter range per interval, far from the
+// one-wrap limit.
+func (m *Meter) Read(elapsed power.Seconds) (power.Watts, error) {
+	uj, err := m.dev.EnergyMicroJoules()
+	if err != nil {
+		return 0, fmt.Errorf("rapl: reading energy counter: %w", err)
+	}
+	if !m.primed {
+		m.primed = true
+		m.lastUJ = uj
+		return 0, nil
+	}
+	var delta uint64
+	if uj >= m.lastUJ {
+		delta = uj - m.lastUJ
+	} else {
+		delta = CounterWrap - m.lastUJ + uj
+	}
+	m.lastUJ = uj
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("rapl: non-positive meter interval %v", elapsed)
+	}
+	return power.Watts(float64(delta) / 1e6 / float64(elapsed)), nil
+}
+
+// Primed reports whether the meter has a baseline counter value.
+func (m *Meter) Primed() bool { return m.primed }

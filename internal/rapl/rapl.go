@@ -1,0 +1,225 @@
+// Package rapl models the hardware interface DPS depends on: Intel's
+// Running Average Power Limit. DPS interacts with hardware in exactly two
+// ways (paper §4.2) — reading power and setting power caps — so this
+// package provides exactly those two verbs behind the Device interface.
+//
+// Two implementations are provided. SimDevice is a simulated socket with a
+// RAPL-like energy counter: microjoule quantization, 32-bit wraparound, cap
+// enforcement, and configurable Gaussian measurement noise (the paper
+// pessimistically assumes RAPL readings are noisy; the noise here is what
+// DPS's Kalman filter exists to absorb). SysfsDevice drives the Linux
+// powercap sysfs interface (/sys/class/powercap/intel-rapl*) used on real
+// clusters; it is exercised in tests against a fake sysfs tree.
+package rapl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dps/internal/power"
+)
+
+// CounterWrap is the modulus of the RAPL 32-bit energy counter in
+// microjoules. Real RAPL counters are 32-bit registers scaled by an
+// energy-status unit; at socket power levels they wrap every few minutes,
+// and power meters must handle the wrap.
+const CounterWrap = uint64(1) << 32
+
+// Device is one power-capping unit's hardware interface: the two verbs DPS
+// needs and nothing more.
+type Device interface {
+	// EnergyMicroJoules returns the cumulative energy counter in µJ,
+	// modulo CounterWrap.
+	EnergyMicroJoules() (uint64, error)
+	// SetCap sets the unit's power limit. Implementations clamp to the
+	// hardware range.
+	SetCap(w power.Watts) error
+	// Cap returns the currently programmed power limit.
+	Cap() (power.Watts, error)
+	// MaxPower returns the hardware's maximum settable limit (TDP).
+	MaxPower() power.Watts
+	// MinPower returns the hardware's minimum settable limit.
+	MinPower() power.Watts
+}
+
+// SimConfig describes a simulated socket.
+type SimConfig struct {
+	// TDP is the socket's thermal design power, the maximum cap (165 W on
+	// the paper's Xeon Gold 6240 sockets).
+	TDP power.Watts
+	// MinCap is the lowest accepted power limit.
+	MinCap power.Watts
+	// IdlePower is drawn even with no load.
+	IdlePower power.Watts
+	// NoiseStdDev is the σ of the Gaussian noise added to measured power
+	// (applied at the energy counter, like real RAPL estimation error).
+	NoiseStdDev power.Watts
+	// Seed makes the noise stream reproducible.
+	Seed int64
+}
+
+// DefaultSimConfig models one socket of the paper's evaluation platform.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		TDP:         165,
+		MinCap:      10,
+		IdlePower:   20,
+		NoiseStdDev: 2,
+		Seed:        1,
+	}
+}
+
+// Validate reports whether the configuration is physically sensible.
+func (c SimConfig) Validate() error {
+	switch {
+	case c.TDP <= 0:
+		return fmt.Errorf("rapl: non-positive TDP %v", c.TDP)
+	case c.MinCap < 0 || c.MinCap > c.TDP:
+		return fmt.Errorf("rapl: MinCap %v outside [0, TDP=%v]", c.MinCap, c.TDP)
+	case c.IdlePower < 0 || c.IdlePower > c.TDP:
+		return fmt.Errorf("rapl: IdlePower %v outside [0, TDP=%v]", c.IdlePower, c.TDP)
+	case c.NoiseStdDev < 0:
+		return fmt.Errorf("rapl: negative noise σ %v", c.NoiseStdDev)
+	}
+	return nil
+}
+
+// SimDevice is a simulated RAPL socket. The embedding simulation drives it
+// by setting the socket's uncapped power demand (SetLoad) and advancing
+// virtual time (Advance); controllers see only the Device interface.
+//
+// SimDevice is safe for concurrent use: the daemon path reads it from a
+// network goroutine while the simulation advances it.
+type SimDevice struct {
+	mu     sync.Mutex
+	cfg    SimConfig
+	rng    *rand.Rand
+	cap    power.Watts
+	demand power.Watts
+	// energyUJ is the wrapped 32-bit µJ counter; totalJ the unwrapped
+	// ground truth for tests and satisfaction accounting.
+	energyUJ uint64
+	totalJ   power.Joules
+	lastDraw power.Watts
+}
+
+var _ Device = (*SimDevice)(nil)
+
+// NewSimDevice returns a simulated socket with its cap at TDP and no load.
+func NewSimDevice(cfg SimConfig) (*SimDevice, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SimDevice{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cap: cfg.TDP,
+	}, nil
+}
+
+// SetLoad sets the socket's current uncapped power demand (what the
+// workload would draw with no cap). Demand below idle power is raised to
+// idle; demand above TDP is clamped to TDP.
+func (d *SimDevice) SetLoad(w power.Watts) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if w < d.cfg.IdlePower {
+		w = d.cfg.IdlePower
+	}
+	if w > d.cfg.TDP {
+		w = d.cfg.TDP
+	}
+	d.demand = w
+}
+
+// Demand returns the current uncapped demand.
+func (d *SimDevice) Demand() power.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.demand
+}
+
+// Advance moves virtual time forward by dt: the socket draws
+// min(demand, cap) watts (never below idle — RAPL cannot cap below the
+// leakage floor) and accrues energy, with Gaussian noise folded into the
+// counter increment exactly like RAPL's event-counter estimation error.
+// It returns the true (noise-free) power drawn during the interval.
+func (d *SimDevice) Advance(dt power.Seconds) power.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if dt <= 0 {
+		return d.lastDraw
+	}
+	draw := d.demand
+	if draw > d.cap {
+		draw = d.cap
+	}
+	if draw < d.cfg.IdlePower {
+		draw = d.cfg.IdlePower
+	}
+	d.lastDraw = draw
+
+	measured := draw
+	if d.cfg.NoiseStdDev > 0 {
+		measured += power.Watts(d.rng.NormFloat64()) * d.cfg.NoiseStdDev
+		if measured < 0 {
+			measured = 0
+		}
+	}
+	incUJ := uint64(float64(measured) * float64(dt) * 1e6)
+	d.energyUJ = (d.energyUJ + incUJ) % CounterWrap
+	d.totalJ += power.Joules(float64(draw) * float64(dt))
+	return draw
+}
+
+// EnergyMicroJoules implements Device.
+func (d *SimDevice) EnergyMicroJoules() (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.energyUJ, nil
+}
+
+// TrueEnergy returns the unwrapped, noise-free energy in joules, the
+// simulation's ground truth (used for satisfaction accounting in tests and
+// experiments, never visible to controllers).
+func (d *SimDevice) TrueEnergy() power.Joules {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.totalJ
+}
+
+// LastDraw returns the true power drawn in the most recent interval.
+func (d *SimDevice) LastDraw() power.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastDraw
+}
+
+// SetCap implements Device, clamping to [MinCap, TDP] like the powercap
+// driver does.
+func (d *SimDevice) SetCap(w power.Watts) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if w < d.cfg.MinCap {
+		w = d.cfg.MinCap
+	}
+	if w > d.cfg.TDP {
+		w = d.cfg.TDP
+	}
+	d.cap = w
+	return nil
+}
+
+// Cap implements Device.
+func (d *SimDevice) Cap() (power.Watts, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cap, nil
+}
+
+// MaxPower implements Device.
+func (d *SimDevice) MaxPower() power.Watts { return d.cfg.TDP }
+
+// MinPower implements Device.
+func (d *SimDevice) MinPower() power.Watts { return d.cfg.MinCap }

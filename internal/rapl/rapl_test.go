@@ -1,0 +1,293 @@
+package rapl
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dps/internal/power"
+)
+
+// noiseless returns a sim config with measurement noise disabled, so
+// energy arithmetic is exact.
+func noiseless() SimConfig {
+	cfg := DefaultSimConfig()
+	cfg.NoiseStdDev = 0
+	return cfg
+}
+
+func TestSimConfigValidate(t *testing.T) {
+	if err := DefaultSimConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []SimConfig{
+		{TDP: 0},
+		{TDP: 165, MinCap: -1},
+		{TDP: 165, MinCap: 200},
+		{TDP: 165, IdlePower: -1},
+		{TDP: 165, IdlePower: 200},
+		{TDP: 165, NoiseStdDev: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", cfg)
+		}
+	}
+}
+
+func TestCapEnforcement(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(150)
+	if err := dev.SetCap(100); err != nil {
+		t.Fatal(err)
+	}
+	if draw := dev.Advance(1); draw != 100 {
+		t.Errorf("draw = %v with demand 150 under cap 100, want 100", draw)
+	}
+	// Raising the cap above demand frees the full draw.
+	dev.SetCap(165)
+	if draw := dev.Advance(1); draw != 150 {
+		t.Errorf("draw = %v uncapped, want the demand 150", draw)
+	}
+}
+
+func TestIdleFloor(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(0) // raised to idle power
+	if got := dev.Demand(); got != noiseless().IdlePower {
+		t.Errorf("demand = %v, want idle floor %v", got, noiseless().IdlePower)
+	}
+	// RAPL cannot cap below leakage: even with the minimum cap the socket
+	// draws idle power.
+	dev.SetCap(0) // clamps to MinCap 10
+	if draw := dev.Advance(1); draw != noiseless().IdlePower {
+		t.Errorf("draw = %v, want idle floor %v", draw, noiseless().IdlePower)
+	}
+}
+
+func TestCapClampedToHardwareRange(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetCap(500)
+	if c, _ := dev.Cap(); c != 165 {
+		t.Errorf("cap = %v, want TDP 165", c)
+	}
+	dev.SetCap(1)
+	if c, _ := dev.Cap(); c != 10 {
+		t.Errorf("cap = %v, want MinCap 10", c)
+	}
+	if dev.MaxPower() != 165 || dev.MinPower() != 10 {
+		t.Errorf("MaxPower/MinPower = %v/%v", dev.MaxPower(), dev.MinPower())
+	}
+}
+
+func TestEnergyAccumulation(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(100)
+	for i := 0; i < 10; i++ {
+		dev.Advance(1)
+	}
+	if got := dev.TrueEnergy(); math.Abs(float64(got)-1000) > 1e-6 {
+		t.Errorf("TrueEnergy = %v J after 10 s at 100 W, want 1000", got)
+	}
+	uj, err := dev.EnergyMicroJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(uj)-1000e6) > 10 {
+		t.Errorf("counter = %d µJ, want ~1e9", uj)
+	}
+}
+
+func TestCounterWrap(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(165)
+	dev.SetCap(165)
+	// 2^32 µJ ≈ 4295 J ≈ 26 s at 165 W: run a minute and the counter must
+	// have wrapped while staying under the modulus.
+	var prev uint64
+	wrapped := false
+	for i := 0; i < 60; i++ {
+		dev.Advance(1)
+		uj, _ := dev.EnergyMicroJoules()
+		if uj >= CounterWrap {
+			t.Fatalf("counter %d at or above the modulus", uj)
+		}
+		if uj < prev {
+			wrapped = true
+		}
+		prev = uj
+	}
+	if !wrapped {
+		t.Error("counter never wrapped in 60 s at TDP")
+	}
+	// Ground truth keeps counting.
+	if got := dev.TrueEnergy(); math.Abs(float64(got)-60*165) > 1e-6 {
+		t.Errorf("TrueEnergy = %v, want %v", got, 60*165)
+	}
+}
+
+func TestMeterAveragesPower(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMeter(dev)
+	if _, err := m.Read(1); err != nil { // prime
+		t.Fatal(err)
+	}
+	if !m.Primed() {
+		t.Error("meter not primed after first read")
+	}
+	dev.SetLoad(120)
+	dev.Advance(2)
+	got, err := m.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got)-120) > 0.01 {
+		t.Errorf("meter = %v W, want 120", got)
+	}
+}
+
+func TestMeterHandlesWrap(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMeter(dev)
+	if _, err := m.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(165)
+	total := 0.0
+	n := 0
+	for i := 0; i < 60; i++ {
+		dev.Advance(1)
+		w, err := m.Read(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(w)
+		n++
+	}
+	// Average across the wrap must still be ~165 W; a wrap bug would show
+	// up as a wild outlier.
+	if avg := total / float64(n); math.Abs(avg-165) > 0.5 {
+		t.Errorf("mean metered power %v, want ~165", avg)
+	}
+}
+
+func TestMeterRejectsBadInterval(t *testing.T) {
+	dev, err := NewSimDevice(noiseless())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMeter(dev)
+	m.Read(1) // prime
+	if _, err := m.Read(0); err == nil {
+		t.Error("Read(0) did not error")
+	}
+}
+
+func TestNoiseAffectsCounterNotDraw(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.NoiseStdDev = 5
+	dev, err := NewSimDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(100)
+	var draws []power.Watts
+	for i := 0; i < 100; i++ {
+		draws = append(draws, dev.Advance(1))
+	}
+	for _, d := range draws {
+		if d != 100 {
+			t.Fatalf("true draw %v with noise configured, want exactly 100", d)
+		}
+	}
+	// The counter, however, carries the noise: over 100 s the measured
+	// mean should still be near 100 W but individual intervals jitter.
+	m := NewMeter(dev)
+	m.Read(1)
+	dev.Advance(1)
+	w1, _ := m.Read(1)
+	dev.Advance(1)
+	w2, _ := m.Read(1)
+	if w1 == 100 && w2 == 100 {
+		t.Error("metered power shows no noise despite NoiseStdDev 5")
+	}
+}
+
+func TestNoiseIsSeedDeterministic(t *testing.T) {
+	mk := func() []power.Watts {
+		cfg := DefaultSimConfig()
+		cfg.Seed = 42
+		dev, err := NewSimDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMeter(dev)
+		m.Read(1)
+		dev.SetLoad(100)
+		var out []power.Watts
+		for i := 0; i < 10; i++ {
+			dev.Advance(1)
+			w, _ := m.Read(1)
+			out = append(out, w)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed devices produced different noise: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// The daemon reads the device from a network goroutine while a driver
+	// advances it; run with -race to verify the locking.
+	dev, err := NewSimDevice(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch g {
+				case 0:
+					dev.SetLoad(power.Watts(i % 165))
+				case 1:
+					dev.Advance(0.01)
+				case 2:
+					dev.SetCap(power.Watts(50 + i%100))
+				default:
+					dev.EnergyMicroJoules()
+					dev.Cap()
+					dev.LastDraw()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

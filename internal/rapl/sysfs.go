@@ -1,0 +1,134 @@
+package rapl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dps/internal/power"
+)
+
+// SysfsDevice drives one RAPL package domain through the Linux powercap
+// sysfs interface, the deployment path on a real cluster:
+//
+//	<dir>/energy_uj                    cumulative energy counter (µJ)
+//	<dir>/max_energy_range_uj          counter modulus
+//	<dir>/constraint_0_power_limit_uw  long-term power limit (µW)
+//	<dir>/constraint_0_max_power_uw    hardware maximum (TDP, µW)
+//
+// where <dir> is typically /sys/class/powercap/intel-rapl:0 for socket 0.
+// Tests exercise this implementation against a fake sysfs tree.
+type SysfsDevice struct {
+	dir      string
+	maxPower power.Watts
+	minPower power.Watts
+	wrapUJ   uint64
+}
+
+var _ Device = (*SysfsDevice)(nil)
+
+// OpenSysfs opens a powercap domain directory. minCap is the lowest cap
+// the caller intends to set (the powercap driver itself accepts any value;
+// platforms misbehave below a floor, so we clamp in software).
+func OpenSysfs(dir string, minCap power.Watts) (*SysfsDevice, error) {
+	maxUW, err := readUintFile(filepath.Join(dir, "constraint_0_max_power_uw"))
+	if err != nil {
+		return nil, fmt.Errorf("rapl: opening powercap domain %s: %w", dir, err)
+	}
+	wrap, err := readUintFile(filepath.Join(dir, "max_energy_range_uj"))
+	if err != nil {
+		// Older kernels omit the range file; fall back to the 32-bit span.
+		wrap = CounterWrap
+	}
+	d := &SysfsDevice{
+		dir:      dir,
+		maxPower: power.Watts(float64(maxUW) / 1e6),
+		minPower: minCap,
+		wrapUJ:   wrap,
+	}
+	if _, err := d.EnergyMicroJoules(); err != nil {
+		return nil, fmt.Errorf("rapl: powercap domain %s has no readable energy counter: %w", dir, err)
+	}
+	return d, nil
+}
+
+// Dir returns the sysfs directory backing the device.
+func (d *SysfsDevice) Dir() string { return d.dir }
+
+// WrapMicroJoules returns the counter modulus advertised by the kernel.
+func (d *SysfsDevice) WrapMicroJoules() uint64 { return d.wrapUJ }
+
+// EnergyMicroJoules implements Device.
+func (d *SysfsDevice) EnergyMicroJoules() (uint64, error) {
+	return readUintFile(filepath.Join(d.dir, "energy_uj"))
+}
+
+// SetCap implements Device, writing the long-term constraint in µW.
+func (d *SysfsDevice) SetCap(w power.Watts) error {
+	if w < d.minPower {
+		w = d.minPower
+	}
+	if w > d.maxPower {
+		w = d.maxPower
+	}
+	uw := strconv.FormatUint(uint64(float64(w)*1e6), 10)
+	path := filepath.Join(d.dir, "constraint_0_power_limit_uw")
+	if err := os.WriteFile(path, []byte(uw), 0o644); err != nil {
+		return fmt.Errorf("rapl: setting power limit: %w", err)
+	}
+	return nil
+}
+
+// Cap implements Device.
+func (d *SysfsDevice) Cap() (power.Watts, error) {
+	uw, err := readUintFile(filepath.Join(d.dir, "constraint_0_power_limit_uw"))
+	if err != nil {
+		return 0, fmt.Errorf("rapl: reading power limit: %w", err)
+	}
+	return power.Watts(float64(uw) / 1e6), nil
+}
+
+// MaxPower implements Device.
+func (d *SysfsDevice) MaxPower() power.Watts { return d.maxPower }
+
+// MinPower implements Device.
+func (d *SysfsDevice) MinPower() power.Watts { return d.minPower }
+
+// DiscoverSysfs lists powercap package-domain directories under root
+// (normally /sys/class/powercap), skipping sub-domains like
+// intel-rapl:0:0 (DRAM/core planes) so each returned directory is one
+// socket. Results are sorted by name for stable unit numbering.
+func DiscoverSysfs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("rapl: listing powercap root %s: %w", root, err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "intel-rapl:") {
+			continue
+		}
+		// Package domains have exactly one colon: intel-rapl:N.
+		if strings.Count(name, ":") != 1 {
+			continue
+		}
+		dirs = append(dirs, filepath.Join(root, name))
+	}
+	return dirs, nil
+}
+
+func readUintFile(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	s := strings.TrimSpace(string(b))
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return v, nil
+}

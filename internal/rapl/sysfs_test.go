@@ -1,0 +1,195 @@
+package rapl
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fakeDomain builds one powercap package-domain directory.
+func fakeDomain(t *testing.T, root, name string, energyUJ, maxUW uint64, withRange bool) string {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(file, val string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(val+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("energy_uj", strconv.FormatUint(energyUJ, 10))
+	write("constraint_0_max_power_uw", strconv.FormatUint(maxUW, 10))
+	write("constraint_0_power_limit_uw", strconv.FormatUint(maxUW, 10))
+	if withRange {
+		write("max_energy_range_uj", strconv.FormatUint(262143328850, 10))
+	}
+	return dir
+}
+
+func TestOpenSysfsReadsHardwareLimits(t *testing.T) {
+	root := t.TempDir()
+	dir := fakeDomain(t, root, "intel-rapl:0", 123456789, 165_000_000, true)
+	dev, err := OpenSysfs(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.MaxPower() != 165 {
+		t.Errorf("MaxPower = %v, want 165", dev.MaxPower())
+	}
+	if dev.MinPower() != 10 {
+		t.Errorf("MinPower = %v, want 10", dev.MinPower())
+	}
+	if dev.WrapMicroJoules() != 262143328850 {
+		t.Errorf("WrapMicroJoules = %d", dev.WrapMicroJoules())
+	}
+	if dev.Dir() != dir {
+		t.Errorf("Dir = %q", dev.Dir())
+	}
+	uj, err := dev.EnergyMicroJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uj != 123456789 {
+		t.Errorf("energy = %d, want 123456789", uj)
+	}
+}
+
+func TestOpenSysfsWithoutRangeFileFallsBack(t *testing.T) {
+	root := t.TempDir()
+	dir := fakeDomain(t, root, "intel-rapl:0", 1, 165_000_000, false)
+	dev, err := OpenSysfs(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.WrapMicroJoules() != CounterWrap {
+		t.Errorf("WrapMicroJoules = %d, want the 32-bit fallback %d", dev.WrapMicroJoules(), CounterWrap)
+	}
+}
+
+func TestOpenSysfsErrors(t *testing.T) {
+	root := t.TempDir()
+	// Missing max-power file.
+	dir := filepath.Join(root, "intel-rapl:0")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSysfs(dir, 10); err == nil {
+		t.Error("OpenSysfs succeeded on an empty domain")
+	}
+	// Max power present but energy counter missing.
+	if err := os.WriteFile(filepath.Join(dir, "constraint_0_max_power_uw"), []byte("165000000"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSysfs(dir, 10); err == nil {
+		t.Error("OpenSysfs succeeded without an energy counter")
+	}
+	// Garbage counter contents.
+	if err := os.WriteFile(filepath.Join(dir, "energy_uj"), []byte("bogus"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSysfs(dir, 10); err == nil {
+		t.Error("OpenSysfs accepted a non-numeric energy counter")
+	}
+}
+
+func TestSysfsSetCapWritesMicrowatts(t *testing.T) {
+	root := t.TempDir()
+	dir := fakeDomain(t, root, "intel-rapl:0", 0, 165_000_000, true)
+	dev, err := OpenSysfs(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetCap(110); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "constraint_0_power_limit_uw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "110000000" {
+		t.Errorf("limit file = %q, want 110000000", b)
+	}
+	c, err := dev.Cap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 110 {
+		t.Errorf("Cap = %v, want 110", c)
+	}
+}
+
+func TestSysfsSetCapClamps(t *testing.T) {
+	root := t.TempDir()
+	dir := fakeDomain(t, root, "intel-rapl:0", 0, 165_000_000, true)
+	dev, err := OpenSysfs(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetCap(500); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := dev.Cap(); c != 165 {
+		t.Errorf("cap = %v, want clamped to 165", c)
+	}
+	if err := dev.SetCap(1); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := dev.Cap(); c != 10 {
+		t.Errorf("cap = %v, want clamped to the software floor 10", c)
+	}
+}
+
+func TestDiscoverSysfsFiltersSubdomains(t *testing.T) {
+	root := t.TempDir()
+	fakeDomain(t, root, "intel-rapl:0", 0, 165_000_000, true)
+	fakeDomain(t, root, "intel-rapl:1", 0, 165_000_000, true)
+	// Sub-domains (DRAM/core planes) and unrelated entries must be skipped.
+	fakeDomain(t, root, "intel-rapl:0:0", 0, 165_000_000, true)
+	if err := os.MkdirAll(filepath.Join(root, "dtpm"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := DiscoverSysfs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("discovered %v, want exactly the two package domains", dirs)
+	}
+	if filepath.Base(dirs[0]) != "intel-rapl:0" || filepath.Base(dirs[1]) != "intel-rapl:1" {
+		t.Errorf("discovered %v, want sorted package domains", dirs)
+	}
+}
+
+func TestDiscoverSysfsMissingRoot(t *testing.T) {
+	if _, err := DiscoverSysfs(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("DiscoverSysfs succeeded on a missing root")
+	}
+}
+
+func TestSysfsMeterIntegration(t *testing.T) {
+	// A meter over a sysfs device: bump the counter file and read power.
+	root := t.TempDir()
+	dir := fakeDomain(t, root, "intel-rapl:0", 0, 165_000_000, true)
+	dev, err := OpenSysfs(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMeter(dev)
+	if _, err := m.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	// 110 J over 1 s → 110 W.
+	if err := os.WriteFile(filepath.Join(dir, "energy_uj"), []byte("110000000"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 110 {
+		t.Errorf("metered %v W, want 110", w)
+	}
+}

@@ -1,0 +1,152 @@
+// Package signal provides the time-series analysis primitives behind the
+// priority module's "power dynamics": prominent-peak counting (the paper
+// cites Palshikar's simple peak-detection algorithms), standard deviation,
+// and the windowed first derivative of power.
+package signal
+
+import (
+	"math"
+
+	"dps/internal/power"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []power.Watts) power.Watts {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s power.Watts
+	for _, x := range xs {
+		s += x
+	}
+	return s / power.Watts(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs in watts. The
+// priority module compares it against a threshold to catch high-frequency
+// behaviour that slips past the peak counter (Algorithm 2 line 11).
+func StdDev(xs []power.Watts) power.Watts {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var acc float64
+	for _, x := range xs {
+		d := float64(x - m)
+		acc += d * d
+	}
+	return power.Watts(math.Sqrt(acc / float64(n)))
+}
+
+// CountProminentPeaks counts local maxima of xs whose prominence is at
+// least minProminence watts.
+//
+// Following Palshikar's S1 peak function, a sample x[i] is a candidate peak
+// if it is a strict local maximum of its immediate neighbourhood. Its
+// prominence is measured against the lower of the two deepest valleys
+// separating it from a higher sample (or the series edge). This simple,
+// threshold-based formulation is what a controller can afford at every
+// decision step: it is O(n) over the (short, default 20-sample) history.
+//
+// Plateau peaks (equal consecutive maxima) are counted once.
+func CountProminentPeaks(xs []power.Watts, minProminence power.Watts) int {
+	n := len(xs)
+	if n < 3 {
+		return 0
+	}
+	count := 0
+	i := 1
+	for i < n-1 {
+		if xs[i] <= xs[i-1] {
+			i++
+			continue
+		}
+		// Walk any plateau of equal values.
+		j := i
+		for j < n-1 && xs[j+1] == xs[i] {
+			j++
+		}
+		if j == n-1 || xs[j+1] >= xs[i] {
+			// Not a local maximum (rising edge at the end, or plateau
+			// followed by a rise).
+			i = j + 1
+			continue
+		}
+		// xs[i..j] is a local maximum. Find the key valleys on each side:
+		// the minimum between the peak and the previous/next sample that is
+		// at least as high as the peak (or the series edge).
+		left := valleyLeft(xs, i)
+		right := valleyRight(xs, j)
+		base := left
+		if right > base {
+			base = right
+		}
+		if xs[i]-base >= minProminence {
+			count++
+		}
+		i = j + 1
+	}
+	return count
+}
+
+// valleyLeft returns the minimum value between index i (exclusive) and the
+// nearest sample to the left that is >= xs[i], or the left edge.
+func valleyLeft(xs []power.Watts, i int) power.Watts {
+	min := xs[i]
+	for k := i - 1; k >= 0; k-- {
+		if xs[k] < min {
+			min = xs[k]
+		}
+		if xs[k] >= xs[i] {
+			break
+		}
+	}
+	return min
+}
+
+// valleyRight returns the minimum value between index j (exclusive) and the
+// nearest sample to the right that is >= xs[j], or the right edge.
+func valleyRight(xs []power.Watts, j int) power.Watts {
+	min := xs[j]
+	for k := j + 1; k < len(xs); k++ {
+		if xs[k] < min {
+			min = xs[k]
+		}
+		if xs[k] >= xs[j] {
+			break
+		}
+	}
+	return min
+}
+
+// WindowedDerivative estimates the average first derivative of power over
+// the last window samples, in watts per second (Algorithm 2 line 16):
+//
+//	(x[last] − x[last−window+1]) / Σ durations of those samples
+//
+// A window of w samples spans w−1 intervals; the paper sums the durations
+// of the window's samples, and we follow its formulation, summing the last
+// w−1 intervals so the slope is exact for uniform sampling.
+// It returns 0 if fewer than two samples or no elapsed time are available.
+func WindowedDerivative(xs []power.Watts, durations []power.Seconds, window int) power.Watts {
+	n := len(xs)
+	if n < 2 || len(durations) != n {
+		return 0
+	}
+	if window > n {
+		window = n
+	}
+	if window < 2 {
+		window = 2
+	}
+	first := n - window
+	var elapsed power.Seconds
+	for i := first + 1; i < n; i++ {
+		elapsed += durations[i]
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return (xs[n-1] - xs[first]) / power.Watts(elapsed)
+}

@@ -1,0 +1,184 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/power"
+)
+
+func w(xs ...float64) []power.Watts {
+	out := make([]power.Watts, len(xs))
+	for i, x := range xs {
+		out[i] = power.Watts(x)
+	}
+	return out
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(w(1, 2, 3)); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(w(5, 5, 5)); got != 0 {
+		t.Errorf("StdDev of constant = %v, want 0", got)
+	}
+	// Population stddev of {1,3} is 1.
+	if got := StdDev(w(1, 3)); math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("StdDev(1,3) = %v, want 1", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v, want 0", got)
+	}
+}
+
+func TestCountProminentPeaksBasic(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []power.Watts
+		prom power.Watts
+		want int
+	}{
+		{"single clear peak", w(10, 100, 10), 20, 1},
+		{"peak below prominence", w(10, 25, 10), 20, 0},
+		{"two peaks", w(10, 100, 10, 100, 10), 20, 2},
+		{"monotone rise has no peak", w(10, 20, 30, 40), 20, 0},
+		{"monotone fall has no peak", w(40, 30, 20, 10), 20, 0},
+		{"too short", w(10, 100), 20, 0},
+		{"empty", nil, 20, 0},
+		{"plateau counted once", w(10, 100, 100, 100, 10), 20, 1},
+		{"rising plateau not a peak", w(10, 50, 50, 100, 10), 60, 1},
+	}
+	for _, c := range cases {
+		if got := CountProminentPeaks(c.xs, c.prom); got != c.want {
+			t.Errorf("%s: CountProminentPeaks(%v, %v) = %d, want %d", c.name, c.xs, c.prom, got, c.want)
+		}
+	}
+}
+
+func TestCountProminentPeaksUsesKeyValley(t *testing.T) {
+	// The middle peak's prominence is limited by the *higher* of the two
+	// valleys around it: series 0,100,80,90,80,100,0 — the 90 peak has
+	// valleys at 80/80, so prominence 10.
+	xs := w(0, 100, 80, 90, 80, 100, 0)
+	if got := CountProminentPeaks(xs, 15); got != 2 {
+		t.Errorf("prominence-15 count = %d, want 2 (the 90 bump must not count)", got)
+	}
+	if got := CountProminentPeaks(xs, 5); got != 3 {
+		t.Errorf("prominence-5 count = %d, want 3", got)
+	}
+}
+
+func TestPeakCountOnSquareWave(t *testing.T) {
+	// The priority module's high-frequency signature: an oscillating unit
+	// produces one prominent peak per period.
+	var xs []power.Watts
+	for i := 0; i < 5; i++ {
+		xs = append(xs, 60, 60, 150, 150, 60)
+	}
+	got := CountProminentPeaks(xs, 20)
+	if got < 4 || got > 5 {
+		t.Errorf("square wave peaks = %d, want ~5", got)
+	}
+}
+
+// Peak counting properties: never negative, never more than half the
+// series length (peaks need separating valleys), and raising the
+// prominence threshold can only reduce the count.
+func TestPeakCountMonotoneInProminenceProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]power.Watts, int(n%40)+3)
+		for i := range xs {
+			xs[i] = power.Watts(rng.Float64() * 160)
+		}
+		c10 := CountProminentPeaks(xs, 10)
+		c40 := CountProminentPeaks(xs, 40)
+		return c10 >= 0 && c40 <= c10 && c10 <= len(xs)/2+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowedDerivativeExactOnRamp(t *testing.T) {
+	// A 7 W/s ramp sampled at 1 Hz must report exactly 7 for any window.
+	xs := w(0, 7, 14, 21, 28)
+	durs := []power.Seconds{1, 1, 1, 1, 1}
+	for _, win := range []int{2, 3, 5} {
+		if got := WindowedDerivative(xs, durs, win); math.Abs(float64(got)-7) > 1e-12 {
+			t.Errorf("window %d derivative = %v, want 7", win, got)
+		}
+	}
+}
+
+func TestWindowedDerivativeRespectsDurations(t *testing.T) {
+	// Same power change over twice the time halves the derivative.
+	xs := w(0, 10)
+	if got := WindowedDerivative(xs, []power.Seconds{1, 2}, 2); got != 5 {
+		t.Errorf("derivative over 2 s = %v, want 5", got)
+	}
+}
+
+func TestWindowedDerivativeEdgeCases(t *testing.T) {
+	if got := WindowedDerivative(w(5), []power.Seconds{1}, 3); got != 0 {
+		t.Errorf("single sample derivative = %v, want 0", got)
+	}
+	if got := WindowedDerivative(w(1, 2), []power.Seconds{1}, 3); got != 0 {
+		t.Errorf("mismatched durations derivative = %v, want 0", got)
+	}
+	if got := WindowedDerivative(w(1, 2), []power.Seconds{0, 0}, 2); got != 0 {
+		t.Errorf("zero elapsed derivative = %v, want 0", got)
+	}
+	// Window below 2 behaves as 2; window above n is clamped.
+	if got := WindowedDerivative(w(0, 3), []power.Seconds{1, 1}, 1); got != 3 {
+		t.Errorf("window-1 clamps to 2: got %v, want 3", got)
+	}
+}
+
+func TestWindowedDerivativeOfConstantIsZeroProperty(t *testing.T) {
+	f := func(level float64, n uint8, win uint8) bool {
+		size := int(n%30) + 2
+		xs := make([]power.Watts, size)
+		durs := make([]power.Seconds, size)
+		for i := range xs {
+			xs[i] = power.Watts(math.Mod(math.Abs(level), 200))
+			durs[i] = 1
+		}
+		return WindowedDerivative(xs, durs, int(win%10)+2) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerivativeSignProperty(t *testing.T) {
+	// Rising series → non-negative derivative; falling → non-positive.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%20) + 3
+		rising := make([]power.Watts, size)
+		durs := make([]power.Seconds, size)
+		acc := power.Watts(0)
+		for i := range rising {
+			acc += power.Watts(rng.Float64() * 10)
+			rising[i] = acc
+			durs[i] = 1
+		}
+		falling := make([]power.Watts, size)
+		for i := range falling {
+			falling[i] = rising[size-1-i]
+		}
+		return WindowedDerivative(rising, durs, 3) >= 0 && WindowedDerivative(falling, durs, 3) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+
+	"dps/internal/baseline"
+	"dps/internal/core"
+	"dps/internal/hier"
+	"dps/internal/p2p"
+	"dps/internal/power"
+	"dps/internal/stateless"
+)
+
+// ConstantFactory builds the constant-allocation baseline.
+func ConstantFactory() ManagerFactory {
+	return func(units int, budget power.Budget, seed int64) (core.Manager, error) {
+		return baseline.NewConstant(units, budget)
+	}
+}
+
+// SLURMFactory builds the stateless MIMD baseline with the default
+// Algorithm 1 parameters.
+func SLURMFactory() ManagerFactory {
+	return SLURMFactoryWith(stateless.DefaultConfig())
+}
+
+// SLURMFactoryWith builds the stateless baseline with explicit parameters.
+func SLURMFactoryWith(cfg stateless.Config) ManagerFactory {
+	return func(units int, budget power.Budget, seed int64) (core.Manager, error) {
+		return baseline.NewSLURM(units, budget, cfg, seed)
+	}
+}
+
+// OracleFactory builds the demand-proportional oracle.
+func OracleFactory() ManagerFactory {
+	return func(units int, budget power.Budget, seed int64) (core.Manager, error) {
+		return baseline.NewOracle(units, budget, baseline.DefaultOracleConfig())
+	}
+}
+
+// DPSFactory builds a DPS controller with the paper's defaults.
+func DPSFactory() ManagerFactory {
+	return DPSFactoryWith(nil)
+}
+
+// DPSFactoryWith builds DPS after letting modify adjust the default
+// configuration (for ablations: disable the Kalman filter, frequency
+// detection, restore, or the whole priority path).
+func DPSFactoryWith(modify func(*core.Config)) ManagerFactory {
+	return func(units int, budget power.Budget, seed int64) (core.Manager, error) {
+		cfg := core.DefaultConfig(units, budget)
+		cfg.Seed = seed
+		if modify != nil {
+			modify(&cfg)
+		}
+		return core.NewDPS(cfg)
+	}
+}
+
+// P2PFactory builds the decentralized peer-to-peer manager.
+func P2PFactory() ManagerFactory {
+	return func(units int, budget power.Budget, seed int64) (core.Manager, error) {
+		cfg := p2p.DefaultConfig(units, budget)
+		cfg.Seed = seed
+		return p2p.New(cfg)
+	}
+}
+
+// FeedbackFactory builds the PShifter-style feedback baseline.
+func FeedbackFactory() ManagerFactory {
+	return func(units int, budget power.Budget, seed int64) (core.Manager, error) {
+		return baseline.NewFeedback(units, budget, baseline.DefaultFeedbackConfig())
+	}
+}
+
+// HierarchicalDPSFactory builds the two-level DPS with the given group
+// count. The unit count must divide evenly into groups.
+func HierarchicalDPSFactory(groups, epoch int) ManagerFactory {
+	return func(units int, budget power.Budget, seed int64) (core.Manager, error) {
+		if groups <= 0 || units%groups != 0 {
+			return nil, fmt.Errorf("sim: %d units do not partition into %d groups", units, groups)
+		}
+		cfg := hier.DefaultConfig(groups, units/groups, budget)
+		cfg.Seed = seed
+		if epoch > 0 {
+			cfg.Epoch = epoch
+		}
+		return hier.New(cfg)
+	}
+}
+
+// StandardFactories returns the paper's manager lineup in presentation
+// order. withOracle adds the oracle (only computable/meaningful in the
+// low-utility scenario, §5.2).
+func StandardFactories(withOracle bool) map[string]ManagerFactory {
+	m := map[string]ManagerFactory{
+		"Constant": ConstantFactory(),
+		"SLURM":    SLURMFactory(),
+		"DPS":      DPSFactory(),
+	}
+	if withOracle {
+		m["Oracle"] = OracleFactory()
+	}
+	return m
+}

@@ -1,0 +1,279 @@
+// Package sim is the discrete-time experiment engine: it wires a simulated
+// machine (clusters of RAPL sockets running workloads) to a power manager
+// in closed loop and measures what the paper measures — per-run throughput
+// times, satisfaction, and fairness.
+//
+// The loop per decision interval (dT, default 1 s) mirrors the deployed
+// system: sockets draw power under the currently programmed caps, the
+// controller receives the measured (noisy) per-unit average power, decides
+// new caps, and programs them. Workload runs launch back-to-back on each
+// cluster with a short idle gap, exactly like the paper's experiment
+// scripts repeating each workload in a pair.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dps/internal/cluster"
+	"dps/internal/core"
+	"dps/internal/metrics"
+	"dps/internal/power"
+	"dps/internal/workload"
+)
+
+// ManagerFactory builds a power manager for a machine of `units` units
+// under `budget`. Factories exist so one experiment description can be
+// replayed against every policy.
+type ManagerFactory func(units int, budget power.Budget, seed int64) (core.Manager, error)
+
+// PairConfig describes one co-execution experiment: workload A on cluster
+// 0 and workload B on cluster 1.
+type PairConfig struct {
+	// Machine is the simulated platform (default: the paper's 2×5×2
+	// sockets).
+	Machine cluster.Config
+	// Budget is the cluster-wide envelope. The zero value selects the
+	// paper's 66.7 % limit: 110 W per socket.
+	Budget power.Budget
+	// WorkloadA runs on cluster 0, WorkloadB on cluster 1.
+	WorkloadA, WorkloadB *workload.Spec
+	// Repeats is the minimum number of completed runs per cluster before
+	// the experiment stops (the paper repeats each workload ≥10 times).
+	Repeats int
+	// Gap is the idle time between consecutive runs on a cluster.
+	Gap power.Seconds
+	// StartOffsetB delays cluster 1's first run to decorrelate phases.
+	StartOffsetB power.Seconds
+	// DT is the decision interval (default 1 s).
+	DT power.Seconds
+	// Seed drives all experiment randomness (workload jitter, RAPL noise,
+	// manager tie-breaking).
+	Seed int64
+	// MaxTime aborts a runaway experiment. Zero selects a generous bound
+	// derived from the workloads' table durations.
+	MaxTime power.Seconds
+	// StepHook, if non-nil, observes every step after caps are applied:
+	// virtual time, measured readings, and programmed caps. Slices are
+	// owned by the engine and only valid during the call.
+	StepHook func(t power.Seconds, readings, caps power.Vector)
+}
+
+// withDefaults fills zero fields.
+func (c PairConfig) withDefaults() PairConfig {
+	if c.Machine.Clusters == 0 {
+		c.Machine = cluster.DefaultConfig()
+		c.Machine.Seed = c.Seed
+	}
+	if c.Budget.Total == 0 {
+		units := c.Machine.Units()
+		c.Budget = power.Budget{
+			Total:   power.Watts(units) * 110,
+			UnitMax: c.Machine.Rapl.TDP,
+			UnitMin: c.Machine.Rapl.MinCap,
+		}
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	if c.Gap == 0 {
+		c.Gap = 8
+	}
+	if c.DT == 0 {
+		c.DT = 1
+	}
+	if c.MaxTime == 0 {
+		perRun := float64(c.WorkloadA.TableDuration + c.WorkloadB.TableDuration)
+		c.MaxTime = power.Seconds(float64(c.Repeats)*perRun*4 + 3600)
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c PairConfig) Validate() error {
+	if c.WorkloadA == nil || c.WorkloadB == nil {
+		return fmt.Errorf("sim: pair needs two workloads (A=%v B=%v)", c.WorkloadA, c.WorkloadB)
+	}
+	if c.Machine.Clusters < 2 {
+		return fmt.Errorf("sim: pair experiment needs at least 2 clusters, have %d", c.Machine.Clusters)
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	return c.Budget.Validate(c.Machine.Units())
+}
+
+// RunRecord is one completed workload run.
+type RunRecord struct {
+	// Index is the run's position on its cluster (0-based).
+	Index int
+	// Duration is the run's wall-clock completion time (the paper's
+	// "throughput time").
+	Duration power.Seconds
+	// MeanPower is the average true power per socket during the run.
+	MeanPower power.Watts
+	// UncappedMeanPower is what the run would have averaged with no caps.
+	UncappedMeanPower power.Watts
+	// Satisfaction is Equation 1 for this run.
+	Satisfaction float64
+}
+
+// ClusterResult aggregates one cluster's runs in a pair experiment.
+type ClusterResult struct {
+	Workload string
+	Runs     []RunRecord
+	// MeanDuration is the arithmetic mean completion time of completed
+	// runs (the paper's per-workload metric).
+	MeanDuration power.Seconds
+	// HMeanDuration is the harmonic mean of completion times.
+	HMeanDuration power.Seconds
+	// MeanSatisfaction averages per-run satisfaction.
+	MeanSatisfaction float64
+}
+
+// PairResult is the outcome of one pair experiment under one manager.
+type PairResult struct {
+	Manager string
+	A, B    ClusterResult
+	// Fairness is Equation 2 between the two clusters' mean satisfactions.
+	Fairness float64
+	// Steps is the number of decision intervals simulated.
+	Steps int
+	// SimTime is the total virtual time.
+	SimTime power.Seconds
+	// BudgetViolations counts steps whose programmed caps exceeded the
+	// budget (must be 0; the paper reports caps were always respected).
+	BudgetViolations int
+	// TimedOut reports the MaxTime safety stop fired before both clusters
+	// finished their repeats.
+	TimedOut bool
+}
+
+// clusterState tracks run scheduling for one cluster during an experiment.
+type clusterState struct {
+	spec      *workload.Spec
+	rng       *rand.Rand
+	completed []RunRecord
+	nextStart power.Seconds
+	launched  int
+}
+
+// RunPair executes one pair experiment under the manager the factory
+// builds. It is deterministic for a fixed configuration.
+func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return PairResult{}, err
+	}
+	mach, err := cluster.NewMachine(cfg.Machine)
+	if err != nil {
+		return PairResult{}, err
+	}
+	units := mach.Units()
+	mgr, err := factory(units, cfg.Budget, cfg.Seed)
+	if err != nil {
+		return PairResult{}, err
+	}
+	if err := mach.ApplyCaps(mgr.Caps()); err != nil {
+		return PairResult{}, err
+	}
+
+	states := []*clusterState{
+		{spec: cfg.WorkloadA, rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + 1))},
+		{spec: cfg.WorkloadB, rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + 2)), nextStart: cfg.StartOffsetB},
+	}
+
+	res := PairResult{Manager: mgr.Name()}
+	var t power.Seconds
+	eps := power.Watts(1e-6)
+
+	done := func() bool {
+		for _, s := range states {
+			if len(s.completed) < cfg.Repeats {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !done() {
+		if t >= cfg.MaxTime {
+			res.TimedOut = true
+			break
+		}
+		// Launch runs that are due.
+		for ci, s := range states {
+			cl := mach.Cluster(ci)
+			if cl.Run() == nil && t >= s.nextStart && len(s.completed) < cfg.Repeats {
+				cl.SetRun(workload.NewRun(s.spec, s.rng))
+				s.launched++
+			}
+		}
+
+		// Advance the platform one interval under the current caps.
+		readings, err := mach.Step(cfg.DT)
+		if err != nil {
+			return PairResult{}, err
+		}
+
+		// Harvest completed runs.
+		for ci, s := range states {
+			cl := mach.Cluster(ci)
+			run := cl.Run()
+			if run != nil && run.Done() {
+				rec := RunRecord{
+					Index:             len(s.completed),
+					Duration:          run.Elapsed(),
+					MeanPower:         cl.RunMeanPower(),
+					UncappedMeanPower: run.UncappedMeanPower(),
+				}
+				rec.Satisfaction = metrics.Satisfaction(rec.MeanPower, rec.UncappedMeanPower)
+				s.completed = append(s.completed, rec)
+				cl.SetRun(nil)
+				s.nextStart = t + cfg.DT + cfg.Gap
+			}
+		}
+
+		// Controller pass: readings in, caps out, caps programmed.
+		caps := mgr.Decide(core.Snapshot{
+			Power:    readings,
+			Interval: cfg.DT,
+			Demand:   mach.TrueDemands(),
+		})
+		if caps.Sum() > cfg.Budget.Total+eps {
+			res.BudgetViolations++
+		}
+		if err := mach.ApplyCaps(caps); err != nil {
+			return PairResult{}, err
+		}
+		if cfg.StepHook != nil {
+			cfg.StepHook(t, readings, caps)
+		}
+
+		t += cfg.DT
+		res.Steps++
+	}
+
+	res.SimTime = t
+	res.A = summarize(states[0])
+	res.B = summarize(states[1])
+	res.Fairness = metrics.Fairness(res.A.MeanSatisfaction, res.B.MeanSatisfaction)
+	return res, nil
+}
+
+func summarize(s *clusterState) ClusterResult {
+	out := ClusterResult{Workload: s.spec.Name, Runs: s.completed}
+	if len(s.completed) == 0 {
+		return out
+	}
+	durs := make([]power.Seconds, len(s.completed))
+	sats := make([]float64, len(s.completed))
+	for i, r := range s.completed {
+		durs[i] = r.Duration
+		sats[i] = r.Satisfaction
+	}
+	out.MeanDuration = metrics.MeanDurations(durs)
+	out.HMeanDuration = metrics.HMeanDurations(durs)
+	out.MeanSatisfaction = metrics.Mean(sats)
+	return out
+}

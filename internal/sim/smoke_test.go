@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"dps/internal/workload"
+)
+
+// TestSmokeHighUtilityPair sanity-checks the closed loop on the paper's
+// hardest scenario shape: a high-power workload (GMM) co-executing with a
+// mid-power one (LDA). It asserts the structural properties every later
+// experiment relies on; the quantitative shape is asserted in the exp
+// package's tests.
+func TestSmokeHighUtilityPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-step simulation")
+	}
+	gmm, err := workload.ByName("GMM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lda, err := workload.ByName("LDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PairConfig{WorkloadA: lda, WorkloadB: gmm, Repeats: 2, Seed: 7}
+
+	results := map[string]PairResult{}
+	for name, f := range StandardFactories(true) {
+		res, err := RunPair(cfg, f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TimedOut {
+			t.Errorf("%s: experiment timed out after %v steps", name, res.Steps)
+		}
+		if res.BudgetViolations != 0 {
+			t.Errorf("%s: %d budget violations", name, res.BudgetViolations)
+		}
+		if len(res.A.Runs) < cfg.Repeats || len(res.B.Runs) < cfg.Repeats {
+			t.Errorf("%s: incomplete runs A=%d B=%d", name, len(res.A.Runs), len(res.B.Runs))
+		}
+		results[name] = res
+		t.Logf("%-8s A(%s): mean=%7.1fs sat=%.3f  B(%s): mean=%7.1fs sat=%.3f  fairness=%.3f steps=%d",
+			name, res.A.Workload, res.A.MeanDuration, res.A.MeanSatisfaction,
+			res.B.Workload, res.B.MeanDuration, res.B.MeanSatisfaction, res.Fairness, res.Steps)
+	}
+
+	// DPS must be at least as fair as SLURM under contention (paper §6.4).
+	if results["DPS"].Fairness < results["SLURM"].Fairness-0.02 {
+		t.Errorf("DPS fairness %.3f below SLURM %.3f", results["DPS"].Fairness, results["SLURM"].Fairness)
+	}
+}

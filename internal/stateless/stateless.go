@@ -1,0 +1,173 @@
+// Package stateless implements the paper's Algorithm 1: a
+// Multiplicative-Increase-Multiplicative-Decrease (MIMD) power-cap
+// controller modeled on SLURM's power management plugin.
+//
+// The module looks only at the current power of each unit. Units drawing
+// well below their cap have the cap cut multiplicatively (releasing budget),
+// and units pressing against their cap receive a multiplicative raise from
+// whatever budget remains, visited in random order so no unit is
+// systematically favoured. Used alone this module *is* the SLURM baseline;
+// inside DPS its output is the temporary allocation the cap-readjusting
+// module corrects.
+package stateless
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dps/internal/power"
+)
+
+// Config holds Algorithm 1's four tuning parameters.
+type Config struct {
+	// IncThreshold is the fraction of its cap a unit's power must exceed to
+	// be considered capped and eligible for an increase (inc_threshold).
+	IncThreshold float64
+	// DecThreshold is the fraction of its cap a unit's power must fall
+	// below for the cap to be decreased (dec_threshold).
+	DecThreshold float64
+	// IncFactor is the multiplicative raise applied to an eligible unit's
+	// cap (inc_percentile, > 1).
+	IncFactor float64
+	// DecFactor is the multiplicative cut applied to an idle unit's cap
+	// (dec_percentile, < 1). The cap never drops below the unit's current
+	// power.
+	DecFactor float64
+}
+
+// DefaultConfig mirrors the behaviour of SLURM's plugin defaults scaled to
+// a one-second decision loop: treat a unit as capped when it is within 5 %
+// of its cap, reclaim budget when it draws less than 80 % of its cap,
+// raise caps 5 % per step and cut them 15 % per step. The conservative
+// raise is what makes the pure stateless policy slow to follow fast phase
+// transitions (the behaviour DPS's priority mechanism fixes); raising it
+// is an ablation, not a fairness fix, because the stuck-at-cap starvation
+// of Figure 1 persists at any rate.
+func DefaultConfig() Config {
+	return Config{
+		IncThreshold: 0.95,
+		DecThreshold: 0.80,
+		IncFactor:    1.05,
+		DecFactor:    0.85,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.IncThreshold <= 0 || c.IncThreshold > 1:
+		return fmt.Errorf("stateless: IncThreshold %v outside (0,1]", c.IncThreshold)
+	case c.DecThreshold < 0 || c.DecThreshold >= 1:
+		return fmt.Errorf("stateless: DecThreshold %v outside [0,1)", c.DecThreshold)
+	case c.DecThreshold >= c.IncThreshold:
+		return fmt.Errorf("stateless: DecThreshold %v >= IncThreshold %v", c.DecThreshold, c.IncThreshold)
+	case c.IncFactor <= 1:
+		return fmt.Errorf("stateless: IncFactor %v must exceed 1", c.IncFactor)
+	case c.DecFactor <= 0 || c.DecFactor >= 1:
+		return fmt.Errorf("stateless: DecFactor %v outside (0,1)", c.DecFactor)
+	}
+	return nil
+}
+
+// Module is a reusable MIMD controller. It is deterministic given its seed:
+// the random visiting order of the cap-increasing loop comes from an owned
+// PRNG so experiments are reproducible.
+type Module struct {
+	cfg   Config
+	rng   *rand.Rand
+	order []int // scratch permutation, reused across steps
+}
+
+// New returns a module with the given configuration and seed.
+func New(cfg Config, seed int64) (*Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Module{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Config returns the module's configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Apply runs one MIMD step: given each unit's current power it mutates caps
+// in place, never letting the sum of caps exceed budget.Total nor any cap
+// leave [budget.UnitMin, budget.UnitMax]. changed[u] reports whether unit
+// u's cap moved this step.
+//
+// Deviation from the paper's pseudocode (documented in DESIGN.md): the
+// increase loop raises a cap to min(cap·IncFactor, cap+avail, UnitMax) and
+// deducts only the delta from the available budget; the paper's literal
+// text would overwrite the cap with the leftover budget and double-charge
+// it.
+func (m *Module) Apply(powerNow power.Vector, caps power.Vector, budget power.Budget, changed []bool) []bool {
+	n := len(caps)
+	if len(powerNow) != n {
+		panic(fmt.Sprintf("stateless: %d readings for %d caps", len(powerNow), n))
+	}
+	if cap(changed) < n {
+		changed = make([]bool, n)
+	}
+	changed = changed[:n]
+	for i := range changed {
+		changed[i] = false
+	}
+
+	// First loop: decrease caps of units drawing well below them.
+	for u := 0; u < n; u++ {
+		if powerNow[u] < caps[u]*power.Watts(m.cfg.DecThreshold) {
+			next := caps[u] * power.Watts(m.cfg.DecFactor)
+			if powerNow[u] > next {
+				next = powerNow[u]
+			}
+			if next < budget.UnitMin {
+				next = budget.UnitMin
+			}
+			if next != caps[u] {
+				caps[u] = next
+				changed[u] = true
+			}
+		}
+	}
+
+	// Second loop: increase caps of capped units, in random order.
+	avail := budget.Total - caps.Sum()
+	if avail <= 0 {
+		return changed
+	}
+	m.shuffleOrder(n)
+	for _, u := range m.order {
+		if avail <= 0 {
+			break
+		}
+		if powerNow[u] > caps[u]*power.Watts(m.cfg.IncThreshold) {
+			next := caps[u] * power.Watts(m.cfg.IncFactor)
+			if max := caps[u] + avail; next > max {
+				next = max
+			}
+			if next > budget.UnitMax {
+				next = budget.UnitMax
+			}
+			if next > caps[u] {
+				avail -= next - caps[u]
+				caps[u] = next
+				changed[u] = true
+			}
+		}
+	}
+	return changed
+}
+
+// shuffleOrder refreshes m.order with a uniform random permutation of
+// [0,n), reusing the backing array.
+func (m *Module) shuffleOrder(n int) {
+	if cap(m.order) < n {
+		m.order = make([]int, n)
+	}
+	m.order = m.order[:n]
+	for i := range m.order {
+		m.order[i] = i
+	}
+	m.rng.Shuffle(n, func(i, j int) {
+		m.order[i], m.order[j] = m.order[j], m.order[i]
+	})
+}

@@ -1,0 +1,236 @@
+package stateless
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/power"
+)
+
+var testBudget = power.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+
+func mustNew(t *testing.T, seed int64) *Module {
+	t.Helper()
+	m, err := New(DefaultConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{IncThreshold: 0, DecThreshold: 0.8, IncFactor: 1.1, DecFactor: 0.9},
+		{IncThreshold: 1.2, DecThreshold: 0.8, IncFactor: 1.1, DecFactor: 0.9},
+		{IncThreshold: 0.95, DecThreshold: -0.1, IncFactor: 1.1, DecFactor: 0.9},
+		{IncThreshold: 0.95, DecThreshold: 0.96, IncFactor: 1.1, DecFactor: 0.9},
+		{IncThreshold: 0.95, DecThreshold: 0.8, IncFactor: 1.0, DecFactor: 0.9},
+		{IncThreshold: 0.95, DecThreshold: 0.8, IncFactor: 1.1, DecFactor: 1.0},
+		{IncThreshold: 0.95, DecThreshold: 0.8, IncFactor: 1.1, DecFactor: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", cfg)
+		}
+	}
+	if _, err := New(Config{}, 1); err == nil {
+		t.Error("New accepted the zero config")
+	}
+}
+
+func TestDecreaseIdleUnit(t *testing.T) {
+	m := mustNew(t, 1)
+	caps := power.Vector{110, 110}
+	// Unit 0 draws 40 W, well under 80 % of 110; unit 1 is at cap.
+	m.Apply(power.Vector{40, 110}, caps, testBudget, nil)
+	if caps[0] >= 110 {
+		t.Errorf("idle unit's cap %v not decreased", caps[0])
+	}
+	if caps[0] < 40 {
+		t.Errorf("cap %v cut below the unit's current power 40", caps[0])
+	}
+	// Multiplicative: one step of DecFactor, not further.
+	want := power.Watts(110 * DefaultConfig().DecFactor)
+	if caps[0] != want {
+		t.Errorf("cap after one decrease = %v, want %v", caps[0], want)
+	}
+}
+
+func TestDecreaseStopsAtPower(t *testing.T) {
+	m := mustNew(t, 1)
+	caps := power.Vector{50}
+	budget := power.Budget{Total: 165, UnitMax: 165, UnitMin: 10}
+	// Power 45 sits between the bands: above 0.8·50 = 40 (no decrease) and
+	// below 0.95·50 = 47.5 (no increase).
+	m.Apply(power.Vector{45}, caps, budget, nil)
+	if caps[0] != 50 {
+		t.Errorf("cap moved to %v despite power within the dead band", caps[0])
+	}
+	// Power 30 → cut to max(30, 0.85·50 = 42.5).
+	m.Apply(power.Vector{30}, caps, budget, nil)
+	if caps[0] != 42.5 {
+		t.Errorf("cap = %v, want 42.5", caps[0])
+	}
+	// Deep idle converges into the stable band [power, power/DecThreshold]:
+	// once the cap is within 25 % of the power, the dec condition stops
+	// firing. This band is load-bearing — it is the visible headroom that
+	// lets DPS's priority module see a capped unit's demand rise.
+	for i := 0; i < 20; i++ {
+		m.Apply(power.Vector{30}, caps, budget, nil)
+	}
+	if caps[0] < 30 || caps[0] > 30/power.Watts(DefaultConfig().DecThreshold)+1e-9 {
+		t.Errorf("cap converged to %v, want within [30, %v]", caps[0], 30/DefaultConfig().DecThreshold)
+	}
+}
+
+func TestDecreaseRespectsUnitMin(t *testing.T) {
+	m := mustNew(t, 1)
+	caps := power.Vector{12}
+	for i := 0; i < 5; i++ {
+		m.Apply(power.Vector{0}, caps, testBudget, nil)
+		if caps[0] < testBudget.UnitMin {
+			t.Fatalf("cap %v fell below UnitMin %v", caps[0], testBudget.UnitMin)
+		}
+	}
+	if caps[0] != testBudget.UnitMin {
+		t.Errorf("cap = %v after repeated zero-power steps, want UnitMin %v", caps[0], testBudget.UnitMin)
+	}
+}
+
+func TestIncreaseAtCapUnit(t *testing.T) {
+	m := mustNew(t, 1)
+	caps := power.Vector{110, 110}
+	// Unit 0 pinned at its cap; budget has headroom (440−220).
+	m.Apply(power.Vector{110, 90}, caps, testBudget, nil)
+	want := power.Watts(110 * DefaultConfig().IncFactor)
+	if caps[0] != want {
+		t.Errorf("capped unit raised to %v, want %v", caps[0], want)
+	}
+	if caps[1] != 110 {
+		t.Errorf("uncapped unit's cap moved to %v", caps[1])
+	}
+}
+
+func TestIncreaseLimitedByBudget(t *testing.T) {
+	m := mustNew(t, 1)
+	budget := power.Budget{Total: 222, UnitMax: 165, UnitMin: 10}
+	caps := power.Vector{110, 110}
+	// Both at cap; only 2 W of headroom exist in total.
+	m.Apply(power.Vector{110, 110}, caps, budget, nil)
+	if got := caps.Sum(); got > budget.Total+1e-9 {
+		t.Errorf("caps sum %v exceeds budget %v", got, budget.Total)
+	}
+}
+
+func TestIncreaseRespectsUnitMax(t *testing.T) {
+	m := mustNew(t, 1)
+	budget := power.Budget{Total: 400, UnitMax: 165, UnitMin: 10}
+	caps := power.Vector{160}
+	m.Apply(power.Vector{160}, caps, budget, nil)
+	if caps[0] != 165 {
+		t.Errorf("cap = %v, want clamped to UnitMax 165", caps[0])
+	}
+}
+
+func TestChangedFlags(t *testing.T) {
+	m := mustNew(t, 1)
+	caps := power.Vector{110, 110, 110}
+	changed := make([]bool, 3)
+	// Unit 0 idle (decrease), unit 1 at cap (increase), unit 2 in band.
+	got := m.Apply(power.Vector{40, 110, 95}, caps, testBudget, changed)
+	if !got[0] || !got[1] || got[2] {
+		t.Errorf("changed = %v, want [true true false]", got)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func(seed int64) power.Vector {
+		m, err := New(DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		caps := power.NewVector(8, 55)
+		budget := power.Budget{Total: 8 * 55, UnitMax: 165, UnitMin: 10}
+		for i := 0; i < 50; i++ {
+			pw := make(power.Vector, 8)
+			for u := range pw {
+				pw[u] = power.Watts(rng.Float64() * 165)
+			}
+			m.Apply(pw, caps, budget, nil)
+		}
+		return caps
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+// The MIMD step never violates the budget and never leaves the hardware
+// range, from any starting state the controller could reach.
+func TestBudgetInvariantProperty(t *testing.T) {
+	m, err := New(DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := power.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		caps := power.Vector{110, 110, 110, 110}
+		for s := 0; s < int(steps%40)+1; s++ {
+			pw := make(power.Vector, 4)
+			for u := range pw {
+				pw[u] = power.Watts(rng.Float64() * 165)
+			}
+			m.Apply(pw, caps, budget, nil)
+			if !budget.Respected(caps, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPanicsOnSizeMismatch(t *testing.T) {
+	m := mustNew(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply with mismatched sizes did not panic")
+		}
+	}()
+	m.Apply(power.Vector{1}, power.Vector{1, 2}, testBudget, nil)
+}
+
+func TestRandomOrderCoversAllUnits(t *testing.T) {
+	// With scarce leftover budget, the random visiting order must not
+	// systematically favour low indices: over many steps every unit should
+	// receive raises.
+	m := mustNew(t, 5)
+	budget := power.Budget{Total: 403, UnitMax: 165, UnitMin: 10}
+	raised := make([]int, 4)
+	for trial := 0; trial < 200; trial++ {
+		caps := power.Vector{100, 100, 100, 100}
+		before := caps.Clone()
+		m.Apply(power.Vector{100, 100, 100, 100}, caps, budget, nil)
+		for u := range caps {
+			if caps[u] > before[u] {
+				raised[u]++
+			}
+		}
+	}
+	for u, n := range raised {
+		if n == 0 {
+			t.Errorf("unit %d never received a raise in 200 scarce-budget steps", u)
+		}
+	}
+}

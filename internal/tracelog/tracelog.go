@@ -1,0 +1,166 @@
+// Package tracelog reads and writes the per-step experiment logs the
+// paper's artifact produces: for every decision cycle and every socket,
+// the average power during the cycle, the cap set, and (when DPS runs) the
+// priority. The format is CSV so the paper's plotting scripts — and any
+// spreadsheet — can consume it directly.
+package tracelog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dps/internal/power"
+)
+
+// Record is one unit's state at one decision step.
+type Record struct {
+	// Time is the virtual (or wall-clock) time of the step in seconds.
+	Time power.Seconds
+	// Unit is the global power-capping unit ID.
+	Unit power.UnitID
+	// Power is the measured average power over the step.
+	Power power.Watts
+	// Cap is the cap assigned for the next interval.
+	Cap power.Watts
+	// HighPriority is DPS's priority flag (always false for other
+	// managers).
+	HighPriority bool
+}
+
+var header = []string{"time_s", "unit", "power_w", "cap_w", "high_priority"}
+
+// Writer streams records as CSV.
+type Writer struct {
+	cw      *csv.Writer
+	started bool
+	rows    int
+}
+
+// NewWriter wraps w. The header row is emitted with the first record.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{cw: csv.NewWriter(w)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if !w.started {
+		if err := w.cw.Write(header); err != nil {
+			return fmt.Errorf("tracelog: writing header: %w", err)
+		}
+		w.started = true
+	}
+	row := []string{
+		strconv.FormatFloat(float64(r.Time), 'f', 3, 64),
+		strconv.Itoa(int(r.Unit)),
+		strconv.FormatFloat(float64(r.Power), 'f', 3, 64),
+		strconv.FormatFloat(float64(r.Cap), 'f', 3, 64),
+		strconv.FormatBool(r.HighPriority),
+	}
+	if err := w.cw.Write(row); err != nil {
+		return fmt.Errorf("tracelog: writing record: %w", err)
+	}
+	w.rows++
+	return nil
+}
+
+// WriteStep appends one record per unit for a whole decision step.
+// priorities may be nil for managers without priorities.
+func (w *Writer) WriteStep(t power.Seconds, readings, caps power.Vector, priorities []bool) error {
+	for u := range readings {
+		rec := Record{Time: t, Unit: power.UnitID(u), Power: readings[u], Cap: caps[u]}
+		if priorities != nil && u < len(priorities) {
+			rec.HighPriority = priorities[u]
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns the number of data rows written so far.
+func (w *Writer) Rows() int { return w.rows }
+
+// Flush forces buffered rows to the underlying writer.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// Reader parses a trace log.
+type Reader struct {
+	cr     *csv.Reader
+	header bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	return &Reader{cr: cr}
+}
+
+// Read returns the next record, or io.EOF.
+func (r *Reader) Read() (Record, error) {
+	for {
+		row, err := r.cr.Read()
+		if err != nil {
+			return Record{}, err
+		}
+		if !r.header {
+			r.header = true
+			if row[0] == header[0] {
+				continue
+			}
+			// Headerless files are accepted; fall through and parse.
+		}
+		return parseRow(row)
+	}
+}
+
+// ReadAll drains the log.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	t, err := strconv.ParseFloat(row[0], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("tracelog: bad time %q: %w", row[0], err)
+	}
+	u, err := strconv.Atoi(row[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("tracelog: bad unit %q: %w", row[1], err)
+	}
+	p, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("tracelog: bad power %q: %w", row[2], err)
+	}
+	c, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("tracelog: bad cap %q: %w", row[3], err)
+	}
+	hp, err := strconv.ParseBool(row[4])
+	if err != nil {
+		return Record{}, fmt.Errorf("tracelog: bad priority %q: %w", row[4], err)
+	}
+	return Record{
+		Time:         power.Seconds(t),
+		Unit:         power.UnitID(u),
+		Power:        power.Watts(p),
+		Cap:          power.Watts(c),
+		HighPriority: hp,
+	}, nil
+}

@@ -1,0 +1,119 @@
+package tracelog
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"dps/internal/power"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{Time: 0, Unit: 0, Power: 109.5, Cap: 110, HighPriority: false},
+		{Time: 1, Unit: 1, Power: 88.123, Cap: 165, HighPriority: true},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows() != 2 {
+		t.Errorf("Rows = %d", w.Rows())
+	}
+
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i].Unit != recs[i].Unit || got[i].HighPriority != recs[i].HighPriority {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+		if float64(got[i].Power-recs[i].Power) > 0.001 {
+			t.Errorf("record %d power %v, want %v", i, got[i].Power, recs[i].Power)
+		}
+	}
+}
+
+func TestWriteStep(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	readings := power.Vector{100, 50}
+	caps := power.Vector{110, 90}
+	if err := w.WriteStep(3, readings, caps, []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want one per unit", len(got))
+	}
+	if got[0].Time != 3 || got[0].Unit != 0 || !got[0].HighPriority {
+		t.Errorf("record 0 = %+v", got[0])
+	}
+	if got[1].Cap != 90 || got[1].HighPriority {
+		t.Errorf("record 1 = %+v", got[1])
+	}
+}
+
+func TestWriteStepNilPriorities(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteStep(0, power.Vector{1}, power.Vector{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].HighPriority {
+		t.Error("nil priorities produced a high-priority record")
+	}
+}
+
+func TestReaderAcceptsHeaderlessFiles(t *testing.T) {
+	raw := "1.000,3,100.000,110.000,true\n"
+	got, err := NewReader(strings.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Unit != 3 || !got[0].HighPriority {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+func TestReaderRejectsMalformedRows(t *testing.T) {
+	cases := []string{
+		"time_s,unit,power_w,cap_w,high_priority\nx,0,1,2,false\n",
+		"time_s,unit,power_w,cap_w,high_priority\n1,x,1,2,false\n",
+		"time_s,unit,power_w,cap_w,high_priority\n1,0,x,2,false\n",
+		"time_s,unit,power_w,cap_w,high_priority\n1,0,1,x,false\n",
+		"time_s,unit,power_w,cap_w,high_priority\n1,0,1,2,maybe\n",
+	}
+	for i, raw := range cases {
+		if _, err := NewReader(strings.NewReader(raw)).ReadAll(); err == nil {
+			t.Errorf("case %d: malformed row accepted", i)
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read on empty input = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dps/internal/power"
+)
+
+func TestCatalogCounts(t *testing.T) {
+	if got := len(Spark()); got != 11 {
+		t.Errorf("Spark catalog has %d workloads, want 11 (Table 2)", got)
+	}
+	if got := len(NPBSuite()); got != 8 {
+		t.Errorf("NPB catalog has %d workloads, want 8 (Table 4)", got)
+	}
+	if got := len(All()); got != 19 {
+		t.Errorf("All = %d workloads, want 19", got)
+	}
+	if got := len(LowSpark()); got != 4 {
+		t.Errorf("LowSpark = %d, want 4", got)
+	}
+	if got := len(MidHighSpark()); got != 7 {
+		t.Errorf("MidHighSpark = %d, want 7", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("GMM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Class != HighPower || s.Suite != HiBench {
+		t.Errorf("GMM classified as %v/%v", s.Suite, s.Class)
+	}
+	if _, err := ByName("NoSuchWorkload"); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 19 {
+		t.Fatalf("Names returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if HiBench.String() != "HiBench" || NPB.String() != "NPB" {
+		t.Error("Suite.String broken")
+	}
+	if Suite(99).String() == "" {
+		t.Error("unknown suite stringer empty")
+	}
+	if LowPower.String() != "low-power" || MidPower.String() != "mid-power" || HighPower.String() != "high-power" {
+		t.Error("Class.String broken")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class stringer empty")
+	}
+}
+
+// Every catalog workload's generated runs must reproduce its published
+// power characterization: the fraction of uncapped time above 110 W
+// (Table 2's defining column) within a tolerance, and phases inside the
+// physical envelope.
+func TestCatalogMatchesPublishedCharacterization(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, spec := range All() {
+		var above, duration float64
+		const reps = 8
+		for r := 0; r < reps; r++ {
+			run := NewRun(spec, rng)
+			above += run.FractionAbove(110)
+			duration += float64(run.UncappedDuration())
+			for _, ph := range run.Phases() {
+				if ph.Demand < 0 || ph.Demand > 165 {
+					t.Errorf("%s: phase demand %v outside [0,165]", spec.Name, ph.Demand)
+				}
+				if ph.Work <= 0 {
+					t.Errorf("%s: non-positive phase work %v", spec.Name, ph.Work)
+				}
+			}
+		}
+		above /= reps
+		duration /= reps
+
+		tol := 0.06
+		if spec.Class == LowPower {
+			tol = 0.02 // low-power workloads are essentially never above
+		}
+		if math.Abs(above-spec.TableAbove110) > tol {
+			t.Errorf("%s: fraction above 110 W = %.3f, table says %.3f", spec.Name, above, spec.TableAbove110)
+		}
+		// Uncapped duration must be below the capped table duration for
+		// capped workloads (capping can only slow a run down), and near it
+		// for low-power ones.
+		if duration > float64(spec.TableDuration)*1.10 {
+			t.Errorf("%s: uncapped duration %.1f s exceeds the capped table duration %.1f s",
+				spec.Name, duration, spec.TableDuration)
+		}
+	}
+}
+
+// Under a constant 110 W cap the analytic capped duration of every
+// workload must land near its Table 2/Table 4 value — this is the
+// calibration the whole evaluation rests on.
+func TestCatalogCalibratedToTableDurations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	perf := DefaultPerfModel()
+	for _, spec := range All() {
+		var capped float64
+		const reps = 10
+		for r := 0; r < reps; r++ {
+			run := NewRun(spec, rng)
+			for _, ph := range run.Phases() {
+				capped += float64(ph.Work) / perf.Speed(110, ph.Demand)
+			}
+		}
+		capped /= reps
+		rel := math.Abs(capped-float64(spec.TableDuration)) / float64(spec.TableDuration)
+		if rel > 0.08 {
+			t.Errorf("%s: capped duration %.1f s vs table %.1f s (%.1f%% off)",
+				spec.Name, capped, spec.TableDuration, rel*100)
+		}
+	}
+}
+
+// Per-run jitter must produce run-to-run variance (the paper's §6.1
+// observation) without changing the workload's identity.
+func TestRunToRunVariance(t *testing.T) {
+	spec, err := ByName("Bayes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var durs []float64
+	for i := 0; i < 12; i++ {
+		durs = append(durs, float64(NewRun(spec, rng).UncappedDuration()))
+	}
+	min, max := durs[0], durs[0]
+	for _, d := range durs {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max-min < 1 {
+		t.Error("no run-to-run variance in generated durations")
+	}
+	if (max-min)/min > 0.35 {
+		t.Errorf("variance too wild: min %.1f max %.1f", min, max)
+	}
+}
+
+// The Figure 2 signatures: LDA has long phases, LR has short burst phases.
+func TestPhaseDurationSignatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lda, _ := ByName("LDA")
+	lr, _ := ByName("LR")
+
+	longest := func(spec *Spec) power.Seconds {
+		run := NewRun(spec, rng)
+		var max power.Seconds
+		for _, ph := range run.Phases() {
+			if ph.Demand > 110 && ph.Work > max {
+				max = ph.Work
+			}
+		}
+		return max
+	}
+	if got := longest(lda); got < 50 {
+		t.Errorf("LDA's longest high phase %v s, want ≥ 50 (Figure 2a)", got)
+	}
+	if got := longest(lr); got > 10 {
+		t.Errorf("LR's longest high phase %v s, want ≤ 10 (Figure 2c)", got)
+	}
+}
+
+// NPB workloads must be nearly always above 110 W (§5.2: over 99 %).
+func TestNPBAlwaysHighPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, spec := range NPBSuite() {
+		run := NewRun(spec, rng)
+		if got := run.FractionAbove(110); got < 0.97 {
+			t.Errorf("%s: only %.1f%% above 110 W", spec.Name, got*100)
+		}
+		if spec.Threads == 0 {
+			t.Errorf("%s: missing thread count (Table 4)", spec.Name)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	gmm, err := ByName("GMM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toy, err := Scaled(gmm, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toy.Name == gmm.Name {
+		t.Error("scaled variant shares the original's name")
+	}
+	origRun := NewRun(gmm, rand.New(rand.NewSource(6)))
+	toyRun := NewRun(toy, rand.New(rand.NewSource(6)))
+	ratio := float64(toyRun.UncappedDuration() / origRun.UncappedDuration())
+	if math.Abs(ratio-0.1) > 0.01 {
+		t.Errorf("scaled duration ratio %.3f, want 0.1", ratio)
+	}
+	// Power shape preserved: fraction above 110 W unchanged.
+	if math.Abs(toyRun.FractionAbove(110)-origRun.FractionAbove(110)) > 1e-9 {
+		t.Error("scaling changed the power shape")
+	}
+	// The original spec is untouched.
+	if again := NewRun(gmm, rng); math.Abs(float64(again.UncappedDuration()/origRun.UncappedDuration())-1) > 0.2 {
+		t.Error("scaling mutated the original spec")
+	}
+	if _, err := Scaled(gmm, 0); err == nil {
+		t.Error("Scaled accepted factor 0")
+	}
+}
+
+func TestUncappedTotalInversion(t *testing.T) {
+	// uncappedTotal must invert the capped-duration formula exactly.
+	perf := DefaultPerfModel()
+	for _, high := range []power.Watts{140, 150, 160} {
+		for _, frac := range []float64{0.2, 0.5, 0.9} {
+			tUnc := uncappedTotal(1000, frac, high)
+			s := perf.Speed(refCap, high)
+			capped := tUnc*(1-frac) + tUnc*frac/s
+			if math.Abs(capped-1000) > 1e-9 {
+				t.Errorf("high=%v frac=%v: round-trip %v, want 1000", high, frac, capped)
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dps/internal/power"
+)
+
+// maxDemand is the physical ceiling for generated phase demands: a socket
+// cannot draw more than its TDP.
+const maxDemand = 165
+
+// jitter is a normally distributed parameter, clamped to a floor so drawn
+// values stay physical.
+type jitter struct {
+	Mean, SD, Min float64
+}
+
+func (j jitter) draw(rng *rand.Rand) float64 {
+	v := j.Mean
+	if j.SD > 0 {
+		v += rng.NormFloat64() * j.SD
+	}
+	if v < j.Min {
+		v = j.Min
+	}
+	return v
+}
+
+// runScale draws the per-run duration scale modelling Spark's run-to-run
+// variance (§6.1: "Spark workloads demonstrate such variable performance
+// between different runs").
+func runScale(rng *rand.Rand, sd float64) float64 {
+	s := 1 + rng.NormFloat64()*sd
+	if s < 0.85 {
+		s = 0.85
+	}
+	if s > 1.15 {
+		s = 1.15
+	}
+	return s
+}
+
+// phasedParams describes the classic Spark iteration shape: a low startup,
+// then alternating high-power compute phases and low-power shuffle/IO
+// phases, then a low cooldown (Figure 2a/2b).
+type phasedParams struct {
+	Total     float64 // uncapped seconds, before per-run scaling
+	Startup   jitter  // seconds at LowPower
+	Cooldown  jitter  // seconds at LowPower
+	HighPower jitter  // watts
+	LowPower  jitter  // watts
+	HighLen   jitter  // seconds per compute phase
+	LowLen    jitter  // seconds per shuffle phase
+	HighFrac  float64 // fraction of uncapped time in high phases
+	ScaleSD   float64 // per-run duration variance
+}
+
+func (p phasedParams) generate(rng *rand.Rand) []Phase {
+	scale := runScale(rng, p.ScaleSD)
+	total := p.Total * scale
+	var phases []Phase
+	push := func(demand, secs float64) {
+		if secs <= 0 {
+			return
+		}
+		if demand > maxDemand {
+			demand = maxDemand
+		}
+		phases = append(phases, Phase{Demand: power.Watts(demand), Work: power.Seconds(secs)})
+	}
+	startup := p.Startup.draw(rng)
+	cooldown := p.Cooldown.draw(rng)
+	push(p.LowPower.draw(rng), startup)
+
+	highBudget := total * p.HighFrac
+	lowBudget := total*(1-p.HighFrac) - startup - cooldown
+	for highBudget > 1 || lowBudget > 1 {
+		if highBudget > 1 {
+			h := p.HighLen.draw(rng) * scale
+			if h > highBudget {
+				h = highBudget
+			}
+			push(p.HighPower.draw(rng), h)
+			highBudget -= h
+		}
+		if lowBudget > 1 {
+			l := p.LowLen.draw(rng) * scale
+			if l > lowBudget {
+				l = lowBudget
+			}
+			push(p.LowPower.draw(rng), l)
+			lowBudget -= l
+		}
+	}
+	push(p.LowPower.draw(rng), cooldown)
+	return phases
+}
+
+// burstyParams describes workloads with high-frequency power changes
+// (Figure 2c): long calm stretches below the cap interrupted by burst
+// regions in which power flips between a high and a low level every few
+// seconds — faster than a power manager's reaction time.
+type burstyParams struct {
+	Total        float64 // uncapped seconds
+	CalmPower    jitter  // watts during calm stretches
+	CalmLen      jitter  // seconds per calm stretch
+	BurstHigh    jitter  // watts at the top of a burst oscillation
+	BurstLow     jitter  // watts at the bottom of a burst oscillation
+	BurstHighLen jitter  // seconds per high flank
+	BurstLowLen  jitter  // seconds per low flank
+	BurstRegion  jitter  // seconds per burst region
+	HighFrac     float64 // fraction of uncapped time above the cap
+	ScaleSD      float64
+}
+
+func (p burstyParams) generate(rng *rand.Rand) []Phase {
+	scale := runScale(rng, p.ScaleSD)
+	total := p.Total * scale
+	var phases []Phase
+	push := func(demand, secs float64) {
+		if secs <= 0 {
+			return
+		}
+		if demand > maxDemand {
+			demand = maxDemand
+		}
+		phases = append(phases, Phase{Demand: power.Watts(demand), Work: power.Seconds(secs)})
+	}
+
+	// A burst region spends burstHighShare of its time high; size regions
+	// so the whole run spends HighFrac of its time high.
+	hl := p.BurstHighLen.Mean
+	ll := p.BurstLowLen.Mean
+	burstHighShare := hl / (hl + ll)
+	burstBudget := total * p.HighFrac / burstHighShare
+	calmBudget := total - burstBudget
+
+	// Lead with a calm stretch (Spark startup is never the hot loop).
+	first := p.CalmLen.draw(rng) * scale
+	if first > calmBudget {
+		first = calmBudget
+	}
+	push(p.CalmPower.draw(rng), first)
+	calmBudget -= first
+
+	for burstBudget > 1 || calmBudget > 1 {
+		if burstBudget > 1 {
+			region := p.BurstRegion.draw(rng) * scale
+			if region > burstBudget {
+				region = burstBudget
+			}
+			burstBudget -= region
+			for region > 0.5 {
+				h := p.BurstHighLen.draw(rng)
+				if h > region {
+					h = region
+				}
+				push(p.BurstHigh.draw(rng), h)
+				region -= h
+				if region <= 0 {
+					break
+				}
+				l := p.BurstLowLen.draw(rng)
+				if l > region {
+					l = region
+				}
+				push(p.BurstLow.draw(rng), l)
+				region -= l
+			}
+		}
+		if calmBudget > 1 {
+			c := p.CalmLen.draw(rng) * scale
+			if c > calmBudget {
+				c = calmBudget
+			}
+			push(p.CalmPower.draw(rng), c)
+			calmBudget -= c
+		}
+	}
+	return phases
+}
+
+// lowParams describes the HiBench micro workloads: short jobs drawing well
+// under the constant cap, with occasional modest bumps.
+type lowParams struct {
+	Total     float64
+	BasePower jitter // watts
+	BumpPower jitter // watts (still below the cap)
+	BumpEvery jitter // seconds of base between bumps
+	BumpLen   jitter // seconds per bump
+	ScaleSD   float64
+}
+
+func (p lowParams) generate(rng *rand.Rand) []Phase {
+	scale := runScale(rng, p.ScaleSD)
+	total := p.Total * scale
+	var phases []Phase
+	push := func(demand, secs float64) {
+		if secs <= 0 {
+			return
+		}
+		if demand > maxDemand {
+			demand = maxDemand
+		}
+		phases = append(phases, Phase{Demand: power.Watts(demand), Work: power.Seconds(secs)})
+	}
+	for total > 0.5 {
+		base := p.BumpEvery.draw(rng)
+		if base > total {
+			base = total
+		}
+		push(p.BasePower.draw(rng), base)
+		total -= base
+		if total <= 0 {
+			break
+		}
+		bump := p.BumpLen.draw(rng)
+		if bump > total {
+			bump = total
+		}
+		push(p.BumpPower.draw(rng), bump)
+		total -= bump
+	}
+	return phases
+}
+
+// npbParams describes the NAS Parallel Benchmarks: a short low-power setup,
+// then sustained high power for the whole run (over 99 % of the time above
+// 110 W per §5.2), with mild per-segment wiggle for texture, then a short
+// teardown.
+type npbParams struct {
+	Total      float64 // uncapped seconds
+	Power      jitter  // watts, drawn once per run
+	WigglSD    float64 // per-segment demand wiggle in watts
+	SegmentLen float64 // seconds per segment
+	Startup    jitter  // seconds at low power
+	Cooldown   jitter  // seconds at low power
+	LowPower   jitter  // watts during startup/teardown
+	ScaleSD    float64
+}
+
+func (p npbParams) generate(rng *rand.Rand) []Phase {
+	scale := runScale(rng, p.ScaleSD)
+	total := p.Total * scale
+	base := p.Power.draw(rng)
+	var phases []Phase
+	push := func(demand, secs float64) {
+		if secs <= 0 {
+			return
+		}
+		if demand > maxDemand {
+			demand = maxDemand
+		}
+		phases = append(phases, Phase{Demand: power.Watts(demand), Work: power.Seconds(secs)})
+	}
+	startup := p.Startup.draw(rng)
+	cooldown := p.Cooldown.draw(rng)
+	push(p.LowPower.draw(rng), startup)
+	body := total - startup - cooldown
+	for body > 0.5 {
+		seg := p.SegmentLen
+		if seg > body {
+			seg = body
+		}
+		d := base
+		if p.WigglSD > 0 {
+			d += rng.NormFloat64() * p.WigglSD
+		}
+		push(d, seg)
+		body -= seg
+	}
+	push(p.LowPower.draw(rng), cooldown)
+	return phases
+}

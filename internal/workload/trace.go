@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dps/internal/power"
+)
+
+// FromTrace builds a workload from a measured power trace: samples of
+// uncapped demand at a fixed interval. This is the deployment path the
+// paper's "DPS can be deployed on any cloud system" claim implies — an
+// operator profiles an application once (uncapped), then replays the trace
+// in the simulator to predict how managers will treat it.
+//
+// Consecutive samples within mergeTolerance watts collapse into one phase,
+// so sensor jitter does not explode the phase list; the workload's power
+// dynamics (phase lengths, peaks, derivatives) are preserved.
+func FromTrace(name string, samples []power.Watts, dt power.Seconds, mergeTolerance power.Watts) (*Spec, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("workload: empty trace for %q", name)
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("workload: non-positive trace interval %v", dt)
+	}
+	if mergeTolerance < 0 {
+		return nil, fmt.Errorf("workload: negative merge tolerance %v", mergeTolerance)
+	}
+	var phases []Phase
+	cur := Phase{Demand: samples[0], Work: dt}
+	var curSum = float64(samples[0])
+	var curN = 1
+	for _, s := range samples[1:] {
+		if s < 0 {
+			return nil, fmt.Errorf("workload: negative power sample %v in trace %q", s, name)
+		}
+		mean := power.Watts(curSum / float64(curN))
+		if power.AbsDiff(s, mean) <= mergeTolerance {
+			cur.Work += dt
+			curSum += float64(s)
+			curN++
+			cur.Demand = power.Watts(curSum / float64(curN))
+			continue
+		}
+		phases = append(phases, cur)
+		cur = Phase{Demand: s, Work: dt}
+		curSum = float64(s)
+		curN = 1
+	}
+	phases = append(phases, cur)
+	spec := Custom(name, phases)
+	return spec, nil
+}
+
+// ReadTraceCSV parses a demand trace from CSV. Two layouts are accepted:
+//
+//	demand_w            one column, samples at a uniform dt
+//	time_s,demand_w     two columns; dt is inferred from the first two rows
+//
+// A header row (any non-numeric first field) is skipped.
+func ReadTraceCSV(r io.Reader) (samples []power.Watts, dt power.Seconds, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var times []float64
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("workload: reading trace: %w", err)
+		}
+		if len(row) == 0 {
+			continue
+		}
+		first, errFirst := strconv.ParseFloat(row[0], 64)
+		if errFirst != nil {
+			if len(samples) == 0 && len(times) == 0 {
+				continue // header
+			}
+			return nil, 0, fmt.Errorf("workload: bad trace row %v", row)
+		}
+		switch len(row) {
+		case 1:
+			samples = append(samples, power.Watts(first))
+		case 2:
+			w, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("workload: bad demand %q: %w", row[1], err)
+			}
+			times = append(times, first)
+			samples = append(samples, power.Watts(w))
+		default:
+			return nil, 0, fmt.Errorf("workload: trace row with %d columns", len(row))
+		}
+	}
+	if len(samples) == 0 {
+		return nil, 0, fmt.Errorf("workload: empty trace")
+	}
+	dt = 1
+	if len(times) >= 2 {
+		dt = power.Seconds(times[1] - times[0])
+		if dt <= 0 {
+			return nil, 0, fmt.Errorf("workload: non-increasing trace timestamps")
+		}
+	}
+	return samples, dt, nil
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dps/internal/power"
+)
+
+func TestFromTraceMergesPhases(t *testing.T) {
+	// 5 s at ~60 W (with ≤2 W jitter), then 5 s at ~150 W.
+	samples := []power.Watts{60, 61, 59, 60, 60, 150, 151, 149, 150, 150}
+	spec, err := FromTrace("measured", samples, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := NewRun(spec, rand.New(rand.NewSource(1)))
+	phases := run.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (jitter merged)", len(phases))
+	}
+	if math.Abs(float64(phases[0].Demand-60)) > 1 || phases[0].Work != 5 {
+		t.Errorf("phase 0 = %+v", phases[0])
+	}
+	if math.Abs(float64(phases[1].Demand-150)) > 1 || phases[1].Work != 5 {
+		t.Errorf("phase 1 = %+v", phases[1])
+	}
+	if got := run.UncappedDuration(); got != 10 {
+		t.Errorf("duration %v, want 10", got)
+	}
+	// Deterministic: trace workloads have no per-run jitter.
+	again := NewRun(spec, rand.New(rand.NewSource(99)))
+	if again.UncappedDuration() != run.UncappedDuration() {
+		t.Error("trace workload varies across runs")
+	}
+}
+
+func TestFromTraceZeroToleranceKeepsEverySample(t *testing.T) {
+	samples := []power.Watts{10, 20, 30}
+	spec, err := FromTrace("raw", samples, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := NewRun(spec, rand.New(rand.NewSource(1))).Phases()
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(phases))
+	}
+	for i, ph := range phases {
+		if ph.Work != 2 {
+			t.Errorf("phase %d work %v, want the 2 s dt", i, ph.Work)
+		}
+	}
+}
+
+func TestFromTraceValidation(t *testing.T) {
+	if _, err := FromTrace("x", nil, 1, 0); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := FromTrace("x", []power.Watts{1}, 0, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := FromTrace("x", []power.Watts{1}, 1, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := FromTrace("x", []power.Watts{1, -5}, 1, 0); err == nil {
+		t.Error("negative sample accepted")
+	}
+}
+
+func TestReadTraceCSVOneColumn(t *testing.T) {
+	samples, dt, err := ReadTraceCSV(strings.NewReader("demand_w\n60\n61\n150\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt != 1 {
+		t.Errorf("dt = %v, want the 1 s default", dt)
+	}
+	if len(samples) != 3 || samples[2] != 150 {
+		t.Errorf("samples = %v", samples)
+	}
+}
+
+func TestReadTraceCSVTwoColumns(t *testing.T) {
+	samples, dt, err := ReadTraceCSV(strings.NewReader("time_s,demand_w\n0,60\n0.5,61\n1.0,150\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt != 0.5 {
+		t.Errorf("dt = %v, want inferred 0.5", dt)
+	}
+	if len(samples) != 3 {
+		t.Errorf("samples = %v", samples)
+	}
+}
+
+func TestReadTraceCSVRejections(t *testing.T) {
+	cases := []string{
+		"",                              // empty
+		"a,b,c\n1,2,3\n",                // three columns
+		"time_s,demand_w\n1,x\n",        // bad demand
+		"time_s,demand_w\n1,60\n1,61\n", // non-increasing time
+		"60\nabc\n",                     // garbage mid-stream
+	}
+	for i, raw := range cases {
+		if _, _, err := ReadTraceCSV(strings.NewReader(raw)); err == nil {
+			t.Errorf("case %d accepted: %q", i, raw)
+		}
+	}
+}
+
+func TestTraceRoundTripThroughSimulator(t *testing.T) {
+	// End to end: a measured trace becomes a workload whose capped
+	// behaviour follows the performance model.
+	samples := make([]power.Watts, 100)
+	for i := range samples {
+		samples[i] = 150 // 100 s at 150 W
+	}
+	spec, err := FromTrace("steady", samples, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := DefaultPerfModel()
+	run := NewRun(spec, rand.New(rand.NewSource(1)))
+	var capped float64
+	for _, ph := range run.Phases() {
+		capped += float64(ph.Work) / perf.Speed(110, ph.Demand)
+	}
+	want := 100 / perf.Speed(110, 150)
+	if math.Abs(capped-want) > 1e-6 {
+		t.Errorf("capped duration %v, want %v", capped, want)
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dps/internal/power"
+)
+
+func TestPerfModelValidate(t *testing.T) {
+	if err := DefaultPerfModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := []PerfModel{
+		{IdlePower: -1, MinSpeed: 0.05, Exponent: 1},
+		{IdlePower: 20, MinSpeed: 0, Exponent: 1},
+		{IdlePower: 20, MinSpeed: 1.5, Exponent: 1},
+		{IdlePower: 20, MinSpeed: 0.05, Exponent: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", m)
+		}
+	}
+}
+
+func TestSpeedBoundaries(t *testing.T) {
+	m := DefaultPerfModel()
+	if got := m.Speed(160, 150); got != 1 {
+		t.Errorf("alloc above demand: speed %v, want 1", got)
+	}
+	if got := m.Speed(150, 150); got != 1 {
+		t.Errorf("alloc equal to demand: speed %v, want 1", got)
+	}
+	if got := m.Speed(100, 15); got != 1 {
+		t.Errorf("demand below idle floor: speed %v, want 1", got)
+	}
+	if got := m.Speed(5, 150); got != m.MinSpeed {
+		t.Errorf("alloc below idle: speed %v, want the floor %v", got, m.MinSpeed)
+	}
+}
+
+func TestSpeedSqrtShape(t *testing.T) {
+	m := DefaultPerfModel() // exponent 0.5
+	// Capping 150 W demand at 110 W: headroom ratio 90/130, speed its
+	// square root.
+	want := math.Sqrt(90.0 / 130.0)
+	if got := m.Speed(110, 150); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Speed(110,150) = %v, want %v", got, want)
+	}
+	lin := PerfModel{IdlePower: 20, MinSpeed: 0.05, Exponent: 1}
+	if got := lin.Speed(110, 150); math.Abs(got-90.0/130.0) > 1e-12 {
+		t.Errorf("linear Speed = %v, want %v", got, 90.0/130.0)
+	}
+}
+
+func TestSpeedMonotoneInAllocProperty(t *testing.T) {
+	m := DefaultPerfModel()
+	f := func(a, b, d float64) bool {
+		alloc1 := power.Watts(math.Mod(math.Abs(a), 165))
+		alloc2 := power.Watts(math.Mod(math.Abs(b), 165))
+		demand := power.Watts(math.Mod(math.Abs(d), 165))
+		if alloc1 > alloc2 {
+			alloc1, alloc2 = alloc2, alloc1
+		}
+		s1, s2 := m.Speed(alloc1, demand), m.Speed(alloc2, demand)
+		return s1 <= s2+1e-12 && s1 >= m.MinSpeed-1e-12 && s2 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunAdvanceCrossesPhases(t *testing.T) {
+	spec := &Spec{Name: "test", gen: func(*rand.Rand) []Phase {
+		return []Phase{{Demand: 150, Work: 2}, {Demand: 60, Work: 3}}
+	}}
+	run := NewRun(spec, rand.New(rand.NewSource(1)))
+	if run.Done() {
+		t.Fatal("fresh run already done")
+	}
+	if d := run.Demand(); d != 150 {
+		t.Errorf("demand = %v, want 150", d)
+	}
+	// Full speed for 1.5 s: still in phase 0.
+	used := run.Advance(1, 1.5)
+	if used != 1.5 || run.Demand() != 150 {
+		t.Errorf("used %v, demand %v", used, run.Demand())
+	}
+	// 1 more second crosses into phase 1 at 0.5 s in: Advance stops at
+	// the boundary so the caller can recompute speed.
+	used = run.Advance(1, 1)
+	if used != 0.5 {
+		t.Errorf("used %v at the boundary, want 0.5", used)
+	}
+	if run.Demand() != 60 {
+		t.Errorf("demand after boundary = %v, want 60", run.Demand())
+	}
+	// Finish phase 1.
+	run.Advance(1, 3)
+	if !run.Done() {
+		t.Error("run not done after all work")
+	}
+	if got := run.Elapsed(); math.Abs(float64(got)-5) > 1e-9 {
+		t.Errorf("Elapsed = %v, want 5", got)
+	}
+	if run.Demand() != 0 {
+		t.Errorf("done run demand = %v, want 0", run.Demand())
+	}
+	if used := run.Advance(1, 1); used != 0 {
+		t.Errorf("advancing a done run consumed %v", used)
+	}
+}
+
+func TestRunHalfSpeedTakesTwiceAsLong(t *testing.T) {
+	spec := &Spec{Name: "test", gen: func(*rand.Rand) []Phase {
+		return []Phase{{Demand: 150, Work: 10}}
+	}}
+	run := NewRun(spec, rand.New(rand.NewSource(1)))
+	for !run.Done() {
+		run.Advance(0.5, 1)
+	}
+	if got := run.Elapsed(); math.Abs(float64(got)-20) > 1e-9 {
+		t.Errorf("Elapsed = %v at half speed, want 20", got)
+	}
+}
+
+func TestRunZeroSpeedPassesTime(t *testing.T) {
+	spec := &Spec{Name: "test", gen: func(*rand.Rand) []Phase {
+		return []Phase{{Demand: 150, Work: 1}}
+	}}
+	run := NewRun(spec, rand.New(rand.NewSource(1)))
+	if used := run.Advance(0, 2); used != 2 {
+		t.Errorf("zero-speed advance consumed %v, want the full 2 s", used)
+	}
+	if run.Done() {
+		t.Error("run completed with zero speed")
+	}
+}
+
+func TestRunStatistics(t *testing.T) {
+	spec := &Spec{Name: "test", gen: func(*rand.Rand) []Phase {
+		return []Phase{{Demand: 150, Work: 30}, {Demand: 50, Work: 70}}
+	}}
+	run := NewRun(spec, rand.New(rand.NewSource(1)))
+	if got := run.UncappedDuration(); got != 100 {
+		t.Errorf("UncappedDuration = %v, want 100", got)
+	}
+	want := power.Watts((150*30 + 50*70) / 100.0)
+	if got := run.UncappedMeanPower(); got != want {
+		t.Errorf("UncappedMeanPower = %v, want %v", got, want)
+	}
+	if got := run.FractionAbove(110); got != 0.3 {
+		t.Errorf("FractionAbove(110) = %v, want 0.3", got)
+	}
+	if got := run.FractionAbove(200); got != 0 {
+		t.Errorf("FractionAbove(200) = %v, want 0", got)
+	}
+}
+
+func TestDemandTrace(t *testing.T) {
+	spec := &Spec{Name: "test", gen: func(*rand.Rand) []Phase {
+		return []Phase{{Demand: 100, Work: 3}, {Demand: 40, Work: 2}}
+	}}
+	run := NewRun(spec, rand.New(rand.NewSource(1)))
+	tr := run.DemandTrace(1)
+	if len(tr) != 5 {
+		t.Fatalf("trace length %d, want 5", len(tr))
+	}
+	wantSeq := []power.Watts{100, 100, 100, 40, 40}
+	for i := range wantSeq {
+		if tr[i] != wantSeq[i] {
+			t.Errorf("trace[%d] = %v, want %v", i, tr[i], wantSeq[i])
+		}
+	}
+	if got := run.DemandTrace(0); got != nil {
+		t.Errorf("DemandTrace(0) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,110 @@
+package dps
+
+import (
+	"dps/internal/cluster"
+	"dps/internal/metrics"
+	"dps/internal/sim"
+	"dps/internal/workload"
+)
+
+// Simulation types: the discrete-time evaluation platform.
+type (
+	// MachineConfig describes the simulated platform (clusters × nodes ×
+	// sockets).
+	MachineConfig = cluster.Config
+	// Machine is the simulated co-located system.
+	Machine = cluster.Machine
+	// Cluster is one co-located cluster on a machine.
+	Cluster = cluster.Cluster
+	// PairConfig describes one co-execution experiment.
+	PairConfig = sim.PairConfig
+	// PairResult is a pair experiment's outcome.
+	PairResult = sim.PairResult
+	// ClusterResult aggregates one cluster's runs.
+	ClusterResult = sim.ClusterResult
+	// RunRecord is one completed workload run.
+	RunRecord = sim.RunRecord
+	// ManagerFactory builds a manager for an experiment.
+	ManagerFactory = sim.ManagerFactory
+)
+
+// Workload model types.
+type (
+	// Workload describes one benchmark workload (Tables 2 and 4).
+	Workload = workload.Spec
+	// Phase is one power phase of a workload run.
+	Phase = workload.Phase
+	// WorkloadRun is one execution instance of a workload.
+	WorkloadRun = workload.Run
+	// PerfModel maps allocated power to execution speed.
+	PerfModel = workload.PerfModel
+)
+
+// NewMachine builds a simulated machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return cluster.NewMachine(cfg) }
+
+// DefaultMachineConfig reproduces the paper's platform: 2 clusters × 5
+// nodes × 2 sockets of 165 W TDP.
+func DefaultMachineConfig() MachineConfig { return cluster.DefaultConfig() }
+
+// RunPair executes one co-execution experiment under the manager the
+// factory builds.
+func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
+	return sim.RunPair(cfg, factory)
+}
+
+// Manager factories for experiments.
+var (
+	// ConstantFactory builds the constant-allocation baseline.
+	ConstantFactory = sim.ConstantFactory
+	// SLURMFactory builds the stateless baseline.
+	SLURMFactory = sim.SLURMFactory
+	// OracleFactory builds the oracle.
+	OracleFactory = sim.OracleFactory
+	// DPSFactory builds DPS with the paper's defaults.
+	DPSFactory = sim.DPSFactory
+	// DPSFactoryWith builds DPS with a modified configuration (ablations).
+	DPSFactoryWith = sim.DPSFactoryWith
+)
+
+// hierFactory adapts the sim package's hierarchical factory for the
+// facade (extensions.go exposes it as HierarchicalDPSFactory).
+func hierFactory(groups, epoch int) ManagerFactory {
+	return sim.HierarchicalDPSFactory(groups, epoch)
+}
+
+// Workload catalog accessors (the paper's Tables 2 and 4).
+var (
+	// SparkWorkloads returns the 11 HiBench workloads of Table 2.
+	SparkWorkloads = workload.Spark
+	// NPBWorkloads returns the 8 NAS Parallel Benchmarks of Table 4.
+	NPBWorkloads = workload.NPBSuite
+	// AllWorkloads returns every workload.
+	AllWorkloads = workload.All
+	// WorkloadByName finds a workload by its table name.
+	WorkloadByName = workload.ByName
+	// NewWorkloadRun instantiates one run with per-run jitter.
+	NewWorkloadRun = workload.NewRun
+	// DefaultPerfModel returns the power-to-speed model of the simulated
+	// sockets.
+	DefaultPerfModel = workload.DefaultPerfModel
+	// ScaledWorkload derives a time-scaled variant with the same power
+	// shape (toy runs, like the paper artifact's NPB class S).
+	ScaledWorkload = workload.Scaled
+	// CustomWorkload builds a workload from an explicit phase list.
+	CustomWorkload = workload.Custom
+	// WorkloadFromTrace builds a workload from a measured power trace.
+	WorkloadFromTrace = workload.FromTrace
+	// ReadTraceCSV parses a demand trace (one- or two-column CSV).
+	ReadTraceCSV = workload.ReadTraceCSV
+)
+
+// Evaluation metrics (paper Equations 1 and 2).
+var (
+	// Satisfaction is Equation 1.
+	Satisfaction = metrics.Satisfaction
+	// Fairness is Equation 2.
+	Fairness = metrics.Fairness
+	// Speedup converts durations to normalized performance.
+	Speedup = metrics.Speedup
+)
