@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector multiplies runtime ~10x; -short skips the longest
+# simulation suites while still exercising every concurrent code path
+# (daemon, agent, telemetry registry, flight recorder).
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# ci is the tier-1 gate: static checks, a full build, the complete test
+# suite, and the race detector over the concurrency-bearing packages.
+ci: vet build test race

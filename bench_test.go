@@ -282,6 +282,45 @@ func BenchmarkControllerLoop200(b *testing.B)   { benchControllerLoop(b, 200) }
 func BenchmarkControllerLoop2000(b *testing.B)  { benchControllerLoop(b, 2000) }
 func BenchmarkControllerLoop20000(b *testing.B) { benchControllerLoop(b, 20000) }
 
+// benchControllerStages reports where a decision step's time goes, using
+// the controller's own per-stage instrumentation: kalman_ns, stateless_ns,
+// priority_ns, readjust_ns custom metrics alongside ns/op.
+func benchControllerStages(b *testing.B, units int) {
+	budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+	d, err := core.NewDPS(core.DefaultConfig(units, budget))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	readings := make(power.Vector, units)
+	for i := range readings {
+		readings[i] = power.Watts(40 + rng.Float64()*120)
+	}
+	snap := core.Snapshot{Power: readings, Interval: 1}
+	for i := 0; i < 25; i++ {
+		d.Decide(snap)
+	}
+	var stages core.StageTimings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readings[i%units] += power.Watts(rng.NormFloat64() * 2)
+		d.Decide(snap)
+		st := d.LastStats()
+		stages.Kalman += st.Timings.Kalman
+		stages.Stateless += st.Timings.Stateless
+		stages.Priority += st.Timings.Priority
+		stages.Readjust += st.Timings.Readjust
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(stages.Kalman.Nanoseconds())/n, "kalman_ns")
+	b.ReportMetric(float64(stages.Stateless.Nanoseconds())/n, "stateless_ns")
+	b.ReportMetric(float64(stages.Priority.Nanoseconds())/n, "priority_ns")
+	b.ReportMetric(float64(stages.Readjust.Nanoseconds())/n, "readjust_ns")
+}
+
+func BenchmarkControllerStages20(b *testing.B)   { benchControllerStages(b, 20) }
+func BenchmarkControllerStages2000(b *testing.B) { benchControllerStages(b, 2000) }
+
 // benchHierLoop measures the two-level controller at scale; compare with
 // the flat controller at the same unit count.
 func benchHierLoop(b *testing.B, groups, unitsPerGroup int) {

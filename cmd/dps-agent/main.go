@@ -17,6 +17,8 @@ import (
 	"flag"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +41,7 @@ func main() {
 		interval  = flag.Duration("interval", time.Second, "report period (match the controller)")
 		seed      = flag.Int64("seed", 1, "sim backend: jitter seed")
 		minCap    = flag.Float64("min-cap", 10, "lowest cap to accept, watts")
+		httpAddr  = flag.String("http", "", "serve agent /metrics, /healthz and /debug/pprof on this address (e.g. :7893)")
 	)
 	flag.Parse()
 
@@ -137,6 +140,27 @@ func main() {
 	log.Printf("dps-agent: units [%d,%d), backend %s, controller %s",
 		*firstUnit, *firstUnit+len(devices), *backend, *connect)
 
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		mux := agent.DebugHandler()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		httpSrv = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("dps-agent: metrics endpoint on http://%s/metrics", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("dps-agent: metrics endpoint: %v", err)
+			}
+		}()
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -144,6 +168,13 @@ func main() {
 		<-sigc
 		log.Printf("dps-agent: shutting down (%d reports, %d cap batches applied)",
 			agent.Reports(), agent.Applied())
+		if httpSrv != nil {
+			sctx, scancel := context.WithTimeout(context.Background(), 3*time.Second)
+			if err := httpSrv.Shutdown(sctx); err != nil {
+				log.Printf("dps-agent: http shutdown: %v", err)
+			}
+			scancel()
+		}
 		cancel()
 	}()
 	if driver != nil {

@@ -268,5 +268,8 @@ func runCustomPair(pairSpec, managerName string, opts exp.Options, logPath strin
 			cr.Workload, len(cr.Runs), cr.MeanDuration, cr.HMeanDuration, cr.MeanSatisfaction)
 	}
 	fmt.Printf("  fairness=%.3f budget_violations=%d\n", res.Fairness, res.BudgetViolations)
+	if res.Stages != nil {
+		fmt.Println(res.Stages.Format())
+	}
 	return nil
 }

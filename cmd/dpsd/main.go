@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +29,17 @@ import (
 	"dps/internal/power"
 	"dps/internal/stateless"
 )
+
+// attachPprof mounts net/http/pprof on the daemon's debug mux, so the
+// same -http listener serves CPU/heap profiles and execution traces next
+// to /metrics and /debug/rounds.
+func attachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 func main() {
 	var (
@@ -108,10 +121,18 @@ func main() {
 	log.Printf("dpsd: %s policy over %d units, budget %.0f W, listening on %s",
 		mgr.Name(), nUnits, mgr.Budget().Total, l.Addr())
 
+	var httpSrv *http.Server
 	if statusAddr != "" {
+		mux := srv.StatusHandler()
+		attachPprof(mux)
+		httpSrv = &http.Server{
+			Addr:              statusAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
-			log.Printf("dpsd: status endpoint on http://%s/status", statusAddr)
-			if err := http.ListenAndServe(statusAddr, srv.StatusHandler()); err != nil {
+			log.Printf("dpsd: status endpoint on http://%s/status (metrics, debug/rounds, debug/pprof)", statusAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("dpsd: status endpoint: %v", err)
 			}
 		}()
@@ -122,6 +143,13 @@ func main() {
 	go func() {
 		<-sigc
 		log.Printf("dpsd: shutting down after %d decision rounds", srv.Rounds())
+		if httpSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Printf("dpsd: http shutdown: %v", err)
+			}
+			cancel()
+		}
 		srv.Close()
 		l.Close()
 	}()

@@ -64,6 +64,11 @@ type (
 	Config = core.Config
 	// DPS is the Dynamic Power Scheduler controller.
 	DPS = core.DPS
+	// RoundStats is one Decide call's stage timings and outcomes
+	// (DPS.LastStats).
+	RoundStats = core.RoundStats
+	// StageTimings is the per-stage wall time inside RoundStats.
+	StageTimings = core.StageTimings
 )
 
 // Module configuration types, for callers tuning individual stages.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dps/internal/history"
 	"dps/internal/kalman"
@@ -95,6 +96,49 @@ type DPS struct {
 
 	lastRestored bool
 	steps        uint64
+
+	prevPrio  []bool
+	lastStats RoundStats
+}
+
+// StageTimings is the wall time one Decide call spent in each stage of the
+// Figure 3 pipeline.
+type StageTimings struct {
+	// Kalman covers filtering plus the history push.
+	Kalman time.Duration
+	// Stateless is Algorithm 1, the MIMD base decision.
+	Stateless time.Duration
+	// Priority is Algorithm 2, the power-dynamics classification.
+	Priority time.Duration
+	// Readjust is Algorithms 3/4 (restore, then grant or equalize).
+	Readjust time.Duration
+}
+
+// RoundStats describes one Decide call for observability: stage timings
+// and decision outcomes. Retrieve it with LastStats after Decide returns;
+// it is overwritten by the next call.
+type RoundStats struct {
+	// Step is the 1-based decision round this records.
+	Step uint64
+	// Timings holds per-stage wall time.
+	Timings StageTimings
+	// Total is the wall time of the whole Decide call.
+	Total time.Duration
+	// Restored reports Algorithm 3 fired (all units quiet; caps reset).
+	Restored bool
+	// HighPriority is the number of units classified high priority.
+	HighPriority int
+	// PriorityFlips is the number of units whose priority changed since
+	// the previous round.
+	PriorityFlips int
+	// BudgetExhausted reports Algorithm 4 took the equalize branch
+	// (no leftover budget to grant).
+	BudgetExhausted bool
+	// BudgetClamped reports the final safety clamp found the cap sum
+	// meaningfully above the budget. The pipeline maintains the budget
+	// invariant, so this should never be true; a true value is a bug
+	// signal worth a counter.
+	BudgetClamped bool
 }
 
 var _ Manager = (*DPS)(nil)
@@ -134,6 +178,7 @@ func NewDPS(cfg Config) (*DPS, error) {
 		readjustM:   rm,
 		caps:        power.NewVector(cfg.Units, 0),
 		changed:     make([]bool, cfg.Units),
+		prevPrio:    make([]bool, cfg.Units),
 	}
 	for i := range d.caps {
 		d.caps[i] = d.constantCap
@@ -171,6 +216,12 @@ func (d *DPS) Restored() bool { return d.lastRestored }
 // Steps returns the number of Decide calls so far.
 func (d *DPS) Steps() uint64 { return d.steps }
 
+// LastStats returns per-stage timings and decision outcomes of the most
+// recent Decide call. Like Caps, the value describes controller state
+// between rounds; callers that retain slices must not — RoundStats holds
+// none, so it is safe to copy.
+func (d *DPS) LastStats() RoundStats { return d.lastStats }
+
 // Decide implements Manager: one pass of the Figure 3 pipeline.
 func (d *DPS) Decide(snap Snapshot) power.Vector {
 	if len(snap.Power) != d.cfg.Units {
@@ -181,6 +232,8 @@ func (d *DPS) Decide(snap Snapshot) power.Vector {
 		dt = 1
 	}
 	d.steps++
+	stats := RoundStats{Step: d.steps}
+	start := time.Now()
 
 	// Kalman estimation feeds the power history (the controller's state).
 	for u := 0; u < d.cfg.Units; u++ {
@@ -190,37 +243,68 @@ func (d *DPS) Decide(snap Snapshot) power.Vector {
 		}
 		d.hist.Push(power.UnitID(u), est, dt)
 	}
+	mark := time.Now()
+	stats.Timings.Kalman = mark.Sub(start)
 
 	// Stateless module: temporary cap allocation from current power alone.
 	d.statelessM.Apply(snap.Power, d.caps, d.cfg.Budget, d.changed)
+	now := time.Now()
+	stats.Timings.Stateless = now.Sub(mark)
+	mark = now
 
+	d.lastRestored = false
 	if !d.cfg.DisablePriority {
 		// Priority module: power dynamics → high/low priority per unit.
 		prio := d.priorityM.Update(d.hist, snap.Power, d.caps, d.constantCap)
+		for u, p := range prio {
+			if p {
+				stats.HighPriority++
+			}
+			if p != d.prevPrio[u] {
+				stats.PriorityFlips++
+			}
+			d.prevPrio[u] = p
+		}
+		now = time.Now()
+		stats.Timings.Priority = now.Sub(mark)
+		mark = now
 
 		// Cap readjusting module: restore, else readjust.
 		d.lastRestored = d.readjustM.Restore(snap.Power, d.caps, d.constantCap, d.changed)
 		if !d.lastRestored {
-			d.readjustM.Readjust(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed)
+			outcome := d.readjustM.Readjust(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed)
+			stats.BudgetExhausted = outcome == readjust.OutcomeEqualize
 		}
+		now = time.Now()
+		stats.Timings.Readjust = now.Sub(mark)
 	}
+	stats.Restored = d.lastRestored
 
-	d.enforceBudget()
+	stats.BudgetClamped = d.enforceBudget()
+	stats.Total = time.Since(start)
+	d.lastStats = stats
 	return d.caps
 }
+
+// overBudgetEps separates floating-point drift from a genuine pipeline
+// bug when the final clamp finds the cap sum above the budget.
+const overBudgetEps = power.Watts(1e-6)
 
 // enforceBudget is the final safety clamp: caps inside hardware limits and
 // their sum inside the cluster budget. The pipeline maintains these
 // invariants already; this pass absorbs floating-point drift so the
 // budget-respected property (which the paper reports held in every
-// experiment) is unconditional.
-func (d *DPS) enforceBudget() {
+// experiment) is unconditional. It reports whether the sum exceeded the
+// budget by more than drift — a should-never-happen signal exported as a
+// violation counter.
+func (d *DPS) enforceBudget() bool {
 	b := d.cfg.Budget
 	d.caps.Clamp(b.UnitMin, b.UnitMax)
 	total := d.caps.Sum()
 	if total <= b.Total {
-		return
+		return false
 	}
+	violated := total > b.Total+overBudgetEps
 	// Scale down the headroom above UnitMin proportionally.
 	excess := total - b.Total
 	var above power.Watts
@@ -228,12 +312,13 @@ func (d *DPS) enforceBudget() {
 		above += c - b.UnitMin
 	}
 	if above <= 0 {
-		return
+		return violated
 	}
 	frac := excess / above
 	for u := range d.caps {
 		d.caps[u] -= (d.caps[u] - b.UnitMin) * frac
 	}
+	return violated
 }
 
 // SetTotalBudget changes the cluster-wide power limit at runtime, keeping
@@ -263,6 +348,10 @@ func (d *DPS) Reset() {
 		d.hist.Unit(power.UnitID(u)).Reset()
 	}
 	d.priorityM.Reset()
+	for u := range d.prevPrio {
+		d.prevPrio[u] = false
+	}
 	d.lastRestored = false
+	d.lastStats = RoundStats{}
 	d.steps = 0
 }

@@ -276,3 +276,87 @@ func min2(a, b power.Watts) power.Watts {
 	}
 	return b
 }
+
+func TestLastStatsTimingsAndOutcomes(t *testing.T) {
+	d := mustDPS(t, DefaultConfig(2, testBudget))
+	if d.LastStats() != (RoundStats{}) {
+		t.Errorf("stats before any round = %+v, want zero", d.LastStats())
+	}
+	d.Decide(Snapshot{Power: power.Vector{100, 100}, Interval: 1})
+	st := d.LastStats()
+	if st.Step != 1 {
+		t.Errorf("Step = %d, want 1", st.Step)
+	}
+	tm := st.Timings
+	if tm.Kalman <= 0 || tm.Stateless <= 0 || tm.Priority <= 0 || tm.Readjust <= 0 {
+		t.Errorf("stage timings not all positive: %+v", tm)
+	}
+	if st.Total < tm.Kalman+tm.Stateless+tm.Priority+tm.Readjust {
+		t.Errorf("Total %v below the sum of stages %+v", st.Total, tm)
+	}
+	if st.BudgetClamped {
+		t.Error("BudgetClamped after a normal round")
+	}
+}
+
+func TestLastStatsBudgetExhaustedAndFlips(t *testing.T) {
+	// The Figure 1 scenario saturates both units under an exhausted
+	// budget: stats must record equalize rounds and the priority flips
+	// that led there.
+	budget := power.Budget{Total: 220, UnitMax: 165, UnitMin: 10}
+	d := mustDPS(t, DefaultConfig(2, budget))
+	caps := d.Caps().Clone()
+	sawExhausted, sawFlip := false, false
+	for step := 0; step < 20; step++ {
+		dd := power.Vector{40, 40}
+		if step >= 4 {
+			dd[0] = 165
+		}
+		if step >= 7 {
+			dd[1] = 165
+		}
+		drew := power.Vector{}
+		for u := range dd {
+			if dd[u] < caps[u] {
+				drew = append(drew, dd[u])
+			} else {
+				drew = append(drew, caps[u])
+			}
+		}
+		caps = d.Decide(Snapshot{Power: drew, Interval: 1}).Clone()
+		st := d.LastStats()
+		if st.BudgetExhausted {
+			sawExhausted = true
+		}
+		if st.PriorityFlips > 0 {
+			sawFlip = true
+		}
+		if st.HighPriority < 0 || st.HighPriority > 2 {
+			t.Fatalf("HighPriority = %d", st.HighPriority)
+		}
+	}
+	if !sawExhausted {
+		t.Error("no round recorded BudgetExhausted under a saturated budget")
+	}
+	if !sawFlip {
+		t.Error("no round recorded a priority flip during ramp-up")
+	}
+}
+
+func TestLastStatsRestoredAndReset(t *testing.T) {
+	budget := power.Budget{Total: 220, UnitMax: 165, UnitMin: 10}
+	d := mustDPS(t, DefaultConfig(2, budget))
+	for i := 0; i < 10; i++ {
+		d.Decide(Snapshot{Power: power.Vector{160, 20}, Interval: 1})
+	}
+	for i := 0; i < 3; i++ {
+		d.Decide(Snapshot{Power: power.Vector{25, 20}, Interval: 1})
+	}
+	if !d.LastStats().Restored {
+		t.Error("stats missed the restore event")
+	}
+	d.Reset()
+	if d.LastStats() != (RoundStats{}) {
+		t.Errorf("stats after Reset = %+v, want zero", d.LastStats())
+	}
+}

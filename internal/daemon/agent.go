@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"dps/internal/power"
 	"dps/internal/proto"
 	"dps/internal/rapl"
+	"dps/internal/telemetry"
 )
 
 // AgentConfig configures one node's client.
@@ -52,6 +54,32 @@ type Agent struct {
 	capBuf    []power.Watts
 	reports   atomic.Uint64
 	applied   atomic.Uint64
+
+	tel *telemetry.Registry
+	am  agentMetrics
+}
+
+// agentMetrics are the node client's registry handles: liveness of the
+// report/apply loops plus the reconnect machinery's state, enough to spot
+// a flapping agent from a scrape alone.
+type agentMetrics struct {
+	reports      *telemetry.Counter
+	applied      *telemetry.Counter
+	reportErrors *telemetry.Counter
+	reconnects   *telemetry.Counter
+	connected    *telemetry.Gauge
+	backoff      *telemetry.Gauge
+}
+
+func newAgentMetrics(reg *telemetry.Registry) agentMetrics {
+	return agentMetrics{
+		reports:      reg.Counter("dps_agent_reports_total", "Power report batches sent."),
+		applied:      reg.Counter("dps_agent_caps_applied_total", "Cap batches received and programmed."),
+		reportErrors: reg.Counter("dps_agent_report_errors_total", "Failed meter reads or report sends."),
+		reconnects:   reg.Counter("dps_agent_reconnects_total", "Connection attempts after a lost or failed session."),
+		connected:    reg.Gauge("dps_agent_connected", "1 while a handshaken controller session is live."),
+		backoff:      reg.Gauge("dps_agent_backoff_seconds", "Current reconnect backoff (0 while connected)."),
+	}
 }
 
 // NewAgent builds an agent over the node's devices.
@@ -59,16 +87,42 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	reg := telemetry.NewRegistry()
 	a := &Agent{
 		cfg:       cfg,
 		meters:    make([]*rapl.Meter, len(cfg.Devices)),
 		reportBuf: make([]power.Watts, len(cfg.Devices)),
 		capBuf:    make([]power.Watts, len(cfg.Devices)),
+		tel:       reg,
+		am:        newAgentMetrics(reg),
 	}
 	for i, d := range cfg.Devices {
 		a.meters[i] = rapl.NewMeter(d)
 	}
 	return a, nil
+}
+
+// Telemetry returns the agent's metrics registry.
+func (a *Agent) Telemetry() *telemetry.Registry { return a.tel }
+
+// DebugHandler returns the agent's HTTP mux:
+//
+//	GET /metrics  agent counters in Prometheus text format
+//	GET /healthz  200 while a controller session is live
+//
+// The concrete mux is returned so the agent binary can mount
+// net/http/pprof alongside.
+func (a *Agent) DebugHandler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", a.tel.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if a.am.connected.Value() == 0 {
+			http.Error(w, "not connected to a controller", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 func (a *Agent) logf(format string, args ...any) {
@@ -89,13 +143,19 @@ func (a *Agent) Handshake(conn net.Conn) error {
 		conn.Close()
 		return fmt.Errorf("daemon: agent handshake: %w", err)
 	}
-	a.conn = conn
-	// Prime the meters so the first report is a real interval average.
+	// Prime the meters so the first report is a real interval average. A
+	// priming failure must leave no half-open session behind: close the
+	// socket and keep a.conn nil so a reconnecting caller retries from a
+	// clean state instead of reusing a connection the server still
+	// considers registered.
 	for _, m := range a.meters {
 		if _, err := m.Read(power.Seconds(a.cfg.Interval.Seconds())); err != nil {
+			conn.Close()
 			return fmt.Errorf("daemon: priming meter: %w", err)
 		}
 	}
+	a.conn = conn
+	a.am.connected.Set(1)
 	return nil
 }
 
@@ -108,14 +168,17 @@ func (a *Agent) ReportOnce(elapsed power.Seconds) error {
 	for i, m := range a.meters {
 		w, err := m.Read(elapsed)
 		if err != nil {
+			a.am.reportErrors.Inc()
 			return fmt.Errorf("daemon: reading unit %d: %w", int(a.cfg.FirstUnit)+i, err)
 		}
 		a.reportBuf[i] = w
 	}
 	if err := proto.WriteBatch(a.conn, a.reportBuf); err != nil {
+		a.am.reportErrors.Inc()
 		return fmt.Errorf("daemon: sending report: %w", err)
 	}
 	a.reports.Add(1)
+	a.am.reports.Inc()
 	return nil
 }
 
@@ -134,6 +197,7 @@ func (a *Agent) ReceiveCaps() error {
 		}
 	}
 	a.applied.Add(1)
+	a.am.applied.Inc()
 	return nil
 }
 
@@ -193,6 +257,7 @@ func (a *Agent) Run(ctx context.Context) error {
 	err := <-errc
 	a.conn.Close()
 	wg.Wait()
+	a.am.connected.Set(0)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return nil
 	}
@@ -224,12 +289,15 @@ func (a *Agent) RunWithReconnect(ctx context.Context, network, addr string, base
 		}
 		if err == nil {
 			backoff = baseBackoff
+			a.am.backoff.Set(0)
 			a.logf("daemon: agent connected to %s", addr)
 			err = a.Run(ctx)
 			if ctx.Err() != nil {
 				return nil
 			}
 		}
+		a.am.reconnects.Inc()
+		a.am.backoff.Set(backoff.Seconds())
 		a.logf("daemon: agent connection lost (%v); retrying in %v", err, backoff)
 		select {
 		case <-ctx.Done():

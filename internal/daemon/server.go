@@ -15,12 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"dps/internal/core"
 	"dps/internal/power"
 	"dps/internal/proto"
+	"dps/internal/telemetry"
 )
 
 // ServerConfig configures the controller daemon.
@@ -34,6 +36,10 @@ type ServerConfig struct {
 	Interval time.Duration
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// FlightRecorderSize is the number of decision rounds the flight
+	// recorder retains for GET /debug/rounds. Zero selects
+	// telemetry.DefaultFlightRecorderSize.
+	FlightRecorderSize int
 }
 
 func (c ServerConfig) validate() error {
@@ -54,6 +60,11 @@ func (c ServerConfig) validate() error {
 type Server struct {
 	cfg ServerConfig
 
+	tel      *telemetry.Registry
+	recorder *telemetry.FlightRecorder
+	metrics  serverMetrics
+	now      func() time.Time // stubbed in tests for deterministic records
+
 	mu       sync.Mutex
 	readings power.Vector
 	lastCaps power.Vector  // caps from the most recent decision round
@@ -61,6 +72,71 @@ type Server struct {
 	conns    map[*serverConn]struct{}
 	closed   bool
 	rounds   uint64
+}
+
+// serverMetrics holds the registry handles the control loop updates every
+// round; capturing them once keeps the hot path free of map lookups.
+type serverMetrics struct {
+	rounds      *telemetry.Counter
+	agents      *telemetry.Gauge
+	budget      *telemetry.Gauge
+	capSum      *telemetry.Gauge
+	decide      *telemetry.Histogram
+	stages      map[string]*telemetry.Histogram // keyed by pipeline stage
+	restores    *telemetry.Counter
+	prioFlips   *telemetry.Counter
+	exhausted   *telemetry.Counter
+	violations  *telemetry.Counter
+	pushErrors  *telemetry.Counter
+	connects    *telemetry.Counter
+	disconnects *telemetry.Counter
+	unitPower   []*telemetry.Gauge
+	unitCap     []*telemetry.Gauge
+	unitPrio    []*telemetry.Gauge // nil unless the manager is a core.DPS
+}
+
+// pipeline stage names, the label values of dps_stage_seconds.
+const (
+	stageKalman    = "kalman"
+	stageStateless = "stateless"
+	stagePriority  = "priority"
+	stageReadjust  = "readjust"
+)
+
+func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
+	m := serverMetrics{
+		rounds:      reg.Counter("dps_rounds_total", "Decision rounds completed."),
+		agents:      reg.Gauge("dps_agents", "Connected node agents."),
+		budget:      reg.Gauge("dps_budget_watts", "Cluster-wide power budget."),
+		capSum:      reg.Gauge("dps_cap_sum_watts", "Sum of assigned caps."),
+		decide:      reg.Histogram("dps_decide_seconds", "Wall time of one full decision round.", nil),
+		restores:    reg.Counter("dps_restore_total", "Algorithm 3 restorations (all units quiet, caps reset)."),
+		prioFlips:   reg.Counter("dps_priority_flips_total", "Per-unit priority changes across rounds."),
+		exhausted:   reg.Counter("dps_readjust_exhausted_total", "Readjust rounds that equalized because no budget was left."),
+		violations:  reg.Counter("dps_budget_violations_total", "Rounds whose cap sum exceeded the budget before the final clamp (should stay 0)."),
+		pushErrors:  reg.Counter("dps_push_errors_total", "Failed cap pushes to agents."),
+		connects:    reg.Counter("dps_agent_connects_total", "Agent connections accepted."),
+		disconnects: reg.Counter("dps_agent_disconnects_total", "Agent connections lost."),
+		stages:      make(map[string]*telemetry.Histogram, 4),
+	}
+	for _, stage := range []string{stageKalman, stageStateless, stagePriority, stageReadjust} {
+		m.stages[stage] = reg.Histogram("dps_stage_seconds",
+			"Wall time per pipeline stage per decision round.", nil,
+			telemetry.Label{Key: "stage", Value: stage})
+	}
+	m.budget.Set(float64(cfg.Manager.Budget().Total))
+	_, isDPS := cfg.Manager.(*core.DPS)
+	initialCaps := cfg.Manager.Caps()
+	for u := 0; u < cfg.Units; u++ {
+		lbl := telemetry.Label{Key: "unit", Value: strconv.Itoa(u)}
+		m.unitPower = append(m.unitPower, reg.Gauge("dps_unit_power_watts", "Last reported power per unit.", lbl))
+		m.unitCap = append(m.unitCap, reg.Gauge("dps_unit_cap_watts", "Assigned cap per unit.", lbl))
+		m.unitCap[u].Set(float64(initialCaps[u]))
+		if isDPS {
+			m.unitPrio = append(m.unitPrio, reg.Gauge("dps_unit_high_priority", "DPS priority flag per unit.", lbl))
+		}
+	}
+	return m
 }
 
 type serverConn struct {
@@ -75,14 +151,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	reg := telemetry.NewRegistry()
 	return &Server{
 		cfg:      cfg,
+		tel:      reg,
+		recorder: telemetry.NewFlightRecorder(cfg.FlightRecorderSize),
+		metrics:  newServerMetrics(reg, cfg),
+		now:      time.Now,
 		readings: make(power.Vector, cfg.Units),
 		lastCaps: cfg.Manager.Caps().Clone(),
 		owner:    make([]*serverConn, cfg.Units),
 		conns:    make(map[*serverConn]struct{}),
 	}, nil
 }
+
+// Telemetry returns the server's metrics registry, for serving on
+// /metrics or folding into a larger exposition.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// FlightRecorder returns the decision flight recorder backing
+// GET /debug/rounds.
+func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.recorder }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -150,6 +239,8 @@ func (s *Server) register(sc *serverConn) error {
 		s.owner[u] = sc
 	}
 	s.conns[sc] = struct{}{}
+	s.metrics.connects.Inc()
+	s.metrics.agents.Set(float64(len(s.conns)))
 	return nil
 }
 
@@ -162,7 +253,11 @@ func (s *Server) unregister(sc *serverConn) {
 			s.owner[u] = nil
 		}
 	}
-	delete(s.conns, sc)
+	if _, ok := s.conns[sc]; ok {
+		delete(s.conns, sc)
+		s.metrics.disconnects.Inc()
+		s.metrics.agents.Set(float64(len(s.conns)))
+	}
 }
 
 func (s *Server) isClosed() bool {
@@ -202,13 +297,16 @@ func (s *Server) Readings() power.Vector {
 func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	s.mu.Lock()
 	snap := core.Snapshot{Power: s.readings.Clone(), Interval: interval}
+	prevCaps := s.lastCaps.Clone()
 	targets := make([]*serverConn, 0, len(s.conns))
 	for sc := range s.conns {
 		targets = append(targets, sc)
 	}
 	s.mu.Unlock()
 
+	started := s.now()
 	caps := s.cfg.Manager.Decide(snap)
+	elapsed := s.now().Sub(started)
 
 	var firstErr error
 	for _, sc := range targets {
@@ -216,15 +314,98 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		sc.writeMu.Lock()
 		err := proto.WriteBatch(sc.conn, caps[first:first+n])
 		sc.writeMu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("daemon: pushing caps to units [%d,%d): %w", first, first+n, err)
+		if err != nil {
+			s.metrics.pushErrors.Inc()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("daemon: pushing caps to units [%d,%d): %w", first, first+n, err)
+			}
 		}
 	}
 	s.mu.Lock()
 	s.rounds++
+	round := s.rounds
 	copy(s.lastCaps, caps)
 	s.mu.Unlock()
+	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, caps)
 	return caps, firstErr
+}
+
+// observeRound publishes one decision round to the metrics registry and
+// the flight recorder. Called from the decision loop only, after the
+// round counter advanced.
+func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, caps power.Vector) {
+	m := &s.metrics
+	m.rounds.Inc()
+	m.decide.Observe(elapsed.Seconds())
+	m.capSum.Set(float64(caps.Sum()))
+	// Budget can change at runtime (hierarchical deployments re-assign
+	// group budgets); refresh the gauge every round.
+	m.budget.Set(float64(s.cfg.Manager.Budget().Total))
+	for u := range readings {
+		m.unitPower[u].Set(float64(readings[u]))
+		m.unitCap[u].Set(float64(caps[u]))
+	}
+
+	rec := telemetry.RoundRecord{
+		Round:     round,
+		Time:      started,
+		IntervalS: float64(interval),
+		Stages:    telemetry.StageSeconds{Total: elapsed.Seconds()},
+		BudgetW:   float64(s.cfg.Manager.Budget().Total),
+		CapSumW:   float64(caps.Sum()),
+		Units:     make([]telemetry.UnitRecord, len(caps)),
+	}
+	var prio []bool
+	if d, ok := s.cfg.Manager.(*core.DPS); ok {
+		st := d.LastStats()
+		rec.Stages = telemetry.StageSeconds{
+			Kalman:    st.Timings.Kalman.Seconds(),
+			Stateless: st.Timings.Stateless.Seconds(),
+			Priority:  st.Timings.Priority.Seconds(),
+			Readjust:  st.Timings.Readjust.Seconds(),
+			Total:     elapsed.Seconds(),
+		}
+		rec.Restored = st.Restored
+		rec.PriorityFlips = st.PriorityFlips
+		rec.BudgetExhausted = st.BudgetExhausted
+		rec.BudgetClamped = st.BudgetClamped
+
+		m.stages[stageKalman].Observe(rec.Stages.Kalman)
+		m.stages[stageStateless].Observe(rec.Stages.Stateless)
+		m.stages[stagePriority].Observe(rec.Stages.Priority)
+		m.stages[stageReadjust].Observe(rec.Stages.Readjust)
+		if st.Restored {
+			m.restores.Inc()
+		}
+		m.prioFlips.Add(uint64(st.PriorityFlips))
+		if st.BudgetExhausted {
+			m.exhausted.Inc()
+		}
+		if st.BudgetClamped {
+			m.violations.Inc()
+		}
+		prio = d.Priorities()
+		for u, hp := range prio {
+			v := 0.0
+			if hp {
+				v = 1
+			}
+			m.unitPrio[u].Set(v)
+		}
+	}
+	for u := range caps {
+		ur := telemetry.UnitRecord{
+			Unit:      u,
+			ReadingW:  float64(readings[u]),
+			CapW:      float64(caps[u]),
+			CapDeltaW: float64(caps[u] - prevCaps[u]),
+		}
+		if prio != nil {
+			ur.HighPriority = prio[u]
+		}
+		rec.Units[u] = ur
+	}
+	s.recorder.Append(rec)
 }
 
 // Serve accepts agent connections on l and runs the decision loop until

@@ -62,12 +62,16 @@ func toFloats(v power.Vector) []float64 {
 	return out
 }
 
-// StatusHandler returns an http.Handler serving:
+// StatusHandler returns the daemon's HTTP mux:
 //
-//	GET /status   controller state as JSON
-//	GET /metrics  Prometheus-style plaintext gauges
-//	GET /healthz  200 once at least one decision round has run
-func (s *Server) StatusHandler() http.Handler {
+//	GET /status        controller state as JSON
+//	GET /metrics       the telemetry registry in Prometheus text format
+//	GET /healthz       200 once at least one decision round has run
+//	GET /debug/rounds  the decision flight recorder as JSON (?n=K)
+//
+// Returning the concrete mux lets the daemon binary mount extra debug
+// handlers (net/http/pprof) on the same listener.
+func (s *Server) StatusHandler() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -75,43 +79,7 @@ func (s *Server) StatusHandler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		st := s.Snapshot()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(w, "# HELP dps_rounds_total Decision rounds completed.\n")
-		fmt.Fprintf(w, "# TYPE dps_rounds_total counter\n")
-		fmt.Fprintf(w, "dps_rounds_total %d\n", st.Rounds)
-		fmt.Fprintf(w, "# HELP dps_agents Connected node agents.\n")
-		fmt.Fprintf(w, "# TYPE dps_agents gauge\n")
-		fmt.Fprintf(w, "dps_agents %d\n", st.Agents)
-		fmt.Fprintf(w, "# HELP dps_budget_watts Cluster-wide power budget.\n")
-		fmt.Fprintf(w, "# TYPE dps_budget_watts gauge\n")
-		fmt.Fprintf(w, "dps_budget_watts %g\n", st.BudgetW)
-		fmt.Fprintf(w, "# HELP dps_cap_sum_watts Sum of assigned caps.\n")
-		fmt.Fprintf(w, "# TYPE dps_cap_sum_watts gauge\n")
-		fmt.Fprintf(w, "dps_cap_sum_watts %g\n", st.CapSumW)
-		fmt.Fprintf(w, "# HELP dps_unit_power_watts Last reported power per unit.\n")
-		fmt.Fprintf(w, "# TYPE dps_unit_power_watts gauge\n")
-		for u, p := range st.Readings {
-			fmt.Fprintf(w, "dps_unit_power_watts{unit=\"%d\"} %g\n", u, p)
-		}
-		fmt.Fprintf(w, "# HELP dps_unit_cap_watts Assigned cap per unit.\n")
-		fmt.Fprintf(w, "# TYPE dps_unit_cap_watts gauge\n")
-		for u, c := range st.Caps {
-			fmt.Fprintf(w, "dps_unit_cap_watts{unit=\"%d\"} %g\n", u, c)
-		}
-		if st.Priority != nil {
-			fmt.Fprintf(w, "# HELP dps_unit_high_priority DPS priority flag per unit.\n")
-			fmt.Fprintf(w, "# TYPE dps_unit_high_priority gauge\n")
-			for u, hp := range st.Priority {
-				v := 0
-				if hp {
-					v = 1
-				}
-				fmt.Fprintf(w, "dps_unit_high_priority{unit=\"%d\"} %d\n", u, v)
-			}
-		}
-	})
+	mux.Handle("GET /metrics", s.tel.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Rounds() == 0 {
 			http.Error(w, "no decision rounds yet", http.StatusServiceUnavailable)
@@ -119,5 +87,6 @@ func (s *Server) StatusHandler() http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("GET /debug/rounds", s.recorder.Handler())
 	return mux
 }

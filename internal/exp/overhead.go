@@ -26,7 +26,7 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 	res := Result{
 		ID:      "Section 6.5",
 		Title:   "Controller overhead per decision step",
-		Columns: []string{"units", "us_per_step", "bytes_per_node"},
+		Columns: []string{"units", "us_per_step", "us_kalman", "us_stateless", "us_priority", "us_readjust", "bytes_per_node"},
 	}
 	for _, n := range unitCounts {
 		budget := power.Budget{Total: power.Watts(n) * 110, UnitMax: 165, UnitMin: 10}
@@ -48,6 +48,7 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 		for i := 0; i < 25; i++ {
 			d.Decide(snap)
 		}
+		var stages core.StageTimings
 		start := time.Now()
 		for i := 0; i < stepsPerCount; i++ {
 			// Perturb readings so the Kalman filters and priority module
@@ -59,8 +60,16 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 				}
 			}
 			d.Decide(snap)
+			st := d.LastStats()
+			stages.Kalman += st.Timings.Kalman
+			stages.Stateless += st.Timings.Stateless
+			stages.Priority += st.Timings.Priority
+			stages.Readjust += st.Timings.Readjust
 		}
 		perStep := time.Since(start) / time.Duration(stepsPerCount)
+		perStageUS := func(total time.Duration) float64 {
+			return float64(total.Microseconds()) / float64(stepsPerCount)
+		}
 
 		// Wire cost: one 3-byte record per unit in each direction, 2 units
 		// per node on the paper's platform.
@@ -72,6 +81,10 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 			Values: map[string]float64{
 				"units":          float64(n),
 				"us_per_step":    float64(perStep.Microseconds()),
+				"us_kalman":      perStageUS(stages.Kalman),
+				"us_stateless":   perStageUS(stages.Stateless),
+				"us_priority":    perStageUS(stages.Priority),
+				"us_readjust":    perStageUS(stages.Readjust),
 				"bytes_per_node": bytesPerNode,
 			},
 		})

@@ -93,6 +93,34 @@ func (m *Module) Restore(powerNow, caps power.Vector, constantCap power.Watts, c
 	return true
 }
 
+// Outcome reports which branch of Algorithm 4 a Readjust call took, so
+// callers can count how often the budget was exhausted versus granted.
+type Outcome int
+
+const (
+	// OutcomeNone means no high-priority units existed; caps untouched.
+	OutcomeNone Outcome = iota
+	// OutcomeGrant means leftover budget was distributed (Algorithm 4's
+	// budget-available branch).
+	OutcomeGrant
+	// OutcomeEqualize means the budget was exhausted and high-priority
+	// caps were equalized (the branch that escapes Figure 1's local
+	// optimum).
+	OutcomeEqualize
+)
+
+// String names the outcome for logs and metrics labels.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeGrant:
+		return "grant"
+	case OutcomeEqualize:
+		return "equalize"
+	default:
+		return "none"
+	}
+}
+
 // Readjust implements Algorithm 4. prio[u] marks high-priority units.
 //
 //   - If unassigned budget remains, it is divided among high-priority units
@@ -107,7 +135,8 @@ func (m *Module) Restore(powerNow, caps power.Vector, constantCap power.Watts, c
 //
 // Low-priority units are never touched. The sum of caps never increases by
 // more than the unassigned budget, so the cluster budget stays respected.
-func (m *Module) Readjust(caps power.Vector, prio []bool, budget power.Budget, constantCap power.Watts, changed []bool) {
+// The returned Outcome identifies the branch taken.
+func (m *Module) Readjust(caps power.Vector, prio []bool, budget power.Budget, constantCap power.Watts, changed []bool) Outcome {
 	n := len(caps)
 	if len(prio) != n {
 		panic(fmt.Sprintf("readjust: %d priorities for %d caps", len(prio), n))
@@ -119,15 +148,16 @@ func (m *Module) Readjust(caps power.Vector, prio []bool, budget power.Budget, c
 		}
 	}
 	if countHigh == 0 {
-		return
+		return OutcomeNone
 	}
 
 	avail := budget.Total - caps.Sum()
 	if avail > 0 {
 		m.grantLeftover(caps, prio, budget, avail, changed)
-		return
+		return OutcomeGrant
 	}
 	m.equalize(caps, prio, budget, constantCap, countHigh, changed)
+	return OutcomeEqualize
 }
 
 // grantLeftover distributes avail watts to high-priority units, weighting

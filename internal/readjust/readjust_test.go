@@ -306,3 +306,30 @@ func TestReadjustBudgetInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReadjustOutcome(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+
+	caps := power.Vector{150, 40}
+	if got := m.Readjust(caps, []bool{false, false}, budget, constCap, nil); got != OutcomeNone {
+		t.Errorf("no high-priority units: outcome %v, want %v", got, OutcomeNone)
+	}
+
+	// 440 − 320 = 120 W leftover: the grant branch.
+	caps = power.Vector{60, 60, 100, 100}
+	if got := m.Readjust(caps, []bool{true, false, false, false}, budget, constCap, nil); got != OutcomeGrant {
+		t.Errorf("leftover budget: outcome %v, want %v", got, OutcomeGrant)
+	}
+
+	// Sum at the 440 W budget: the equalize branch.
+	caps = power.Vector{140, 100, 100, 100}
+	if got := m.Readjust(caps, []bool{true, true, false, false}, budget, constCap, nil); got != OutcomeEqualize {
+		t.Errorf("exhausted budget: outcome %v, want %v", got, OutcomeEqualize)
+	}
+
+	for o, want := range map[Outcome]string{OutcomeNone: "none", OutcomeGrant: "grant", OutcomeEqualize: "equalize"} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}

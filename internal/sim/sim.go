@@ -147,6 +147,9 @@ type PairResult struct {
 	// TimedOut reports the MaxTime safety stop fired before both clusters
 	// finished their repeats.
 	TimedOut bool
+	// Stages carries per-stage controller timing accumulated over the
+	// experiment. Nil unless the manager is a core.DPS.
+	Stages *StageBreakdown
 }
 
 // clusterState tracks run scheduling for one cluster during an experiment.
@@ -184,6 +187,10 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 	}
 
 	res := PairResult{Manager: mgr.Name()}
+	dpsMgr, _ := mgr.(*core.DPS)
+	if dpsMgr != nil {
+		res.Stages = &StageBreakdown{}
+	}
 	var t power.Seconds
 	eps := power.Watts(1e-6)
 
@@ -242,6 +249,9 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 		})
 		if caps.Sum() > cfg.Budget.Total+eps {
 			res.BudgetViolations++
+		}
+		if dpsMgr != nil {
+			res.Stages.Add(dpsMgr.LastStats())
 		}
 		if err := mach.ApplyCaps(caps); err != nil {
 			return PairResult{}, err

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestFlightRecorderEviction(t *testing.T) {
+	fr := NewFlightRecorder(3)
+	for round := uint64(1); round <= 5; round++ {
+		fr.Append(RoundRecord{Round: round})
+	}
+	if fr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", fr.Len())
+	}
+	if fr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", fr.Total())
+	}
+	recs := fr.Last(0)
+	got := make([]uint64, len(recs))
+	for i, r := range recs {
+		got[i] = r.Round
+	}
+	// Newest first; rounds 1 and 2 were evicted.
+	want := []uint64{5, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFlightRecorderLastN(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	if recs := fr.Last(2); recs != nil {
+		t.Errorf("empty recorder returned %v", recs)
+	}
+	fr.Append(RoundRecord{Round: 1})
+	fr.Append(RoundRecord{Round: 2})
+	recs := fr.Last(1)
+	if len(recs) != 1 || recs[0].Round != 2 {
+		t.Errorf("Last(1) = %+v", recs)
+	}
+	if recs := fr.Last(10); len(recs) != 2 {
+		t.Errorf("Last(10) returned %d records", len(recs))
+	}
+}
+
+func TestFlightRecorderHandler(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for round := uint64(1); round <= 6; round++ {
+		fr.Append(RoundRecord{Round: round, Units: []UnitRecord{{Unit: 0, CapW: 110}}})
+	}
+
+	rec := httptest.NewRecorder()
+	fr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?n=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var got []RoundRecord
+	if err := json.NewDecoder(rec.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Round != 6 || got[1].Round != 5 {
+		t.Errorf("records = %+v", got)
+	}
+	if len(got[0].Units) != 1 || got[0].Units[0].CapW != 110 {
+		t.Errorf("unit record = %+v", got[0].Units)
+	}
+
+	rec = httptest.NewRecorder()
+	fr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?n=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n: code = %d", rec.Code)
+	}
+
+	// Empty recorder serves [] rather than null.
+	empty := NewFlightRecorder(2)
+	rec = httptest.NewRecorder()
+	empty.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds", nil))
+	if body := rec.Body.String(); body != "[]\n" {
+		t.Errorf("empty body = %q", body)
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("demo_total", "A demo counter.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("demo_gauge", "A demo gauge.", Label{"unit", "0"})
+	g.Set(1.5)
+	g.Add(-0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "# HELP demo_gauge A demo gauge.\n" +
+		"# TYPE demo_gauge gauge\n" +
+		"demo_gauge{unit=\"0\"} 1\n" +
+		"# HELP demo_total A demo counter.\n" +
+		"# TYPE demo_total counter\n" +
+		"demo_total 3\n"
+	if out != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestRegistryLookupReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Error("same name+labels gave distinct counters")
+	}
+	g1 := r.Gauge("y", "y", Label{"unit", "1"})
+	g2 := r.Gauge("y", "y", Label{"unit", "2"})
+	if g1 == g2 {
+		t.Error("distinct labels gave the same gauge")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10}, Label{"stage", "kalman"})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Errorf("sum = %v", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{stage="kalman",le="0.1"} 1`,
+		`lat_seconds_bucket{stage="kalman",le="1"} 3`,
+		`lat_seconds_bucket{stage="kalman",le="10"} 4`,
+		`lat_seconds_bucket{stage="kalman",le="+Inf"} 5`,
+		`lat_seconds_sum{stage="kalman"} 56.05`,
+		`lat_seconds_count{stage="kalman"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "b", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive, Prometheus semantics
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `b_seconds_bucket{le="1"} 1`) {
+		t.Errorf("boundary observation not in inclusive bucket:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("esc", "esc", Label{"p", `a"b\c`}).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc{p="a\"b\\c"} 1`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", nil)
+	g := r.Gauge("g", "g")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(1e-4)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "ok").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ok_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
