@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet staticcheck test race bench bench-smoke ci
 
 all: ci
 
@@ -10,18 +10,35 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs only where the tool is installed; CI images without it
+# fall through to vet alone rather than failing the gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # The race detector multiplies runtime ~10x; -short skips the longest
 # simulation suites while still exercising every concurrent code path
-# (daemon, agent, telemetry registry, flight recorder).
+# (daemon, agent, telemetry registry, flight recorder, sharded decision
+# core).
 race:
 	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
+# bench-smoke proves the sequential and sharded decision pipelines both
+# complete a cluster-scale round; it is a compile-and-run check, not a
+# timing run (use `make bench` or -benchtime 10x for numbers).
+bench-smoke:
+	$(GO) test -run xxx -bench 'DecideScaling/N=4096' -benchtime 1x .
+
 # ci is the tier-1 gate: static checks, a full build, the complete test
-# suite, and the race detector over the concurrency-bearing packages.
-ci: vet build test race
+# suite, the race detector over the concurrency-bearing packages, and a
+# smoke run of the scaling benchmark.
+ci: vet staticcheck build test race bench-smoke

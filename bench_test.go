@@ -10,7 +10,9 @@
 package dps_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dps"
@@ -282,6 +284,56 @@ func BenchmarkControllerLoop200(b *testing.B)   { benchControllerLoop(b, 200) }
 func BenchmarkControllerLoop2000(b *testing.B)  { benchControllerLoop(b, 2000) }
 func BenchmarkControllerLoop20000(b *testing.B) { benchControllerLoop(b, 20000) }
 
+// BenchmarkDecideScaling compares the sequential decision pipeline
+// against the sharded one at cluster scale. Sub-benchmark names are
+// stable (N=<units>/shards=<p>) so CI can select one size:
+//
+//	go test -bench 'DecideScaling/N=4096' -benchtime 1x .
+//
+// On a multi-core host the shards=max rows should show the per-unit
+// stages (Kalman + history + priority, the bulk of a large-N step)
+// scaling with core count; on one core the sharded path measures pure
+// coordination overhead.
+func BenchmarkDecideScaling(b *testing.B) {
+	for _, units := range []int{1024, 4096, 16384} {
+		budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+		shardCounts := []int{1}
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			shardCounts = append(shardCounts, p)
+		} else {
+			// One core: a parallel row would only measure coordination
+			// overhead against itself, but keep a 4-shard row so the
+			// pool machinery stays on the benched path everywhere.
+			shardCounts = append(shardCounts, 4)
+		}
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("N=%d/shards=%d", units, shards), func(b *testing.B) {
+				cfg := core.DefaultConfig(units, budget)
+				cfg.Shards = shards
+				d, err := core.NewDPS(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				rng := rand.New(rand.NewSource(1))
+				readings := make(power.Vector, units)
+				for i := range readings {
+					readings[i] = power.Watts(40 + rng.Float64()*120)
+				}
+				snap := core.Snapshot{Power: readings, Interval: 1}
+				for i := 0; i < 25; i++ { // fill the history
+					d.Decide(snap)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					readings[i%units] += power.Watts(rng.NormFloat64() * 2)
+					d.Decide(snap)
+				}
+			})
+		}
+	}
+}
+
 // benchControllerStages reports where a decision step's time goes, using
 // the controller's own per-stage instrumentation: kalman_ns, stateless_ns,
 // priority_ns, readjust_ns custom metrics alongside ns/op.
@@ -304,8 +356,7 @@ func benchControllerStages(b *testing.B, units int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		readings[i%units] += power.Watts(rng.NormFloat64() * 2)
-		d.Decide(snap)
-		st := d.LastStats()
+		_, st := d.DecideStats(snap)
 		stages.Kalman += st.Timings.Kalman
 		stages.Stateless += st.Timings.Stateless
 		stages.Priority += st.Timings.Priority

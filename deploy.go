@@ -27,6 +27,10 @@ type (
 	AgentConfig = daemon.AgentConfig
 	// Agent is a node client reporting power and applying caps.
 	Agent = daemon.Agent
+	// DaemonFileConfig is dpsd's JSON configuration file format.
+	DaemonFileConfig = daemon.FileConfig
+	// DaemonStatus is the controller's observable state (GET /status).
+	DaemonStatus = daemon.Status
 )
 
 // NewSimRAPL builds a simulated RAPL socket.
@@ -51,6 +55,13 @@ func NewMeter(dev RAPLDevice) *Meter { return rapl.NewMeter(dev) }
 
 // NewServer builds a controller daemon around a manager.
 func NewServer(cfg ServerConfig) (*Server, error) { return daemon.NewServer(cfg) }
+
+// LoadDaemonConfig parses and normalizes a dpsd JSON configuration file;
+// its BuildManager, Budget and Interval methods turn it into a running
+// daemon without touching internal packages.
+func LoadDaemonConfig(path string) (DaemonFileConfig, error) {
+	return daemon.LoadFileConfig(path)
+}
 
 // NewAgent builds a node agent over local RAPL devices.
 func NewAgent(cfg AgentConfig) (*Agent, error) { return daemon.NewAgent(cfg) }

@@ -13,13 +13,19 @@
 // # Quick start
 //
 //	budget := dps.Budget{Total: 2200, UnitMax: 165, UnitMin: 10}
-//	mgr, err := dps.NewDPS(dps.DefaultConfig(20, budget))
+//	mgr, err := dps.New(20, budget, dps.WithSeed(7))
 //	if err != nil { ... }
 //	for {
 //	    readings := readSocketPower()            // e.g. via dps.NewMeter
-//	    caps := mgr.Decide(dps.Snapshot{Power: readings, Interval: 1})
+//	    caps, stats := mgr.DecideStats(dps.Snapshot{Power: readings, Interval: 1})
 //	    applyCaps(caps)                          // e.g. via RAPL devices
+//	    observe(stats)                           // per-stage timings, outcomes
 //	}
+//
+// New applies functional options over the paper's defaults; NewDPS(Config)
+// is the low-level constructor. At cluster scale, the controller shards
+// its per-unit pipeline stages across a worker pool (see Config.Shards /
+// WithShards) with bitwise-identical decisions at any shard count.
 //
 // See examples/ for runnable programs: a quickstart simulation, a paired
 // Spark workload study, the paper's Figure 1 motivation scenario, and a
@@ -64,8 +70,8 @@ type (
 	Config = core.Config
 	// DPS is the Dynamic Power Scheduler controller.
 	DPS = core.DPS
-	// RoundStats is one Decide call's stage timings and outcomes
-	// (DPS.LastStats).
+	// RoundStats is one decision round's stage timings and outcomes
+	// (returned by DPS.DecideStats).
 	RoundStats = core.RoundStats
 	// StageTimings is the per-stage wall time inside RoundStats.
 	StageTimings = core.StageTimings
@@ -86,7 +92,8 @@ type (
 	OracleConfig = baseline.OracleConfig
 )
 
-// NewDPS builds a DPS controller.
+// NewDPS builds a DPS controller from a fully assembled Config. Most
+// callers want New, which layers functional options over the defaults.
 func NewDPS(cfg Config) (*DPS, error) { return core.NewDPS(cfg) }
 
 // DefaultConfig returns the paper's default DPS configuration for n units

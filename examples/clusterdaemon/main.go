@@ -35,7 +35,7 @@ func main() {
 	units := nodes * socketsPer
 	budget := dps.Budget{Total: budgetPerW * dps.Watts(units), UnitMax: 165, UnitMin: 10}
 
-	mgr, err := dps.NewDPS(dps.DefaultConfig(units, budget))
+	mgr, err := dps.New(units, budget, dps.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,7 +60,7 @@ func main() {
 	mk("oracle", o, err)
 	s, err := dps.NewSLURM(2, budget, dps.DefaultStatelessConfig(), 1)
 	mk("stateless", s, err)
-	d, err := dps.NewDPS(dps.DefaultConfig(2, budget))
+	d, err := dps.New(2, budget, dps.WithSeed(1))
 	mk("DPS", d, err)
 
 	fmt.Println("caps assigned per timestep (unit0/unit1), demand shown on top:")

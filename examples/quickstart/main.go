@@ -21,7 +21,7 @@ func main() {
 	const units = 4
 	budget := dps.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
 
-	mgr, err := dps.NewDPS(dps.DefaultConfig(units, budget))
+	mgr, err := dps.New(units, budget, dps.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

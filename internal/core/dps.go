@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"dps/internal/history"
@@ -31,6 +32,15 @@ type Config struct {
 	Readjust readjust.Config
 	// Seed makes the stateless module's random visiting order reproducible.
 	Seed int64
+	// Shards is the number of worker shards the per-unit pipeline stages
+	// (Kalman filtering, history push, priority classification) run
+	// across. 1 forces the sequential path; 0 (the default) picks
+	// min(GOMAXPROCS, Units/256) so small controllers stay sequential and
+	// cluster-scale ones use every core. The inherently global stages —
+	// the MIMD base decision, restore/readjust, and the final clamp — run
+	// sequentially at any shard count, which is why the result is bitwise
+	// identical to Shards: 1 for a fixed seed.
+	Shards int
 
 	// Ablation knobs (all false in the paper's system).
 
@@ -69,6 +79,9 @@ func (c Config) Validate() error {
 	if c.HistoryLen < 2 {
 		return fmt.Errorf("core: HistoryLen %d must be at least 2", c.HistoryLen)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
 	if err := c.Stateless.Validate(); err != nil {
 		return err
 	}
@@ -99,6 +112,13 @@ type DPS struct {
 
 	prevPrio  []bool
 	lastStats RoundStats
+
+	// Sharding state: nil/empty when shards == 1 (the sequential path).
+	shards     int
+	pool       *shardPool
+	prioScr    []priority.Scratch // one per shard
+	shardHigh  []int              // per-shard high-priority tallies
+	shardFlips []int              // per-shard priority-flip tallies
 }
 
 // StageTimings is the wall time one Decide call spent in each stage of the
@@ -114,9 +134,10 @@ type StageTimings struct {
 	Readjust time.Duration
 }
 
-// RoundStats describes one Decide call for observability: stage timings
-// and decision outcomes. Retrieve it with LastStats after Decide returns;
-// it is overwritten by the next call.
+// RoundStats describes one decision round for observability: stage
+// timings and decision outcomes. DecideStats returns it alongside the cap
+// vector; the deprecated LastStats side channel also retains the most
+// recent round's value.
 type RoundStats struct {
 	// Step is the 1-based decision round this records.
 	Step uint64
@@ -139,6 +160,9 @@ type RoundStats struct {
 	// invariant, so this should never be true; a true value is a bug
 	// signal worth a counter.
 	BudgetClamped bool
+	// Shards is the number of worker shards the per-unit stages ran
+	// across this round (1 = the sequential path).
+	Shards int
 }
 
 var _ Manager = (*DPS)(nil)
@@ -179,12 +203,39 @@ func NewDPS(cfg Config) (*DPS, error) {
 		caps:        power.NewVector(cfg.Units, 0),
 		changed:     make([]bool, cfg.Units),
 		prevPrio:    make([]bool, cfg.Units),
+		shards:      cfg.shardCount(),
 	}
 	for i := range d.caps {
 		d.caps[i] = d.constantCap
 	}
+	if d.shards > 1 {
+		d.pool = newShardPool(d.shards - 1)
+		d.prioScr = make([]priority.Scratch, d.shards)
+		d.shardHigh = make([]int, d.shards)
+		d.shardFlips = make([]int, d.shards)
+		// Belt and braces: an abandoned controller must not leak its
+		// worker goroutines, so the collector closes the pool if the
+		// owner never calls Close.
+		runtime.SetFinalizer(d, func(d *DPS) { d.pool.close() })
+	}
 	return d, nil
 }
+
+// Close stops the shard worker pool. It is optional — a collected
+// controller releases its workers via finalizer — but deterministic
+// cleanup is preferable in servers that build many controllers. Close is
+// idempotent; the controller must not Decide after Close.
+func (d *DPS) Close() error {
+	if d.pool != nil {
+		d.pool.close()
+		runtime.SetFinalizer(d, nil)
+	}
+	return nil
+}
+
+// Shards returns the number of worker shards the per-unit pipeline stages
+// run across (1 = sequential).
+func (d *DPS) Shards() int { return d.shards }
 
 // Name implements Manager.
 func (d *DPS) Name() string {
@@ -217,13 +268,29 @@ func (d *DPS) Restored() bool { return d.lastRestored }
 func (d *DPS) Steps() uint64 { return d.steps }
 
 // LastStats returns per-stage timings and decision outcomes of the most
-// recent Decide call. Like Caps, the value describes controller state
-// between rounds; callers that retain slices must not — RoundStats holds
-// none, so it is safe to copy.
+// recent decision round.
+//
+// Deprecated: the read-after-call side channel is racy once callers
+// overlap rounds — another round between Decide and LastStats silently
+// swaps the value. Use DecideStats, which returns the round's stats
+// atomically with its caps. LastStats remains for one release.
 func (d *DPS) LastStats() RoundStats { return d.lastStats }
 
-// Decide implements Manager: one pass of the Figure 3 pipeline.
+// Decide implements Manager: one pass of the Figure 3 pipeline. Callers
+// that also need the round's stats should use DecideStats instead of the
+// deprecated Decide-then-LastStats sequence.
 func (d *DPS) Decide(snap Snapshot) power.Vector {
+	caps, _ := d.DecideStats(snap)
+	return caps
+}
+
+// DecideStats runs one pass of the Figure 3 pipeline and returns the new
+// cap vector together with the round's stats. The vector is owned by the
+// controller (same contract as Decide); the stats are a plain value the
+// caller keeps. Decision rounds are single-threaded: DecideStats must not
+// be called concurrently with itself, Decide, or Reset — but internally
+// the per-unit stages fan out across the configured shards.
+func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	if len(snap.Power) != d.cfg.Units {
 		panic(fmt.Sprintf("core: %d readings for %d units", len(snap.Power), d.cfg.Units))
 	}
@@ -232,21 +299,38 @@ func (d *DPS) Decide(snap Snapshot) power.Vector {
 		dt = 1
 	}
 	d.steps++
-	stats := RoundStats{Step: d.steps}
+	stats := RoundStats{Step: d.steps, Shards: d.shards}
 	start := time.Now()
 
 	// Kalman estimation feeds the power history (the controller's state).
-	for u := 0; u < d.cfg.Units; u++ {
-		est := snap.Power[u]
-		if !d.cfg.DisableKalman {
-			est = d.filters.Step(power.UnitID(u), est)
+	// Per-unit and therefore shardable: each unit's filter and ring are
+	// touched by exactly one shard.
+	if d.shards > 1 {
+		d.pool.run(d.shards, func(s int) {
+			lo, hi := shardRange(s, d.shards, d.cfg.Units)
+			for u := lo; u < hi; u++ {
+				est := snap.Power[u]
+				if !d.cfg.DisableKalman {
+					est = d.filters.Step(power.UnitID(u), est)
+				}
+				d.hist.Push(power.UnitID(u), est, dt)
+			}
+		})
+	} else {
+		for u := 0; u < d.cfg.Units; u++ {
+			est := snap.Power[u]
+			if !d.cfg.DisableKalman {
+				est = d.filters.Step(power.UnitID(u), est)
+			}
+			d.hist.Push(power.UnitID(u), est, dt)
 		}
-		d.hist.Push(power.UnitID(u), est, dt)
 	}
 	mark := time.Now()
 	stats.Timings.Kalman = mark.Sub(start)
 
 	// Stateless module: temporary cap allocation from current power alone.
+	// Global and sequential — its random visiting order is part of the
+	// deterministic contract.
 	d.statelessM.Apply(snap.Power, d.caps, d.cfg.Budget, d.changed)
 	now := time.Now()
 	stats.Timings.Stateless = now.Sub(mark)
@@ -255,21 +339,50 @@ func (d *DPS) Decide(snap Snapshot) power.Vector {
 	d.lastRestored = false
 	if !d.cfg.DisablePriority {
 		// Priority module: power dynamics → high/low priority per unit.
-		prio := d.priorityM.Update(d.hist, snap.Power, d.caps, d.constantCap)
-		for u, p := range prio {
-			if p {
-				stats.HighPriority++
+		// Classification is per-unit (shardable); the tallies merge by
+		// integer addition, so the merged stats are order-independent.
+		var prio []bool
+		if d.shards > 1 {
+			prio = d.priorityM.Priorities()
+			d.pool.run(d.shards, func(s int) {
+				lo, hi := shardRange(s, d.shards, d.cfg.Units)
+				sc := &d.prioScr[s]
+				high, flips := 0, 0
+				for u := lo; u < hi; u++ {
+					d.priorityM.UpdateUnit(sc, power.UnitID(u), d.hist.Unit(power.UnitID(u)), snap.Power[u], d.caps[u], d.constantCap)
+					p := prio[u]
+					if p {
+						high++
+					}
+					if p != d.prevPrio[u] {
+						flips++
+					}
+					d.prevPrio[u] = p
+				}
+				d.shardHigh[s], d.shardFlips[s] = high, flips
+			})
+			for s := 0; s < d.shards; s++ {
+				stats.HighPriority += d.shardHigh[s]
+				stats.PriorityFlips += d.shardFlips[s]
 			}
-			if p != d.prevPrio[u] {
-				stats.PriorityFlips++
+		} else {
+			prio = d.priorityM.Update(d.hist, snap.Power, d.caps, d.constantCap)
+			for u, p := range prio {
+				if p {
+					stats.HighPriority++
+				}
+				if p != d.prevPrio[u] {
+					stats.PriorityFlips++
+				}
+				d.prevPrio[u] = p
 			}
-			d.prevPrio[u] = p
 		}
 		now = time.Now()
 		stats.Timings.Priority = now.Sub(mark)
 		mark = now
 
-		// Cap readjusting module: restore, else readjust.
+		// Cap readjusting module: restore, else readjust. Global: grant
+		// order and the budget arithmetic span all units.
 		d.lastRestored = d.readjustM.Restore(snap.Power, d.caps, d.constantCap, d.changed)
 		if !d.lastRestored {
 			outcome := d.readjustM.Readjust(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed)
@@ -283,7 +396,7 @@ func (d *DPS) Decide(snap Snapshot) power.Vector {
 	stats.BudgetClamped = d.enforceBudget()
 	stats.Total = time.Since(start)
 	d.lastStats = stats
-	return d.caps
+	return d.caps, stats
 }
 
 // overBudgetEps separates floating-point drift from a genuine pipeline

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shardMinUnits is the smallest per-shard unit count worth a fork/join:
+// below it the handoff to a worker goroutine costs more than the per-unit
+// work it parallelizes, so automatic shard selection never splits finer.
+// An explicit Config.Shards overrides the floor (tests exercise the
+// parallel path at small N).
+const shardMinUnits = 256
+
+// shardCount resolves Config.Shards to the number of shards one Decide
+// call actually uses: 1 forces the sequential path, an explicit P > 1 is
+// honored (clamped to the unit count), and 0 picks min(GOMAXPROCS,
+// Units/shardMinUnits) so small controllers stay on the sequential path
+// while cluster-scale ones use every core.
+func (c Config) shardCount() int {
+	p := c.Shards
+	switch {
+	case p == 1:
+		return 1
+	case p > 1:
+		if p > c.Units {
+			p = c.Units
+		}
+		return p
+	default:
+		p = runtime.GOMAXPROCS(0)
+		if limit := c.Units / shardMinUnits; p > limit {
+			p = limit
+		}
+		if p < 1 {
+			p = 1
+		}
+		return p
+	}
+}
+
+// shardTask is one unit range's work in a parallel stage.
+type shardTask struct {
+	fn    func(shard int)
+	shard int
+	wg    *sync.WaitGroup
+}
+
+// shardPool is a reusable set of worker goroutines for the controller's
+// per-unit pipeline stages. The pool holds P−1 workers; the calling
+// goroutine always runs shard 0 itself, so a run involves no goroutine
+// creation and exactly P−1 channel handoffs.
+//
+// The pool owns no controller state: workers capture only the pool's
+// channels, so an abandoned DPS (and its pool) stays collectable — the
+// controller's finalizer closes the pool if Close was never called.
+type shardPool struct {
+	tasks chan shardTask
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// newShardPool starts workers goroutines (one fewer than the shard count
+// it will serve).
+func newShardPool(workers int) *shardPool {
+	p := &shardPool{tasks: make(chan shardTask), stop: make(chan struct{})}
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *shardPool) work() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case t := <-p.tasks:
+			t.fn(t.shard)
+			t.wg.Done()
+		}
+	}
+}
+
+// run executes fn(s) for every shard s in [0, shards): shards 1..P−1 on
+// pool workers, shard 0 on the calling goroutine. It returns after every
+// shard completed, so fn's writes are visible to the caller.
+func (p *shardPool) run(shards int, fn func(shard int)) {
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		p.tasks <- shardTask{fn: fn, shard: s, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// close stops the workers. Idempotent; safe from a finalizer.
+func (p *shardPool) close() {
+	p.once.Do(func() { close(p.stop) })
+}
+
+// shardRange returns the half-open unit range [lo, hi) of shard s under a
+// balanced partition of n units into p shards.
+func shardRange(s, p, n int) (lo, hi int) {
+	return s * n / p, (s + 1) * n / p
+}

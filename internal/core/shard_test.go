@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dps/internal/power"
+)
+
+// mixedTrace builds a steps×units demand matrix exercising every decision
+// path: high-frequency flippers (sticky flag set and cleared), slow
+// ramps (derivative classification up and down), bursty mostly-idle
+// units (idle reversion), steady draws pinned at their cap (at-cap
+// priority), noisy units, and a global quiet window that fires Algorithm
+// 3's restoration. Deterministic for a seed.
+func mixedTrace(steps, units int, seed int64) [][]power.Watts {
+	rng := rand.New(rand.NewSource(seed))
+	demand := make([][]power.Watts, steps)
+	for t := range demand {
+		row := make([]power.Watts, units)
+		for u := range row {
+			var d float64
+			switch u % 5 {
+			case 0: // high-frequency flipper
+				if (t/3+u)%2 == 0 {
+					d = 150
+				} else {
+					d = 20
+				}
+			case 1: // triangular ramp, phase-shifted per unit
+				phase := (t + 7*u) % 80
+				if phase < 40 {
+					d = 30 + float64(phase)*3.25
+				} else {
+					d = 160 - float64(phase-40)*3.25
+				}
+			case 2: // mostly idle with bursts
+				if (t+u)%50 < 10 {
+					d = 140
+				} else {
+					d = 8
+				}
+			case 3: // steady heavy draw (pins at cap)
+				d = 160
+			default: // noisy moderate draw
+				d = 70
+			}
+			d += rng.NormFloat64() * 2
+			// Global quiet window: everything close to idle, so restore
+			// (Algorithm 3) fires and caps reset to the constant cap.
+			if t >= 300 && t < 312 {
+				d = 4 + rng.Float64()
+			}
+			if d < 0 {
+				d = 0
+			}
+			row[u] = power.Watts(d)
+		}
+		demand[t] = row
+	}
+	return demand
+}
+
+// runTrace drives one controller closed-loop over the demand trace: each
+// unit draws min(demand, cap), like a RAPL socket. It returns the cap
+// vector after every step plus the per-step stats.
+func runTrace(t *testing.T, d *DPS, demand [][]power.Watts) ([]power.Vector, []RoundStats) {
+	t.Helper()
+	units := len(demand[0])
+	capsOut := make([]power.Vector, len(demand))
+	statsOut := make([]RoundStats, len(demand))
+	caps := d.Caps().Clone()
+	drawn := make(power.Vector, units)
+	for step, row := range demand {
+		for u := range drawn {
+			drawn[u] = row[u]
+			if drawn[u] > caps[u] {
+				drawn[u] = caps[u]
+			}
+		}
+		next, st := d.DecideStats(Snapshot{Power: drawn, Interval: 1})
+		capsOut[step] = next.Clone()
+		statsOut[step] = st
+		copy(caps, next)
+	}
+	return capsOut, statsOut
+}
+
+// TestShardedEquivalence is the determinism contract of the sharded
+// pipeline: for a fixed seed, controllers with 2, 4 and 7 shards must
+// produce bitwise-identical cap vectors and identical decision outcomes
+// to the sequential controller on every step of a 600-step mixed trace.
+func TestShardedEquivalence(t *testing.T) {
+	const (
+		units = 96
+		steps = 600
+	)
+	// A tight envelope (55 W per unit against demands up to 160 W) forces
+	// Algorithm 4's budget-exhausted equalize branch alongside grants.
+	budget := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	demand := mixedTrace(steps, units, 42)
+
+	build := func(shards int) *DPS {
+		cfg := DefaultConfig(units, budget)
+		cfg.Seed = 7
+		cfg.Shards = shards
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatalf("NewDPS(shards=%d): %v", shards, err)
+		}
+		return d
+	}
+
+	seq := build(1)
+	defer seq.Close()
+	wantCaps, wantStats := runTrace(t, seq, demand)
+
+	// Sanity: the trace must exercise the interesting paths, or the
+	// equivalence proof is vacuous.
+	var restores, exhausted, flips, high int
+	for _, st := range wantStats {
+		if st.Restored {
+			restores++
+		}
+		if st.BudgetExhausted {
+			exhausted++
+		}
+		flips += st.PriorityFlips
+		high += st.HighPriority
+	}
+	if restores == 0 || exhausted == 0 || flips == 0 || high == 0 {
+		t.Fatalf("trace too tame: restores=%d exhausted=%d flips=%d high=%d", restores, exhausted, flips, high)
+	}
+
+	for _, shards := range []int{2, 4, 7} {
+		d := build(shards)
+		if got := d.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		gotCaps, gotStats := runTrace(t, d, demand)
+		d.Close()
+		for step := range wantCaps {
+			for u := range wantCaps[step] {
+				if gotCaps[step][u] != wantCaps[step][u] {
+					t.Fatalf("shards=%d step=%d unit=%d: cap %v != sequential %v",
+						shards, step, u, gotCaps[step][u], wantCaps[step][u])
+				}
+			}
+			g, w := gotStats[step], wantStats[step]
+			if g.HighPriority != w.HighPriority || g.PriorityFlips != w.PriorityFlips ||
+				g.Restored != w.Restored || g.BudgetExhausted != w.BudgetExhausted ||
+				g.BudgetClamped != w.BudgetClamped || g.Step != w.Step {
+				t.Fatalf("shards=%d step=%d: stats %+v != sequential %+v", shards, step, g, w)
+			}
+		}
+	}
+}
+
+// TestShardCountResolution pins the Config.Shards contract: 1 is
+// sequential, explicit counts are honored (clamped to the unit count),
+// and auto selection never splits below shardMinUnits units per shard.
+func TestShardCountResolution(t *testing.T) {
+	cases := []struct {
+		units, shards, want int
+	}{
+		{units: 20, shards: 1, want: 1},
+		{units: 20, shards: 7, want: 7},
+		{units: 4, shards: 7, want: 4}, // clamped to units
+		{units: 20, shards: 0, want: 1},
+	}
+	for _, c := range cases {
+		cfg := Config{Units: c.units, Shards: c.shards}
+		if got := cfg.shardCount(); got != c.want {
+			t.Errorf("shardCount(units=%d, shards=%d) = %d, want %d", c.units, c.shards, got, c.want)
+		}
+	}
+	// Auto mode at cluster scale uses up to GOMAXPROCS shards.
+	cfg := Config{Units: shardMinUnits * 64}
+	if got, max := cfg.shardCount(), runtime.GOMAXPROCS(0); got != max && got != 64 {
+		t.Errorf("auto shardCount(units=%d) = %d, want min(GOMAXPROCS=%d, 64)", cfg.Units, got, max)
+	}
+}
+
+// TestShardRangeCoversAllUnits checks the balanced partition is a true
+// partition for awkward unit/shard combinations.
+func TestShardRangeCoversAllUnits(t *testing.T) {
+	for _, n := range []int{1, 7, 96, 1000} {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			if p > n {
+				continue
+			}
+			next := 0
+			for s := 0; s < p; s++ {
+				lo, hi := shardRange(s, p, n)
+				if lo != next {
+					t.Fatalf("n=%d p=%d shard %d starts at %d, want %d", n, p, s, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d p=%d shard %d empty range [%d,%d)", n, p, s, lo, hi)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d p=%d covers %d units", n, p, next)
+			}
+		}
+	}
+}
+
+// TestDecideStatsMatchesLastStats checks the deprecated side channel
+// keeps reporting the stats of the round that produced it.
+func TestDecideStatsMatchesLastStats(t *testing.T) {
+	budget := power.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
+	d, err := NewDPS(DefaultConfig(4, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{Power: power.Vector{100, 90, 40, 20}, Interval: 1}
+	for i := 0; i < 5; i++ {
+		_, st := d.DecideStats(snap)
+		if st != d.LastStats() {
+			t.Fatalf("round %d: DecideStats %+v != LastStats %+v", i, st, d.LastStats())
+		}
+		if st.Step != uint64(i+1) {
+			t.Fatalf("round %d: Step = %d", i, st.Step)
+		}
+		if st.Shards != 1 {
+			t.Fatalf("round %d: Shards = %d, want 1 for a 4-unit controller", i, st.Shards)
+		}
+	}
+}
+
+// TestCloseIdempotent: Close twice, then again after decisions, must not
+// panic, and a sharded controller still decides before Close.
+func TestCloseIdempotent(t *testing.T) {
+	const units = 32
+	budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+	cfg := DefaultConfig(units, budget)
+	cfg.Shards = 4
+	d, err := NewDPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := power.NewVector(units, 100)
+	for i := 0; i < 3; i++ {
+		d.Decide(Snapshot{Power: readings, Interval: 1})
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

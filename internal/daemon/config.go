@@ -44,6 +44,9 @@ type FileConfig struct {
 	// DPS-specific tuning (ignored by other policies).
 	HistoryLen     int  `json:"history_len,omitempty"`
 	DisableRestore bool `json:"disable_restore,omitempty"`
+	// Shards sets the controller's worker-shard count: 0 auto-sizes from
+	// GOMAXPROCS and the unit count, 1 forces the sequential path.
+	Shards int `json:"shards,omitempty"`
 }
 
 // LoadFileConfig parses and normalizes a config file.
@@ -98,6 +101,8 @@ func (fc FileConfig) validate() error {
 		return fmt.Errorf("non-positive units %d", fc.Units)
 	case fc.IntervalMS <= 0:
 		return fmt.Errorf("non-positive interval %d ms", fc.IntervalMS)
+	case fc.Shards < 0:
+		return fmt.Errorf("negative shards %d", fc.Shards)
 	}
 	switch fc.Policy {
 	case "dps", "slurm", "constant":
@@ -130,6 +135,7 @@ func (fc FileConfig) BuildManager() (core.Manager, error) {
 		cfg.Seed = fc.Seed
 		cfg.HistoryLen = fc.HistoryLen
 		cfg.DisableRestore = fc.DisableRestore
+		cfg.Shards = fc.Shards
 		return core.NewDPS(cfg)
 	case "slurm":
 		return baseline.NewSLURM(fc.Units, budget, stateless.DefaultConfig(), fc.Seed)

@@ -67,11 +67,16 @@ type Server struct {
 
 	mu       sync.Mutex
 	readings power.Vector
-	lastCaps power.Vector  // caps from the most recent decision round
-	owner    []*serverConn // per-unit owning connection, nil if unclaimed
-	conns    map[*serverConn]struct{}
-	closed   bool
-	rounds   uint64
+	lastCaps power.Vector // caps from the most recent decision round
+	// lastPrio and lastRestored cache the DPS view of the most recent
+	// round so /status never reads the controller concurrently with a
+	// decision (nil/false for non-DPS managers).
+	lastPrio     []bool
+	lastRestored bool
+	owner        []*serverConn // per-unit owning connection, nil if unclaimed
+	conns        map[*serverConn]struct{}
+	closed       bool
+	rounds       uint64
 }
 
 // serverMetrics holds the registry handles the control loop updates every
@@ -287,6 +292,14 @@ func (s *Server) Readings() power.Vector {
 	return s.readings.Clone()
 }
 
+// statsDecider is the stats-returning decision API a manager may offer
+// beyond core.Manager (core.DPS does). The server prefers it over the
+// deprecated Decide-then-LastStats sequence: the stats arrive atomically
+// with the caps, so overlapping observers can never read a stale round.
+type statsDecider interface {
+	DecideStats(core.Snapshot) (power.Vector, core.RoundStats)
+}
+
 // DecideOnce runs one decision round: snapshot the latest readings, run
 // the manager, and push each connected agent its cap assignments. Units
 // without a live agent still participate in the decision (their last
@@ -305,7 +318,15 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	s.mu.Unlock()
 
 	started := s.now()
-	caps := s.cfg.Manager.Decide(snap)
+	var caps power.Vector
+	var st core.RoundStats
+	hasStats := false
+	if sd, ok := s.cfg.Manager.(statsDecider); ok {
+		caps, st = sd.DecideStats(snap)
+		hasStats = true
+	} else {
+		caps = s.cfg.Manager.Decide(snap)
+	}
 	elapsed := s.now().Sub(started)
 
 	var firstErr error
@@ -325,15 +346,20 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	s.rounds++
 	round := s.rounds
 	copy(s.lastCaps, caps)
+	if d, ok := s.cfg.Manager.(*core.DPS); ok {
+		s.lastPrio = append(s.lastPrio[:0], d.Priorities()...)
+		s.lastRestored = d.Restored()
+	}
 	s.mu.Unlock()
-	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, caps)
+	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, caps, st, hasStats)
 	return caps, firstErr
 }
 
 // observeRound publishes one decision round to the metrics registry and
 // the flight recorder. Called from the decision loop only, after the
-// round counter advanced.
-func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, caps power.Vector) {
+// round counter advanced. st carries the round's controller stats when
+// hasStats is true (the manager implements statsDecider).
+func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, caps power.Vector, st core.RoundStats, hasStats bool) {
 	m := &s.metrics
 	m.rounds.Inc()
 	m.decide.Observe(elapsed.Seconds())
@@ -356,8 +382,7 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		Units:     make([]telemetry.UnitRecord, len(caps)),
 	}
 	var prio []bool
-	if d, ok := s.cfg.Manager.(*core.DPS); ok {
-		st := d.LastStats()
+	if hasStats {
 		rec.Stages = telemetry.StageSeconds{
 			Kalman:    st.Timings.Kalman.Seconds(),
 			Stateless: st.Timings.Stateless.Seconds(),
@@ -384,6 +409,8 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		if st.BudgetClamped {
 			m.violations.Inc()
 		}
+	}
+	if d, ok := s.cfg.Manager.(*core.DPS); ok {
 		prio = d.Priorities()
 		for u, hp := range prio {
 			v := 0.0

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/http"
 
-	"dps/internal/core"
 	"dps/internal/power"
 )
 
@@ -26,16 +25,23 @@ type Status struct {
 	Restored bool      `json:"restored,omitempty"`
 }
 
-// Snapshot assembles the current Status.
+// Snapshot assembles the current Status. It reads only the server's own
+// round cache, never the controller: a /status scrape may overlap a
+// decision round, and the controller's accessors are not synchronized.
 func (s *Server) Snapshot() Status {
 	s.mu.Lock()
 	readings := s.readings.Clone()
 	agents := len(s.conns)
 	rounds := s.rounds
 	caps := s.lastCaps.Clone()
+	var prio []bool
+	if s.lastPrio != nil {
+		prio = append([]bool(nil), s.lastPrio...)
+	}
+	restored := s.lastRestored
 	s.mu.Unlock()
 
-	st := Status{
+	return Status{
 		Policy:   s.cfg.Manager.Name(),
 		Units:    s.cfg.Units,
 		Agents:   agents,
@@ -44,14 +50,9 @@ func (s *Server) Snapshot() Status {
 		Readings: toFloats(readings),
 		Caps:     toFloats(caps),
 		CapSumW:  float64(caps.Sum()),
+		Priority: prio,
+		Restored: restored,
 	}
-	if d, ok := s.cfg.Manager.(*core.DPS); ok {
-		// Priorities are read between decision rounds; the slice is only
-		// mutated inside Decide, which Serve single-threads.
-		st.Priority = append([]bool(nil), d.Priorities()...)
-		st.Restored = d.Restored()
-	}
-	return st
 }
 
 func toFloats(v power.Vector) []float64 {

@@ -59,8 +59,7 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 					readings[j] = 0
 				}
 			}
-			d.Decide(snap)
-			st := d.LastStats()
+			_, st := d.DecideStats(snap)
 			stages.Kalman += st.Timings.Kalman
 			stages.Stateless += st.Timings.Stateless
 			stages.Priority += st.Timings.Priority

@@ -126,6 +126,11 @@ func (r *Ring) Reset() {
 
 // Set holds one ring per unit, the controller-side "estimated power
 // history" global of Figure 3.
+//
+// Concurrency: the set is immutable after construction and each ring
+// holds one unit's samples, so pushing to *distinct* units from different
+// goroutines is race-free — the property the sharded controller relies
+// on. Individual rings are not safe for concurrent use.
 type Set struct {
 	rings []*Ring
 }
@@ -145,7 +150,8 @@ func (s *Set) Unit(u power.UnitID) *Ring { return s.rings[u] }
 // Len returns the number of units.
 func (s *Set) Len() int { return len(s.rings) }
 
-// Push records one sample for unit u.
+// Push records one sample for unit u. Safe to call concurrently for
+// distinct units (see the Set doc comment).
 func (s *Set) Push(u power.UnitID, p power.Watts, dt power.Seconds) {
 	s.rings[u].Push(p, dt)
 }

@@ -107,6 +107,11 @@ func (f *Filter) Reset() {
 
 // Bank is one filter per unit, the controller-side companion of the power
 // history set.
+//
+// Concurrency: the bank itself is immutable after construction, and each
+// filter owns state for exactly one unit, so stepping *distinct* units
+// from different goroutines is race-free — the property the sharded
+// controller relies on. Stepping the same unit concurrently is not.
 type Bank struct {
 	filters []*Filter
 }
@@ -124,7 +129,8 @@ func NewBank(n int, cfg Config) (*Bank, error) {
 	return b, nil
 }
 
-// Step folds a measurement for unit u and returns its new estimate.
+// Step folds a measurement for unit u and returns its new estimate. Safe
+// to call concurrently for distinct units (see the Bank doc comment).
 func (b *Bank) Step(u power.UnitID, z power.Watts) power.Watts {
 	return b.filters[u].Step(z)
 }

@@ -127,8 +127,17 @@ type Module struct {
 	// ablation knob: priorities then come from the derivative alone).
 	DisableFrequency bool
 
-	powScratch []power.Watts
-	durScratch []power.Seconds
+	scratch Scratch
+}
+
+// Scratch holds the reusable buffers one goroutine needs to classify
+// units. Classification of *distinct* units is safe from concurrent
+// goroutines as long as each brings its own Scratch: the module's sticky
+// per-unit flags live at distinct slice indices, so no two goroutines
+// touch the same element. The zero value is ready to use.
+type Scratch struct {
+	pow []power.Watts
+	dur []power.Seconds
 }
 
 // New returns a module for n units; all units start low priority.
@@ -170,19 +179,24 @@ func (m *Module) Update(hist *history.Set, powerNow, caps power.Vector, constant
 		panic(fmt.Sprintf("priority: %d readings / %d caps for %d units", len(powerNow), len(caps), len(m.prio)))
 	}
 	for u := 0; u < hist.Len(); u++ {
-		m.updateUnit(power.UnitID(u), hist.Unit(power.UnitID(u)), powerNow[u], caps[u], constantCap)
+		m.UpdateUnit(&m.scratch, power.UnitID(u), hist.Unit(power.UnitID(u)), powerNow[u], caps[u], constantCap)
 	}
 	return m.prio
 }
 
-func (m *Module) updateUnit(u power.UnitID, ring *history.Ring, pNow, capNow, constantCap power.Watts) {
+// UpdateUnit reclassifies one unit: the per-unit half of Update, exposed
+// so a sharded controller can classify disjoint unit ranges concurrently.
+// Each goroutine must bring its own Scratch; the cross-unit contract
+// (every unit classified exactly once per round, against the same caps
+// vector) is the caller's responsibility.
+func (m *Module) UpdateUnit(sc *Scratch, u power.UnitID, ring *history.Ring, pNow, capNow, constantCap power.Watts) {
 	if ring.Len() < m.cfg.MinSamples {
 		return // not enough dynamics yet; keep the current priority
 	}
-	m.powScratch = ring.PowersInto(m.powScratch)
+	sc.pow = ring.PowersInto(sc.pow)
 
 	if !m.DisableFrequency {
-		peaks := signal.CountProminentPeaks(m.powScratch, m.cfg.PeakProminence)
+		peaks := signal.CountProminentPeaks(sc.pow, m.cfg.PeakProminence)
 		if !m.highFreq[u] {
 			if peaks > m.cfg.PeakCountThreshold {
 				m.highFreq[u] = true
@@ -190,7 +204,7 @@ func (m *Module) updateUnit(u power.UnitID, ring *history.Ring, pNow, capNow, co
 				return
 			}
 		} else {
-			if peaks <= m.cfg.PeakCountThreshold && signal.StdDev(m.powScratch) < m.cfg.StdThreshold {
+			if peaks <= m.cfg.PeakCountThreshold && signal.StdDev(sc.pow) < m.cfg.StdThreshold {
 				m.highFreq[u] = false
 				m.prio[u] = false
 				// Fall through to the derivative check: the unit just
@@ -211,15 +225,15 @@ func (m *Module) updateUnit(u power.UnitID, ring *history.Ring, pNow, capNow, co
 	}
 
 	// Derivative classification for low-frequency, unthrottled units.
-	if cap(m.durScratch) < ring.Len() {
-		m.durScratch = make([]power.Seconds, ring.Len())
+	if cap(sc.dur) < ring.Len() {
+		sc.dur = make([]power.Seconds, ring.Len())
 	}
-	m.durScratch = m.durScratch[:0]
+	sc.dur = sc.dur[:0]
 	for i := 0; i < ring.Len(); i++ {
 		_, dt := ring.At(i)
-		m.durScratch = append(m.durScratch, dt)
+		sc.dur = append(sc.dur, dt)
 	}
-	d := signal.WindowedDerivative(m.powScratch, m.durScratch, m.cfg.DerivWindow)
+	d := signal.WindowedDerivative(sc.pow, sc.dur, m.cfg.DerivWindow)
 	switch {
 	case d > m.cfg.DerivIncThreshold:
 		m.prio[u] = true

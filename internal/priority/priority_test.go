@@ -305,3 +305,68 @@ func TestUpdatePanicsOnSizeMismatch(t *testing.T) {
 	}()
 	m.Update(history.NewSet(3, 20), power.NewVector(3, 0), power.NewVector(3, 165), constantCap)
 }
+
+// TestUpdateUnitMatchesUpdate drives two identical modules over the same
+// histories — one through the batch Update, one through per-unit
+// UpdateUnit calls with per-goroutine scratches — and requires identical
+// flags. This is the contract the sharded controller's priority stage
+// depends on.
+func TestUpdateUnitMatchesUpdate(t *testing.T) {
+	const units = 12
+	batch, err := New(DefaultConfig(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUnit, err := New(DefaultConfig(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := history.NewSet(units, 20)
+	pow := power.NewVector(units, 0)
+	caps := power.NewVector(units, 120)
+
+	// Distinct dynamics per unit: flippers, ramps, idlers, at-cap.
+	for step := 0; step < 60; step++ {
+		for u := 0; u < units; u++ {
+			var p power.Watts
+			switch u % 4 {
+			case 0:
+				if (step/3+u)%2 == 0 {
+					p = 150
+				} else {
+					p = 20
+				}
+			case 1:
+				p = power.Watts(20 + step*2 + u)
+			case 2:
+				p = 8
+			default:
+				p = 119 // pinned at cap
+			}
+			hist.Push(power.UnitID(u), p, 1)
+			pow[u] = p
+		}
+		want := batch.Update(hist, pow, caps, constantCap)
+
+		// Two scratches, as two shards would use, interleaved over units.
+		var scA, scB Scratch
+		for u := 0; u < units; u++ {
+			sc := &scA
+			if u >= units/2 {
+				sc = &scB
+			}
+			perUnit.UpdateUnit(sc, power.UnitID(u), hist.Unit(power.UnitID(u)), pow[u], caps[u], constantCap)
+		}
+		got := perUnit.Priorities()
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("step %d unit %d: UpdateUnit %v != Update %v", step, u, got[u], want[u])
+			}
+		}
+		for u, hf := range batch.HighFrequency() {
+			if perUnit.HighFrequency()[u] != hf {
+				t.Fatalf("step %d unit %d: highFreq mismatch", step, u)
+			}
+		}
+	}
+}

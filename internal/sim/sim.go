@@ -241,17 +241,24 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 			}
 		}
 
-		// Controller pass: readings in, caps out, caps programmed.
-		caps := mgr.Decide(core.Snapshot{
+		// Controller pass: readings in, caps out, caps programmed. A DPS
+		// manager goes through the stats-returning API so the stage
+		// breakdown is taken from the round it belongs to.
+		snap := core.Snapshot{
 			Power:    readings,
 			Interval: cfg.DT,
 			Demand:   mach.TrueDemands(),
-		})
+		}
+		var caps power.Vector
+		if dpsMgr != nil {
+			var st core.RoundStats
+			caps, st = dpsMgr.DecideStats(snap)
+			res.Stages.Add(st)
+		} else {
+			caps = mgr.Decide(snap)
+		}
 		if caps.Sum() > cfg.Budget.Total+eps {
 			res.BudgetViolations++
-		}
-		if dpsMgr != nil {
-			res.Stages.Add(dpsMgr.LastStats())
 		}
 		if err := mach.ApplyCaps(caps); err != nil {
 			return PairResult{}, err
