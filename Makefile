@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke ci
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check ci
 
 all: ci
 
@@ -33,12 +33,23 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # bench-smoke proves the sequential and sharded decision pipelines both
-# complete a cluster-scale round; it is a compile-and-run check, not a
-# timing run (use `make bench` or -benchtime 10x for numbers).
+# complete a cluster-scale round with -benchmem reporting, and that the
+# BENCH_decide.json emitter parses the output; it is a compile-and-run
+# check, not a timing run. The smoke JSON goes to an untracked path so it
+# never clobbers the committed timing record.
 bench-smoke:
-	$(GO) test -run xxx -bench 'DecideScaling/N=4096' -benchtime 1x .
+	BENCHTIME=1x OUT=BENCH_decide.smoke.json ./scripts/bench_decide.sh
+
+# bench-json refreshes the committed BENCH_decide.json with real timings.
+bench-json:
+	./scripts/bench_decide.sh
+
+# alloc-check is the allocation-regression gate: a warm sequential
+# DecideStats round must not allocate (see internal/core/alloc_test.go).
+alloc-check:
+	$(GO) test -run TestDecideStatsSteadyStateZeroAlloc -count=1 ./internal/core
 
 # ci is the tier-1 gate: static checks, a full build, the complete test
-# suite, the race detector over the concurrency-bearing packages, and a
-# smoke run of the scaling benchmark.
-ci: vet staticcheck build test race bench-smoke
+# suite, the race detector over the concurrency-bearing packages, the
+# allocation-regression gate, and a smoke run of the scaling benchmark.
+ci: vet staticcheck build test race alloc-check bench-smoke

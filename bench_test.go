@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"dps"
 	"dps/internal/core"
@@ -290,10 +291,13 @@ func BenchmarkControllerLoop20000(b *testing.B) { benchControllerLoop(b, 20000) 
 //
 //	go test -bench 'DecideScaling/N=4096' -benchtime 1x .
 //
-// On a multi-core host the shards=max rows should show the per-unit
-// stages (Kalman + history + priority, the bulk of a large-N step)
-// scaling with core count; on one core the sharded path measures pure
-// coordination overhead.
+// Each row reports allocations (steady state must be 0 on the sequential
+// path — the regression test in internal/core pins it) and a priority_ns
+// metric so the per-PR trajectory of the dominant per-unit stage is
+// visible; scripts/bench_decide.sh turns this output into
+// BENCH_decide.json. On a multi-core host the shards=max rows should
+// show the per-unit stages scaling with core count; on one core the
+// sharded path measures pure coordination overhead.
 func BenchmarkDecideScaling(b *testing.B) {
 	for _, units := range []int{1024, 4096, 16384} {
 		budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
@@ -324,11 +328,17 @@ func BenchmarkDecideScaling(b *testing.B) {
 				for i := 0; i < 25; i++ { // fill the history
 					d.Decide(snap)
 				}
+				var priorityNS, kalmanNS time.Duration
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					readings[i%units] += power.Watts(rng.NormFloat64() * 2)
-					d.Decide(snap)
+					_, st := d.DecideStats(snap)
+					priorityNS += st.Timings.Priority
+					kalmanNS += st.Timings.Kalman
 				}
+				b.ReportMetric(float64(priorityNS.Nanoseconds())/float64(b.N), "priority_ns")
+				b.ReportMetric(float64(kalmanNS.Nanoseconds())/float64(b.N), "kalman_ns")
 			})
 		}
 	}

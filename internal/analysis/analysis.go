@@ -37,6 +37,11 @@ type UnitSummary struct {
 	// ProminentPeaks counts prominent power peaks (> 20 W) in the unit's
 	// series — the high-frequency signature.
 	ProminentPeaks int
+	// StdDevPower is the population standard deviation of the unit's power
+	// series — the other half of the high-frequency signature (the
+	// priority module clears a sticky flag only when both the peak count
+	// and the stddev fall below threshold).
+	StdDevPower power.Watts
 }
 
 // Summary is a whole log digested.
@@ -124,6 +129,7 @@ func Summarize(recs []tracelog.Record) (Summary, error) {
 		us.ThrottledFrac = float64(throttled) / n
 		us.HighPriorityFrac = float64(highPrio) / n
 		us.ProminentPeaks = signal.CountProminentPeaks(powers, 20)
+		us.StdDevPower = signal.StdDev(powers)
 		s.Units = append(s.Units, us)
 	}
 	return s, nil
@@ -274,11 +280,11 @@ func RenderSeries(powers, caps []power.Watts, width int) string {
 func FormatSummary(s Summary) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "log: %d steps over %.0f s, max cap sum %.1f W\n", s.Steps, s.Duration, s.MaxCapSum)
-	fmt.Fprintf(&b, "%-5s %9s %9s %9s %10s %9s %9s %7s\n",
-		"unit", "meanW", "maxW", "meanCapW", "throttled", "highPrio", "capMoves", "peaks")
+	fmt.Fprintf(&b, "%-5s %9s %9s %9s %9s %10s %9s %9s %7s\n",
+		"unit", "meanW", "maxW", "stdW", "meanCapW", "throttled", "highPrio", "capMoves", "peaks")
 	for _, u := range s.Units {
-		fmt.Fprintf(&b, "%-5d %9.1f %9.1f %9.1f %9.1f%% %8.1f%% %9d %7d\n",
-			u.Unit, u.MeanPower, u.MaxPower, u.MeanCap,
+		fmt.Fprintf(&b, "%-5d %9.1f %9.1f %9.1f %9.1f %9.1f%% %8.1f%% %9d %7d\n",
+			u.Unit, u.MeanPower, u.MaxPower, u.StdDevPower, u.MeanCap,
 			u.ThrottledFrac*100, u.HighPriorityFrac*100, u.CapChanges, u.ProminentPeaks)
 	}
 	return b.String()

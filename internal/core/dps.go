@@ -116,9 +116,8 @@ type DPS struct {
 	// Sharding state: nil/empty when shards == 1 (the sequential path).
 	shards     int
 	pool       *shardPool
-	prioScr    []priority.Scratch // one per shard
-	shardHigh  []int              // per-shard high-priority tallies
-	shardFlips []int              // per-shard priority-flip tallies
+	shardHigh  []int // per-shard high-priority tallies
+	shardFlips []int // per-shard priority-flip tallies
 }
 
 // StageTimings is the wall time one Decide call spent in each stage of the
@@ -208,9 +207,12 @@ func NewDPS(cfg Config) (*DPS, error) {
 	for i := range d.caps {
 		d.caps[i] = d.constantCap
 	}
+	// The rings maintain an O(1) tail-duration aggregate sized to the
+	// derivative window, so the priority stage's windowed derivative never
+	// rescans durations (DerivWindow samples span DerivWindow−1 intervals).
+	d.hist.SetTailWindow(cfg.Priority.DerivWindow - 1)
 	if d.shards > 1 {
 		d.pool = newShardPool(d.shards - 1)
-		d.prioScr = make([]priority.Scratch, d.shards)
 		d.shardHigh = make([]int, d.shards)
 		d.shardFlips = make([]int, d.shards)
 		// Belt and braces: an abandoned controller must not leak its
@@ -341,15 +343,18 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 		// Priority module: power dynamics → high/low priority per unit.
 		// Classification is per-unit (shardable); the tallies merge by
 		// integer addition, so the merged stats are order-independent.
+		// prio must not be captured by the shard closure: a variable shared
+		// between this scope and an escaping closure is forced onto the
+		// heap, which would cost the sequential path one allocation per
+		// round. The closure reads the module's flags directly instead.
 		var prio []bool
 		if d.shards > 1 {
-			prio = d.priorityM.Priorities()
 			d.pool.run(d.shards, func(s int) {
+				prio := d.priorityM.Priorities()
 				lo, hi := shardRange(s, d.shards, d.cfg.Units)
-				sc := &d.prioScr[s]
 				high, flips := 0, 0
 				for u := lo; u < hi; u++ {
-					d.priorityM.UpdateUnit(sc, power.UnitID(u), d.hist.Unit(power.UnitID(u)), snap.Power[u], d.caps[u], d.constantCap)
+					d.priorityM.UpdateUnit(power.UnitID(u), d.hist.Unit(power.UnitID(u)), snap.Power[u], d.caps[u], d.constantCap)
 					p := prio[u]
 					if p {
 						high++
@@ -361,6 +366,7 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 				}
 				d.shardHigh[s], d.shardFlips[s] = high, flips
 			})
+			prio = d.priorityM.Priorities()
 			for s := 0; s < d.shards; s++ {
 				stats.HighPriority += d.shardHigh[s]
 				stats.PriorityFlips += d.shardFlips[s]

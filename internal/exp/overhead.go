@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"dps/internal/core"
@@ -26,7 +27,7 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 	res := Result{
 		ID:      "Section 6.5",
 		Title:   "Controller overhead per decision step",
-		Columns: []string{"units", "us_per_step", "us_kalman", "us_stateless", "us_priority", "us_readjust", "bytes_per_node"},
+		Columns: []string{"units", "us_per_step", "us_kalman", "us_stateless", "us_priority", "us_readjust", "allocs_per_step", "bytes_per_node"},
 	}
 	for _, n := range unitCounts {
 		budget := power.Budget{Total: power.Watts(n) * 110, UnitMax: 165, UnitMin: 10}
@@ -49,6 +50,13 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 			d.Decide(snap)
 		}
 		var stages core.StageTimings
+		// Mallocs delta across the timed loop ties the steady-state
+		// zero-allocation claim (sequential path; see
+		// internal/core/alloc_test.go) to the measured experiment. The
+		// sharded path forks goroutines, so large counts report the
+		// fork/join cost rather than 0.
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		for i := 0; i < stepsPerCount; i++ {
 			// Perturb readings so the Kalman filters and priority module
@@ -66,6 +74,9 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 			stages.Readjust += st.Timings.Readjust
 		}
 		perStep := time.Since(start) / time.Duration(stepsPerCount)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		allocsPerStep := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(stepsPerCount)
 		perStageUS := func(total time.Duration) float64 {
 			return float64(total.Microseconds()) / float64(stepsPerCount)
 		}
@@ -78,13 +89,14 @@ func Overhead(unitCounts []int, stepsPerCount int, seed int64) (Result, error) {
 		res.Rows = append(res.Rows, Row{
 			Name: fmt.Sprintf("%d units", n),
 			Values: map[string]float64{
-				"units":          float64(n),
-				"us_per_step":    float64(perStep.Microseconds()),
-				"us_kalman":      perStageUS(stages.Kalman),
-				"us_stateless":   perStageUS(stages.Stateless),
-				"us_priority":    perStageUS(stages.Priority),
-				"us_readjust":    perStageUS(stages.Readjust),
-				"bytes_per_node": bytesPerNode,
+				"units":           float64(n),
+				"us_per_step":     float64(perStep.Microseconds()),
+				"us_kalman":       perStageUS(stages.Kalman),
+				"us_stateless":    perStageUS(stages.Stateless),
+				"us_priority":     perStageUS(stages.Priority),
+				"us_readjust":     perStageUS(stages.Readjust),
+				"allocs_per_step": allocsPerStep,
+				"bytes_per_node":  bytesPerNode,
 			},
 		})
 	}

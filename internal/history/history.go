@@ -3,13 +3,33 @@
 // the paper's default is 20 estimated power samples per unit plus the
 // duration of each measurement interval, which together are the only state
 // the priority module consumes.
+//
+// Beyond storage, each ring maintains incremental sufficient statistics —
+// the running sum, sum of squares, total duration and a configurable
+// tail-duration window — so the statistics the priority module reads every
+// decision round (mean, standard deviation, windowed derivative) are O(1)
+// instead of O(history length), and require no copying of the ring into
+// scratch buffers. The aggregates are updated on every Push/evict and
+// re-derived exactly from the stored samples every recomputeEvery pushes,
+// which bounds floating-point drift to what a few hundred add/subtract
+// pairs can accumulate (well below any decision threshold; see DESIGN.md
+// §8).
 package history
 
 import (
 	"fmt"
+	"math"
 
 	"dps/internal/power"
 )
+
+// recomputeEvery is the number of pushes between exact recomputations of a
+// ring's incremental aggregates. Each recompute is O(capacity) — 20 float
+// reads for the paper's default history — so at 256 it amortizes to a
+// fraction of one element's work per push while keeping the worst-case
+// incremental drift far below every decision threshold (the property tests
+// in history_test.go pin the bound).
+const recomputeEvery = 256
 
 // Ring is a fixed-capacity FIFO of power samples with their measurement
 // intervals. The zero value is not usable; construct with NewRing.
@@ -18,6 +38,20 @@ type Ring struct {
 	durations []power.Seconds
 	head      int // index of the oldest sample
 	n         int // number of valid samples
+
+	// Incremental sufficient statistics over the stored samples. float64
+	// accumulators (not the Watts/Seconds wrappers) to make the arithmetic
+	// explicit.
+	sum    float64 // Σ powers
+	sumSq  float64 // Σ powers²
+	durSum float64 // Σ durations
+	// tailDur is the running sum of the last min(tailK, n) durations — the
+	// denominator of the priority module's windowed derivative. Maintained
+	// only when tailK > 0 (SetTailWindow).
+	tailK   int
+	tailDur float64
+	// pushes counts Push calls since the last exact recompute.
+	pushes int
 }
 
 // NewRing returns a ring holding at most capacity samples.
@@ -40,16 +74,94 @@ func (r *Ring) Len() int { return r.n }
 // Full reports whether the ring holds Cap() samples.
 func (r *Ring) Full() bool { return r.n == len(r.powers) }
 
-// Push appends a sample, evicting the oldest if the ring is full.
-func (r *Ring) Push(p power.Watts, dt power.Seconds) {
-	idx := (r.head + r.n) % len(r.powers)
-	r.powers[idx] = p
-	r.durations[idx] = dt
-	if r.n < len(r.powers) {
-		r.n++
-	} else {
-		r.head = (r.head + 1) % len(r.powers)
+// SetTailWindow makes the ring maintain an O(1) running sum of its last k
+// measurement intervals (TailDuration(k) and WindowedDerivative(k+1) then
+// cost O(1)). k is clamped to the capacity; k <= 0 disables the window.
+// The aggregate is rebuilt from the stored samples, so the window may be
+// (re)configured at any time.
+func (r *Ring) SetTailWindow(k int) {
+	if k < 0 {
+		k = 0
 	}
+	if k > len(r.powers) {
+		k = len(r.powers)
+	}
+	r.tailK = k
+	r.tailDur = r.directTail(k)
+}
+
+// TailWindow returns the configured tail-duration window (0 = disabled).
+func (r *Ring) TailWindow() int { return r.tailK }
+
+// idx maps the logical sample index i (0 = oldest) to its slot in the
+// backing arrays. The caller guarantees 0 <= i < Cap(), so one conditional
+// subtraction replaces the modulo — measurably cheaper in the per-unit
+// decision loop.
+func (r *Ring) idx(i int) int {
+	j := r.head + i
+	if j >= len(r.powers) {
+		j -= len(r.powers)
+	}
+	return j
+}
+
+// Push appends a sample, evicting the oldest if the ring is full, and
+// folds the change into the running aggregates.
+func (r *Ring) Push(p power.Watts, dt power.Seconds) {
+	// The sample leaving the tail-duration window (if any) must be read
+	// before any slot is overwritten.
+	if r.tailK > 0 && r.n >= r.tailK {
+		r.tailDur -= float64(r.durations[r.idx(r.n-r.tailK)])
+	}
+	slot := r.idx(r.n) // == head when full: the slot being evicted
+	if r.n == len(r.powers) {
+		old := float64(r.powers[r.head])
+		r.sum -= old
+		r.sumSq -= old * old
+		r.durSum -= float64(r.durations[r.head])
+		r.head++
+		if r.head == len(r.powers) {
+			r.head = 0
+		}
+	} else {
+		r.n++
+	}
+	r.powers[slot] = p
+	r.durations[slot] = dt
+	r.sum += float64(p)
+	r.sumSq += float64(p) * float64(p)
+	r.durSum += float64(dt)
+	r.tailDur += float64(dt)
+	r.pushes++
+	if r.pushes >= recomputeEvery {
+		r.recompute()
+	}
+}
+
+// recompute re-derives every aggregate exactly from the stored samples,
+// discarding accumulated floating-point drift.
+func (r *Ring) recompute() {
+	r.sum, r.sumSq, r.durSum = 0, 0, 0
+	for i := 0; i < r.n; i++ {
+		p := float64(r.powers[r.idx(i)])
+		r.sum += p
+		r.sumSq += p * p
+		r.durSum += float64(r.durations[r.idx(i)])
+	}
+	r.tailDur = r.directTail(r.tailK)
+	r.pushes = 0
+}
+
+// directTail sums the last min(k, n) durations directly.
+func (r *Ring) directTail(k int) float64 {
+	if k > r.n {
+		k = r.n
+	}
+	var s float64
+	for i := r.n - k; i < r.n; i++ {
+		s += float64(r.durations[r.idx(i)])
+	}
+	return s
 }
 
 // At returns the i-th sample, 0 being the oldest. It panics if i is out of
@@ -58,8 +170,8 @@ func (r *Ring) At(i int) (power.Watts, power.Seconds) {
 	if i < 0 || i >= r.n {
 		panic(fmt.Sprintf("history: index %d out of range [0,%d)", i, r.n))
 	}
-	idx := (r.head + i) % len(r.powers)
-	return r.powers[idx], r.durations[idx]
+	j := r.idx(i)
+	return r.powers[j], r.durations[j]
 }
 
 // Last returns the most recent sample. ok is false if the ring is empty.
@@ -71,57 +183,153 @@ func (r *Ring) Last() (p power.Watts, dt power.Seconds, ok bool) {
 	return p, dt, true
 }
 
-// Powers copies the stored power samples, oldest first, into a new slice.
-func (r *Ring) Powers() []power.Watts {
-	out := make([]power.Watts, r.n)
-	for i := 0; i < r.n; i++ {
-		out[i], _ = r.At(i)
+// Segments returns the stored power samples as up to two contiguous spans
+// of the backing array: first holds the oldest samples, second (possibly
+// nil) the samples that wrapped past the array end. Concatenated they are
+// exactly Powers(), with zero copying — the priority module's peak scan
+// runs directly over them. The spans alias ring storage: they are
+// invalidated by the next Push/Reset and must not be mutated.
+func (r *Ring) Segments() (first, second []power.Watts) {
+	if r.head+r.n <= len(r.powers) {
+		return r.powers[r.head : r.head+r.n], nil
 	}
-	return out
+	split := len(r.powers) - r.head
+	return r.powers[r.head:], r.powers[:r.n-split]
+}
+
+// DurationSegments is Segments for the measurement intervals.
+func (r *Ring) DurationSegments() (first, second []power.Seconds) {
+	if r.head+r.n <= len(r.powers) {
+		return r.durations[r.head : r.head+r.n], nil
+	}
+	split := len(r.durations) - r.head
+	return r.durations[r.head:], r.durations[:r.n-split]
+}
+
+// Mean returns the mean of the stored power samples in O(1) from the
+// running aggregates (0 for an empty ring).
+func (r *Ring) Mean() power.Watts {
+	if r.n == 0 {
+		return 0
+	}
+	return power.Watts(r.sum / float64(r.n))
+}
+
+// StdDev returns the population standard deviation of the stored power
+// samples in O(1) from the running aggregates (0 for an empty ring). The
+// E[x²]−E[x]² formulation can differ from the two-pass direct computation
+// by cancellation on the order of 1e-6 W for realistic power magnitudes —
+// far below the priority module's thresholds (DESIGN.md §8); the variance
+// is clamped at 0 so drift can never produce NaN.
+func (r *Ring) StdDev() power.Watts {
+	if r.n == 0 {
+		return 0
+	}
+	m := r.sum / float64(r.n)
+	v := r.sumSq/float64(r.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return power.Watts(math.Sqrt(v))
+}
+
+// WindowedDerivative estimates the average first derivative of the stored
+// power over the last window samples, in watts per second — the ring-native
+// equivalent of signal.WindowedDerivative (Algorithm 2 line 16):
+//
+//	(x[last] − x[last−window+1]) / Σ durations of the last window−1 samples
+//
+// It is O(1) when the elapsed time comes from an aggregate: the whole-ring
+// case uses durSum minus the oldest duration, and window == TailWindow()+1
+// uses the maintained tail sum. Other windows fall back to summing
+// window−1 stored durations directly. Returns 0 with fewer than two
+// samples or no elapsed time.
+func (r *Ring) WindowedDerivative(window int) power.Watts {
+	n := r.n
+	if n < 2 {
+		return 0
+	}
+	if window > n {
+		window = n
+	}
+	if window < 2 {
+		window = 2
+	}
+	var elapsed float64
+	switch {
+	case window == n:
+		elapsed = r.durSum - float64(r.durations[r.head])
+	case r.tailK == window-1:
+		elapsed = r.tailDur
+	default:
+		elapsed = r.directTail(window - 1)
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return (r.powers[r.idx(n-1)] - r.powers[r.idx(n-window)]) / power.Watts(elapsed)
+}
+
+// Powers copies the stored power samples, oldest first, into a new slice.
+//
+// Deprecated: Powers allocates on every call. Use Segments for zero-copy
+// access, or PowersInto to fill a reusable buffer.
+func (r *Ring) Powers() []power.Watts {
+	return r.PowersInto(nil)
 }
 
 // PowersInto fills dst with the stored power samples, oldest first, and
 // returns the filled prefix. It avoids allocation when dst has capacity
-// for Len() samples; the controller's hot loop uses this form.
+// for Len() samples. New code should prefer Segments, which avoids the
+// copy entirely.
 func (r *Ring) PowersInto(dst []power.Watts) []power.Watts {
 	if cap(dst) < r.n {
 		dst = make([]power.Watts, r.n)
 	}
 	dst = dst[:r.n]
-	for i := 0; i < r.n; i++ {
-		dst[i], _ = r.At(i)
-	}
+	a, b := r.Segments()
+	copy(dst, a)
+	copy(dst[len(a):], b)
 	return dst
 }
 
 // Durations copies the stored measurement intervals, oldest first.
+//
+// Deprecated: Durations allocates on every call. Use DurationSegments for
+// zero-copy access, or TailDuration for the windowed-derivative
+// denominator.
 func (r *Ring) Durations() []power.Seconds {
 	out := make([]power.Seconds, r.n)
-	for i := 0; i < r.n; i++ {
-		_, out[i] = r.At(i)
-	}
+	a, b := r.DurationSegments()
+	copy(out, a)
+	copy(out[len(a):], b)
 	return out
 }
 
 // TailDuration returns the summed duration of the most recent k samples
 // (all samples if k exceeds Len). This is the denominator of the priority
-// module's windowed derivative (Algorithm 2 line 16).
+// module's windowed derivative (Algorithm 2 line 16). It reads the running
+// aggregates — O(1) — when k covers the whole ring or matches the
+// configured tail window, and sums k stored durations otherwise.
 func (r *Ring) TailDuration(k int) power.Seconds {
-	if k > r.n {
-		k = r.n
+	switch {
+	case k <= 0:
+		return 0
+	case k >= r.n:
+		return power.Seconds(r.durSum)
+	case k == r.tailK:
+		return power.Seconds(r.tailDur)
 	}
-	var s power.Seconds
-	for i := r.n - k; i < r.n; i++ {
-		_, dt := r.At(i)
-		s += dt
-	}
-	return s
+	return power.Seconds(r.directTail(k))
 }
 
-// Reset discards all samples but keeps the capacity.
+// Reset discards all samples but keeps the capacity and the configured
+// tail window. All running aggregates restart from exact zero.
 func (r *Ring) Reset() {
 	r.head = 0
 	r.n = 0
+	r.sum, r.sumSq, r.durSum, r.tailDur = 0, 0, 0, 0
+	r.pushes = 0
 }
 
 // Set holds one ring per unit, the controller-side "estimated power
@@ -142,6 +350,14 @@ func NewSet(n, capacity int) *Set {
 		s.rings[i] = NewRing(capacity)
 	}
 	return s
+}
+
+// SetTailWindow configures every ring's maintained tail-duration window
+// (see Ring.SetTailWindow).
+func (s *Set) SetTailWindow(k int) {
+	for _, r := range s.rings {
+		r.SetTailWindow(k)
+	}
 }
 
 // Unit returns the ring for unit u.

@@ -1,11 +1,27 @@
 package history
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"dps/internal/power"
+	"dps/internal/signal"
 )
+
+// ringPowers reads the stored samples oldest-first through the zero-copy
+// segment API — the replacement for the deprecated allocating Powers().
+func ringPowers(r *Ring) []power.Watts {
+	a, b := r.Segments()
+	return append(append([]power.Watts{}, a...), b...)
+}
+
+// ringDurations is ringPowers for the measurement intervals.
+func ringDurations(r *Ring) []power.Seconds {
+	a, b := r.DurationSegments()
+	return append(append([]power.Seconds{}, a...), b...)
+}
 
 func TestRingPushAndOrder(t *testing.T) {
 	r := NewRing(3)
@@ -14,19 +30,46 @@ func TestRingPushAndOrder(t *testing.T) {
 	}
 	r.Push(1, 1)
 	r.Push(2, 1)
-	if got := r.Powers(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
-		t.Fatalf("Powers = %v, want [1 2]", got)
+	if got := ringPowers(r); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Segments = %v, want [1 2]", got)
 	}
 	r.Push(3, 1)
 	if !r.Full() {
 		t.Error("ring with Cap samples not Full")
 	}
 	r.Push(4, 1) // evicts 1
-	got := r.Powers()
+	got := ringPowers(r)
 	want := []power.Watts{2, 3, 4}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("after eviction Powers = %v, want %v", got, want)
+			t.Fatalf("after eviction Segments = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRingSegmentsContiguity pins the segment contract: first holds the
+// oldest run, second the wrapped run (nil before any wrap), and their
+// concatenation equals the At-order view for every fill level of a small
+// ring.
+func TestRingSegmentsContiguity(t *testing.T) {
+	const capacity = 5
+	r := NewRing(capacity)
+	for push := 1; push <= 3*capacity; push++ {
+		r.Push(power.Watts(push), power.Seconds(push)/10)
+		a, b := r.Segments()
+		if len(a)+len(b) != r.Len() {
+			t.Fatalf("push %d: segment lengths %d+%d != Len %d", push, len(a), len(b), r.Len())
+		}
+		if push <= capacity && b != nil {
+			t.Fatalf("push %d: wrapped segment before first eviction", push)
+		}
+		joined := ringPowers(r)
+		durs := ringDurations(r)
+		for i := 0; i < r.Len(); i++ {
+			p, d := r.At(i)
+			if joined[i] != p || durs[i] != d {
+				t.Fatalf("push %d index %d: segments (%v,%v) != At (%v,%v)", push, i, joined[i], durs[i], p, d)
+			}
 		}
 	}
 }
@@ -113,13 +156,25 @@ func TestRingReset(t *testing.T) {
 	}
 }
 
-func TestRingDurations(t *testing.T) {
-	r := NewRing(2)
-	r.Push(1, 0.5)
-	r.Push(2, 1.5)
+// TestRingDeprecatedCopyAccessors keeps the deprecated allocating
+// accessors honest until they are removed: they must agree with the
+// segment API they now delegate to, across a wrap.
+func TestRingDeprecatedCopyAccessors(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ { // wraps twice
+		r.Push(power.Watts(i), power.Seconds(i)/2)
+	}
+	p := r.Powers()
 	d := r.Durations()
-	if len(d) != 2 || d[0] != 0.5 || d[1] != 1.5 {
-		t.Errorf("Durations = %v, want [0.5 1.5]", d)
+	wantP := ringPowers(r)
+	wantD := ringDurations(r)
+	if len(p) != len(wantP) || len(d) != len(wantD) {
+		t.Fatalf("deprecated accessors returned %d/%d samples, want %d", len(p), len(d), len(wantP))
+	}
+	for i := range wantP {
+		if p[i] != wantP[i] || d[i] != wantD[i] {
+			t.Errorf("index %d: deprecated (%v,%v) != segments (%v,%v)", i, p[i], d[i], wantP[i], wantD[i])
+		}
 	}
 }
 
@@ -140,7 +195,7 @@ func TestRingWindowProperty(t *testing.T) {
 		if r.Len() != wantLen {
 			return false
 		}
-		got := r.Powers()
+		got := ringPowers(r)
 		for i := 0; i < wantLen; i++ {
 			if got[i] != power.Watts(n-wantLen+i) {
 				return false
@@ -151,6 +206,187 @@ func TestRingWindowProperty(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestRingIncrementalStatsMatchDirect is the property test pinning the
+// tentpole contract: after any sequence of pushes, resets, evictions and
+// tail-window configurations, the O(1) incremental statistics must agree
+// with a direct recomputation over the stored samples to within the
+// documented floating-point drift bound. Trials run long enough to cross
+// the periodic exact-recompute boundary many times.
+func TestRingIncrementalStatsMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const eps = 1e-6
+	near := func(a, b float64) bool {
+		d := math.Abs(a - b)
+		return d <= eps || d <= eps*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for trial := 0; trial < 200; trial++ {
+		capacity := 1 + rng.Intn(24)
+		r := NewRing(capacity)
+		if rng.Intn(2) == 0 {
+			r.SetTailWindow(rng.Intn(capacity + 2))
+		}
+		steps := 1 + rng.Intn(3*recomputeEvery)
+		for s := 0; s < steps; s++ {
+			if rng.Intn(97) == 0 {
+				r.Reset()
+			}
+			p := power.Watts(rng.Float64()*200 - 20)
+			dt := power.Seconds(0.25 + rng.Float64()*3.75)
+			r.Push(p, dt)
+		}
+		pows := ringPowers(r)
+		durs := ringDurations(r)
+		if got, want := float64(r.Mean()), float64(signal.Mean(pows)); !near(got, want) {
+			t.Fatalf("trial %d: incremental Mean %v != direct %v", trial, got, want)
+		}
+		if got, want := float64(r.StdDev()), float64(signal.StdDev(pows)); !near(got, want) {
+			t.Fatalf("trial %d: incremental StdDev %v != direct %v", trial, got, want)
+		}
+		for k := 0; k <= r.Len()+2; k++ {
+			var want float64
+			for i := r.Len() - min(k, r.Len()); i < r.Len(); i++ {
+				want += float64(durs[i])
+			}
+			if got := float64(r.TailDuration(k)); !near(got, want) {
+				t.Fatalf("trial %d: TailDuration(%d) = %v, want %v (tailWin=%d)", trial, k, got, want, r.TailWindow())
+			}
+		}
+		for w := 2; w <= capacity+2; w++ {
+			want := float64(signal.WindowedDerivative(pows, durs, w))
+			if got := float64(r.WindowedDerivative(w)); !near(got, want) {
+				t.Fatalf("trial %d: WindowedDerivative(%d) = %v, want %v", trial, w, got, want)
+			}
+		}
+	}
+}
+
+// TestRingAggregatesAcrossEviction spells out the Push-after-eviction
+// interplay on exact integer samples, where the incremental aggregates
+// must match direct values bit-for-bit.
+func TestRingAggregatesAcrossEviction(t *testing.T) {
+	r := NewRing(3)
+	r.SetTailWindow(2)
+	r.Push(10, 1)
+	r.Push(20, 2)
+	r.Push(30, 3)
+	r.Push(40, 4) // evicts (10, 1)
+	if got := r.Mean(); got != 30 {
+		t.Errorf("Mean after eviction = %v, want 30", got)
+	}
+	if got := r.TailDuration(3); got != 9 {
+		t.Errorf("TailDuration(3) = %v, want 9", got)
+	}
+	if got := r.TailDuration(2); got != 7 {
+		t.Errorf("TailDuration(2) = %v, want 7", got)
+	}
+	r.Push(50, 5) // evicts (20, 2)
+	if got := r.Mean(); got != 40 {
+		t.Errorf("Mean after second eviction = %v, want 40", got)
+	}
+	if got := r.TailDuration(2); got != 9 {
+		t.Errorf("TailDuration(2) = %v, want 9", got)
+	}
+	if got := r.WindowedDerivative(3); got != (50-30)/power.Watts(9) {
+		t.Errorf("WindowedDerivative(3) = %v, want %v", got, (50-30)/power.Watts(9))
+	}
+}
+
+// TestRingResetRestartsAggregates: Reset must zero the running sums so a
+// reused ring reports exact statistics for its new contents — even if the
+// old aggregates had accumulated (here: injected) drift.
+func TestRingResetRestartsAggregates(t *testing.T) {
+	r := NewRing(4)
+	r.SetTailWindow(1)
+	for i := 0; i < 9; i++ {
+		r.Push(power.Watts(7*i), 0.5)
+	}
+	r.sum += 1e9 // simulate pathological drift; Reset must not carry it over
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", r.Len())
+	}
+	r.Push(2, 1.5)
+	r.Push(4, 2.5)
+	if got := r.Mean(); got != 3 {
+		t.Errorf("Mean after Reset+Push = %v, want exactly 3", got)
+	}
+	if got := r.StdDev(); got != 1 {
+		t.Errorf("StdDev after Reset+Push = %v, want exactly 1", got)
+	}
+	if got := r.TailDuration(1); got != 2.5 {
+		t.Errorf("TailDuration(1) after Reset = %v, want 2.5", got)
+	}
+	if got := r.TailWindow(); got != 1 {
+		t.Errorf("Reset dropped the configured tail window: %d", got)
+	}
+}
+
+// TestRingRecomputeClearsInjectedDrift pins the periodic exact-recompute
+// trigger: drift injected into the running aggregates must be fully
+// discarded within recomputeEvery further pushes.
+func TestRingRecomputeClearsInjectedDrift(t *testing.T) {
+	r := NewRing(8)
+	r.SetTailWindow(2)
+	for i := 0; i < 20; i++ {
+		r.Push(power.Watts(i), 1)
+	}
+	r.sum += 512
+	r.sumSq -= 256
+	r.durSum += 64
+	r.tailDur += 32
+	if got := float64(r.Mean()); math.Abs(got-float64(signal.Mean(ringPowers(r)))) < 1 {
+		t.Fatal("injected drift not visible; test is vacuous")
+	}
+	for i := 0; i < recomputeEvery; i++ {
+		r.Push(power.Watts(100+i%3), 1)
+	}
+	pows := ringPowers(r)
+	if got, want := float64(r.Mean()), float64(signal.Mean(pows)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean still drifted after recompute window: %v vs %v", got, want)
+	}
+	if got, want := float64(r.StdDev()), float64(signal.StdDev(pows)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("StdDev still drifted after recompute window: %v vs %v", got, want)
+	}
+	if got := float64(r.TailDuration(2)); math.Abs(got-2) > 1e-9 {
+		t.Errorf("tail aggregate still drifted after recompute window: %v, want 2", got)
+	}
+	if got := float64(r.TailDuration(8)); math.Abs(got-8) > 1e-9 {
+		t.Errorf("durSum still drifted after recompute window: %v, want 8", got)
+	}
+}
+
+// TestRingSetTailWindowClampsAndRebuilds covers reconfiguration on a live
+// ring: the aggregate is rebuilt from current contents and the window is
+// clamped to the capacity.
+func TestRingSetTailWindowClampsAndRebuilds(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ { // wraps
+		r.Push(power.Watts(i), power.Seconds(i))
+	}
+	r.SetTailWindow(100)
+	if got := r.TailWindow(); got != 4 {
+		t.Errorf("TailWindow = %d, want clamp to capacity 4", got)
+	}
+	if got := r.TailDuration(4); got != 3+4+5+6 {
+		t.Errorf("TailDuration(4) after SetTailWindow = %v, want 18", got)
+	}
+	r.SetTailWindow(-3)
+	if got := r.TailWindow(); got != 0 {
+		t.Errorf("negative window not disabled: %d", got)
+	}
+	r.SetTailWindow(2)
+	if got := r.TailDuration(2); got != 11 {
+		t.Errorf("TailDuration(2) after rebuild = %v, want 11", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func TestSet(t *testing.T) {

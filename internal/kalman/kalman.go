@@ -59,10 +59,18 @@ type Filter struct {
 
 // New returns a filter with the given configuration.
 func New(cfg Config) (*Filter, error) {
-	if cfg.ProcessNoise < 0 || cfg.MeasurementNoise < 0 || cfg.InitialVariance < 0 {
-		return nil, fmt.Errorf("kalman: negative variance in config %+v", cfg)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	return &Filter{cfg: cfg, variance: cfg.InitialVariance}, nil
+}
+
+// validate reports whether the noise model is usable.
+func (cfg Config) validate() error {
+	if cfg.ProcessNoise < 0 || cfg.MeasurementNoise < 0 || cfg.InitialVariance < 0 {
+		return fmt.Errorf("kalman: negative variance in config %+v", cfg)
+	}
+	return nil
 }
 
 // Step folds one measurement into the estimate and returns the new
@@ -106,25 +114,28 @@ func (f *Filter) Reset() {
 }
 
 // Bank is one filter per unit, the controller-side companion of the power
-// history set.
+// history set. The filters live in one contiguous value slice — not a
+// slice of pointers — so the controller's per-unit estimation loop walks
+// memory sequentially instead of chasing a pointer per unit, which at
+// cluster scale (tens of thousands of units per round) is the difference
+// between streaming the bank through cache and missing on every filter.
 //
 // Concurrency: the bank itself is immutable after construction, and each
 // filter owns state for exactly one unit, so stepping *distinct* units
 // from different goroutines is race-free — the property the sharded
 // controller relies on. Stepping the same unit concurrently is not.
 type Bank struct {
-	filters []*Filter
+	filters []Filter
 }
 
 // NewBank creates n filters sharing one configuration.
 func NewBank(n int, cfg Config) (*Bank, error) {
-	b := &Bank{filters: make([]*Filter, n)}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := &Bank{filters: make([]Filter, n)}
 	for i := range b.filters {
-		f, err := New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		b.filters[i] = f
+		b.filters[i] = Filter{cfg: cfg, variance: cfg.InitialVariance}
 	}
 	return b, nil
 }
@@ -135,8 +146,9 @@ func (b *Bank) Step(u power.UnitID, z power.Watts) power.Watts {
 	return b.filters[u].Step(z)
 }
 
-// Unit returns the filter for unit u.
-func (b *Bank) Unit(u power.UnitID) *Filter { return b.filters[u] }
+// Unit returns the filter for unit u (a pointer into the bank's backing
+// array, valid for the bank's lifetime).
+func (b *Bank) Unit(u power.UnitID) *Filter { return &b.filters[u] }
 
 // Len returns the number of units.
 func (b *Bank) Len() int { return len(b.filters) }

@@ -32,6 +32,7 @@ package priority
 
 import (
 	"fmt"
+	"math"
 
 	"dps/internal/history"
 	"dps/internal/power"
@@ -119,6 +120,13 @@ func (c Config) Validate() error {
 }
 
 // Module tracks per-unit priorities across decision steps.
+//
+// Classification reads each unit's statistics straight off its history
+// ring — peak scan over the ring's storage segments, O(1) incremental
+// stddev and windowed derivative — so a steady-state update copies
+// nothing and allocates nothing. Classification of *distinct* units is
+// safe from concurrent goroutines: the sticky per-unit flags live at
+// distinct slice indices, and the module keeps no shared scratch state.
 type Module struct {
 	cfg      Config
 	highFreq []bool
@@ -126,18 +134,6 @@ type Module struct {
 	// DisableFrequency skips the peak/stddev classification entirely (an
 	// ablation knob: priorities then come from the derivative alone).
 	DisableFrequency bool
-
-	scratch Scratch
-}
-
-// Scratch holds the reusable buffers one goroutine needs to classify
-// units. Classification of *distinct* units is safe from concurrent
-// goroutines as long as each brings its own Scratch: the module's sticky
-// per-unit flags live at distinct slice indices, so no two goroutines
-// touch the same element. The zero value is ready to use.
-type Scratch struct {
-	pow []power.Watts
-	dur []power.Seconds
 }
 
 // New returns a module for n units; all units start low priority.
@@ -179,32 +175,46 @@ func (m *Module) Update(hist *history.Set, powerNow, caps power.Vector, constant
 		panic(fmt.Sprintf("priority: %d readings / %d caps for %d units", len(powerNow), len(caps), len(m.prio)))
 	}
 	for u := 0; u < hist.Len(); u++ {
-		m.UpdateUnit(&m.scratch, power.UnitID(u), hist.Unit(power.UnitID(u)), powerNow[u], caps[u], constantCap)
+		m.UpdateUnit(power.UnitID(u), hist.Unit(power.UnitID(u)), powerNow[u], caps[u], constantCap)
 	}
 	return m.prio
 }
 
 // UpdateUnit reclassifies one unit: the per-unit half of Update, exposed
 // so a sharded controller can classify disjoint unit ranges concurrently.
-// Each goroutine must bring its own Scratch; the cross-unit contract
-// (every unit classified exactly once per round, against the same caps
-// vector) is the caller's responsibility.
-func (m *Module) UpdateUnit(sc *Scratch, u power.UnitID, ring *history.Ring, pNow, capNow, constantCap power.Watts) {
+// The cross-unit contract (every unit classified exactly once per round,
+// against the same caps vector) is the caller's responsibility. The call
+// is copy-free and allocation-free: the peak scan runs over the ring's
+// storage segments and stddev/derivative read the ring's O(1) running
+// aggregates.
+func (m *Module) UpdateUnit(u power.UnitID, ring *history.Ring, pNow, capNow, constantCap power.Watts) {
 	if ring.Len() < m.cfg.MinSamples {
 		return // not enough dynamics yet; keep the current priority
 	}
-	sc.pow = ring.PowersInto(sc.pow)
 
 	if !m.DisableFrequency {
-		peaks := signal.CountProminentPeaks(sc.pow, m.cfg.PeakProminence)
+		// O(1) screen before the O(history) peak scan: any peak's
+		// prominence is bounded by the series range R, and population
+		// variance obeys σ² ≥ R²/(2n) (the two extremes alone contribute
+		// R²/2 to n·σ²), so R ≤ σ√(2n). When σ√(2n) falls below the
+		// prominence threshold the scan provably counts zero peaks — the
+		// common case for every quiet, converged unit in a large cluster.
+		// The 1e-6 W slack keeps the documented incremental-stddev drift
+		// (DESIGN.md §8) from ever flipping the screen on the boundary.
+		n := float64(ring.Len())
+		highFreqNow := false
+		if float64(ring.StdDev())*math.Sqrt(2*n) >= float64(m.cfg.PeakProminence)-1e-6 {
+			pa, pb := ring.Segments()
+			highFreqNow = signal.MoreProminentPeaksThan(pa, pb, m.cfg.PeakProminence, m.cfg.PeakCountThreshold)
+		}
 		if !m.highFreq[u] {
-			if peaks > m.cfg.PeakCountThreshold {
+			if highFreqNow {
 				m.highFreq[u] = true
 				m.prio[u] = true
 				return
 			}
 		} else {
-			if peaks <= m.cfg.PeakCountThreshold && signal.StdDev(sc.pow) < m.cfg.StdThreshold {
+			if !highFreqNow && ring.StdDev() < m.cfg.StdThreshold {
 				m.highFreq[u] = false
 				m.prio[u] = false
 				// Fall through to the derivative check: the unit just
@@ -224,16 +234,9 @@ func (m *Module) UpdateUnit(sc *Scratch, u power.UnitID, ring *history.Ring, pNo
 		return
 	}
 
-	// Derivative classification for low-frequency, unthrottled units.
-	if cap(sc.dur) < ring.Len() {
-		sc.dur = make([]power.Seconds, ring.Len())
-	}
-	sc.dur = sc.dur[:0]
-	for i := 0; i < ring.Len(); i++ {
-		_, dt := ring.At(i)
-		sc.dur = append(sc.dur, dt)
-	}
-	d := signal.WindowedDerivative(sc.pow, sc.dur, m.cfg.DerivWindow)
+	// Derivative classification for low-frequency, unthrottled units,
+	// fed by the ring's maintained tail-duration aggregate.
+	d := ring.WindowedDerivative(m.cfg.DerivWindow)
 	switch {
 	case d > m.cfg.DerivIncThreshold:
 		m.prio[u] = true

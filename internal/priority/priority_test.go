@@ -308,9 +308,9 @@ func TestUpdatePanicsOnSizeMismatch(t *testing.T) {
 
 // TestUpdateUnitMatchesUpdate drives two identical modules over the same
 // histories — one through the batch Update, one through per-unit
-// UpdateUnit calls with per-goroutine scratches — and requires identical
-// flags. This is the contract the sharded controller's priority stage
-// depends on.
+// UpdateUnit calls split across two ranges, as two shards would issue
+// them — and requires identical flags. This is the contract the sharded
+// controller's priority stage depends on.
 func TestUpdateUnitMatchesUpdate(t *testing.T) {
 	const units = 12
 	batch, err := New(DefaultConfig(), units)
@@ -348,14 +348,8 @@ func TestUpdateUnitMatchesUpdate(t *testing.T) {
 		}
 		want := batch.Update(hist, pow, caps, constantCap)
 
-		// Two scratches, as two shards would use, interleaved over units.
-		var scA, scB Scratch
 		for u := 0; u < units; u++ {
-			sc := &scA
-			if u >= units/2 {
-				sc = &scB
-			}
-			perUnit.UpdateUnit(sc, power.UnitID(u), hist.Unit(power.UnitID(u)), pow[u], caps[u], constantCap)
+			perUnit.UpdateUnit(power.UnitID(u), hist.Unit(power.UnitID(u)), pow[u], caps[u], constantCap)
 		}
 		got := perUnit.Priorities()
 		for u := range want {

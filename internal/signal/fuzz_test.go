@@ -9,11 +9,15 @@ import (
 // FuzzCountProminentPeaks throws arbitrary float series at the peak
 // counter: it must never panic, never report more peaks than can be
 // separated by valleys, and remain antitone in the prominence threshold.
+// The fuzzed split byte additionally cross-checks the two-segment scan
+// (the form the priority stage runs over ring storage) and the
+// early-exit threshold variant against the canonical single-slice count.
 func FuzzCountProminentPeaks(f *testing.F) {
-	f.Add([]byte{10, 200, 10, 200, 10}, uint8(20))
-	f.Add([]byte{}, uint8(1))
-	f.Add([]byte{5, 5, 5, 5}, uint8(0))
-	f.Fuzz(func(t *testing.T, raw []byte, promRaw uint8) {
+	f.Add([]byte{10, 200, 10, 200, 10}, uint8(20), uint8(2))
+	f.Add([]byte{}, uint8(1), uint8(0))
+	f.Add([]byte{5, 5, 5, 5}, uint8(0), uint8(3))
+	f.Add([]byte{0, 200, 200, 200, 0, 200, 0}, uint8(10), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, promRaw, splitRaw uint8) {
 		xs := make([]power.Watts, len(raw))
 		for i, b := range raw {
 			xs[i] = power.Watts(b)
@@ -25,6 +29,22 @@ func FuzzCountProminentPeaks(f *testing.F) {
 		}
 		if higher := CountProminentPeaks(xs, prom+50); higher > n {
 			t.Fatalf("raising prominence from %v to %v increased peaks %d→%d", prom, prom+50, n, higher)
+		}
+		split := 0
+		if len(xs) > 0 {
+			split = int(splitRaw) % (len(xs) + 1)
+		}
+		if segs := CountProminentPeaksSegs(xs[:split], xs[split:], prom); segs != n {
+			t.Fatalf("segment scan split at %d counted %d peaks, single-slice counted %d", split, segs, n)
+		}
+		for limit := -1; limit <= n+1; limit++ {
+			clamped := limit
+			if clamped < 0 {
+				clamped = 0
+			}
+			if got, want := MoreProminentPeaksThan(xs[:split], xs[split:], prom, limit), n > clamped; got != want {
+				t.Fatalf("early-exit(limit=%d, split=%d) = %v, full count %d says %v", limit, split, got, n, want)
+			}
 		}
 	})
 }

@@ -51,23 +51,68 @@ func StdDev(xs []power.Watts) power.Watts {
 //
 // Plateau peaks (equal consecutive maxima) are counted once.
 func CountProminentPeaks(xs []power.Watts, minProminence power.Watts) int {
-	n := len(xs)
+	return countPeaks(series{a: xs}, minProminence, -1)
+}
+
+// CountProminentPeaksSegs counts prominent peaks over the virtual
+// concatenation a ++ b, exactly as CountProminentPeaks would over the
+// joined slice but without materializing it. It exists for ring buffers
+// whose storage is exposed as two contiguous spans (history.Ring.Segments):
+// the controller's hot loop scans ring storage in place instead of copying
+// every history into a scratch buffer each round.
+func CountProminentPeaksSegs(a, b []power.Watts, minProminence power.Watts) int {
+	return countPeaks(series{a: a, b: b}, minProminence, -1)
+}
+
+// MoreProminentPeaksThan reports whether the virtual concatenation a ++ b
+// contains strictly more than limit prominent peaks, returning as soon as
+// peak limit+1 is found. Both of the priority module's uses of the peak
+// count are threshold comparisons (Algorithm 2 lines 8 and 11), so the
+// early exit changes no decision while skipping the scan's tail on
+// high-frequency histories.
+func MoreProminentPeaksThan(a, b []power.Watts, minProminence power.Watts, limit int) bool {
+	if limit < 0 {
+		limit = 0
+	}
+	return countPeaks(series{a: a, b: b}, minProminence, limit) > limit
+}
+
+// series is a read-only view over the virtual concatenation of two slices,
+// the shape ring storage naturally comes in. at's branch (predictable:
+// first span, then second) replaces the per-element modulo a ring index
+// computation would need, and the compiler inlines it into the scan.
+type series struct{ a, b []power.Watts }
+
+func (s series) len() int { return len(s.a) + len(s.b) }
+
+func (s series) at(i int) power.Watts {
+	if i < len(s.a) {
+		return s.a[i]
+	}
+	return s.b[i-len(s.a)]
+}
+
+// countPeaks is the shared Palshikar S1 scan. A non-negative limit makes
+// it return early with limit+1 as soon as that many prominent peaks are
+// found; limit < 0 counts exhaustively.
+func countPeaks(xs series, minProminence power.Watts, limit int) int {
+	n := xs.len()
 	if n < 3 {
 		return 0
 	}
 	count := 0
 	i := 1
 	for i < n-1 {
-		if xs[i] <= xs[i-1] {
+		if xs.at(i) <= xs.at(i-1) {
 			i++
 			continue
 		}
 		// Walk any plateau of equal values.
 		j := i
-		for j < n-1 && xs[j+1] == xs[i] {
+		for j < n-1 && xs.at(j+1) == xs.at(i) {
 			j++
 		}
-		if j == n-1 || xs[j+1] >= xs[i] {
+		if j == n-1 || xs.at(j+1) >= xs.at(i) {
 			// Not a local maximum (rising edge at the end, or plateau
 			// followed by a rise).
 			i = j + 1
@@ -82,8 +127,11 @@ func CountProminentPeaks(xs []power.Watts, minProminence power.Watts) int {
 		if right > base {
 			base = right
 		}
-		if xs[i]-base >= minProminence {
+		if xs.at(i)-base >= minProminence {
 			count++
+			if limit >= 0 && count > limit {
+				return count
+			}
 		}
 		i = j + 1
 	}
@@ -92,13 +140,15 @@ func CountProminentPeaks(xs []power.Watts, minProminence power.Watts) int {
 
 // valleyLeft returns the minimum value between index i (exclusive) and the
 // nearest sample to the left that is >= xs[i], or the left edge.
-func valleyLeft(xs []power.Watts, i int) power.Watts {
-	min := xs[i]
+func valleyLeft(xs series, i int) power.Watts {
+	peak := xs.at(i)
+	min := peak
 	for k := i - 1; k >= 0; k-- {
-		if xs[k] < min {
-			min = xs[k]
+		v := xs.at(k)
+		if v < min {
+			min = v
 		}
-		if xs[k] >= xs[i] {
+		if v >= peak {
 			break
 		}
 	}
@@ -107,13 +157,15 @@ func valleyLeft(xs []power.Watts, i int) power.Watts {
 
 // valleyRight returns the minimum value between index j (exclusive) and the
 // nearest sample to the right that is >= xs[j], or the right edge.
-func valleyRight(xs []power.Watts, j int) power.Watts {
-	min := xs[j]
-	for k := j + 1; k < len(xs); k++ {
-		if xs[k] < min {
-			min = xs[k]
+func valleyRight(xs series, j int) power.Watts {
+	peak := xs.at(j)
+	min := peak
+	for k := j + 1; k < xs.len(); k++ {
+		v := xs.at(k)
+		if v < min {
+			min = v
 		}
-		if xs[k] >= xs[j] {
+		if v >= peak {
 			break
 		}
 	}

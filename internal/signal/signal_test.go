@@ -108,6 +108,54 @@ func TestPeakCountMonotoneInProminenceProperty(t *testing.T) {
 	}
 }
 
+// TestCountProminentPeaksSegsMatchesConcat: the two-segment scan must see
+// exactly the series a caller would get by concatenating the segments —
+// every split point of every case, including peaks and plateaus that
+// straddle the segment boundary.
+func TestCountProminentPeaksSegsMatchesConcat(t *testing.T) {
+	series := [][]power.Watts{
+		w(10, 100, 10, 100, 10),
+		w(10, 100, 100, 100, 10), // plateau
+		w(0, 100, 80, 90, 80, 100, 0),
+		w(60, 60, 150, 150, 60, 60, 150, 150, 60),
+		w(5, 5, 5, 5),
+		w(10, 20),
+		nil,
+	}
+	for si, xs := range series {
+		for _, prom := range []power.Watts{5, 20, 60} {
+			want := CountProminentPeaks(xs, prom)
+			for split := 0; split <= len(xs); split++ {
+				if got := CountProminentPeaksSegs(xs[:split], xs[split:], prom); got != want {
+					t.Errorf("series %d prom %v split %d: Segs count = %d, want %d", si, prom, split, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMoreProminentPeaksThan pins the early-exit variant's contract: it
+// must answer exactly count > limit, with negative limits clamped to 0.
+func TestMoreProminentPeaksThan(t *testing.T) {
+	xs := w(10, 100, 10, 100, 10, 100, 10) // 3 peaks at prominence 20
+	for split := 0; split <= len(xs); split++ {
+		a, b := xs[:split], xs[split:]
+		for limit := -1; limit <= 4; limit++ {
+			wantLimit := limit
+			if wantLimit < 0 {
+				wantLimit = 0
+			}
+			want := 3 > wantLimit
+			if got := MoreProminentPeaksThan(a, b, 20, limit); got != want {
+				t.Errorf("split %d limit %d: MoreProminentPeaksThan = %v, want %v", split, limit, got, want)
+			}
+		}
+		if MoreProminentPeaksThan(a, b, 200, 0) {
+			t.Errorf("split %d: prominence 200 found a peak in a 90 W-swing series", split)
+		}
+	}
+}
+
 func TestWindowedDerivativeExactOnRamp(t *testing.T) {
 	// A 7 W/s ramp sampled at 1 Hz must report exactly 7 for any window.
 	xs := w(0, 7, 14, 21, 28)

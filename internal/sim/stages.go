@@ -25,6 +25,12 @@ type StageBreakdown struct {
 	PriorityFlips   uint64 `json:"priority_flips"`
 	BudgetExhausted uint64 `json:"budget_exhausted"`
 	BudgetClamped   uint64 `json:"budget_clamped"`
+	// ControllerMallocs counts heap allocations made by the controller's
+	// decision rounds (runtime.MemStats.Mallocs delta around each call).
+	// The sequential steady-state path is allocation-free (see
+	// internal/core/alloc_test.go); a sharded controller reports its
+	// per-round fork/join cost here instead.
+	ControllerMallocs uint64 `json:"controller_mallocs"`
 }
 
 // Add folds one round's stats into the breakdown.
@@ -46,6 +52,10 @@ func (b *StageBreakdown) Add(st core.RoundStats) {
 		b.BudgetClamped++
 	}
 }
+
+// AddMallocs folds one round's controller heap-allocation count into the
+// breakdown.
+func (b *StageBreakdown) AddMallocs(n uint64) { b.ControllerMallocs += n }
 
 // MeanMicros returns the mean per-round microseconds of one accumulated
 // stage total.
@@ -72,7 +82,11 @@ func (b *StageBreakdown) Format() string {
 	} {
 		fmt.Fprintf(&sb, "  %-10s %8.2f\n", row.name, b.MeanMicros(row.s))
 	}
-	fmt.Fprintf(&sb, "  restores=%d priority_flips=%d budget_exhausted=%d budget_clamped=%d",
-		b.Restores, b.PriorityFlips, b.BudgetExhausted, b.BudgetClamped)
+	allocsPerRound := 0.0
+	if b.Rounds > 0 {
+		allocsPerRound = float64(b.ControllerMallocs) / float64(b.Rounds)
+	}
+	fmt.Fprintf(&sb, "  restores=%d priority_flips=%d budget_exhausted=%d budget_clamped=%d allocs_per_round=%.2f",
+		b.Restores, b.PriorityFlips, b.BudgetExhausted, b.BudgetClamped, allocsPerRound)
 	return sb.String()
 }

@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench_decide.sh — run BenchmarkDecideScaling with -benchmem and emit the
+# machine-readable BENCH_decide.json tracked per PR.
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 20x; use 1x for a smoke run)
+#   OUT        output JSON path (default BENCH_decide.json in the repo root)
+#
+# The embedded baseline block records the pre-optimization sequential
+# numbers (commit 83434dd, Intel Xeon @ 2.70GHz) so the JSON alone is
+# enough to compute the speedup without checking out the old tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-20x}"
+OUT="${OUT:-BENCH_decide.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run xxx -bench 'BenchmarkDecideScaling' -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+GOVER="$(go version | awk '{print $3}')"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+	COMMIT="${COMMIT}-dirty"
+fi
+
+awk -v gover="$GOVER" -v commit="$COMMIT" -v benchtime="$BENCHTIME" '
+/^BenchmarkDecideScaling\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkDecideScaling\//, "", name)
+	iters = $2
+	metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $i
+		unit = $(i + 1)
+		if (metrics != "") metrics = metrics ", "
+		metrics = metrics "\"" unit "\": " val
+	}
+	if (rows != "") rows = rows ",\n"
+	rows = rows "    {\"name\": \"" name "\", \"iterations\": " iters ", \"metrics\": {" metrics "}}"
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkDecideScaling\",\n"
+	printf "  \"generated_by\": \"scripts/bench_decide.sh\",\n"
+	printf "  \"go\": \"%s\",\n", gover
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"baseline\": {\n"
+	printf "    \"commit\": \"83434dd\",\n"
+	printf "    \"host\": \"Intel Xeon @ 2.70GHz\",\n"
+	printf "    \"note\": \"pre-optimization sequential round: copying ring accessors, O(n) statistics, per-call scratch\",\n"
+	printf "    \"ns_per_op\": {\"N=1024/shards=1\": 214210, \"N=4096/shards=1\": 858422, \"N=16384/shards=1\": 3587409}\n"
+	printf "  },\n"
+	printf "  \"results\": [\n%s\n  ]\n", rows
+	printf "}\n"
+}' "$RAW" >"$OUT"
+
+echo "wrote $OUT"
