@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check ci
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check chaos ci
 
 all: ci
 
@@ -43,6 +43,15 @@ bench-smoke:
 # bench-json refreshes the committed BENCH_decide.json with real timings.
 bench-json:
 	./scripts/bench_decide.sh
+
+# chaos runs the full fault-injection suite under the race detector:
+# the deterministic kill/restart script, the wall-clock run over real TCP
+# with injected connection drops and device crash-restarts, and the
+# faultinject package's own determinism tests. The deterministic half
+# also runs inside `make ci` (race is -short); the wall-clock half only
+# runs here.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Conn|Device|Readings' ./internal/daemon/ ./internal/faultinject/
 
 # alloc-check is the allocation-regression gate: a warm sequential
 # DecideStats round must not allocate (see internal/core/alloc_test.go).

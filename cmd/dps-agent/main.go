@@ -42,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "sim backend: jitter seed")
 		minCap    = flag.Float64("min-cap", 10, "lowest cap to accept, watts")
 		httpAddr  = flag.String("http", "", "serve agent /metrics, /healthz and /debug/pprof on this address (e.g. :7893)")
+		meterTol  = flag.Int("meter-tolerance", 0, "consecutive RAPL read errors to ride through on the last good sample (0 = default, negative = strict)")
 	)
 	flag.Parse()
 
@@ -129,10 +130,11 @@ func main() {
 	}
 
 	agent, err := daemon.NewAgent(daemon.AgentConfig{
-		FirstUnit: power.UnitID(*firstUnit),
-		Devices:   devices,
-		Interval:  *interval,
-		Logf:      log.Printf,
+		FirstUnit:           power.UnitID(*firstUnit),
+		Devices:             devices,
+		Interval:            *interval,
+		Logf:                log.Printf,
+		MeterErrorTolerance: *meterTol,
 	})
 	if err != nil {
 		log.Fatalf("dps-agent: %v", err)

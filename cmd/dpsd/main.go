@@ -54,6 +54,11 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress operational logging")
 		httpAddr = flag.String("http", "", "serve /status, /metrics and /healthz on this address (e.g. :7892)")
 		confPath = flag.String("config", "", "JSON config file (overrides all other flags)")
+
+		staleAfter = flag.Duration("stale-after", 0, "freeze a unit's cap after this long without an accepted report (0 disables health tracking)")
+		deadAfter  = flag.Duration("dead-after", 0, "reserve a unit's budget at its last delivered cap after this long without a report (0 disables)")
+		readIdle   = flag.Duration("read-idle-timeout", 0, "reap agent connections silent for this long (0 disables)")
+		maxReading = flag.Float64("max-reading", 0, "reject inbound power reports above this many watts (0 = twice unit-max)")
 	)
 	flag.Parse()
 
@@ -63,6 +68,10 @@ func main() {
 	listenAddr := *listen
 	interval_ := *interval
 	statusAddr := *httpAddr
+	staleAfter_ := *staleAfter
+	deadAfter_ := *deadAfter
+	readIdle_ := *readIdle
+	maxReading_ := power.Watts(*maxReading)
 
 	if *confPath != "" {
 		fc, err := daemon.LoadFileConfig(*confPath)
@@ -77,6 +86,10 @@ func main() {
 		listenAddr = fc.Listen
 		interval_ = fc.Interval()
 		statusAddr = fc.HTTP
+		staleAfter_ = fc.StaleAfter()
+		deadAfter_ = fc.DeadAfter()
+		readIdle_ = fc.ReadIdleTimeout()
+		maxReading_ = power.Watts(fc.MaxReadingW)
 	} else {
 		total := power.Watts(*budgetW)
 		if total == 0 {
@@ -105,10 +118,14 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	srv, err := daemon.NewServer(daemon.ServerConfig{
-		Manager:  mgr,
-		Units:    nUnits,
-		Interval: interval_,
-		Logf:     logf,
+		Manager:         mgr,
+		Units:           nUnits,
+		Interval:        interval_,
+		Logf:            logf,
+		StaleAfter:      staleAfter_,
+		DeadAfter:       deadAfter_,
+		ReadIdleTimeout: readIdle_,
+		MaxReading:      maxReading_,
 	})
 	if err != nil {
 		log.Fatalf("dpsd: %v", err)

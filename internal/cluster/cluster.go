@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dps/internal/faultinject"
 	"dps/internal/power"
 	"dps/internal/rapl"
 	"dps/internal/workload"
@@ -38,6 +39,16 @@ type Config struct {
 	DemandJitterSD power.Watts
 	// Seed drives all randomness owned by the machine.
 	Seed int64
+	// DeviceFaults, if non-nil, wraps every socket's RAPL device with this
+	// fault-injection schedule (per-socket seeds derived from Seed) so the
+	// machine's meters — and any agent built over FaultDevice — see
+	// transient errors, counter spikes, and crash-restarts.
+	DeviceFaults *faultinject.DeviceConfig
+	// MeterErrorTolerance is how many consecutive failed reads each
+	// machine meter rides through on its last good sample. Zero selects a
+	// small default when DeviceFaults is set and strict metering
+	// otherwise.
+	MeterErrorTolerance int
 }
 
 // DefaultConfig reproduces the paper's platform: 2 clusters × 5 nodes × 2
@@ -80,6 +91,7 @@ func (c Config) Units() int { return c.Clusters * c.NodesPerCluster * c.SocketsP
 type Machine struct {
 	cfg      Config
 	devices  []*rapl.SimDevice
+	faulted  []rapl.Device // measurement view: devices[i], possibly fault-wrapped
 	meters   []*rapl.Meter
 	clusters []*Cluster
 	rng      *rand.Rand
@@ -99,10 +111,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m := &Machine{
 		cfg:      cfg,
 		devices:  make([]*rapl.SimDevice, n),
+		faulted:  make([]rapl.Device, n),
 		meters:   make([]*rapl.Meter, n),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		demands:  make(power.Vector, n),
 		readings: make(power.Vector, n),
+	}
+	tolerance := cfg.MeterErrorTolerance
+	if tolerance == 0 && cfg.DeviceFaults != nil {
+		tolerance = 3
 	}
 	for i := range m.devices {
 		rcfg := cfg.Rapl
@@ -112,7 +129,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 		m.devices[i] = dev
-		m.meters[i] = rapl.NewMeter(dev)
+		m.faulted[i] = dev
+		if cfg.DeviceFaults != nil {
+			fcfg := *cfg.DeviceFaults
+			fcfg.Seed = cfg.Seed*1_000_003 + int64(i)
+			m.faulted[i] = faultinject.WrapDevice(dev, fcfg, nil)
+		}
+		m.meters[i] = rapl.NewTolerantMeter(m.faulted[i], tolerance)
 		if _, err := m.meters[i].Read(1); err != nil {
 			return nil, err
 		}
@@ -148,6 +171,12 @@ func (m *Machine) Cluster(i int) *Cluster { return m.clusters[i] }
 
 // Device returns unit u's RAPL device (tests and the daemon path use it).
 func (m *Machine) Device(u power.UnitID) *rapl.SimDevice { return m.devices[u] }
+
+// FaultDevice returns unit u's measurement-side device: the fault-wrapped
+// view when DeviceFaults is configured, the bare simulated device
+// otherwise. Agents built over the machine should meter this view so
+// injected device faults reach their RAPL path.
+func (m *Machine) FaultDevice(u power.UnitID) rapl.Device { return m.faulted[u] }
 
 // Elapsed returns simulated time since construction.
 func (m *Machine) Elapsed() power.Seconds { return m.elapsed }

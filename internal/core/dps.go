@@ -106,6 +106,10 @@ type DPS struct {
 
 	caps    power.Vector
 	changed []bool
+	// held is scratch for degraded rounds: the caps non-fresh units are
+	// pinned at (their previous delivered caps). Allocated on the first
+	// degraded round; nil until then so healthy operation costs nothing.
+	held power.Vector
 
 	lastRestored bool
 	steps        uint64
@@ -157,8 +161,16 @@ type RoundStats struct {
 	// BudgetClamped reports the final safety clamp found the cap sum
 	// meaningfully above the budget. The pipeline maintains the budget
 	// invariant, so this should never be true; a true value is a bug
-	// signal worth a counter.
+	// signal worth a counter. In degraded rounds (non-fresh units pinned)
+	// a pre-clamp excess is expected and absorbed by rescaling the fresh
+	// units, so BudgetClamped fires only if the excess could not be
+	// absorbed — which the reservation argument proves cannot happen.
 	BudgetClamped bool
+	// StaleUnits and DeadUnits count units frozen at their current caps
+	// this round because their telemetry went stale or their agent is
+	// presumed dead (see UnitHealth).
+	StaleUnits int
+	DeadUnits  int
 	// Shards is the number of worker shards the per-unit stages ran
 	// across this round (1 = the sequential path).
 	Shards int
@@ -296,6 +308,9 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	if len(snap.Power) != d.cfg.Units {
 		panic(fmt.Sprintf("core: %d readings for %d units", len(snap.Power), d.cfg.Units))
 	}
+	if snap.Health != nil && len(snap.Health) != d.cfg.Units {
+		panic(fmt.Sprintf("core: %d health states for %d units", len(snap.Health), d.cfg.Units))
+	}
 	dt := snap.Interval
 	if dt <= 0 {
 		dt = 1
@@ -304,13 +319,47 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	stats := RoundStats{Step: d.steps, Shards: d.shards}
 	start := time.Now()
 
+	// Degraded-mode setup: a round is degraded when any unit is non-fresh.
+	// Non-fresh units are pinned at their current caps — the caps their
+	// agents last applied (stale: frozen until telemetry recovers; dead:
+	// reserved because the node keeps enforcing them) — and contribute no
+	// new state to the filters, history, or priorities. An all-fresh
+	// health slice takes the exact healthy path.
+	health := snap.Health
+	if health != nil {
+		degraded := false
+		for _, h := range health {
+			switch h {
+			case HealthStale:
+				stats.StaleUnits++
+				degraded = true
+			case HealthDead:
+				stats.DeadUnits++
+				degraded = true
+			}
+		}
+		if !degraded {
+			health = nil
+		} else {
+			if d.held == nil {
+				d.held = make(power.Vector, d.cfg.Units)
+			}
+			copy(d.held, d.caps)
+		}
+	}
+
 	// Kalman estimation feeds the power history (the controller's state).
 	// Per-unit and therefore shardable: each unit's filter and ring are
-	// touched by exactly one shard.
+	// touched by exactly one shard. Non-fresh units are skipped: their
+	// reading is a replay of the last accepted report, and pushing it
+	// would fabricate a flat, confident history out of no information.
 	if d.shards > 1 {
 		d.pool.run(d.shards, func(s int) {
 			lo, hi := shardRange(s, d.shards, d.cfg.Units)
 			for u := lo; u < hi; u++ {
+				if health != nil && health[u] != HealthFresh {
+					continue
+				}
 				est := snap.Power[u]
 				if !d.cfg.DisableKalman {
 					est = d.filters.Step(power.UnitID(u), est)
@@ -320,6 +369,9 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 		})
 	} else {
 		for u := 0; u < d.cfg.Units; u++ {
+			if health != nil && health[u] != HealthFresh {
+				continue
+			}
 			est := snap.Power[u]
 			if !d.cfg.DisableKalman {
 				est = d.filters.Step(power.UnitID(u), est)
@@ -354,7 +406,9 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 				lo, hi := shardRange(s, d.shards, d.cfg.Units)
 				high, flips := 0, 0
 				for u := lo; u < hi; u++ {
-					d.priorityM.UpdateUnit(power.UnitID(u), d.hist.Unit(power.UnitID(u)), snap.Power[u], d.caps[u], d.constantCap)
+					if health == nil || health[u] == HealthFresh {
+						d.priorityM.UpdateUnit(power.UnitID(u), d.hist.Unit(power.UnitID(u)), snap.Power[u], d.caps[u], d.constantCap)
+					}
 					p := prio[u]
 					if p {
 						high++
@@ -370,6 +424,23 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 			for s := 0; s < d.shards; s++ {
 				stats.HighPriority += d.shardHigh[s]
 				stats.PriorityFlips += d.shardFlips[s]
+			}
+		} else if health != nil {
+			// Degraded sequential round: per-unit updates so non-fresh
+			// units keep their classification frozen alongside their cap.
+			prio = d.priorityM.Priorities()
+			for u := 0; u < d.cfg.Units; u++ {
+				if health[u] == HealthFresh {
+					d.priorityM.UpdateUnit(power.UnitID(u), d.hist.Unit(power.UnitID(u)), snap.Power[u], d.caps[u], d.constantCap)
+				}
+				p := prio[u]
+				if p {
+					stats.HighPriority++
+				}
+				if p != d.prevPrio[u] {
+					stats.PriorityFlips++
+				}
+				d.prevPrio[u] = p
 			}
 		} else {
 			prio = d.priorityM.Update(d.hist, snap.Power, d.caps, d.constantCap)
@@ -399,7 +470,20 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	}
 	stats.Restored = d.lastRestored
 
-	stats.BudgetClamped = d.enforceBudget()
+	// Pin non-fresh units back to their held caps. This runs after every
+	// global stage (stateless, restore, readjust) so no path — not even a
+	// restoration that resets all caps to the constant cap — can move a
+	// cap its agent is still enforcing. The fresh units then absorb any
+	// resulting excess in the masked budget clamp below.
+	if health != nil {
+		for u, h := range health {
+			if h != HealthFresh {
+				d.caps[u] = d.held[u]
+			}
+		}
+	}
+
+	stats.BudgetClamped = d.enforceBudget(health)
 	stats.Total = time.Since(start)
 	d.lastStats = stats
 	return d.caps, stats
@@ -416,26 +500,59 @@ const overBudgetEps = power.Watts(1e-6)
 // experiment) is unconditional. It reports whether the sum exceeded the
 // budget by more than drift — a should-never-happen signal exported as a
 // violation counter.
-func (d *DPS) enforceBudget() bool {
+//
+// In a degraded round (health non-nil with non-fresh entries) the clamp
+// is masked: pinned units are neither re-clamped nor rescaled — their
+// caps are previously delivered values, already inside hardware limits,
+// and their agents are still enforcing them. Only fresh units give up
+// headroom. This always suffices: every pinned cap and every previous
+// fresh cap is ≥ UnitMin, and last round's delivered sum respected the
+// budget, so Σ(pinned) + Σ(fresh at UnitMin) ≤ Σ(previous caps) ≤ budget.
+// A pre-clamp excess is therefore expected in degraded rounds (the
+// stateless stage may have re-dealt a frozen unit's headroom), and only a
+// residual excess after the masked rescale counts as a violation.
+func (d *DPS) enforceBudget(health []UnitHealth) bool {
 	b := d.cfg.Budget
-	d.caps.Clamp(b.UnitMin, b.UnitMax)
+	free := func(u int) bool { return health == nil || health[u] == HealthFresh }
+	for u, c := range d.caps {
+		if !free(u) {
+			continue
+		}
+		if c < b.UnitMin {
+			d.caps[u] = b.UnitMin
+		} else if c > b.UnitMax {
+			d.caps[u] = b.UnitMax
+		}
+	}
 	total := d.caps.Sum()
 	if total <= b.Total {
 		return false
 	}
 	violated := total > b.Total+overBudgetEps
-	// Scale down the headroom above UnitMin proportionally.
+	// Scale down the free units' headroom above UnitMin proportionally.
 	excess := total - b.Total
 	var above power.Watts
-	for _, c := range d.caps {
-		above += c - b.UnitMin
+	for u, c := range d.caps {
+		if free(u) {
+			above += c - b.UnitMin
+		}
 	}
 	if above <= 0 {
 		return violated
 	}
 	frac := excess / above
+	if frac > 1 {
+		frac = 1
+	}
 	for u := range d.caps {
-		d.caps[u] -= (d.caps[u] - b.UnitMin) * frac
+		if free(u) {
+			d.caps[u] -= (d.caps[u] - b.UnitMin) * frac
+		}
+	}
+	if health != nil {
+		// Degraded rounds report a violation only if the masked rescale
+		// could not restore the invariant.
+		return d.caps.Sum() > b.Total+overBudgetEps
 	}
 	return violated
 }

@@ -13,6 +13,43 @@ import (
 	"dps/internal/power"
 )
 
+// UnitHealth is the liveness classification of one unit's telemetry, as
+// judged by whoever feeds the manager (the daemon's per-unit last-report
+// clock in deployment). The zero value is Fresh so a nil or zeroed health
+// slice means "everything reporting normally".
+type UnitHealth uint8
+
+const (
+	// HealthFresh means the unit reported within the staleness threshold;
+	// it participates fully in the decision.
+	HealthFresh UnitHealth = iota
+	// HealthStale means the unit's last accepted report is older than the
+	// staleness threshold (a hung agent, a partitioned link, or a unit
+	// quarantined for garbage readings). Its reading carries no new
+	// information, so a health-aware manager freezes it at its current cap
+	// instead of re-budgeting on fiction.
+	HealthStale
+	// HealthDead means the unit passed the death threshold: the agent is
+	// assumed gone. Its node keeps enforcing the last cap it was pushed,
+	// so that power must stay reserved — reclaiming it would let the
+	// delivered cap sum exceed the budget.
+	HealthDead
+)
+
+// String returns the lowercase state name used in telemetry labels and
+// flight-recorder records.
+func (h UnitHealth) String() string {
+	switch h {
+	case HealthFresh:
+		return "fresh"
+	case HealthStale:
+		return "stale"
+	case HealthDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
 // Snapshot is the input to one decision step.
 type Snapshot struct {
 	// Power holds the measured average power of each unit over the last
@@ -24,6 +61,12 @@ type Snapshot struct {
 	// Only the Oracle baseline may read it; it is nil in deployment and
 	// for all realizable managers.
 	Demand power.Vector
+	// Health optionally classifies each unit's telemetry liveness. Nil
+	// means all units are fresh. Health-aware managers (core.DPS) freeze
+	// non-fresh units at their current caps and redistribute only among
+	// fresh units; managers that ignore it still stay budget-safe because
+	// the daemon re-pins delivered caps (see daemon.Server).
+	Health []UnitHealth
 }
 
 // Manager decides per-unit power caps from per-unit power readings.

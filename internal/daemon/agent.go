@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -27,6 +28,30 @@ type AgentConfig struct {
 	Interval time.Duration
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// MeterErrorTolerance is the number of consecutive RAPL read errors
+	// each meter rides through by holding its last good sample before an
+	// error tears down the session. Zero selects the default
+	// (DefaultMeterErrorTolerance); negative disables tolerance entirely.
+	MeterErrorTolerance int
+	// ReconnectJitter, if non-nil, replaces the rand source behind the
+	// reconnect backoff jitter with a deterministic one (tests). It must
+	// return values in [0, 1).
+	ReconnectJitter func() float64
+}
+
+// DefaultMeterErrorTolerance is how many consecutive meter read errors an
+// agent absorbs by default before surfacing the failure.
+const DefaultMeterErrorTolerance = 3
+
+// meterTolerance resolves the configured tolerance.
+func (c AgentConfig) meterTolerance() int {
+	switch {
+	case c.MeterErrorTolerance < 0:
+		return 0
+	case c.MeterErrorTolerance == 0:
+		return DefaultMeterErrorTolerance
+	}
+	return c.MeterErrorTolerance
 }
 
 func (c AgentConfig) validate() error {
@@ -97,7 +122,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		am:        newAgentMetrics(reg),
 	}
 	for i, d := range cfg.Devices {
-		a.meters[i] = rapl.NewMeter(d)
+		a.meters[i] = rapl.NewTolerantMeter(d, cfg.meterTolerance())
 	}
 	return a, nil
 }
@@ -264,13 +289,27 @@ func (a *Agent) Run(ctx context.Context) error {
 	return err
 }
 
+// jitteredBackoff spreads a nominal backoff over [backoff/2, backoff)
+// (equal jitter). A controller restart disconnects every agent in the
+// same instant; without jitter they all redial on the same doubling
+// schedule and arrive as a thundering herd, forever synchronized.
+func (a *Agent) jitteredBackoff(backoff time.Duration) time.Duration {
+	j := a.cfg.ReconnectJitter
+	if j == nil {
+		j = rand.Float64
+	}
+	half := backoff / 2
+	return half + time.Duration(j()*float64(half))
+}
+
 // RunWithReconnect keeps the agent connected until ctx is done: it dials,
-// handshakes, runs, and on any failure retries with exponential backoff
-// (baseBackoff doubling up to maxBackoff). A node whose controller
-// restarts rejoins by itself — during the outage its sockets coast on
-// their last caps, which is the safe direction (caps can only be stale,
-// never absent). Counters (Reports/Applied) accumulate across
-// reconnections.
+// handshakes, runs, and on any failure retries with jittered exponential
+// backoff (baseBackoff doubling up to maxBackoff; each sleep is drawn
+// from [backoff/2, backoff) so a cluster of agents de-synchronizes after
+// a controller restart). A node whose controller restarts rejoins by
+// itself — during the outage its sockets coast on their last caps, which
+// is the safe direction (caps can only be stale, never absent). Counters
+// (Reports/Applied) accumulate across reconnections.
 func (a *Agent) RunWithReconnect(ctx context.Context, network, addr string, baseBackoff, maxBackoff time.Duration) error {
 	if baseBackoff <= 0 {
 		baseBackoff = 250 * time.Millisecond
@@ -302,7 +341,7 @@ func (a *Agent) RunWithReconnect(ctx context.Context, network, addr string, base
 		select {
 		case <-ctx.Done():
 			return nil
-		case <-time.After(backoff):
+		case <-time.After(a.jitteredBackoff(backoff)):
 		}
 		backoff *= 2
 		if backoff > maxBackoff {

@@ -1,0 +1,264 @@
+package daemon
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/faultinject"
+	"dps/internal/power"
+	"dps/internal/rapl"
+)
+
+// TestChaosDeterministicKillRestart is the degraded-mode contract as a
+// deterministic script: a stubbed clock, raw protocol sessions, and one
+// agent killed mid-run. Every round must respect Σcaps ≤ budget, the dead
+// units' reserved caps must never be redistributed, and the units must
+// regain full participation within one round of re-handshake. It is fast
+// and deterministic, so it runs under -short in CI.
+func TestChaosDeterministicKillRestart(t *testing.T) {
+	const units = 6
+	srv, now := newHealthServer(t, units, 1*time.Second, 4*time.Second)
+	budget := testBudget(units)
+	const eps = 1e-6
+
+	type session struct {
+		conn  net.Conn
+		done  chan error
+		first int
+		n     int
+	}
+	open := func(first, n int) *session {
+		conn, done := handshakeRaw(t, srv, power.UnitID(first), n)
+		return &session{conn: conn, done: done, first: first, n: n}
+	}
+	sessions := []*session{open(0, 2), open(2, 2), open(4, 2)}
+	alive := []bool{true, true, true}
+
+	var killCaps power.Vector // caps delivered to agent 1 in its last live round
+	reading := func(round, u int) power.Watts {
+		return power.Watts(40 + (round*13+u*7)%100)
+	}
+
+	for round := 1; round <= 18; round++ {
+		*now = now.Add(time.Second)
+
+		// Kill agent 1 at the start of round 7: its last delivery was round
+		// 6, and the agent (in a real cluster) keeps enforcing those caps.
+		if round == 7 {
+			sessions[1].conn.Close()
+			<-sessions[1].done
+			alive[1] = false
+		}
+		// Restart it at round 15: a fresh handshake claims the same units.
+		if round == 15 {
+			sessions[1] = open(2, 2)
+			alive[1] = true
+		}
+
+		vals := make(power.Vector, 2)
+		for si, s := range sessions {
+			if !alive[si] {
+				continue
+			}
+			for i := 0; i < s.n; i++ {
+				vals[i] = reading(round, s.first+i)
+			}
+			report(t, srv, s.conn, s.first, vals, true)
+		}
+
+		caps, err := srv.DecideOnce(1)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if caps.Sum() > budget.Total+eps {
+			t.Fatalf("round %d: Σcaps %v exceeds budget %v", round, caps.Sum(), budget.Total)
+		}
+
+		switch {
+		case round == 6:
+			killCaps = power.Vector{caps[2], caps[3]}
+		case round >= 7 && round < 15:
+			// Stale from round 7 (age 1 s), dead from round 10 (age 4 s):
+			// either way the reserved caps never move off what the killed
+			// agent is still enforcing.
+			if caps[2] != killCaps[0] || caps[3] != killCaps[1] {
+				t.Fatalf("round %d: reserved caps redistributed: [%v %v], want %v",
+					round, caps[2], caps[3], killCaps)
+			}
+			st := srv.Snapshot()
+			if wantDead := round >= 10; wantDead {
+				if st.DeadUnits != 2 {
+					t.Fatalf("round %d: dead units = %d, want 2", round, st.DeadUnits)
+				}
+			} else if st.StaleUnits != 2 {
+				t.Fatalf("round %d: stale units = %d, want 2", round, st.StaleUnits)
+			}
+		case round >= 15:
+			// Full participation within one round of the re-handshake.
+			st := srv.Snapshot()
+			if st.StaleUnits != 0 || st.DeadUnits != 0 {
+				t.Fatalf("round %d: still degraded after rejoin: stale=%d dead=%d",
+					round, st.StaleUnits, st.DeadUnits)
+			}
+		}
+	}
+
+	// The rejoined units' caps moved again after recovery (they reported
+	// far from the pinned level for several rounds).
+	final := srv.Snapshot().Caps
+	if final[2] == float64(killCaps[0]) && final[3] == float64(killCaps[1]) {
+		t.Fatal("rejoined units never regained cap participation")
+	}
+	for _, s := range sessions {
+		s.conn.Close()
+	}
+}
+
+// TestChaosWallClock runs the full deployed stack — Serve loop, real TCP,
+// reconnecting agents — under injected faults: connections that randomly
+// drop and devices with transient read errors and crash-restarts. The
+// budget invariant must hold at every observation, and once the chaos
+// window closes the cluster must converge back to all-fresh.
+func TestChaosWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock chaos test skipped in -short")
+	}
+	const units = 4
+	mgr, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Manager:         mgr,
+		Units:           units,
+		Interval:        10 * time.Millisecond,
+		StaleAfter:      100 * time.Millisecond,
+		DeadAfter:       300 * time.Millisecond,
+		ReadIdleTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		srv.Close()
+		l.Close()
+		<-serveDone
+	}()
+	addr := l.Addr().String()
+	budget := testBudget(units)
+
+	counters := faultinject.NewCounters(srv.Telemetry())
+
+	// Each agent meters fault-wrapped devices: transient errors the
+	// tolerant meter rides through, plus occasional crash-restarts.
+	newChaosAgent := func(first power.UnitID, seed int64) *Agent {
+		devs := make([]rapl.Device, 2)
+		for i := range devs {
+			cfg := rapl.DefaultSimConfig()
+			cfg.NoiseStdDev = 0
+			cfg.Seed = seed*10 + int64(i)
+			sim, err := rapl.NewSimDevice(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.SetLoad(120)
+			devs[i] = faultinject.WrapDevice(sim, faultinject.DeviceConfig{
+				Seed:       seed*100 + int64(i),
+				ErrProb:    0.05,
+				CrashEvery: 40,
+			}, counters)
+		}
+		a, err := NewAgent(AgentConfig{
+			FirstUnit: first,
+			Devices:   devs,
+			Interval:  10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	agents := []*Agent{newChaosAgent(0, 1), newChaosAgent(2, 2)}
+
+	// Agents dial through fault-injected connections while chaos is on:
+	// sessions drop mid-run and the loop re-handshakes — the kill/restart
+	// cycle, driven by the seeded schedule.
+	chaosCtx, stopChaos := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{}, len(agents))
+	for i, a := range agents {
+		go func(a *Agent, seed int64) {
+			defer func() { runDone <- struct{}{} }()
+			for ctx.Err() == nil {
+				conn, err := net.Dial("tcp", addr)
+				if err == nil {
+					var c net.Conn = conn
+					if chaosCtx.Err() == nil {
+						c = faultinject.WrapConn(conn, faultinject.ConnConfig{
+							Seed:     seed,
+							DropProb: 0.01,
+						}, counters)
+					}
+					if err := a.Handshake(c); err == nil {
+						a.Run(ctx)
+					}
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}(a, int64(i+1))
+	}
+
+	// Observe the invariant through the whole run: the sum of caps the
+	// controller considers delivered never exceeds the budget.
+	violations := 0
+	observe := time.NewTicker(5 * time.Millisecond)
+	defer observe.Stop()
+	chaosUntil := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(chaosUntil) {
+		<-observe.C
+		if st := srv.Snapshot(); st.CapSumW > float64(budget.Total)+1e-6 {
+			violations++
+			t.Errorf("budget violated during chaos: Σcaps %v > %v", st.CapSumW, budget.Total)
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d budget violations during chaos", violations)
+	}
+	stopChaos()
+
+	// Convergence: with faults off (fresh, unwrapped connections), every
+	// unit must return to fresh and caps must keep flowing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Snapshot()
+		if st.Agents == len(agents) && st.StaleUnits == 0 && st.DeadUnits == 0 && st.Rounds > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged after chaos: %+v", st)
+		}
+		if st.CapSumW > float64(budget.Total)+1e-6 {
+			t.Fatalf("budget violated during recovery: Σcaps %v > %v", st.CapSumW, budget.Total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	for range agents {
+		<-runDone
+	}
+}

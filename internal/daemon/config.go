@@ -28,7 +28,11 @@ import (
 //	  "policy": "dps",
 //	  "seed": 1,
 //	  "history_len": 20,
-//	  "disable_restore": false
+//	  "disable_restore": false,
+//	  "stale_after_ms": 3000,
+//	  "dead_after_ms": 10000,
+//	  "read_idle_timeout_ms": 5000,
+//	  "max_reading_w": 330
 //	}
 type FileConfig struct {
 	Listen     string  `json:"listen"`
@@ -47,6 +51,16 @@ type FileConfig struct {
 	// Shards sets the controller's worker-shard count: 0 auto-sizes from
 	// GOMAXPROCS and the unit count, 1 forces the sequential path.
 	Shards int `json:"shards,omitempty"`
+
+	// Degraded-mode control plane. StaleAfterMS freezes a silent unit's
+	// cap, DeadAfterMS reserves its budget at the last delivered cap; both
+	// zero disables health tracking. ReadIdleTimeoutMS reaps connections
+	// that stay silent past the deadline. MaxReadingW rejects inbound
+	// readings above the ceiling (0 = twice unit_max_w).
+	StaleAfterMS      int     `json:"stale_after_ms,omitempty"`
+	DeadAfterMS       int     `json:"dead_after_ms,omitempty"`
+	ReadIdleTimeoutMS int     `json:"read_idle_timeout_ms,omitempty"`
+	MaxReadingW       float64 `json:"max_reading_w,omitempty"`
 }
 
 // LoadFileConfig parses and normalizes a config file.
@@ -103,6 +117,16 @@ func (fc FileConfig) validate() error {
 		return fmt.Errorf("non-positive interval %d ms", fc.IntervalMS)
 	case fc.Shards < 0:
 		return fmt.Errorf("negative shards %d", fc.Shards)
+	case fc.StaleAfterMS < 0:
+		return fmt.Errorf("negative stale_after_ms %d", fc.StaleAfterMS)
+	case fc.DeadAfterMS < 0:
+		return fmt.Errorf("negative dead_after_ms %d", fc.DeadAfterMS)
+	case fc.ReadIdleTimeoutMS < 0:
+		return fmt.Errorf("negative read_idle_timeout_ms %d", fc.ReadIdleTimeoutMS)
+	case fc.MaxReadingW < 0:
+		return fmt.Errorf("negative max_reading_w %v", fc.MaxReadingW)
+	case fc.StaleAfterMS > 0 && fc.DeadAfterMS > 0 && fc.DeadAfterMS < fc.StaleAfterMS:
+		return fmt.Errorf("dead_after_ms %d below stale_after_ms %d", fc.DeadAfterMS, fc.StaleAfterMS)
 	}
 	switch fc.Policy {
 	case "dps", "slurm", "constant":
@@ -124,6 +148,21 @@ func (fc FileConfig) Budget() power.Budget {
 // Interval derives the decision period.
 func (fc FileConfig) Interval() time.Duration {
 	return time.Duration(fc.IntervalMS) * time.Millisecond
+}
+
+// StaleAfter derives the staleness threshold (zero disables).
+func (fc FileConfig) StaleAfter() time.Duration {
+	return time.Duration(fc.StaleAfterMS) * time.Millisecond
+}
+
+// DeadAfter derives the death threshold (zero disables).
+func (fc FileConfig) DeadAfter() time.Duration {
+	return time.Duration(fc.DeadAfterMS) * time.Millisecond
+}
+
+// ReadIdleTimeout derives the connection-reaping deadline (zero disables).
+func (fc FileConfig) ReadIdleTimeout() time.Duration {
+	return time.Duration(fc.ReadIdleTimeoutMS) * time.Millisecond
 }
 
 // BuildManager constructs the configured policy.

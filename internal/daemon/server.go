@@ -14,6 +14,7 @@ package daemon
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"strconv"
 	"sync"
@@ -40,6 +41,29 @@ type ServerConfig struct {
 	// recorder retains for GET /debug/rounds. Zero selects
 	// telemetry.DefaultFlightRecorderSize.
 	FlightRecorderSize int
+
+	// StaleAfter marks a unit stale once no accepted reading has arrived
+	// for this long: its cap freezes at the last delivered value until the
+	// agent reports again. Zero (with DeadAfter zero) disables health
+	// tracking entirely — every unit is fresh forever, the pre-health
+	// behaviour.
+	StaleAfter time.Duration
+	// DeadAfter marks a unit dead after this long without an accepted
+	// reading. A dead unit's budget stays reserved at its last delivered
+	// cap: the agent (or firmware) is still enforcing that cap, so
+	// redistributing the watts would over-commit the physical budget.
+	DeadAfter time.Duration
+	// ReadIdleTimeout bounds how long the server waits on a connection
+	// read (handshake or report batch). A connection that stays silent
+	// past the deadline is reaped: closed and its units released for a
+	// fresh claim. Zero disables the deadline.
+	ReadIdleTimeout time.Duration
+	// MaxReading is the sanity ceiling on inbound power reports; readings
+	// above it (or NaN/Inf/negative — impossible on the wire, but the
+	// boundary defends regardless of transport) are rejected before they
+	// reach the filter and do not refresh the unit's staleness clock.
+	// Zero selects twice the budget's per-unit maximum.
+	MaxReading power.Watts
 }
 
 func (c ServerConfig) validate() error {
@@ -68,6 +92,18 @@ type Server struct {
 	mu       sync.Mutex
 	readings power.Vector
 	lastCaps power.Vector // caps from the most recent decision round
+	// lastPushed tracks, per unit, the cap most recently delivered to an
+	// agent — what the node is actually enforcing. Degraded rounds pin
+	// non-fresh units here, and the budget-reservation argument is stated
+	// against this vector.
+	lastPushed power.Vector
+	// lastReport is the per-unit staleness clock: the time of the last
+	// accepted (sanitized) reading, refreshed on (re-)registration so a
+	// re-handshaken agent rejoins fresh within one round.
+	lastReport []time.Time
+	// health is the per-unit state machine output of the previous round,
+	// kept to detect transitions. Nil while health tracking is disabled.
+	health []core.UnitHealth
 	// lastPrio and lastRestored cache the DPS view of the most recent
 	// round so /status never reads the controller concurrently with a
 	// decision (nil/false for non-DPS managers).
@@ -77,6 +113,20 @@ type Server struct {
 	conns        map[*serverConn]struct{}
 	closed       bool
 	rounds       uint64
+}
+
+// healthEnabled reports whether the per-unit health state machine is
+// active (either threshold configured).
+func (s *Server) healthEnabled() bool {
+	return s.cfg.StaleAfter > 0 || s.cfg.DeadAfter > 0
+}
+
+// maxReading resolves the inbound reading ceiling.
+func (s *Server) maxReading() power.Watts {
+	if s.cfg.MaxReading > 0 {
+		return s.cfg.MaxReading
+	}
+	return 2 * s.cfg.Manager.Budget().UnitMax
 }
 
 // serverMetrics holds the registry handles the control loop updates every
@@ -95,9 +145,17 @@ type serverMetrics struct {
 	pushErrors  *telemetry.Counter
 	connects    *telemetry.Counter
 	disconnects *telemetry.Counter
+	badReadings *telemetry.Counter
+	reaps       *telemetry.Counter
+	staleUnits  *telemetry.Gauge
+	deadUnits   *telemetry.Gauge
+	// transitions indexes dps_health_transitions_total{from,to} by
+	// from*3+to for the six possible state changes (nil where from == to).
+	transitions [9]*telemetry.Counter
 	unitPower   []*telemetry.Gauge
 	unitCap     []*telemetry.Gauge
 	unitPrio    []*telemetry.Gauge // nil unless the manager is a core.DPS
+	unitHealth  []*telemetry.Gauge // nil unless health tracking is enabled
 }
 
 // pipeline stage names, the label values of dps_stage_seconds.
@@ -122,7 +180,25 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 		pushErrors:  reg.Counter("dps_push_errors_total", "Failed cap pushes to agents."),
 		connects:    reg.Counter("dps_agent_connects_total", "Agent connections accepted."),
 		disconnects: reg.Counter("dps_agent_disconnects_total", "Agent connections lost."),
+		badReadings: reg.Counter("dps_server_bad_readings_total", "Inbound readings rejected at the server boundary (NaN/Inf/negative/over-ceiling)."),
+		reaps:       reg.Counter("dps_conn_reaped_total", "Connections closed by the server-side idle read deadline."),
+		staleUnits:  reg.Gauge("dps_stale_units", "Units currently stale (cap frozen, awaiting reports)."),
+		deadUnits:   reg.Gauge("dps_dead_units", "Units currently dead (budget reserved at last delivered cap)."),
 		stages:      make(map[string]*telemetry.Histogram, 4),
+	}
+	healthEnabled := cfg.StaleAfter > 0 || cfg.DeadAfter > 0
+	if healthEnabled {
+		for from := core.HealthFresh; from <= core.HealthDead; from++ {
+			for to := core.HealthFresh; to <= core.HealthDead; to++ {
+				if from == to {
+					continue
+				}
+				m.transitions[int(from)*3+int(to)] = reg.Counter(
+					"dps_health_transitions_total", "Per-unit health state transitions.",
+					telemetry.Label{Key: "from", Value: from.String()},
+					telemetry.Label{Key: "to", Value: to.String()})
+			}
+		}
 	}
 	for _, stage := range []string{stageKalman, stageStateless, stagePriority, stageReadjust} {
 		m.stages[stage] = reg.Histogram("dps_stage_seconds",
@@ -139,6 +215,9 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 		m.unitCap[u].Set(float64(initialCaps[u]))
 		if isDPS {
 			m.unitPrio = append(m.unitPrio, reg.Gauge("dps_unit_high_priority", "DPS priority flag per unit.", lbl))
+		}
+		if healthEnabled {
+			m.unitHealth = append(m.unitHealth, reg.Gauge("dps_unit_health", "Unit health state (0 fresh, 1 stale, 2 dead).", lbl))
 		}
 	}
 	return m
@@ -157,17 +236,43 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	reg := telemetry.NewRegistry()
-	return &Server{
-		cfg:      cfg,
-		tel:      reg,
-		recorder: telemetry.NewFlightRecorder(cfg.FlightRecorderSize),
-		metrics:  newServerMetrics(reg, cfg),
-		now:      time.Now,
-		readings: make(power.Vector, cfg.Units),
-		lastCaps: cfg.Manager.Caps().Clone(),
-		owner:    make([]*serverConn, cfg.Units),
-		conns:    make(map[*serverConn]struct{}),
-	}, nil
+	s := &Server{
+		cfg:        cfg,
+		tel:        reg,
+		recorder:   telemetry.NewFlightRecorder(cfg.FlightRecorderSize),
+		metrics:    newServerMetrics(reg, cfg),
+		now:        time.Now,
+		readings:   make(power.Vector, cfg.Units),
+		lastCaps:   cfg.Manager.Caps().Clone(),
+		lastPushed: cfg.Manager.Caps().Clone(),
+		owner:      make([]*serverConn, cfg.Units),
+		conns:      make(map[*serverConn]struct{}),
+	}
+	if s.healthEnabled() {
+		s.health = make([]core.UnitHealth, cfg.Units)
+		s.lastReport = make([]time.Time, cfg.Units)
+		// Units start with a full staleness clock: a unit that never
+		// registers an agent drifts to stale/dead on its own, reserved at
+		// its initial cap.
+		start := time.Now()
+		for u := range s.lastReport {
+			s.lastReport[u] = start
+		}
+	}
+	return s, nil
+}
+
+// ResetHealthClocks restamps every unit's staleness clock with the
+// server's clock source. Tests that stub the clock call this after the
+// stub is installed so construction-time stamps don't skew the first
+// round.
+func (s *Server) ResetHealthClocks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	for u := range s.lastReport {
+		s.lastReport[u] = now
+	}
 }
 
 // Telemetry returns the server's metrics registry, for serving on
@@ -188,9 +293,14 @@ func (s *Server) logf(format string, args ...any) {
 // loop until the connection fails or the server closes. It blocks; run it
 // in its own goroutine per connection (Serve does).
 func (s *Server) Handle(conn net.Conn) error {
+	s.armReadDeadline(conn)
 	hello, err := proto.ReadHello(conn)
 	if err != nil {
 		conn.Close()
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.metrics.reaps.Inc()
+		}
 		return err
 	}
 	sc := &serverConn{conn: conn, hello: hello, scratch: make([]power.Watts, hello.Units)}
@@ -211,18 +321,56 @@ func (s *Server) Handle(conn net.Conn) error {
 		s.logf("daemon: agent for units [%d,%d) disconnected", hello.FirstUnit, int(hello.FirstUnit)+hello.Units)
 	}()
 	for {
+		s.armReadDeadline(conn)
 		if err := proto.ReadBatch(conn, sc.scratch); err != nil {
 			if s.isClosed() {
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// The agent handshook and went silent: reap the connection so
+				// its units can be re-claimed by a fresh session instead of
+				// staying owned by a hung socket forever.
+				s.metrics.reaps.Inc()
+				return fmt.Errorf("daemon: reaping idle agent for units [%d,%d): %w",
+					hello.FirstUnit, int(hello.FirstUnit)+hello.Units, err)
+			}
 			return err
 		}
+		now := s.now()
+		ceiling := s.maxReading()
 		s.mu.Lock()
 		for i, v := range sc.scratch {
-			s.readings[int(hello.FirstUnit)+i] = v
+			u := int(hello.FirstUnit) + i
+			if bad := badReading(v, ceiling); bad {
+				// Rejected readings never reach the filter and never refresh
+				// the staleness clock: a garbage-reporting agent quarantines
+				// itself into the stale state.
+				s.metrics.badReadings.Inc()
+				continue
+			}
+			s.readings[u] = v
+			if s.lastReport != nil {
+				s.lastReport[u] = now
+			}
 		}
 		s.mu.Unlock()
 	}
+}
+
+// armReadDeadline applies the configured idle read deadline to conn, or
+// clears it when disabled.
+func (s *Server) armReadDeadline(conn net.Conn) {
+	if t := s.cfg.ReadIdleTimeout; t > 0 {
+		conn.SetReadDeadline(time.Now().Add(t))
+	}
+}
+
+// badReading reports whether an inbound power report is garbage the
+// boundary must reject: NaN, ±Inf, negative, or above the ceiling.
+func badReading(v, ceiling power.Watts) bool {
+	f := float64(v)
+	return math.IsNaN(f) || math.IsInf(f, 0) || v < 0 || v > ceiling
 }
 
 func (s *Server) register(sc *serverConn) error {
@@ -240,8 +388,15 @@ func (s *Server) register(sc *serverConn) error {
 			return fmt.Errorf("daemon: unit %d already owned by another agent", u)
 		}
 	}
+	now := s.now()
 	for u := first; u < first+n; u++ {
 		s.owner[u] = sc
+		// A (re-)handshake restarts the staleness clock so the unit is
+		// fresh again by the next decision round, before its first report
+		// even lands.
+		if s.lastReport != nil {
+			s.lastReport[u] = now
+		}
 	}
 	s.conns[sc] = struct{}{}
 	s.metrics.connects.Inc()
@@ -309,8 +464,13 @@ type statsDecider interface {
 // single-threaded); Serve guarantees that by calling it from one loop.
 func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	s.mu.Lock()
-	snap := core.Snapshot{Power: s.readings.Clone(), Interval: interval}
+	health := s.evaluateHealthLocked()
+	snap := core.Snapshot{Power: s.readings.Clone(), Interval: interval, Health: health}
 	prevCaps := s.lastCaps.Clone()
+	var lastPushed power.Vector
+	if health != nil {
+		lastPushed = s.lastPushed.Clone()
+	}
 	targets := make([]*serverConn, 0, len(s.conns))
 	for sc := range s.conns {
 		targets = append(targets, sc)
@@ -328,8 +488,10 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		caps = s.cfg.Manager.Decide(snap)
 	}
 	elapsed := s.now().Sub(started)
+	caps = s.degradedDeliver(caps, health, lastPushed)
 
 	var firstErr error
+	pushed := make([]*serverConn, 0, len(targets))
 	for _, sc := range targets {
 		first, n := int(sc.hello.FirstUnit), sc.hello.Units
 		sc.writeMu.Lock()
@@ -340,26 +502,123 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("daemon: pushing caps to units [%d,%d): %w", first, first+n, err)
 			}
+			continue
 		}
+		pushed = append(pushed, sc)
 	}
 	s.mu.Lock()
 	s.rounds++
 	round := s.rounds
 	copy(s.lastCaps, caps)
+	for _, sc := range pushed {
+		first, n := int(sc.hello.FirstUnit), sc.hello.Units
+		copy(s.lastPushed[first:first+n], caps[first:first+n])
+	}
 	if d, ok := s.cfg.Manager.(*core.DPS); ok {
 		s.lastPrio = append(s.lastPrio[:0], d.Priorities()...)
 		s.lastRestored = d.Restored()
 	}
 	s.mu.Unlock()
-	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, caps, st, hasStats)
+	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, caps, health, st, hasStats)
 	return caps, firstErr
+}
+
+// evaluateHealthLocked advances the per-unit health state machine from the
+// staleness clocks, records transitions, and returns a copy of the health
+// vector for the round (nil while health tracking is disabled). Caller
+// holds s.mu.
+func (s *Server) evaluateHealthLocked() []core.UnitHealth {
+	if s.health == nil {
+		return nil
+	}
+	now := s.now()
+	stale, dead := 0, 0
+	for u := range s.health {
+		age := now.Sub(s.lastReport[u])
+		h := core.HealthFresh
+		switch {
+		case s.cfg.DeadAfter > 0 && age >= s.cfg.DeadAfter:
+			h = core.HealthDead
+		case s.cfg.StaleAfter > 0 && age >= s.cfg.StaleAfter:
+			h = core.HealthStale
+		}
+		if prev := s.health[u]; h != prev {
+			if c := s.metrics.transitions[int(prev)*3+int(h)]; c != nil {
+				c.Inc()
+			}
+			s.health[u] = h
+			s.logf("daemon: unit %d health %s -> %s (last report %v ago)", u, prev, h, age)
+		}
+		s.metrics.unitHealth[u].Set(float64(h))
+		switch h {
+		case core.HealthStale:
+			stale++
+		case core.HealthDead:
+			dead++
+		}
+	}
+	s.metrics.staleUnits.Set(float64(stale))
+	s.metrics.deadUnits.Set(float64(dead))
+	return append([]core.UnitHealth(nil), s.health...)
+}
+
+// degradedDeliver is the delivery-side guarantee of the degraded-mode
+// contract: whatever the manager decided, every non-fresh unit's
+// delivered cap equals what its agent is already enforcing (lastPushed),
+// and the fresh units are rescaled toward UnitMin if that pinning pushed
+// the sum over the budget. A health-aware manager (core.DPS) already
+// returns such a vector and passes through untouched; this is the safety
+// net for health-blind policies. The manager owns the caps vector, so a
+// correction works on a clone.
+func (s *Server) degradedDeliver(caps power.Vector, health []core.UnitHealth, lastPushed power.Vector) power.Vector {
+	if health == nil {
+		return caps
+	}
+	const eps = 1e-9
+	budget := s.cfg.Manager.Budget()
+	needsPin := false
+	for u, h := range health {
+		if h != core.HealthFresh && caps[u] != lastPushed[u] {
+			needsPin = true
+			break
+		}
+	}
+	if !needsPin && caps.Sum() <= budget.Total+eps {
+		return caps
+	}
+	out := caps.Clone()
+	for u, h := range health {
+		if h != core.HealthFresh {
+			out[u] = lastPushed[u]
+		}
+	}
+	if excess := out.Sum() - budget.Total; excess > eps {
+		var headroom power.Watts
+		for u, h := range health {
+			if h == core.HealthFresh && out[u] > budget.UnitMin {
+				headroom += out[u] - budget.UnitMin
+			}
+		}
+		if headroom > 0 {
+			frac := excess / headroom
+			if frac > 1 {
+				frac = 1
+			}
+			for u, h := range health {
+				if h == core.HealthFresh && out[u] > budget.UnitMin {
+					out[u] -= frac * (out[u] - budget.UnitMin)
+				}
+			}
+		}
+	}
+	return out
 }
 
 // observeRound publishes one decision round to the metrics registry and
 // the flight recorder. Called from the decision loop only, after the
 // round counter advanced. st carries the round's controller stats when
 // hasStats is true (the manager implements statsDecider).
-func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, caps power.Vector, st core.RoundStats, hasStats bool) {
+func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, caps power.Vector, health []core.UnitHealth, st core.RoundStats, hasStats bool) {
 	m := &s.metrics
 	m.rounds.Inc()
 	m.decide.Observe(elapsed.Seconds())
@@ -380,6 +639,14 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		BudgetW:   float64(s.cfg.Manager.Budget().Total),
 		CapSumW:   float64(caps.Sum()),
 		Units:     make([]telemetry.UnitRecord, len(caps)),
+	}
+	for _, h := range health {
+		switch h {
+		case core.HealthStale:
+			rec.StaleUnits++
+		case core.HealthDead:
+			rec.DeadUnits++
+		}
 	}
 	var prio []bool
 	if hasStats {
@@ -429,6 +696,9 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		}
 		if prio != nil {
 			ur.HighPriority = prio[u]
+		}
+		if health != nil && health[u] != core.HealthFresh {
+			ur.Health = health[u].String()
 		}
 		rec.Units[u] = ur
 	}

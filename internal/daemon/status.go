@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"dps/internal/core"
 	"dps/internal/power"
 )
 
@@ -23,6 +24,11 @@ type Status struct {
 	Caps     []float64 `json:"caps_w"`
 	Priority []bool    `json:"high_priority,omitempty"`
 	Restored bool      `json:"restored,omitempty"`
+	// Health is the per-unit degraded-mode state ("fresh"/"stale"/"dead");
+	// omitted while health tracking is disabled.
+	Health     []string `json:"health,omitempty"`
+	StaleUnits int      `json:"stale_units,omitempty"`
+	DeadUnits  int      `json:"dead_units,omitempty"`
 }
 
 // Snapshot assembles the current Status. It reads only the server's own
@@ -39,19 +45,36 @@ func (s *Server) Snapshot() Status {
 		prio = append([]bool(nil), s.lastPrio...)
 	}
 	restored := s.lastRestored
+	var health []string
+	var stale, dead int
+	if s.health != nil {
+		health = make([]string, len(s.health))
+		for u, h := range s.health {
+			health[u] = h.String()
+			switch h {
+			case core.HealthStale:
+				stale++
+			case core.HealthDead:
+				dead++
+			}
+		}
+	}
 	s.mu.Unlock()
 
 	return Status{
-		Policy:   s.cfg.Manager.Name(),
-		Units:    s.cfg.Units,
-		Agents:   agents,
-		Rounds:   rounds,
-		BudgetW:  float64(s.cfg.Manager.Budget().Total),
-		Readings: toFloats(readings),
-		Caps:     toFloats(caps),
-		CapSumW:  float64(caps.Sum()),
-		Priority: prio,
-		Restored: restored,
+		Policy:     s.cfg.Manager.Name(),
+		Units:      s.cfg.Units,
+		Agents:     agents,
+		Rounds:     rounds,
+		BudgetW:    float64(s.cfg.Manager.Budget().Total),
+		Readings:   toFloats(readings),
+		Caps:       toFloats(caps),
+		CapSumW:    float64(caps.Sum()),
+		Priority:   prio,
+		Restored:   restored,
+		Health:     health,
+		StaleUnits: stale,
+		DeadUnits:  dead,
 	}
 }
 

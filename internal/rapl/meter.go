@@ -14,12 +14,35 @@ type Meter struct {
 	dev    Device
 	lastUJ uint64
 	primed bool
+
+	// tolerance is the number of consecutive failed counter reads to ride
+	// through by holding the last good sample; pendingElapsed accumulates
+	// the unmeasured interval so the next successful read averages over
+	// the whole gap instead of inventing a power spike.
+	tolerance      int
+	errStreak      int
+	lastW          power.Watts
+	pendingElapsed power.Seconds
 }
 
 // NewMeter wraps a device. The first Read primes the meter and reports the
 // device's idle assumption (0 W) because no interval has elapsed yet.
 func NewMeter(dev Device) *Meter {
 	return &Meter{dev: dev}
+}
+
+// NewTolerantMeter wraps a device like NewMeter but rides through up to
+// tolerance consecutive counter-read errors: each failed Read returns the
+// last good sample instead of an error — real RAPL sysfs reads hiccup
+// with EAGAIN under load, and one blip should not tear down an agent
+// session. The (tolerance+1)th consecutive failure surfaces, and a meter
+// that was never primed has no sample to hold, so priming failures always
+// surface.
+func NewTolerantMeter(dev Device, tolerance int) *Meter {
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	return &Meter{dev: dev, tolerance: tolerance}
 }
 
 // Read returns the average power since the previous Read, over the given
@@ -31,8 +54,16 @@ func NewMeter(dev Device) *Meter {
 func (m *Meter) Read(elapsed power.Seconds) (power.Watts, error) {
 	uj, err := m.dev.EnergyMicroJoules()
 	if err != nil {
+		if m.primed && m.errStreak < m.tolerance {
+			m.errStreak++
+			if elapsed > 0 {
+				m.pendingElapsed += elapsed
+			}
+			return m.lastW, nil
+		}
 		return 0, fmt.Errorf("rapl: reading energy counter: %w", err)
 	}
+	m.errStreak = 0
 	if !m.primed {
 		m.primed = true
 		m.lastUJ = uj
@@ -48,8 +79,17 @@ func (m *Meter) Read(elapsed power.Seconds) (power.Watts, error) {
 	if elapsed <= 0 {
 		return 0, fmt.Errorf("rapl: non-positive meter interval %v", elapsed)
 	}
-	return power.Watts(float64(delta) / 1e6 / float64(elapsed)), nil
+	// Average over the whole span since the last good read, including
+	// intervals whose reads failed and returned the held sample.
+	elapsed += m.pendingElapsed
+	m.pendingElapsed = 0
+	w := power.Watts(float64(delta) / 1e6 / float64(elapsed))
+	m.lastW = w
+	return w, nil
 }
+
+// ErrStreak returns the current run of consecutive tolerated read errors.
+func (m *Meter) ErrStreak() int { return m.errStreak }
 
 // Primed reports whether the meter has a baseline counter value.
 func (m *Meter) Primed() bool { return m.primed }

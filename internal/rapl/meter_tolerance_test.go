@@ -1,0 +1,141 @@
+package rapl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dps/internal/power"
+)
+
+// flakyDevice scripts energy-counter failures: reads fail while failing
+// is set, otherwise report the counter.
+type flakyDevice struct {
+	uj      uint64
+	failing bool
+	cap     power.Watts
+}
+
+var errFlaky = errors.New("rapl test: injected read failure")
+
+func (d *flakyDevice) EnergyMicroJoules() (uint64, error) {
+	if d.failing {
+		return 0, errFlaky
+	}
+	return d.uj, nil
+}
+func (d *flakyDevice) SetCap(w power.Watts) error { d.cap = w; return nil }
+func (d *flakyDevice) Cap() (power.Watts, error)  { return d.cap, nil }
+func (d *flakyDevice) MaxPower() power.Watts      { return 165 }
+func (d *flakyDevice) MinPower() power.Watts      { return 10 }
+
+// TestTolerantMeterHoldsLastSample pins the tolerance contract: up to K
+// consecutive failed reads return the last good sample, the K+1th
+// surfaces the error.
+func TestTolerantMeterHoldsLastSample(t *testing.T) {
+	dev := &flakyDevice{}
+	m := NewTolerantMeter(dev, 3)
+	if _, err := m.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	dev.uj += 100_000_000 // 100 J over 1 s = 100 W
+	w, err := m.Read(1)
+	if err != nil || w != 100 {
+		t.Fatalf("good read = (%v, %v), want (100, nil)", w, err)
+	}
+
+	dev.failing = true
+	for i := 1; i <= 3; i++ {
+		w, err := m.Read(1)
+		if err != nil {
+			t.Fatalf("tolerated read %d surfaced error: %v", i, err)
+		}
+		if w != 100 {
+			t.Fatalf("tolerated read %d = %v, want held sample 100", i, w)
+		}
+		if m.ErrStreak() != i {
+			t.Fatalf("streak after read %d = %d", i, m.ErrStreak())
+		}
+	}
+	if _, err := m.Read(1); !errors.Is(err, errFlaky) {
+		t.Fatalf("read past tolerance = %v, want the device error", err)
+	}
+}
+
+// TestTolerantMeterAveragesOverGap verifies the elapsed accumulation: the
+// first good read after tolerated failures averages over the whole gap
+// instead of inventing a spike from several intervals of accrued energy.
+func TestTolerantMeterAveragesOverGap(t *testing.T) {
+	dev := &flakyDevice{}
+	m := NewTolerantMeter(dev, 3)
+	if _, err := m.Read(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failed intervals, then a good read. The device accrued 100 W for
+	// all three seconds; the recovered read must report ~100 W, not 300 W.
+	dev.failing = true
+	for i := 0; i < 2; i++ {
+		if _, err := m.Read(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.failing = false
+	dev.uj += 300_000_000
+	w, err := m.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(w)-100) > 1e-9 {
+		t.Fatalf("recovered read = %v W, want 100 (averaged over the 3 s gap)", w)
+	}
+	if m.ErrStreak() != 0 {
+		t.Fatalf("streak not reset after a good read: %d", m.ErrStreak())
+	}
+}
+
+// TestTolerantMeterStreakResets verifies the tolerance is per-streak, not
+// lifetime: failures separated by good reads never accumulate.
+func TestTolerantMeterStreakResets(t *testing.T) {
+	dev := &flakyDevice{}
+	m := NewTolerantMeter(dev, 1)
+	if _, err := m.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		dev.failing = true
+		if _, err := m.Read(1); err != nil {
+			t.Fatalf("round %d: single failure surfaced: %v", round, err)
+		}
+		dev.failing = false
+		dev.uj += 50_000_000
+		if _, err := m.Read(1); err != nil {
+			t.Fatalf("round %d: good read failed: %v", round, err)
+		}
+	}
+}
+
+// TestTolerantMeterUnprimedFailureSurfaces verifies there is no sample to
+// hold before priming, so a priming failure always surfaces (the agent
+// handshake depends on this to tear down cleanly).
+func TestTolerantMeterUnprimedFailureSurfaces(t *testing.T) {
+	dev := &flakyDevice{failing: true}
+	m := NewTolerantMeter(dev, 5)
+	if _, err := m.Read(1); !errors.Is(err, errFlaky) {
+		t.Fatalf("unprimed read = %v, want the device error", err)
+	}
+}
+
+// TestNewMeterStaysStrict pins that the plain constructor keeps the
+// original zero-tolerance semantics.
+func TestNewMeterStaysStrict(t *testing.T) {
+	dev := &flakyDevice{}
+	m := NewMeter(dev)
+	if _, err := m.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	dev.failing = true
+	if _, err := m.Read(1); !errors.Is(err, errFlaky) {
+		t.Fatalf("strict meter tolerated a failure: %v", err)
+	}
+}

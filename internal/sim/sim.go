@@ -18,6 +18,7 @@ import (
 
 	"dps/internal/cluster"
 	"dps/internal/core"
+	"dps/internal/faultinject"
 	"dps/internal/metrics"
 	"dps/internal/power"
 	"dps/internal/workload"
@@ -58,6 +59,11 @@ type PairConfig struct {
 	// virtual time, measured readings, and programmed caps. Slices are
 	// owned by the engine and only valid during the call.
 	StepHook func(t power.Seconds, readings, caps power.Vector)
+	// ReadingFaults, if non-nil, corrupts the measured readings with this
+	// seeded schedule before the manager sees them — the garbage a broken
+	// sensor stack would report, for robustness experiments. The machine's
+	// ground truth (demands, energy accounting) is untouched.
+	ReadingFaults *faultinject.ReadingConfig
 }
 
 // withDefaults fills zero fields.
@@ -192,6 +198,12 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 	if dpsMgr != nil {
 		res.Stages = &StageBreakdown{}
 	}
+	var corrupter *faultinject.Readings
+	var corrupted power.Vector
+	if cfg.ReadingFaults != nil {
+		corrupter = faultinject.NewReadings(*cfg.ReadingFaults, nil)
+		corrupted = make(power.Vector, units)
+	}
 	var t power.Seconds
 	eps := power.Watts(1e-6)
 
@@ -222,6 +234,13 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 		readings, err := mach.Step(cfg.DT)
 		if err != nil {
 			return PairResult{}, err
+		}
+		if corrupter != nil {
+			// Corrupt a copy: the machine owns the readings slice and uses
+			// it for its own accounting.
+			copy(corrupted, readings)
+			corrupter.Corrupt(corrupted)
+			readings = corrupted
 		}
 
 		// Harvest completed runs.

@@ -26,6 +26,9 @@ type UnitRecord struct {
 	CapW         float64 `json:"cap_w"`
 	CapDeltaW    float64 `json:"cap_delta_w"`
 	HighPriority bool    `json:"high_priority,omitempty"`
+	// Health is the unit's degraded state ("stale" or "dead"); empty for a
+	// fresh unit or when health tracking is disabled.
+	Health string `json:"health,omitempty"`
 }
 
 // RoundRecord is one entry of the decision flight recorder: everything
@@ -40,6 +43,8 @@ type RoundRecord struct {
 	PriorityFlips   int          `json:"priority_flips,omitempty"`
 	BudgetExhausted bool         `json:"budget_exhausted,omitempty"`
 	BudgetClamped   bool         `json:"budget_clamped,omitempty"`
+	StaleUnits      int          `json:"stale_units,omitempty"`
+	DeadUnits       int          `json:"dead_units,omitempty"`
 	BudgetW         float64      `json:"budget_w"`
 	CapSumW         float64      `json:"cap_sum_w"`
 	Units           []UnitRecord `json:"units"`
