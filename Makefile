@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check chaos ci
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check chaos fuzz-smoke trace-smoke ci
 
 all: ci
 
@@ -54,11 +54,25 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Conn|Device|Readings' ./internal/daemon/ ./internal/faultinject/
 
 # alloc-check is the allocation-regression gate: a warm sequential
-# DecideStats round must not allocate (see internal/core/alloc_test.go).
+# DecideStats round must not allocate, and neither may a round with a
+# disabled tracer attached — tracing must stay free when off.
 alloc-check:
-	$(GO) test -run TestDecideStatsSteadyStateZeroAlloc -count=1 ./internal/core
+	$(GO) test -run 'TestDecideStatsSteadyStateZeroAlloc|TestDecideTracerOffZeroAlloc' -count=1 ./internal/core
+
+# fuzz-smoke gives the wire-protocol decoders a short fuzz shake on every
+# CI run (the corpus under internal/proto/testdata grows across runs).
+# `go test` accepts one -fuzz pattern per invocation, hence two commands.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadHello -fuzztime=5s -run xxx ./internal/proto/
+	$(GO) test -fuzz=FuzzReadBatch -fuzztime=5s -run xxx ./internal/proto/
+
+# trace-smoke runs a short traced simulation and validates the exported
+# Chrome trace_event JSON covers every pipeline stage in every round.
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -count=1 ./internal/sim/
 
 # ci is the tier-1 gate: static checks, a full build, the complete test
 # suite, the race detector over the concurrency-bearing packages, the
-# allocation-regression gate, and a smoke run of the scaling benchmark.
-ci: vet staticcheck build test race alloc-check bench-smoke
+# allocation-regression gates, a protocol fuzz shake, the traced-sim
+# smoke, and a smoke run of the scaling benchmark.
+ci: vet staticcheck build test race alloc-check fuzz-smoke trace-smoke bench-smoke

@@ -27,6 +27,7 @@ import (
 	"dps/internal/proto"
 	"dps/internal/signal"
 	"dps/internal/stateless"
+	"dps/internal/trace"
 	"dps/internal/workload"
 )
 
@@ -341,6 +342,47 @@ func BenchmarkDecideScaling(b *testing.B) {
 				b.ReportMetric(float64(kalmanNS.Nanoseconds())/float64(b.N), "kalman_ns")
 			})
 		}
+	}
+}
+
+// BenchmarkDecideTraceOverhead measures what span recording costs the
+// decision loop: the same steady-state workload with the recorder off
+// (the production default; must stay allocation-free — the regression
+// test in internal/core pins 0 allocs/op) and with it on. The off/on
+// delta is the §6.5-style overhead number scripts/bench_decide.sh
+// reports as its tracing column.
+func BenchmarkDecideTraceOverhead(b *testing.B) {
+	const units = 4096
+	for _, on := range []bool{false, true} {
+		name := "tracer=off"
+		if on {
+			name = "tracer=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+			d, err := core.NewDPS(core.DefaultConfig(units, budget))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := trace.NewRecorder(trace.DefaultSpanCapacity)
+			rec.SetEnabled(on)
+			d.SetTracer(rec)
+			rng := rand.New(rand.NewSource(1))
+			readings := make(power.Vector, units)
+			for i := range readings {
+				readings[i] = power.Watts(40 + rng.Float64()*120)
+			}
+			snap := core.Snapshot{Power: readings, Interval: 1}
+			for i := 0; i < 25; i++ { // fill the history
+				d.Decide(snap)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				readings[i%units] += power.Watts(rng.NormFloat64() * 2)
+				d.Decide(snap)
+			}
+		})
 	}
 }
 

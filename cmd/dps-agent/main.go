@@ -43,6 +43,7 @@ func main() {
 		minCap    = flag.Float64("min-cap", 10, "lowest cap to accept, watts")
 		httpAddr  = flag.String("http", "", "serve agent /metrics, /healthz and /debug/pprof on this address (e.g. :7893)")
 		meterTol  = flag.Int("meter-tolerance", 0, "consecutive RAPL read errors to ride through on the last good sample (0 = default, negative = strict)")
+		applyEcho = flag.Bool("apply-echo", false, "acknowledge each cap batch with its apply duration (controller builds an end-to-end latency histogram; requires a v2-capable controller)")
 	)
 	flag.Parse()
 
@@ -135,6 +136,7 @@ func main() {
 		Interval:            *interval,
 		Logf:                log.Printf,
 		MeterErrorTolerance: *meterTol,
+		ApplyEcho:           *applyEcho,
 	})
 	if err != nil {
 		log.Fatalf("dps-agent: %v", err)

@@ -59,6 +59,9 @@ func main() {
 		deadAfter  = flag.Duration("dead-after", 0, "reserve a unit's budget at its last delivered cap after this long without a report (0 disables)")
 		readIdle   = flag.Duration("read-idle-timeout", 0, "reap agent connections silent for this long (0 disables)")
 		maxReading = flag.Float64("max-reading", 0, "reject inbound power reports above this many watts (0 = twice unit-max)")
+
+		traceOn    = flag.Bool("trace", false, "record round-scoped spans for /debug/trace (toggleable at runtime)")
+		traceSpans = flag.Int("trace-spans", 0, "span ring capacity (0 = default)")
 	)
 	flag.Parse()
 
@@ -72,6 +75,8 @@ func main() {
 	deadAfter_ := *deadAfter
 	readIdle_ := *readIdle
 	maxReading_ := power.Watts(*maxReading)
+	traceOn_ := *traceOn
+	traceSpans_ := *traceSpans
 
 	if *confPath != "" {
 		fc, err := daemon.LoadFileConfig(*confPath)
@@ -90,6 +95,8 @@ func main() {
 		deadAfter_ = fc.DeadAfter()
 		readIdle_ = fc.ReadIdleTimeout()
 		maxReading_ = power.Watts(fc.MaxReadingW)
+		traceOn_ = fc.Trace
+		traceSpans_ = fc.TraceSpans
 	} else {
 		total := power.Watts(*budgetW)
 		if total == 0 {
@@ -126,6 +133,8 @@ func main() {
 		DeadAfter:       deadAfter_,
 		ReadIdleTimeout: readIdle_,
 		MaxReading:      maxReading_,
+		TraceEnabled:    traceOn_,
+		TraceSpans:      traceSpans_,
 	})
 	if err != nil {
 		log.Fatalf("dpsd: %v", err)
@@ -148,7 +157,7 @@ func main() {
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("dpsd: status endpoint on http://%s/status (metrics, debug/rounds, debug/pprof)", statusAddr)
+			log.Printf("dpsd: status endpoint on http://%s/status (metrics, debug/rounds, debug/trace, debug/why, debug/pprof)", statusAddr)
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("dpsd: status endpoint: %v", err)
 			}

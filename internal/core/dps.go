@@ -11,6 +11,7 @@ import (
 	"dps/internal/priority"
 	"dps/internal/readjust"
 	"dps/internal/stateless"
+	"dps/internal/trace"
 )
 
 // Config assembles a DPS controller.
@@ -114,8 +115,20 @@ type DPS struct {
 	lastRestored bool
 	steps        uint64
 
-	prevPrio  []bool
-	lastStats RoundStats
+	prevPrio []bool
+
+	// Cap provenance: prov[u] records which module last moved unit u's cap
+	// this round and its before/after values. stageCaps is the diff
+	// baseline, advanced after every cap-mutating stage. Both are
+	// preallocated; maintaining provenance is a handful of O(units)
+	// compare passes per round and never allocates.
+	prov      []trace.CapChange
+	stageCaps power.Vector
+
+	// tracer, when set and enabled, receives one span per pipeline stage
+	// per round. Nil by default; every site is guarded by tracer.On(), a
+	// nil-safe atomic load, so the disabled path costs one branch.
+	tracer *trace.Recorder
 
 	// Sharding state: nil/empty when shards == 1 (the sequential path).
 	shards     int
@@ -139,8 +152,7 @@ type StageTimings struct {
 
 // RoundStats describes one decision round for observability: stage
 // timings and decision outcomes. DecideStats returns it alongside the cap
-// vector; the deprecated LastStats side channel also retains the most
-// recent round's value.
+// vector.
 type RoundStats struct {
 	// Step is the 1-based decision round this records.
 	Step uint64
@@ -214,6 +226,8 @@ func NewDPS(cfg Config) (*DPS, error) {
 		caps:        power.NewVector(cfg.Units, 0),
 		changed:     make([]bool, cfg.Units),
 		prevPrio:    make([]bool, cfg.Units),
+		prov:        make([]trace.CapChange, cfg.Units),
+		stageCaps:   power.NewVector(cfg.Units, 0),
 		shards:      cfg.shardCount(),
 	}
 	for i := range d.caps {
@@ -281,18 +295,24 @@ func (d *DPS) Restored() bool { return d.lastRestored }
 // Steps returns the number of Decide calls so far.
 func (d *DPS) Steps() uint64 { return d.steps }
 
-// LastStats returns per-stage timings and decision outcomes of the most
-// recent decision round.
-//
-// Deprecated: the read-after-call side channel is racy once callers
-// overlap rounds — another round between Decide and LastStats silently
-// swaps the value. Use DecideStats, which returns the round's stats
-// atomically with its caps. LastStats remains for one release.
-func (d *DPS) LastStats() RoundStats { return d.lastStats }
+// SetTracer attaches a span recorder: every subsequent decision round
+// records one span per pipeline stage (kalman, stateless, priority,
+// readjust, health_pin, plus a whole-round decide span), trace-scoped to
+// the round number. A nil recorder — or an attached but disabled one —
+// restores the zero-cost path. Call between rounds, not concurrently
+// with DecideStats.
+func (d *DPS) SetTracer(tr *trace.Recorder) { d.tracer = tr }
+
+// Provenance returns per-unit cap provenance for the most recent decision
+// round: which module last moved each unit's cap, and the round's
+// before/after values. The slice is owned by the controller and
+// overwritten by the next round; it obeys the same single-threaded
+// contract as DecideStats (read it before the next round starts).
+// Entries with Reason trace.ReasonNone had Before == After.
+func (d *DPS) Provenance() []trace.CapChange { return d.prov }
 
 // Decide implements Manager: one pass of the Figure 3 pipeline. Callers
-// that also need the round's stats should use DecideStats instead of the
-// deprecated Decide-then-LastStats sequence.
+// that also need the round's stats should use DecideStats.
 func (d *DPS) Decide(snap Snapshot) power.Vector {
 	caps, _ := d.DecideStats(snap)
 	return caps
@@ -318,6 +338,14 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	d.steps++
 	stats := RoundStats{Step: d.steps, Shards: d.shards}
 	start := time.Now()
+
+	// Provenance baseline: every unit starts the round unchanged. The
+	// diff passes after each cap-mutating stage advance stageCaps and tag
+	// the last mover.
+	for u, c := range d.caps {
+		d.prov[u] = trace.CapChange{Before: float64(c), After: float64(c)}
+		d.stageCaps[u] = c
+	}
 
 	// Degraded-mode setup: a round is degraded when any unit is non-fresh.
 	// Non-fresh units are pinned at their current caps — the caps their
@@ -381,13 +409,20 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	}
 	mark := time.Now()
 	stats.Timings.Kalman = mark.Sub(start)
+	if d.tracer.On() {
+		d.tracer.Record(d.steps, trace.SpanKalman, trace.LaneDecide, -1, start, stats.Timings.Kalman)
+	}
 
 	// Stateless module: temporary cap allocation from current power alone.
 	// Global and sequential — its random visiting order is part of the
 	// deterministic contract.
 	d.statelessM.Apply(snap.Power, d.caps, d.cfg.Budget, d.changed)
+	d.noteStatelessChanges()
 	now := time.Now()
 	stats.Timings.Stateless = now.Sub(mark)
+	if d.tracer.On() {
+		d.tracer.Record(d.steps, trace.SpanStateless, trace.LaneDecide, -1, mark, stats.Timings.Stateless)
+	}
 	mark = now
 
 	d.lastRestored = false
@@ -456,17 +491,34 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 		}
 		now = time.Now()
 		stats.Timings.Priority = now.Sub(mark)
+		if d.tracer.On() {
+			d.tracer.Record(d.steps, trace.SpanPriority, trace.LaneDecide, -1, mark, stats.Timings.Priority)
+		}
 		mark = now
 
 		// Cap readjusting module: restore, else readjust. Global: grant
 		// order and the budget arithmetic span all units.
 		d.lastRestored = d.readjustM.Restore(snap.Power, d.caps, d.constantCap, d.changed)
-		if !d.lastRestored {
+		if d.lastRestored {
+			d.noteCapChanges(trace.ReasonRestore)
+		} else {
 			outcome := d.readjustM.Readjust(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed)
 			stats.BudgetExhausted = outcome == readjust.OutcomeEqualize
+			switch outcome {
+			case readjust.OutcomeGrant:
+				d.noteCapChanges(trace.ReasonReadjustGrant)
+			case readjust.OutcomeEqualize:
+				// Equalize may also move low-priority caps (the
+				// EnforceFloor reclaim); all movement in this branch is
+				// one decision and shares the reason.
+				d.noteCapChanges(trace.ReasonEqualize)
+			}
 		}
 		now = time.Now()
 		stats.Timings.Readjust = now.Sub(mark)
+		if d.tracer.On() {
+			d.tracer.Record(d.steps, trace.SpanReadjust, trace.LaneDecide, -1, mark, stats.Timings.Readjust)
+		}
 	}
 	stats.Restored = d.lastRestored
 
@@ -476,17 +528,60 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	// cap its agent is still enforcing. The fresh units then absorb any
 	// resulting excess in the masked budget clamp below.
 	if health != nil {
+		traceOn := d.tracer.On()
+		var pinStart time.Time
+		if traceOn {
+			pinStart = time.Now()
+		}
 		for u, h := range health {
 			if h != HealthFresh {
 				d.caps[u] = d.held[u]
 			}
 		}
+		d.noteCapChanges(trace.ReasonHealthPin)
+		if traceOn {
+			d.tracer.Record(d.steps, trace.SpanHealthPin, trace.LaneDecide, -1, pinStart, time.Since(pinStart))
+		}
 	}
 
 	stats.BudgetClamped = d.enforceBudget(health)
+	d.noteCapChanges(trace.ReasonClamp)
+	for u, c := range d.caps {
+		d.prov[u].After = float64(c)
+	}
 	stats.Total = time.Since(start)
-	d.lastStats = stats
+	if d.tracer.On() {
+		d.tracer.Record(d.steps, trace.SpanDecide, trace.LaneDecide, -1, start, stats.Total)
+	}
 	return d.caps, stats
+}
+
+// noteStatelessChanges tags units whose caps the stateless stage moved,
+// classified by net direction: Algorithm 1's decrease loop can cut a unit
+// and its increase loop re-raise it within one pass, and the net movement
+// is what the operator asks about.
+func (d *DPS) noteStatelessChanges() {
+	for u, c := range d.caps {
+		if c != d.stageCaps[u] {
+			if c < d.stageCaps[u] {
+				d.prov[u].Reason = trace.ReasonMIMDCut
+			} else {
+				d.prov[u].Reason = trace.ReasonMIMDRaise
+			}
+			d.stageCaps[u] = c
+		}
+	}
+}
+
+// noteCapChanges tags every unit whose cap moved since the previous
+// stage baseline with reason, and advances the baseline.
+func (d *DPS) noteCapChanges(reason trace.Reason) {
+	for u, c := range d.caps {
+		if c != d.stageCaps[u] {
+			d.prov[u].Reason = reason
+			d.stageCaps[u] = c
+		}
+	}
 }
 
 // overBudgetEps separates floating-point drift from a genuine pipeline
@@ -588,6 +683,9 @@ func (d *DPS) Reset() {
 		d.prevPrio[u] = false
 	}
 	d.lastRestored = false
-	d.lastStats = RoundStats{}
+	for u := range d.prov {
+		d.prov[u] = trace.CapChange{Before: float64(d.constantCap), After: float64(d.constantCap)}
+		d.stageCaps[u] = d.constantCap
+	}
 	d.steps = 0
 }

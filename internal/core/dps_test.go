@@ -277,13 +277,9 @@ func min2(a, b power.Watts) power.Watts {
 	return b
 }
 
-func TestLastStatsTimingsAndOutcomes(t *testing.T) {
+func TestRoundStatsTimingsAndOutcomes(t *testing.T) {
 	d := mustDPS(t, DefaultConfig(2, testBudget))
-	if d.LastStats() != (RoundStats{}) {
-		t.Errorf("stats before any round = %+v, want zero", d.LastStats())
-	}
-	d.Decide(Snapshot{Power: power.Vector{100, 100}, Interval: 1})
-	st := d.LastStats()
+	_, st := d.DecideStats(Snapshot{Power: power.Vector{100, 100}, Interval: 1})
 	if st.Step != 1 {
 		t.Errorf("Step = %d, want 1", st.Step)
 	}
@@ -299,7 +295,7 @@ func TestLastStatsTimingsAndOutcomes(t *testing.T) {
 	}
 }
 
-func TestLastStatsBudgetExhaustedAndFlips(t *testing.T) {
+func TestRoundStatsBudgetExhaustedAndFlips(t *testing.T) {
 	// The Figure 1 scenario saturates both units under an exhausted
 	// budget: stats must record equalize rounds and the priority flips
 	// that led there.
@@ -323,8 +319,8 @@ func TestLastStatsBudgetExhaustedAndFlips(t *testing.T) {
 				drew = append(drew, caps[u])
 			}
 		}
-		caps = d.Decide(Snapshot{Power: drew, Interval: 1}).Clone()
-		st := d.LastStats()
+		c, st := d.DecideStats(Snapshot{Power: drew, Interval: 1})
+		caps = c.Clone()
 		if st.BudgetExhausted {
 			sawExhausted = true
 		}
@@ -343,20 +339,24 @@ func TestLastStatsBudgetExhaustedAndFlips(t *testing.T) {
 	}
 }
 
-func TestLastStatsRestoredAndReset(t *testing.T) {
+func TestRoundStatsRestoredAndReset(t *testing.T) {
 	budget := power.Budget{Total: 220, UnitMax: 165, UnitMin: 10}
 	d := mustDPS(t, DefaultConfig(2, budget))
 	for i := 0; i < 10; i++ {
 		d.Decide(Snapshot{Power: power.Vector{160, 20}, Interval: 1})
 	}
+	var st RoundStats
 	for i := 0; i < 3; i++ {
-		d.Decide(Snapshot{Power: power.Vector{25, 20}, Interval: 1})
+		_, st = d.DecideStats(Snapshot{Power: power.Vector{25, 20}, Interval: 1})
 	}
-	if !d.LastStats().Restored {
+	if !st.Restored {
 		t.Error("stats missed the restore event")
 	}
 	d.Reset()
-	if d.LastStats() != (RoundStats{}) {
-		t.Errorf("stats after Reset = %+v, want zero", d.LastStats())
+	if d.Steps() != 0 {
+		t.Errorf("Steps after Reset = %d, want 0", d.Steps())
+	}
+	if _, st = d.DecideStats(Snapshot{Power: power.Vector{100, 100}, Interval: 1}); st.Step != 1 {
+		t.Errorf("first round after Reset has Step = %d, want 1", st.Step)
 	}
 }

@@ -208,9 +208,9 @@ func TestShardRangeCoversAllUnits(t *testing.T) {
 	}
 }
 
-// TestDecideStatsMatchesLastStats checks the deprecated side channel
-// keeps reporting the stats of the round that produced it.
-func TestDecideStatsMatchesLastStats(t *testing.T) {
+// TestDecideStatsStepAndShards checks the stats returned with each round
+// carry the round counter and the shard count actually used.
+func TestDecideStatsStepAndShards(t *testing.T) {
 	budget := power.Budget{Total: 440, UnitMax: 165, UnitMin: 10}
 	d, err := NewDPS(DefaultConfig(4, budget))
 	if err != nil {
@@ -219,9 +219,6 @@ func TestDecideStatsMatchesLastStats(t *testing.T) {
 	snap := Snapshot{Power: power.Vector{100, 90, 40, 20}, Interval: 1}
 	for i := 0; i < 5; i++ {
 		_, st := d.DecideStats(snap)
-		if st != d.LastStats() {
-			t.Fatalf("round %d: DecideStats %+v != LastStats %+v", i, st, d.LastStats())
-		}
 		if st.Step != uint64(i+1) {
 			t.Fatalf("round %d: Step = %d", i, st.Step)
 		}

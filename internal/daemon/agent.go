@@ -37,6 +37,12 @@ type AgentConfig struct {
 	// reconnect backoff jitter with a deterministic one (tests). It must
 	// return values in [0, 1).
 	ReconnectJitter func() float64
+	// ApplyEcho advertises the cap-apply acknowledgement capability in the
+	// handshake: after programming each cap batch the agent reports how
+	// long the apply took, letting the server build a true reading→
+	// enforced-cap latency histogram on its own clock. Off by default for
+	// wire compatibility with version-1 servers.
+	ApplyEcho bool
 }
 
 // DefaultMeterErrorTolerance is how many consecutive meter read errors an
@@ -74,6 +80,10 @@ type Agent struct {
 	cfg    AgentConfig
 	meters []*rapl.Meter
 	conn   net.Conn
+	// writeMu serializes the two upstream writers that exist once the
+	// apply-echo capability is on: report batches from the ticker goroutine
+	// and echo frames from the cap-receiving goroutine.
+	writeMu sync.Mutex
 
 	reportBuf []power.Watts
 	capBuf    []power.Watts
@@ -159,7 +169,7 @@ func (a *Agent) logf(format string, args ...any) {
 // Handshake introduces the agent on conn and waits for the server's
 // acknowledgement. The connection is retained for subsequent rounds.
 func (a *Agent) Handshake(conn net.Conn) error {
-	h := proto.Hello{FirstUnit: a.cfg.FirstUnit, Units: len(a.cfg.Devices)}
+	h := proto.Hello{FirstUnit: a.cfg.FirstUnit, Units: len(a.cfg.Devices), ApplyEcho: a.cfg.ApplyEcho}
 	if err := proto.WriteHello(conn, h); err != nil {
 		conn.Close()
 		return fmt.Errorf("daemon: agent handshake: %w", err)
@@ -198,13 +208,28 @@ func (a *Agent) ReportOnce(elapsed power.Seconds) error {
 		}
 		a.reportBuf[i] = w
 	}
-	if err := proto.WriteBatch(a.conn, a.reportBuf); err != nil {
+	a.writeMu.Lock()
+	err := a.writeReportLocked()
+	a.writeMu.Unlock()
+	if err != nil {
 		a.am.reportErrors.Inc()
 		return fmt.Errorf("daemon: sending report: %w", err)
 	}
 	a.reports.Add(1)
 	a.am.reports.Inc()
 	return nil
+}
+
+// writeReportLocked sends one report batch, framed when the session
+// negotiated the apply-echo capability (the server then expects every
+// upstream message to carry a frame header). Caller holds writeMu.
+func (a *Agent) writeReportLocked() error {
+	if a.cfg.ApplyEcho {
+		if err := proto.WriteFrameHeader(a.conn, proto.FrameReport); err != nil {
+			return err
+		}
+	}
+	return proto.WriteBatch(a.conn, a.reportBuf)
 }
 
 // ReceiveCaps blocks for one cap batch from the controller and programs
@@ -216,6 +241,7 @@ func (a *Agent) ReceiveCaps() error {
 	if err := proto.ReadBatch(a.conn, a.capBuf); err != nil {
 		return fmt.Errorf("daemon: receiving caps: %w", err)
 	}
+	applyStart := time.Now()
 	for i, c := range a.capBuf {
 		if err := a.cfg.Devices[i].SetCap(c); err != nil {
 			return fmt.Errorf("daemon: capping unit %d: %w", int(a.cfg.FirstUnit)+i, err)
@@ -223,6 +249,14 @@ func (a *Agent) ReceiveCaps() error {
 	}
 	a.applied.Add(1)
 	a.am.applied.Inc()
+	if a.cfg.ApplyEcho {
+		a.writeMu.Lock()
+		err := proto.WriteApplyEcho(a.conn, time.Since(applyStart))
+		a.writeMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("daemon: sending apply echo: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -61,6 +61,12 @@ type FileConfig struct {
 	DeadAfterMS       int     `json:"dead_after_ms,omitempty"`
 	ReadIdleTimeoutMS int     `json:"read_idle_timeout_ms,omitempty"`
 	MaxReadingW       float64 `json:"max_reading_w,omitempty"`
+
+	// Trace starts the round-scoped span recorder enabled (it can also be
+	// toggled at runtime). TraceSpans sets the span ring capacity
+	// (0 = trace.DefaultSpanCapacity).
+	Trace      bool `json:"trace,omitempty"`
+	TraceSpans int  `json:"trace_spans,omitempty"`
 }
 
 // LoadFileConfig parses and normalizes a config file.
@@ -125,6 +131,8 @@ func (fc FileConfig) validate() error {
 		return fmt.Errorf("negative read_idle_timeout_ms %d", fc.ReadIdleTimeoutMS)
 	case fc.MaxReadingW < 0:
 		return fmt.Errorf("negative max_reading_w %v", fc.MaxReadingW)
+	case fc.TraceSpans < 0:
+		return fmt.Errorf("negative trace_spans %d", fc.TraceSpans)
 	case fc.StaleAfterMS > 0 && fc.DeadAfterMS > 0 && fc.DeadAfterMS < fc.StaleAfterMS:
 		return fmt.Errorf("dead_after_ms %d below stale_after_ms %d", fc.DeadAfterMS, fc.StaleAfterMS)
 	}

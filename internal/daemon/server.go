@@ -18,12 +18,14 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dps/internal/core"
 	"dps/internal/power"
 	"dps/internal/proto"
 	"dps/internal/telemetry"
+	"dps/internal/trace"
 )
 
 // ServerConfig configures the controller daemon.
@@ -64,6 +66,15 @@ type ServerConfig struct {
 	// reach the filter and do not refresh the unit's staleness clock.
 	// Zero selects twice the budget's per-unit maximum.
 	MaxReading power.Watts
+
+	// TraceEnabled starts the span recorder on. The recorder always
+	// exists (GET /debug/trace always mounts, and it can be enabled at
+	// runtime via Trace().SetEnabled); this only sets its initial state.
+	// Off, tracing costs one atomic load per instrumented site.
+	TraceEnabled bool
+	// TraceSpans is the span ring capacity. Zero selects
+	// trace.DefaultSpanCapacity.
+	TraceSpans int
 }
 
 func (c ServerConfig) validate() error {
@@ -86,6 +97,7 @@ type Server struct {
 
 	tel      *telemetry.Registry
 	recorder *telemetry.FlightRecorder
+	tracer   *trace.Recorder
 	metrics  serverMetrics
 	now      func() time.Time // stubbed in tests for deterministic records
 
@@ -137,6 +149,7 @@ type serverMetrics struct {
 	budget      *telemetry.Gauge
 	capSum      *telemetry.Gauge
 	decide      *telemetry.Histogram
+	e2eLatency  *telemetry.Histogram
 	stages      map[string]*telemetry.Histogram // keyed by pipeline stage
 	restores    *telemetry.Counter
 	prioFlips   *telemetry.Counter
@@ -173,6 +186,7 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 		budget:      reg.Gauge("dps_budget_watts", "Cluster-wide power budget."),
 		capSum:      reg.Gauge("dps_cap_sum_watts", "Sum of assigned caps."),
 		decide:      reg.Histogram("dps_decide_seconds", "Wall time of one full decision round.", nil),
+		e2eLatency:  reg.Histogram("dps_e2e_latency_seconds", "Reading snapshot to enforced-cap echo, measured on the server clock (needs agents with apply-echo enabled).", nil),
 		restores:    reg.Counter("dps_restore_total", "Algorithm 3 restorations (all units quiet, caps reset)."),
 		prioFlips:   reg.Counter("dps_priority_flips_total", "Per-unit priority changes across rounds."),
 		exhausted:   reg.Counter("dps_readjust_exhausted_total", "Readjust rounds that equalized because no budget was left."),
@@ -228,6 +242,14 @@ type serverConn struct {
 	hello   proto.Hello
 	writeMu sync.Mutex
 	scratch []power.Watts
+
+	// Apply-echo bookkeeping (capability connections only): the reading
+	// snapshot time and round of the last successful cap push, so an
+	// inbound echo can be turned into a reading→enforced-cap latency on
+	// the server's own clock. Atomics: stored by the decision loop, read
+	// by the connection's Handle goroutine.
+	lastSnapNano  atomic.Int64
+	lastPushRound atomic.Uint64
 }
 
 // NewServer builds a controller daemon around a manager.
@@ -236,10 +258,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	reg := telemetry.NewRegistry()
+	tracer := trace.NewRecorder(cfg.TraceSpans)
+	tracer.SetEnabled(cfg.TraceEnabled)
+	if d, ok := cfg.Manager.(*core.DPS); ok {
+		d.SetTracer(tracer)
+	}
 	s := &Server{
 		cfg:        cfg,
 		tel:        reg,
 		recorder:   telemetry.NewFlightRecorder(cfg.FlightRecorderSize),
+		tracer:     tracer,
 		metrics:    newServerMetrics(reg, cfg),
 		now:        time.Now,
 		readings:   make(power.Vector, cfg.Units),
@@ -283,6 +311,11 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 // GET /debug/rounds.
 func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.recorder }
 
+// Trace returns the span recorder backing GET /debug/trace. It exists
+// even when tracing started disabled, so an operator can flip it on at
+// runtime (Trace().SetEnabled(true)) without restarting the daemon.
+func (s *Server) Trace() *trace.Recorder { return s.tracer }
+
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
@@ -322,24 +355,34 @@ func (s *Server) Handle(conn net.Conn) error {
 	}()
 	for {
 		s.armReadDeadline(conn)
+		if hello.ApplyEcho {
+			// Capability connections interleave two framed upstream message
+			// kinds: report batches and cap-apply echoes.
+			frame, err := proto.ReadFrameHeader(conn)
+			if err != nil {
+				return s.connReadErr(hello, err)
+			}
+			if frame == proto.FrameApply {
+				applyDur, err := proto.ReadApplyEcho(conn)
+				if err != nil {
+					return s.connReadErr(hello, err)
+				}
+				s.observeApplyEcho(sc, applyDur)
+				continue
+			}
+		}
 		if err := proto.ReadBatch(conn, sc.scratch); err != nil {
-			if s.isClosed() {
-				return nil
-			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				// The agent handshook and went silent: reap the connection so
-				// its units can be re-claimed by a fresh session instead of
-				// staying owned by a hung socket forever.
-				s.metrics.reaps.Inc()
-				return fmt.Errorf("daemon: reaping idle agent for units [%d,%d): %w",
-					hello.FirstUnit, int(hello.FirstUnit)+hello.Units, err)
-			}
-			return err
+			return s.connReadErr(hello, err)
+		}
+		traceOn := s.tracer.On()
+		var ingestStart time.Time
+		if traceOn {
+			ingestStart = time.Now()
 		}
 		now := s.now()
 		ceiling := s.maxReading()
 		s.mu.Lock()
+		round := s.rounds + 1 // the decision round this batch will feed
 		for i, v := range sc.scratch {
 			u := int(hello.FirstUnit) + i
 			if bad := badReading(v, ceiling); bad {
@@ -355,6 +398,50 @@ func (s *Server) Handle(conn net.Conn) error {
 			}
 		}
 		s.mu.Unlock()
+		if traceOn {
+			s.tracer.Record(round, trace.SpanIngest, trace.LaneIngest,
+				int32(hello.FirstUnit), ingestStart, time.Since(ingestStart))
+		}
+	}
+}
+
+// connReadErr classifies a failed read on an established agent
+// connection: nil on server shutdown, a reap on idle timeout (so the
+// units can be re-claimed by a fresh session instead of staying owned by
+// a hung socket forever), the error itself otherwise.
+func (s *Server) connReadErr(hello proto.Hello, err error) error {
+	if s.isClosed() {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.metrics.reaps.Inc()
+		return fmt.Errorf("daemon: reaping idle agent for units [%d,%d): %w",
+			hello.FirstUnit, int(hello.FirstUnit)+hello.Units, err)
+	}
+	return err
+}
+
+// observeApplyEcho turns an agent's cap-apply acknowledgement into the
+// end-to-end latency sample the paper's deployment section asks for:
+// reading snapshot → caps enforced on the node, both endpoints stamped on
+// the server's clock so no cross-machine clock sync is needed. Echoes
+// arriving before the connection's first cap push carry no reference
+// snapshot and are dropped.
+func (s *Server) observeApplyEcho(sc *serverConn, applyDur time.Duration) {
+	snapNano := sc.lastSnapNano.Load()
+	if snapNano == 0 {
+		return
+	}
+	now := s.now()
+	e2e := now.Sub(time.Unix(0, snapNano))
+	if e2e < 0 {
+		e2e = 0
+	}
+	s.metrics.e2eLatency.Observe(e2e.Seconds())
+	if s.tracer.On() {
+		s.tracer.Record(sc.lastPushRound.Load(), trace.SpanApply, trace.LaneAgent,
+			int32(sc.hello.FirstUnit), now.Add(-applyDur), applyDur)
 	}
 }
 
@@ -448,9 +535,9 @@ func (s *Server) Readings() power.Vector {
 }
 
 // statsDecider is the stats-returning decision API a manager may offer
-// beyond core.Manager (core.DPS does). The server prefers it over the
-// deprecated Decide-then-LastStats sequence: the stats arrive atomically
-// with the caps, so overlapping observers can never read a stale round.
+// beyond core.Manager (core.DPS does). The server prefers it over plain
+// Decide: the stats arrive atomically with the caps, so overlapping
+// observers can never read a stale round.
 type statsDecider interface {
 	DecideStats(core.Snapshot) (power.Vector, core.RoundStats)
 }
@@ -463,7 +550,9 @@ type statsDecider interface {
 // DecideOnce must not be called concurrently with itself (the manager is
 // single-threaded); Serve guarantees that by calling it from one loop.
 func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
+	snapTime := s.now() // reading-snapshot stamp, the e2e latency origin
 	s.mu.Lock()
+	round := s.rounds + 1
 	health := s.evaluateHealthLocked()
 	snap := core.Snapshot{Power: s.readings.Clone(), Interval: interval, Health: health}
 	prevCaps := s.lastCaps.Clone()
@@ -488,15 +577,31 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		caps = s.cfg.Manager.Decide(snap)
 	}
 	elapsed := s.now().Sub(started)
+	managerCaps := caps
 	caps = s.degradedDeliver(caps, health, lastPushed)
 
+	traceOn := s.tracer.On()
 	var firstErr error
 	pushed := make([]*serverConn, 0, len(targets))
 	for _, sc := range targets {
 		first, n := int(sc.hello.FirstUnit), sc.hello.Units
+		if sc.hello.ApplyEcho {
+			// Stamp before the push so an echo racing the store can never
+			// pair with a snapshot newer than the caps it acknowledges.
+			sc.lastSnapNano.Store(snapTime.UnixNano())
+			sc.lastPushRound.Store(round)
+		}
+		var pushStart time.Time
+		if traceOn {
+			pushStart = time.Now()
+		}
 		sc.writeMu.Lock()
 		err := proto.WriteBatch(sc.conn, caps[first:first+n])
 		sc.writeMu.Unlock()
+		if traceOn {
+			s.tracer.Record(round, trace.SpanPush, trace.LanePush,
+				int32(first), pushStart, time.Since(pushStart))
+		}
 		if err != nil {
 			s.metrics.pushErrors.Inc()
 			if firstErr == nil {
@@ -507,8 +612,7 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		pushed = append(pushed, sc)
 	}
 	s.mu.Lock()
-	s.rounds++
-	round := s.rounds
+	s.rounds = round
 	copy(s.lastCaps, caps)
 	for _, sc := range pushed {
 		first, n := int(sc.hello.FirstUnit), sc.hello.Units
@@ -519,7 +623,7 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		s.lastRestored = d.Restored()
 	}
 	s.mu.Unlock()
-	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, caps, health, st, hasStats)
+	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, managerCaps, caps, health, st, hasStats)
 	return caps, firstErr
 }
 
@@ -617,8 +721,11 @@ func (s *Server) degradedDeliver(caps power.Vector, health []core.UnitHealth, la
 // observeRound publishes one decision round to the metrics registry and
 // the flight recorder. Called from the decision loop only, after the
 // round counter advanced. st carries the round's controller stats when
-// hasStats is true (the manager implements statsDecider).
-func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, caps power.Vector, health []core.UnitHealth, st core.RoundStats, hasStats bool) {
+// hasStats is true (the manager implements statsDecider). managerCaps is
+// the vector the manager decided; caps is what was delivered — they
+// differ only when degradedDeliver corrected a health-blind policy, and
+// the difference is what earns a unit the degraded_deliver reason.
+func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, managerCaps, caps power.Vector, health []core.UnitHealth, st core.RoundStats, hasStats bool) {
 	m := &s.metrics
 	m.rounds.Inc()
 	m.decide.Observe(elapsed.Seconds())
@@ -677,8 +784,10 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 			m.violations.Inc()
 		}
 	}
+	var prov []trace.CapChange
 	if d, ok := s.cfg.Manager.(*core.DPS); ok {
 		prio = d.Priorities()
+		prov = d.Provenance()
 		for u, hp := range prio {
 			v := 0.0
 			if hp {
@@ -699,6 +808,15 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		}
 		if health != nil && health[u] != core.HealthFresh {
 			ur.Health = health[u].String()
+		}
+		if prov != nil && prov[u].Reason != trace.ReasonNone {
+			ur.Reason = prov[u].Reason.String()
+		}
+		if caps[u] != managerCaps[u] {
+			// Delivery-side pin or rescale overrode the manager: the last
+			// mover for this unit was degradedDeliver, whatever the manager
+			// thought it was doing.
+			ur.Reason = trace.ReasonDegradedDeliver.String()
 		}
 		rec.Units[u] = ur
 	}

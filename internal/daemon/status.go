@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"dps/internal/core"
 	"dps/internal/power"
@@ -86,12 +88,53 @@ func toFloats(v power.Vector) []float64 {
 	return out
 }
 
+// WhyRecord is one answer row of GET /debug/why: a round in which the
+// queried unit's cap was changed by some module, and why.
+type WhyRecord struct {
+	Round     uint64    `json:"round"`
+	Time      time.Time `json:"time"`
+	Reason    string    `json:"reason"`
+	CapW      float64   `json:"cap_w"`
+	CapDeltaW float64   `json:"cap_delta_w"`
+	ReadingW  float64   `json:"reading_w"`
+	Health    string    `json:"health,omitempty"`
+}
+
+// Why answers "why did unit u's cap change?" from the flight recorder:
+// the newest-first list of recorded rounds in which some module moved the
+// unit's cap (or pinned it against the manager), each with its provenance
+// reason. n <= 0 scans every held round.
+func (s *Server) Why(u, n int) []WhyRecord {
+	out := []WhyRecord{}
+	for _, rec := range s.recorder.Last(n) {
+		if u >= len(rec.Units) {
+			continue
+		}
+		ur := rec.Units[u]
+		if ur.Reason == "" {
+			continue
+		}
+		out = append(out, WhyRecord{
+			Round:     rec.Round,
+			Time:      rec.Time,
+			Reason:    ur.Reason,
+			CapW:      ur.CapW,
+			CapDeltaW: ur.CapDeltaW,
+			ReadingW:  ur.ReadingW,
+			Health:    ur.Health,
+		})
+	}
+	return out
+}
+
 // StatusHandler returns the daemon's HTTP mux:
 //
 //	GET /status        controller state as JSON
 //	GET /metrics       the telemetry registry in Prometheus text format
 //	GET /healthz       200 once at least one decision round has run
 //	GET /debug/rounds  the decision flight recorder as JSON (?n=K)
+//	GET /debug/trace   recorded spans as Chrome trace_event JSON (?last=N)
+//	GET /debug/why     cap-change provenance for one unit (?unit=K&n=N)
 //
 // Returning the concrete mux lets the daemon binary mount extra debug
 // handlers (net/http/pprof) on the same listener.
@@ -112,5 +155,26 @@ func (s *Server) StatusHandler() *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("GET /debug/rounds", s.recorder.Handler())
+	mux.Handle("GET /debug/trace", s.tracer.Handler())
+	mux.HandleFunc("GET /debug/why", func(w http.ResponseWriter, r *http.Request) {
+		u, err := strconv.Atoi(r.URL.Query().Get("unit"))
+		if err != nil || u < 0 || u >= s.cfg.Units {
+			http.Error(w, fmt.Sprintf("unit must be an integer in [0,%d)", s.cfg.Units), http.StatusBadRequest)
+			return
+		}
+		n := 0 // all held rounds
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Why(u, n)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	return mux
 }

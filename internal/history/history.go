@@ -270,14 +270,6 @@ func (r *Ring) WindowedDerivative(window int) power.Watts {
 	return (r.powers[r.idx(n-1)] - r.powers[r.idx(n-window)]) / power.Watts(elapsed)
 }
 
-// Powers copies the stored power samples, oldest first, into a new slice.
-//
-// Deprecated: Powers allocates on every call. Use Segments for zero-copy
-// access, or PowersInto to fill a reusable buffer.
-func (r *Ring) Powers() []power.Watts {
-	return r.PowersInto(nil)
-}
-
 // PowersInto fills dst with the stored power samples, oldest first, and
 // returns the filled prefix. It avoids allocation when dst has capacity
 // for Len() samples. New code should prefer Segments, which avoids the
@@ -291,19 +283,6 @@ func (r *Ring) PowersInto(dst []power.Watts) []power.Watts {
 	copy(dst, a)
 	copy(dst[len(a):], b)
 	return dst
-}
-
-// Durations copies the stored measurement intervals, oldest first.
-//
-// Deprecated: Durations allocates on every call. Use DurationSegments for
-// zero-copy access, or TailDuration for the windowed-derivative
-// denominator.
-func (r *Ring) Durations() []power.Seconds {
-	out := make([]power.Seconds, r.n)
-	a, b := r.DurationSegments()
-	copy(out, a)
-	copy(out[len(a):], b)
-	return out
 }
 
 // TailDuration returns the summed duration of the most recent k samples

@@ -156,24 +156,31 @@ func TestRingReset(t *testing.T) {
 	}
 }
 
-// TestRingDeprecatedCopyAccessors keeps the deprecated allocating
-// accessors honest until they are removed: they must agree with the
-// segment API they now delegate to, across a wrap.
-func TestRingDeprecatedCopyAccessors(t *testing.T) {
+// TestRingPowersIntoWrapped checks the buffer-filling accessor agrees
+// with the segment API across a wrap and reuses a large-enough buffer.
+func TestRingPowersIntoWrapped(t *testing.T) {
 	r := NewRing(3)
 	for i := 1; i <= 5; i++ { // wraps twice
 		r.Push(power.Watts(i), power.Seconds(i)/2)
 	}
-	p := r.Powers()
-	d := r.Durations()
-	wantP := ringPowers(r)
-	wantD := ringDurations(r)
-	if len(p) != len(wantP) || len(d) != len(wantD) {
-		t.Fatalf("deprecated accessors returned %d/%d samples, want %d", len(p), len(d), len(wantP))
+	want := ringPowers(r)
+	got := r.PowersInto(nil)
+	if len(got) != len(want) {
+		t.Fatalf("PowersInto(nil) returned %d samples, want %d", len(got), len(want))
 	}
-	for i := range wantP {
-		if p[i] != wantP[i] || d[i] != wantD[i] {
-			t.Errorf("index %d: deprecated (%v,%v) != segments (%v,%v)", i, p[i], d[i], wantP[i], wantD[i])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("index %d: PowersInto %v != segments %v", i, got[i], want[i])
+		}
+	}
+	buf := make([]power.Watts, 0, 8)
+	reused := r.PowersInto(buf)
+	if &reused[0] != &buf[:1][0] {
+		t.Error("PowersInto allocated despite sufficient capacity")
+	}
+	for i := range want {
+		if reused[i] != want[i] {
+			t.Errorf("index %d (reused buffer): %v != %v", i, reused[i], want[i])
 		}
 	}
 }

@@ -15,20 +15,32 @@ func FuzzReadHello(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.Bytes())
+	var seedV2 bytes.Buffer
+	if err := WriteHello(&seedV2, Hello{FirstUnit: 18, Units: 2, ApplyEcho: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedV2.Bytes())
 	f.Add([]byte("DPS1garbage"))
+	f.Add([]byte{'D', 'P', 'S', '1', 2, 0, 18, 2, 0}) // v2, empty flags: must reject
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := ReadHello(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		// Anything accepted must re-encode to the same bytes.
+		// Anything accepted must re-encode to the same bytes it was read
+		// from — the parser accepts only canonical frames, at either
+		// version's length.
 		var out bytes.Buffer
 		if err := WriteHello(&out, h); err != nil {
 			t.Fatalf("accepted hello %+v cannot be re-encoded: %v", h, err)
 		}
-		if !bytes.Equal(out.Bytes(), data[:HelloSize]) {
-			t.Fatalf("roundtrip mismatch: read %+v from %v, wrote %v", h, data[:HelloSize], out.Bytes())
+		n := h.EncodedSize()
+		if len(data) < n {
+			t.Fatalf("accepted hello %+v from %d bytes, shorter than its own encoding (%d)", h, len(data), n)
+		}
+		if !bytes.Equal(out.Bytes(), data[:n]) {
+			t.Fatalf("roundtrip mismatch: read %+v from %v, wrote %v", h, data[:n], out.Bytes())
 		}
 	})
 }

@@ -23,18 +23,54 @@
 // The server validates that the advertised unit range is in bounds and
 // not claimed by another live agent, then acknowledges with a 2-byte
 // status frame [ 'O' 'K' ] (or closes the connection).
+//
+// Version 2 appends one capability-flags byte to the handshake. It is
+// opt-in and strictly additive: an agent advertising no capabilities
+// sends the byte-identical version-1 frame, and a version-1 server never
+// sees version-2 bytes unless the operator enabled a capability. The only
+// capability so far is FlagApplyEcho: the agent sends a 3-byte
+// apply-echo frame [ 'A' ][ apply duration : uint16 big-endian, µs ]
+// after programming each received cap batch, and prefixes each report
+// batch with [ 'R' ] so the two upstream frame types are
+// distinguishable. The duration saturates at ~65.5 ms; an echo's arrival
+// time is what gives the server its true reading→enforced-cap latency.
 package proto
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"dps/internal/power"
 )
 
-// Version is the protocol version carried in the handshake.
+// Version is the base protocol version carried in the handshake.
 const Version = 1
+
+// Version2 is the capability-carrying handshake version.
+const Version2 = 2
+
+// Capability flags carried by a version-2 hello. A version-2 hello with
+// no flags set is rejected: the canonical encoding of "no capabilities"
+// is a version-1 frame.
+const (
+	// FlagApplyEcho: the agent will prefix report batches with FrameReport
+	// and send a FrameApply echo after applying each cap batch.
+	FlagApplyEcho = 1 << 0
+
+	knownFlags = FlagApplyEcho
+)
+
+// Upstream frame types (agent → server) once FlagApplyEcho is
+// negotiated. Without the capability the upstream carries raw report
+// batches, exactly as version 1.
+const (
+	// FrameReport precedes one report batch.
+	FrameReport byte = 'R'
+	// FrameApply precedes one 2-byte apply-echo body.
+	FrameApply byte = 'A'
+)
 
 // RecordSize is the size of one power/cap record on the wire: the
 // paper's 3 bytes.
@@ -43,8 +79,12 @@ const RecordSize = 3
 // magic identifies a DPS connection.
 var magic = [4]byte{'D', 'P', 'S', '1'}
 
-// HelloSize is the handshake frame size.
+// HelloSize is the version-1 handshake frame size, and the fixed prefix
+// of every later version.
 const HelloSize = 4 + 1 + 2 + 1
+
+// HelloV2Size is the version-2 handshake frame size (prefix + flags).
+const HelloV2Size = HelloSize + 1
 
 // ackOK is the server's handshake acknowledgement.
 var ackOK = [2]byte{'O', 'K'}
@@ -59,6 +99,18 @@ type Hello struct {
 	FirstUnit power.UnitID
 	// Units is the number of power-capping units on the node.
 	Units int
+	// ApplyEcho advertises the apply-echo capability. When set the hello
+	// goes out as a version-2 frame; when clear the encoding is the
+	// byte-identical version-1 frame of older agents.
+	ApplyEcho bool
+}
+
+// EncodedSize returns the on-wire size of this hello (version-dependent).
+func (h Hello) EncodedSize() int {
+	if h.ApplyEcho {
+		return HelloV2Size
+	}
+	return HelloSize
 }
 
 // Validate reports whether the handshake is self-consistent.
@@ -74,21 +126,29 @@ func (h Hello) Validate() error {
 	return nil
 }
 
-// WriteHello sends the handshake.
+// WriteHello sends the handshake: a version-1 frame, or a version-2
+// frame when a capability is advertised.
 func WriteHello(w io.Writer, h Hello) error {
 	if err := h.Validate(); err != nil {
 		return err
 	}
-	var buf [HelloSize]byte
+	var buf [HelloV2Size]byte
 	copy(buf[:4], magic[:])
 	buf[4] = Version
 	binary.BigEndian.PutUint16(buf[5:7], uint16(h.FirstUnit))
 	buf[7] = byte(h.Units)
-	_, err := w.Write(buf[:])
+	if h.ApplyEcho {
+		buf[4] = Version2
+		buf[8] = FlagApplyEcho
+	}
+	_, err := w.Write(buf[:h.EncodedSize()])
 	return err
 }
 
-// ReadHello reads and validates a handshake.
+// ReadHello reads and validates a handshake, accepting version 1 and
+// version 2. Unknown versions, unknown capability bits, and a version-2
+// frame advertising nothing (whose canonical encoding is version 1) are
+// all rejected, so the parser only accepts frames WriteHello produces.
 func ReadHello(r io.Reader) (Hello, error) {
 	var buf [HelloSize]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -97,12 +157,26 @@ func ReadHello(r io.Reader) (Hello, error) {
 	if [4]byte(buf[:4]) != magic {
 		return Hello{}, fmt.Errorf("proto: bad magic %q", buf[:4])
 	}
-	if buf[4] != Version {
-		return Hello{}, fmt.Errorf("proto: unsupported version %d (want %d)", buf[4], Version)
-	}
 	h := Hello{
 		FirstUnit: power.UnitID(binary.BigEndian.Uint16(buf[5:7])),
 		Units:     int(buf[7]),
+	}
+	switch buf[4] {
+	case Version:
+	case Version2:
+		var flags [1]byte
+		if _, err := io.ReadFull(r, flags[:]); err != nil {
+			return Hello{}, fmt.Errorf("proto: reading handshake flags: %w", err)
+		}
+		if flags[0]&^knownFlags != 0 {
+			return Hello{}, fmt.Errorf("proto: unknown capability flags %#02x", flags[0]&^byte(knownFlags))
+		}
+		if flags[0] == 0 {
+			return Hello{}, fmt.Errorf("proto: version 2 hello with no capabilities (use version 1)")
+		}
+		h.ApplyEcho = flags[0]&FlagApplyEcho != 0
+	default:
+		return Hello{}, fmt.Errorf("proto: unsupported version %d (want %d or %d)", buf[4], Version, Version2)
 	}
 	if err := h.Validate(); err != nil {
 		return Hello{}, err
@@ -199,4 +273,62 @@ func ReadBatch(r io.Reader, dst []power.Watts) error {
 		dst[rec.LocalUnit] = FromDeciwatts(rec.Value)
 	}
 	return nil
+}
+
+// WriteFrameHeader writes one upstream frame-type byte (FrameReport
+// before a report batch). Only used once FlagApplyEcho is negotiated.
+func WriteFrameHeader(w io.Writer, frame byte) error {
+	if frame != FrameReport && frame != FrameApply {
+		return fmt.Errorf("proto: unknown frame type %#02x", frame)
+	}
+	buf := [1]byte{frame}
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadFrameHeader reads and validates one upstream frame-type byte.
+func ReadFrameHeader(r io.Reader) (byte, error) {
+	var buf [1]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("proto: reading frame header: %w", err)
+	}
+	if buf[0] != FrameReport && buf[0] != FrameApply {
+		return 0, fmt.Errorf("proto: unknown frame type %#02x", buf[0])
+	}
+	return buf[0], nil
+}
+
+// applyEchoBodySize is the apply-echo payload after the frame byte.
+const applyEchoBodySize = 2
+
+// MaxApplyEcho is the largest apply duration the 2-byte echo represents;
+// longer applies saturate to it.
+const MaxApplyEcho = time.Duration(0xFFFF) * time.Microsecond
+
+// WriteApplyEcho sends a complete apply-echo frame: the FrameApply byte
+// followed by the cap-apply duration in big-endian microseconds,
+// saturating at MaxApplyEcho (~65.5 ms). Negative durations clamp to 0.
+func WriteApplyEcho(w io.Writer, applyDur time.Duration) error {
+	us := applyDur.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if us > 0xFFFF {
+		us = 0xFFFF
+	}
+	var buf [1 + applyEchoBodySize]byte
+	buf[0] = FrameApply
+	binary.BigEndian.PutUint16(buf[1:], uint16(us))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadApplyEcho reads an apply-echo body — the 2 bytes following a
+// FrameApply header the caller already consumed via ReadFrameHeader.
+func ReadApplyEcho(r io.Reader) (time.Duration, error) {
+	var buf [applyEchoBodySize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("proto: reading apply echo: %w", err)
+	}
+	return time.Duration(binary.BigEndian.Uint16(buf[:])) * time.Microsecond, nil
 }

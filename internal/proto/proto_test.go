@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dps/internal/power"
 )
@@ -100,15 +101,119 @@ func TestHelloValidation(t *testing.T) {
 
 func TestReadHelloRejectsGarbage(t *testing.T) {
 	cases := map[string][]byte{
-		"short":       {1, 2, 3},
-		"bad magic":   {'N', 'O', 'P', 'E', Version, 0, 0, 1},
-		"bad version": {'D', 'P', 'S', '1', 99, 0, 0, 1},
-		"bad units":   {'D', 'P', 'S', '1', Version, 0, 0, 0},
+		"short":          {1, 2, 3},
+		"bad magic":      {'N', 'O', 'P', 'E', Version, 0, 0, 1},
+		"bad version":    {'D', 'P', 'S', '1', 99, 0, 0, 1},
+		"bad units":      {'D', 'P', 'S', '1', Version, 0, 0, 0},
+		"v2 no flags":    {'D', 'P', 'S', '1', Version2, 0, 0, 1, 0},
+		"v2 bad flags":   {'D', 'P', 'S', '1', Version2, 0, 0, 1, 0x80},
+		"v2 short flags": {'D', 'P', 'S', '1', Version2, 0, 0, 1},
 	}
 	for name, raw := range cases {
 		if _, err := ReadHello(bytes.NewReader(raw)); err == nil {
 			t.Errorf("%s: ReadHello accepted %v", name, raw)
 		}
+	}
+}
+
+// TestHelloV2RoundTrip: the capability handshake roundtrips, and — the
+// backward-compatibility property — a hello advertising nothing encodes
+// to the byte-identical version-1 frame.
+func TestHelloV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := Hello{FirstUnit: 18, Units: 2, ApplyEcho: true}
+	if err := WriteHello(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != HelloV2Size {
+		t.Errorf("v2 handshake is %d bytes, want %d", buf.Len(), HelloV2Size)
+	}
+	if buf.Bytes()[4] != Version2 {
+		t.Errorf("version byte = %d, want %d", buf.Bytes()[4], Version2)
+	}
+	got, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("roundtrip = %+v, want %+v", got, h)
+	}
+
+	var v1, plain bytes.Buffer
+	if err := WriteHello(&v1, Hello{FirstUnit: 18, Units: 2}); err != nil {
+		t.Fatal(err)
+	}
+	plain.Write([]byte{'D', 'P', 'S', '1', Version, 0, 18, 2})
+	if !bytes.Equal(v1.Bytes(), plain.Bytes()) {
+		t.Errorf("no-capability hello %v is not the version-1 frame %v", v1.Bytes(), plain.Bytes())
+	}
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	for _, frame := range []byte{FrameReport, FrameApply} {
+		var buf bytes.Buffer
+		if err := WriteFrameHeader(&buf, frame); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != 1 {
+			t.Errorf("frame header is %d bytes, want 1", buf.Len())
+		}
+		got, err := ReadFrameHeader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != frame {
+			t.Errorf("roundtrip = %q, want %q", got, frame)
+		}
+	}
+	if err := WriteFrameHeader(&bytes.Buffer{}, 'Z'); err == nil {
+		t.Error("WriteFrameHeader accepted an unknown frame type")
+	}
+	if _, err := ReadFrameHeader(bytes.NewReader([]byte{'Z'})); err == nil {
+		t.Error("ReadFrameHeader accepted an unknown frame type")
+	}
+	if _, err := ReadFrameHeader(bytes.NewReader(nil)); err == nil {
+		t.Error("ReadFrameHeader accepted EOF")
+	}
+}
+
+func TestApplyEchoRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{0, 0},
+		{-5 * time.Millisecond, 0}, // negative clamps to 0
+		{250 * time.Microsecond, 250 * time.Microsecond},
+		{3 * time.Millisecond, 3 * time.Millisecond},
+		{time.Second, MaxApplyEcho}, // saturates at ~65.5 ms
+		{999 * time.Nanosecond, 0},  // sub-µs truncates
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := WriteApplyEcho(&buf, c.in); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != 3 {
+			t.Errorf("apply echo frame is %d bytes, want 3 (the record size)", buf.Len())
+		}
+		frame, err := ReadFrameHeader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame != FrameApply {
+			t.Errorf("echo frame type %q, want %q", frame, FrameApply)
+		}
+		got, err := ReadApplyEcho(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("echo of %v roundtrips to %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ReadApplyEcho(bytes.NewReader([]byte{1})); err == nil {
+		t.Error("ReadApplyEcho accepted truncated input")
 	}
 }
 

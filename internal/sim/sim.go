@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"dps/internal/cluster"
 	"dps/internal/core"
 	"dps/internal/faultinject"
 	"dps/internal/metrics"
 	"dps/internal/power"
+	"dps/internal/trace"
 	"dps/internal/workload"
 )
 
@@ -64,6 +66,10 @@ type PairConfig struct {
 	// sensor stack would report, for robustness experiments. The machine's
 	// ground truth (demands, energy accounting) is untouched.
 	ReadingFaults *faultinject.ReadingConfig
+	// Tracer, if non-nil, receives round-scoped spans: one sim_step span
+	// per decision interval on the sim lane, plus the controller's
+	// per-stage spans when the manager is a core.DPS.
+	Tracer *trace.Recorder
 }
 
 // withDefaults fills zero fields.
@@ -197,6 +203,7 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 	dpsMgr, _ := mgr.(*core.DPS)
 	if dpsMgr != nil {
 		res.Stages = &StageBreakdown{}
+		dpsMgr.SetTracer(cfg.Tracer)
 	}
 	var corrupter *faultinject.Readings
 	var corrupted power.Vector
@@ -220,6 +227,11 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 		if t >= cfg.MaxTime {
 			res.TimedOut = true
 			break
+		}
+		traceOn := cfg.Tracer.On()
+		var stepStart time.Time
+		if traceOn {
+			stepStart = time.Now()
 		}
 		// Launch runs that are due.
 		for ci, s := range states {
@@ -294,6 +306,12 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 
 		t += cfg.DT
 		res.Steps++
+		if traceOn {
+			// Scoped to the same trace id as the controller's stage spans:
+			// DPS advances its round counter once per DecideStats call.
+			cfg.Tracer.Record(uint64(res.Steps), trace.SpanSimStep, trace.LaneSim,
+				-1, stepStart, time.Since(stepStart))
+		}
 	}
 
 	res.SimTime = t

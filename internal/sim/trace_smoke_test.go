@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dps/internal/trace"
+	"dps/internal/workload"
+)
+
+// TestTraceSmoke is the tracing end-to-end gate (also run by `make
+// trace-smoke`): a short traced simulation must export Chrome trace_event
+// JSON that parses, and every simulated round must carry at least one
+// span per enabled pipeline stage.
+func TestTraceSmoke(t *testing.T) {
+	gmm, err := workload.ByName("GMM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lda, err := workload.ByName("LDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(1 << 14)
+	rec.SetEnabled(true)
+	cfg := PairConfig{
+		WorkloadA: lda, WorkloadB: gmm,
+		Repeats: 1, Seed: 7,
+		MaxTime: 60, // a smoke run, not an experiment: ~60 rounds is plenty
+		Tracer:  rec,
+	}
+	res, err := RunPair(cfg, DPSFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("simulation took no steps")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTraceEvents(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+
+	// rounds[traceID][stage] counts spans per round.
+	rounds := map[uint64]map[string]int{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		id, ok := ev.Args["trace_id"].(float64)
+		if !ok {
+			t.Fatalf("span %q lacks a trace_id arg", ev.Name)
+		}
+		r := uint64(id)
+		if rounds[r] == nil {
+			rounds[r] = map[string]int{}
+		}
+		rounds[r][ev.Name]++
+	}
+	if len(rounds) != res.Steps {
+		t.Fatalf("trace covers %d rounds, simulation took %d steps", len(rounds), res.Steps)
+	}
+	enabled := []string{
+		trace.SpanKalman, trace.SpanStateless, trace.SpanPriority,
+		trace.SpanReadjust, trace.SpanDecide, trace.SpanSimStep,
+	}
+	for r := uint64(1); r <= uint64(res.Steps); r++ {
+		stages, ok := rounds[r]
+		if !ok {
+			t.Fatalf("round %d has no spans", r)
+		}
+		for _, stage := range enabled {
+			if stages[stage] == 0 {
+				t.Errorf("round %d has no %q span", r, stage)
+			}
+		}
+	}
+}

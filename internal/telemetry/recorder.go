@@ -29,6 +29,10 @@ type UnitRecord struct {
 	// Health is the unit's degraded state ("stale" or "dead"); empty for a
 	// fresh unit or when health tracking is disabled.
 	Health string `json:"health,omitempty"`
+	// Reason names the module that last changed this unit's cap in the
+	// round ("mimd_cut", "readjust_grant", "degraded_deliver", ...); empty
+	// when the cap did not move or the manager records no provenance.
+	Reason string `json:"reason,omitempty"`
 }
 
 // RoundRecord is one entry of the decision flight recorder: everything

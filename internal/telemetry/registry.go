@@ -214,37 +214,63 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
-// WritePrometheus renders every family in the text exposition format,
-// families sorted by name, series in registration order.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// familySnapshot is one family's state captured for rendering: the
+// metric handles are shared (their values are read atomically), the
+// order slice is a copy.
+type familySnapshot struct {
+	name, help, kind string
+	order            []string
+	series           []any
+}
+
+// snapshot captures every family under the registry and family locks,
+// holding each only long enough to copy slice headers and map entries —
+// never while formatting. A first registration racing a scrape therefore
+// waits for a few copies, not for the whole exposition to render.
+func (r *Registry) snapshot() []familySnapshot {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
 	}
-	fams := make([]*family, 0, len(names))
 	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
 	for _, name := range names {
 		fams = append(fams, r.families[name])
 	}
 	r.mu.Unlock()
 
-	var b strings.Builder
+	out := make([]familySnapshot, 0, len(fams))
 	for _, f := range fams {
 		f.mu.Lock()
-		order := append([]string(nil), f.order...)
-		series := make([]any, len(order))
-		for i, sig := range order {
-			series[i] = f.series[sig]
+		snap := familySnapshot{
+			name: f.name, help: f.help, kind: f.kind,
+			order:  append([]string(nil), f.order...),
+			series: make([]any, len(f.order)),
+		}
+		for i, sig := range f.order {
+			snap.series[i] = f.series[sig]
 		}
 		f.mu.Unlock()
-		if len(order) == 0 {
+		out = append(out, snap)
+	}
+	return out
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name, series in registration order. The registry is
+// snapshotted first and rendered lock-free, so a slow or huge scrape
+// cannot stall hot-path first-registrations.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		if len(f.order) == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		for i, sig := range order {
-			switch m := series[i].(type) {
+		for i, sig := range f.order {
+			switch m := f.series[i].(type) {
 			case *Counter:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, sig, m.Value())
 			case *Gauge:

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -144,5 +145,69 @@ func TestHandler(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), "ok_total 1") {
 		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+// TestScrapeWhileObservingAndRegistering races continuous scrapes against
+// hot-path observations and — the path the snapshot restructure protects —
+// first registrations of new series arriving mid-scrape. Run under -race
+// (make ci does), any snapshot/registration interleaving bug fails it; the
+// final exposition must carry every family touched.
+func TestScrapeWhileObservingAndRegistering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "races")
+	stop := make(chan struct{})
+	ready := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // hot path: observe relentlessly
+		defer wg.Done()
+		h := r.Histogram("race_seconds", "races", nil)
+		for i := 0; ; i++ {
+			c.Inc()
+			h.Observe(1e-4)
+			if i == 0 {
+				ready <- struct{}{}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	go func() { // first registrations keep landing while scrapes render
+		defer wg.Done()
+		for i := 0; ; i++ {
+			r.Gauge("race_gauge", "races", Label{"unit", strconv.Itoa(i % 512)}).Set(float64(i))
+			if i == 0 {
+				ready <- struct{}{}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	<-ready
+	<-ready
+	for i := 0; i < 100; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"race_total ", "race_seconds_count ", `race_gauge{unit="0"}`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("final exposition missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReasonStrings(t *testing.T) {
+	want := map[Reason]string{
+		ReasonNone:            "none",
+		ReasonMIMDCut:         "mimd_cut",
+		ReasonMIMDRaise:       "mimd_raise",
+		ReasonRestore:         "restore",
+		ReasonReadjustGrant:   "readjust_grant",
+		ReasonEqualize:        "equalize",
+		ReasonHealthPin:       "health_pin",
+		ReasonDegradedDeliver: "degraded_deliver",
+		ReasonClamp:           "clamp",
+	}
+	if len(want) != int(reasonCount) {
+		t.Fatalf("test covers %d reasons, enum has %d", len(want), reasonCount)
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Reason(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+	if Reason(200).String() != "unknown" {
+		t.Errorf("out-of-range reason: got %q, want unknown", Reason(200).String())
+	}
+}
+
+func TestNilAndDisabledRecorder(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.On() {
+		t.Fatal("nil recorder reports On")
+	}
+	nilRec.Record(1, SpanDecide, LaneDecide, -1, time.Now(), time.Millisecond) // must not panic
+
+	r := NewRecorder(4)
+	if r.On() {
+		t.Fatal("fresh recorder should start disabled")
+	}
+	r.SetEnabled(true)
+	if !r.On() {
+		t.Fatal("recorder should be on after SetEnabled(true)")
+	}
+	r.SetEnabled(false)
+	if r.On() {
+		t.Fatal("recorder should be off after SetEnabled(false)")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	r.SetEnabled(true)
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 5; i++ {
+		r.Record(uint64(i), SpanKalman, LaneDecide, int32(i), base.Add(time.Duration(i)*time.Second), time.Millisecond)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	got := r.Last(0)
+	if len(got) != 3 {
+		t.Fatalf("Last(0) returned %d spans, want 3", len(got))
+	}
+	// Oldest survivors are traces 2,3,4 in record order.
+	for i, want := range []uint64{2, 3, 4} {
+		if got[i].Trace != want {
+			t.Errorf("Last(0)[%d].Trace = %d, want %d", i, got[i].Trace, want)
+		}
+	}
+	got = r.Last(2)
+	if len(got) != 2 || got[0].Trace != 3 || got[1].Trace != 4 {
+		t.Errorf("Last(2) = %+v, want traces 3,4", got)
+	}
+	if n := len(NewRecorder(8).Last(0)); n != 0 {
+		t.Errorf("empty recorder Last(0) returned %d spans", n)
+	}
+}
+
+// TestWriteTraceEventsShape asserts the export is valid Chrome
+// trace_event JSON of the shape Perfetto accepts: a traceEvents array of
+// "M" metadata and "X" complete events with microsecond ts/dur and
+// consistent pid/tid lanes.
+func TestWriteTraceEventsShape(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetEnabled(true)
+	base := time.Unix(1700000000, 0)
+	r.Record(7, SpanKalman, LaneDecide, -1, base, 1500*time.Microsecond)
+	r.Record(7, SpanApply, LaneAgent, 3, base.Add(2*time.Millisecond), 250*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf, 0); err != nil {
+		t.Fatalf("WriteTraceEvents: %v", err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int32          `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	var meta, complete int
+	laneNamesSeen := map[int32]string{}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				laneNamesSeen[ev.Tid] = ev.Args["name"].(string)
+			}
+		case "X":
+			complete++
+			if ev.Pid != 1 {
+				t.Errorf("span %q pid = %d, want 1", ev.Name, ev.Pid)
+			}
+			if ev.Args["trace_id"] == nil {
+				t.Errorf("span %q missing args.trace_id", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != int(laneCount)+1 {
+		t.Errorf("got %d metadata events, want %d", meta, laneCount+1)
+	}
+	if complete != 2 {
+		t.Errorf("got %d complete events, want 2", complete)
+	}
+	for lane, want := range map[int32]string{LaneDecide: "decide", LaneAgent: "agent"} {
+		if laneNamesSeen[lane] != want {
+			t.Errorf("lane %d named %q, want %q", lane, laneNamesSeen[lane], want)
+		}
+	}
+	// Microsecond conversion: the kalman span is 1500µs long.
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == SpanKalman {
+			if ev.Dur != 1500 {
+				t.Errorf("kalman dur = %v µs, want 1500", ev.Dur)
+			}
+			if wantTs := float64(base.UnixNano()) / 1e3; ev.Ts != wantTs {
+				t.Errorf("kalman ts = %v µs, want %v", ev.Ts, wantTs)
+			}
+		}
+		if ev.Ph == "X" && ev.Name == SpanApply {
+			if u, ok := ev.Args["unit"].(float64); !ok || u != 3 {
+				t.Errorf("apply span unit arg = %v, want 3", ev.Args["unit"])
+			}
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetEnabled(true)
+	for i := 0; i < 5; i++ {
+		r.Record(uint64(i), SpanPush, LanePush, -1, time.Unix(int64(i), 0), time.Millisecond)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "?last=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type %q", ct)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tf); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	var spans int
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 2 {
+		t.Errorf("?last=2 exported %d spans, want 2", spans)
+	}
+
+	if resp, err := srv.Client().Get(srv.URL + "?last=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("?last=bogus status %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	r.SetEnabled(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(uint64(i), SpanIngest, LaneIngest, int32(g), time.Unix(0, int64(i)), time.Microsecond)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WriteTraceEvents(&buf, 10); err != nil {
+				t.Errorf("concurrent export: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Total() != 800 {
+		t.Errorf("Total = %d, want 800", r.Total())
+	}
+}
+
+// TestRecordNoAlloc pins that recording itself — with static names and
+// pre-taken timestamps, as every instrumentation site does — performs no
+// allocations, so enabling tracing costs time but not garbage.
+func TestRecordNoAlloc(t *testing.T) {
+	r := NewRecorder(128)
+	r.SetEnabled(true)
+	start := time.Unix(1700000000, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(1, SpanKalman, LaneDecide, -1, start, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+	var nilRec *Recorder
+	allocs = testing.AllocsPerRun(100, func() {
+		if nilRec.On() {
+			nilRec.Record(1, SpanKalman, LaneDecide, -1, start, time.Millisecond)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
-# bench_decide.sh — run BenchmarkDecideScaling with -benchmem and emit the
-# machine-readable BENCH_decide.json tracked per PR.
+# bench_decide.sh — run BenchmarkDecideScaling (plus the tracing on/off
+# overhead pair) with -benchmem and emit the machine-readable
+# BENCH_decide.json tracked per PR.
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 20x; use 1x for a smoke run)
@@ -17,7 +18,8 @@ OUT="${OUT:-BENCH_decide.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run xxx -bench 'BenchmarkDecideScaling' -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+go test -run xxx -bench 'BenchmarkDecideScaling|BenchmarkDecideTraceOverhead' \
+	-benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 GOVER="$(go version | awk '{print $3}')"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -41,6 +43,14 @@ awk -v gover="$GOVER" -v commit="$COMMIT" -v benchtime="$BENCHTIME" '
 	if (rows != "") rows = rows ",\n"
 	rows = rows "    {\"name\": \"" name "\", \"iterations\": " iters ", \"metrics\": {" metrics "}}"
 }
+/^BenchmarkDecideTraceOverhead\// {
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if ($(i + 1) == "ns/op") {
+			if ($1 ~ /tracer=off/) trace_off = $i
+			if ($1 ~ /tracer=on/) trace_on = $i
+		}
+	}
+}
 END {
 	printf "{\n"
 	printf "  \"benchmark\": \"BenchmarkDecideScaling\",\n"
@@ -54,6 +64,17 @@ END {
 	printf "    \"note\": \"pre-optimization sequential round: copying ring accessors, O(n) statistics, per-call scratch\",\n"
 	printf "    \"ns_per_op\": {\"N=1024/shards=1\": 214210, \"N=4096/shards=1\": 858422, \"N=16384/shards=1\": 3587409}\n"
 	printf "  },\n"
+	if (trace_off != "" && trace_on != "") {
+		pct = "null"
+		if (trace_off + 0 > 0) pct = sprintf("%.2f", (trace_on - trace_off) / trace_off * 100)
+		printf "  \"trace_overhead\": {\n"
+		printf "    \"benchmark\": \"BenchmarkDecideTraceOverhead (N=4096, shards=1)\",\n"
+		printf "    \"note\": \"span recording adds sub-microsecond work to a ~300us round; a small or negative pct is host noise, not a speedup\",\n"
+		printf "    \"tracer_off_ns_per_op\": %s,\n", trace_off
+		printf "    \"tracer_on_ns_per_op\": %s,\n", trace_on
+		printf "    \"overhead_pct\": %s\n", pct
+		printf "  },\n"
+	}
 	printf "  \"results\": [\n%s\n  ]\n", rows
 	printf "}\n"
 }' "$RAW" >"$OUT"
