@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check chaos fuzz-smoke trace-smoke ci
+# VERSION is stamped into the binaries (dps_build_info, -version) via
+# internal/version. Local builds of a dirty tree report e.g.
+# `v0.3-2-gabc123-dirty`; outside a tag history it falls back to the
+# short commit, and outside git entirely to "dev".
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X dps/internal/version.Version=$(VERSION)"
+
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check chaos fuzz-smoke trace-smoke watch-smoke ci
 
 all: ci
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +32,7 @@ test:
 # The race detector multiplies runtime ~10x; -short skips the longest
 # simulation suites while still exercising every concurrent code path
 # (daemon, agent, telemetry registry, flight recorder, sharded decision
-# core).
+# core, series sampler).
 race:
 	$(GO) test -race -short ./...
 
@@ -46,18 +53,20 @@ bench-json:
 
 # chaos runs the full fault-injection suite under the race detector:
 # the deterministic kill/restart script, the wall-clock run over real TCP
-# with injected connection drops and device crash-restarts, and the
-# faultinject package's own determinism tests. The deterministic half
-# also runs inside `make ci` (race is -short); the wall-clock half only
-# runs here.
+# with injected connection drops and device crash-restarts (with the
+# watchdog attached as a second oracle), and the faultinject package's
+# own determinism tests. The deterministic half also runs inside
+# `make ci` (race is -short); the wall-clock half only runs here.
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Conn|Device|Readings' ./internal/daemon/ ./internal/faultinject/
 
 # alloc-check is the allocation-regression gate: a warm sequential
-# DecideStats round must not allocate, and neither may a round with a
-# disabled tracer attached — tracing must stay free when off.
+# DecideStats round must not allocate — bare, with a disabled tracer
+# attached, and with the full self-monitoring stack (series sampler +
+# watchdog audits) running beside the daemon's decision loop.
 alloc-check:
 	$(GO) test -run 'TestDecideStatsSteadyStateZeroAlloc|TestDecideTracerOffZeroAlloc' -count=1 ./internal/core
+	$(GO) test -run 'TestDecideSamplerSteadyStateZeroAlloc' -count=1 ./internal/daemon
 
 # fuzz-smoke gives the wire-protocol decoders a short fuzz shake on every
 # CI run (the corpus under internal/proto/testdata grows across runs).
@@ -71,8 +80,15 @@ fuzz-smoke:
 trace-smoke:
 	$(GO) test -run TestTraceSmoke -count=1 ./internal/sim/
 
+# watch-smoke is the self-monitoring end-to-end gate: a simulated pair
+# experiment with a scheduled budget fault must fire budget_conservation
+# within one round of the fault and resolve within one round of recovery,
+# and a clean run must end with every builtin audit inactive.
+watch-smoke:
+	$(GO) test -run 'TestWatchSmoke|TestWatchOracleCleanRun' -count=1 ./internal/sim/
+
 # ci is the tier-1 gate: static checks, a full build, the complete test
 # suite, the race detector over the concurrency-bearing packages, the
-# allocation-regression gates, a protocol fuzz shake, the traced-sim
-# smoke, and a smoke run of the scaling benchmark.
-ci: vet staticcheck build test race alloc-check fuzz-smoke trace-smoke bench-smoke
+# allocation-regression gates, a protocol fuzz shake, the traced-sim and
+# watchdog smokes, and a smoke run of the scaling benchmark.
+ci: vet staticcheck build test race alloc-check fuzz-smoke trace-smoke watch-smoke bench-smoke

@@ -15,6 +15,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
@@ -27,6 +28,7 @@ import (
 	"dps/internal/daemon"
 	"dps/internal/power"
 	"dps/internal/rapl"
+	"dps/internal/version"
 	"dps/internal/workload"
 )
 
@@ -43,9 +45,14 @@ func main() {
 		minCap    = flag.Float64("min-cap", 10, "lowest cap to accept, watts")
 		httpAddr  = flag.String("http", "", "serve agent /metrics, /healthz and /debug/pprof on this address (e.g. :7893)")
 		meterTol  = flag.Int("meter-tolerance", 0, "consecutive RAPL read errors to ride through on the last good sample (0 = default, negative = strict)")
-		applyEcho = flag.Bool("apply-echo", false, "acknowledge each cap batch with its apply duration (controller builds an end-to-end latency histogram; requires a v2-capable controller)")
+		applyEcho   = flag.Bool("apply-echo", false, "acknowledge each cap batch with its apply duration (controller builds an end-to-end latency histogram; requires a v2-capable controller)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("dps-agent"))
+		return
+	}
 
 	var devices []rapl.Device
 	var driver func(ctx context.Context)

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,8 @@ import (
 	"dps/internal/daemon"
 	"dps/internal/power"
 	"dps/internal/stateless"
+	"dps/internal/version"
+	"dps/internal/watch"
 )
 
 // attachPprof mounts net/http/pprof on the daemon's debug mux, so the
@@ -62,8 +65,29 @@ func main() {
 
 		traceOn    = flag.Bool("trace", false, "record round-scoped spans for /debug/trace (toggleable at runtime)")
 		traceSpans = flag.Int("trace-spans", 0, "span ring capacity (0 = default)")
+
+		seriesOn    = flag.Bool("series", false, "sample the registry into the embedded metric history (/debug/series)")
+		watchOn     = flag.Bool("watch", false, "run the watchdog: invariant audits plus -watch-rule rules (/alerts)")
+		budgetTol   = flag.Float64("budget-tolerance", 0, "slack in watts on the budget_conservation audit (0 = default)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	var watchRules []watch.Rule
+	flag.Func("watch-rule", `alert rule as JSON (repeatable), e.g. '{"name":"cap_sum_high","kind":"threshold","series":"dps_cap_sum_watts","value":2100,"for_ms":5000}'`, func(v string) error {
+		var r watch.Rule
+		if err := json.Unmarshal([]byte(v), &r); err != nil {
+			return err
+		}
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		watchRules = append(watchRules, r)
+		return nil
+	})
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("dpsd"))
+		return
+	}
 
 	var mgr core.Manager
 	var err error
@@ -77,6 +101,9 @@ func main() {
 	maxReading_ := power.Watts(*maxReading)
 	traceOn_ := *traceOn
 	traceSpans_ := *traceSpans
+	seriesOn_ := *seriesOn
+	watchOn_ := *watchOn
+	budgetTol_ := *budgetTol
 
 	if *confPath != "" {
 		fc, err := daemon.LoadFileConfig(*confPath)
@@ -97,6 +124,10 @@ func main() {
 		maxReading_ = power.Watts(fc.MaxReadingW)
 		traceOn_ = fc.Trace
 		traceSpans_ = fc.TraceSpans
+		seriesOn_ = fc.Series
+		watchOn_ = fc.Watch
+		watchRules = fc.WatchRules
+		budgetTol_ = fc.BudgetToleranceW
 	} else {
 		total := power.Watts(*budgetW)
 		if total == 0 {
@@ -120,6 +151,10 @@ func main() {
 		}
 	}
 
+	if len(watchRules) > 0 && !watchOn_ {
+		log.Fatalf("dpsd: -watch-rule requires -watch")
+	}
+
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
@@ -133,8 +168,12 @@ func main() {
 		DeadAfter:       deadAfter_,
 		ReadIdleTimeout: readIdle_,
 		MaxReading:      maxReading_,
-		TraceEnabled:    traceOn_,
-		TraceSpans:      traceSpans_,
+		TraceEnabled:     traceOn_,
+		TraceSpans:       traceSpans_,
+		SeriesEnabled:    seriesOn_,
+		WatchEnabled:     watchOn_,
+		WatchRules:       watchRules,
+		BudgetToleranceW: budgetTol_,
 	})
 	if err != nil {
 		log.Fatalf("dpsd: %v", err)
@@ -157,7 +196,7 @@ func main() {
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("dpsd: status endpoint on http://%s/status (metrics, debug/rounds, debug/trace, debug/why, debug/pprof)", statusAddr)
+			log.Printf("dpsd: status endpoint on http://%s/status (metrics, alerts, debug/rounds, debug/series, debug/trace, debug/why, debug/pprof)", statusAddr)
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("dpsd: status endpoint: %v", err)
 			}

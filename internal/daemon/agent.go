@@ -107,6 +107,7 @@ type agentMetrics struct {
 }
 
 func newAgentMetrics(reg *telemetry.Registry) agentMetrics {
+	registerBuildInfo(reg)
 	return agentMetrics{
 		reports:      reg.Counter("dps_agent_reports_total", "Power report batches sent."),
 		applied:      reg.Counter("dps_agent_caps_applied_total", "Cap batches received and programmed."),

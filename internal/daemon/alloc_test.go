@@ -1,0 +1,66 @@
+package daemon
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/power"
+)
+
+// TestDecideSamplerSteadyStateZeroAlloc extends the core hot-path
+// allocation gate to the self-monitoring deployment shape: with the
+// watchdog and series sampler wired into the daemon (watcher built,
+// tracer attached, audits fed every round, registry scraped between
+// rounds), the manager's warm decision round must still allocate nothing.
+// The sampler and auditor run beside the decision path, never inside it —
+// this test is that claim's regression gate.
+func TestDecideSamplerSteadyStateZeroAlloc(t *testing.T) {
+	const units = 128
+	cfg := core.DefaultConfig(units, testBudget(units))
+	cfg.Shards = 1 // sequential path, matching the core gate
+	mgr, err := core.NewDPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Manager:       mgr,
+		Units:         units,
+		Interval:      time.Second,
+		SeriesEnabled: true,
+		WatchEnabled:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0).UTC()
+	srv.now = func() time.Time { return now }
+
+	rng := rand.New(rand.NewSource(1))
+	readings := make(power.Vector, units)
+	for u := range readings {
+		readings[u] = power.Watts(40 + rng.Float64()*120)
+	}
+	// Warm through the full daemon round (metrics, flight recorder,
+	// audits) plus sampler scrapes, so every self-monitoring structure has
+	// grown to steady state.
+	for i := 0; i < 30; i++ {
+		readings[i%units] += power.Watts(rng.NormFloat64() * 2)
+		setReadings(srv, readings)
+		if _, err := srv.DecideOnce(1); err != nil {
+			t.Fatal(err)
+		}
+		srv.SampleOnce()
+		now = now.Add(time.Second)
+	}
+
+	snap := core.Snapshot{Power: readings, Interval: 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		readings[0] += 0.01
+		mgr.DecideStats(snap)
+	})
+	if allocs != 0 {
+		t.Errorf("watchdog-attached steady-state DecideStats allocated %.1f times per round, want 0", allocs)
+	}
+}

@@ -121,7 +121,10 @@ func TestChaosDeterministicKillRestart(t *testing.T) {
 // reconnecting agents — under injected faults: connections that randomly
 // drop and devices with transient read errors and crash-restarts. The
 // budget invariant must hold at every observation, and once the chaos
-// window closes the cluster must converge back to all-fresh.
+// window closes the cluster must converge back to all-fresh. The watchdog
+// rides along as a second, independent oracle: its builtin audits see
+// every decision round (not just this test's 5 ms observations) and none
+// of them may ever fire on a correct controller, chaos or not.
 func TestChaosWallClock(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock chaos test skipped in -short")
@@ -138,6 +141,8 @@ func TestChaosWallClock(t *testing.T) {
 		StaleAfter:      100 * time.Millisecond,
 		DeadAfter:       300 * time.Millisecond,
 		ReadIdleTimeout: 200 * time.Millisecond,
+		SeriesEnabled:   true,
+		WatchEnabled:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -255,6 +260,17 @@ func TestChaosWallClock(t *testing.T) {
 			t.Fatalf("budget violated during recovery: Σcaps %v > %v", st.CapSumW, budget.Total)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The embedded auditor watched every round the loop ran, including the
+	// ones between this test's coarse observations. A correct controller
+	// never trips an invariant, so a single lifetime firing of any builtin
+	// is a failure — the watchdog caught what the polling above missed.
+	for _, a := range srv.Watcher().Alerts() {
+		if a.FiredCount != 0 {
+			t.Errorf("watchdog rule %s fired %d times during chaos (last: %s)",
+				a.Rule, a.FiredCount, a.Message)
+		}
 	}
 
 	cancel()

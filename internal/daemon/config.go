@@ -11,6 +11,7 @@ import (
 	"dps/internal/core"
 	"dps/internal/power"
 	"dps/internal/stateless"
+	"dps/internal/watch"
 )
 
 // FileConfig is dpsd's JSON configuration: everything the daemon needs to
@@ -67,6 +68,24 @@ type FileConfig struct {
 	// (0 = trace.DefaultSpanCapacity).
 	Trace      bool `json:"trace,omitempty"`
 	TraceSpans int  `json:"trace_spans,omitempty"`
+
+	// Self-monitoring. Series enables the embedded metric-history store
+	// and sampler (GET /debug/series); Watch enables the watchdog's
+	// built-in invariant audits plus WatchRules (GET /alerts). Any
+	// configured rule implies the series store. BudgetToleranceW is the
+	// slack on the budget_conservation audit (0 = the watch default).
+	//
+	//	"watch": true,
+	//	"series": true,
+	//	"watch_rules": [
+	//	  {"name": "cap_sum_high", "kind": "threshold",
+	//	   "series": "dps_cap_sum_watts", "op": ">", "value": 2100,
+	//	   "for_ms": 5000}
+	//	]
+	Series           bool         `json:"series,omitempty"`
+	Watch            bool         `json:"watch,omitempty"`
+	WatchRules       []watch.Rule `json:"watch_rules,omitempty"`
+	BudgetToleranceW float64      `json:"budget_tolerance_w,omitempty"`
 }
 
 // LoadFileConfig parses and normalizes a config file.
@@ -140,6 +159,22 @@ func (fc FileConfig) validate() error {
 	case "dps", "slurm", "constant":
 	default:
 		return fmt.Errorf("unknown policy %q (want dps, slurm or constant)", fc.Policy)
+	}
+	if fc.BudgetToleranceW < 0 {
+		return fmt.Errorf("negative budget_tolerance_w %v", fc.BudgetToleranceW)
+	}
+	if len(fc.WatchRules) > 0 && !fc.Watch {
+		return fmt.Errorf("watch_rules set but watch is false")
+	}
+	seen := make(map[string]bool, len(fc.WatchRules))
+	for _, r := range fc.WatchRules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("duplicate watch rule %q", r.Name)
+		}
+		seen[r.Name] = true
 	}
 	return fc.Budget().Validate(fc.Units)
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -25,7 +26,10 @@ import (
 	"dps/internal/power"
 	"dps/internal/proto"
 	"dps/internal/telemetry"
+	"dps/internal/telemetry/series"
 	"dps/internal/trace"
+	"dps/internal/version"
+	"dps/internal/watch"
 )
 
 // ServerConfig configures the controller daemon.
@@ -75,6 +79,29 @@ type ServerConfig struct {
 	// TraceSpans is the span ring capacity. Zero selects
 	// trace.DefaultSpanCapacity.
 	TraceSpans int
+
+	// SeriesEnabled starts the embedded metric-history sampler: a
+	// goroutine beside (never inside) the decision loop scrapes the
+	// registry into a fixed-memory series store served at
+	// GET /debug/series. Off, no store exists and nothing is scraped.
+	SeriesEnabled bool
+	// SeriesConfig sizes the series store. The zero value selects the
+	// defaults, except RawInterval, which defaults to Interval (scrape
+	// once per decision round).
+	SeriesConfig series.Config
+	// WatchEnabled turns on the watchdog: built-in invariant audits fed
+	// from every decision round plus the WatchRules evaluated after every
+	// sampler scrape. Off, the watcher is nil and ObserveRound calls on it
+	// are no-ops.
+	WatchEnabled bool
+	// WatchRules are the configured alert rules. Rules reference the
+	// series store, so setting any implies a store and sampler even when
+	// SeriesEnabled is false.
+	WatchRules []watch.Rule
+	// BudgetToleranceW is the slack on the budget_conservation audit
+	// (absorbs float drift from the proportional rescale). Zero selects
+	// the watch package default (1e-3 W).
+	BudgetToleranceW float64
 }
 
 func (c ServerConfig) validate() error {
@@ -88,6 +115,11 @@ func (c ServerConfig) validate() error {
 	case c.Interval <= 0:
 		return fmt.Errorf("daemon: non-positive interval %v", c.Interval)
 	}
+	for _, r := range c.WatchRules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("daemon: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -100,6 +132,13 @@ type Server struct {
 	tracer   *trace.Recorder
 	metrics  serverMetrics
 	now      func() time.Time // stubbed in tests for deterministic records
+
+	// store/sampler exist when SeriesEnabled or any watch rule needs the
+	// history; watcher exists when WatchEnabled. All are read-only after
+	// NewServer, and all run off the decision hot path.
+	store   *series.Store
+	sampler *series.Sampler
+	watcher *watch.Watcher
 
 	mu       sync.Mutex
 	readings power.Vector
@@ -179,14 +218,35 @@ const (
 	stageReadjust  = "readjust"
 )
 
+// e2eLatencyBuckets brackets the reading-snapshot→enforced-cap apply-echo
+// path: two network hops plus an agent-side cap program, so unlike the
+// in-process DefSecondsBuckets it starts at 100 µs (same-host loopback)
+// and runs to 2.5 s (a WAN'd or heavily loaded agent several decision
+// intervals late). See the bucket-choice rule in the telemetry package
+// comment.
+var e2eLatencyBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// registerBuildInfo publishes the dps_build_info gauge: constant 1, with
+// the interesting data in the labels (the Prometheus *_info convention),
+// so dashboards can join any metric against the running build.
+func registerBuildInfo(reg *telemetry.Registry) {
+	reg.Gauge("dps_build_info", "Build metadata; the value is always 1.",
+		telemetry.Label{Key: "version", Value: version.Version},
+		telemetry.Label{Key: "goversion", Value: runtime.Version()}).Set(1)
+}
+
 func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
+	registerBuildInfo(reg)
 	m := serverMetrics{
 		rounds:      reg.Counter("dps_rounds_total", "Decision rounds completed."),
 		agents:      reg.Gauge("dps_agents", "Connected node agents."),
 		budget:      reg.Gauge("dps_budget_watts", "Cluster-wide power budget."),
 		capSum:      reg.Gauge("dps_cap_sum_watts", "Sum of assigned caps."),
 		decide:      reg.Histogram("dps_decide_seconds", "Wall time of one full decision round.", nil),
-		e2eLatency:  reg.Histogram("dps_e2e_latency_seconds", "Reading snapshot to enforced-cap echo, measured on the server clock (needs agents with apply-echo enabled).", nil),
+		e2eLatency:  reg.Histogram("dps_e2e_latency_seconds", "Reading snapshot to enforced-cap echo, measured on the server clock (needs agents with apply-echo enabled).", e2eLatencyBuckets),
 		restores:    reg.Counter("dps_restore_total", "Algorithm 3 restorations (all units quiet, caps reset)."),
 		prioFlips:   reg.Counter("dps_priority_flips_total", "Per-unit priority changes across rounds."),
 		exhausted:   reg.Counter("dps_readjust_exhausted_total", "Readjust rounds that equalized because no budget was left."),
@@ -287,6 +347,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			s.lastReport[u] = start
 		}
 	}
+	// Configured watch rules read the series store, so they imply one even
+	// when the operator didn't ask for /debug/series explicitly.
+	if cfg.SeriesEnabled || (cfg.WatchEnabled && len(cfg.WatchRules) > 0) {
+		scfg := cfg.SeriesConfig
+		if scfg.RawInterval <= 0 {
+			scfg.RawInterval = cfg.Interval
+		}
+		s.store = series.NewStore(scfg)
+		s.sampler = series.NewSampler(reg, s.store)
+	}
+	if cfg.WatchEnabled {
+		s.watcher = watch.New(watch.Config{
+			Rules:            cfg.WatchRules,
+			Store:            s.store,
+			Registry:         reg,
+			Logf:             cfg.Logf,
+			BudgetToleranceW: cfg.BudgetToleranceW,
+		})
+	}
 	return s, nil
 }
 
@@ -315,6 +394,28 @@ func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.recorder 
 // even when tracing started disabled, so an operator can flip it on at
 // runtime (Trace().SetEnabled(true)) without restarting the daemon.
 func (s *Server) Trace() *trace.Recorder { return s.tracer }
+
+// Series returns the embedded metric-history store backing
+// GET /debug/series, nil when neither SeriesEnabled nor a watch rule
+// asked for one.
+func (s *Server) Series() *series.Store { return s.store }
+
+// Watcher returns the alerting engine backing GET /alerts, nil when
+// WatchEnabled is false (watch.Watcher methods are nil-safe).
+func (s *Server) Watcher() *watch.Watcher { return s.watcher }
+
+// SampleOnce performs one sampler scrape plus one watch-rule evaluation
+// at the server clock's current time — the unit Serve's sampler loop runs
+// every scrape interval, exported so tests and embedders can drive it
+// deterministically. A no-op when the series store is disabled.
+func (s *Server) SampleOnce() {
+	if s.sampler == nil {
+		return
+	}
+	now := s.now()
+	s.sampler.SampleOnce(now)
+	s.watcher.Evaluate(now)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -623,7 +724,7 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		s.lastRestored = d.Restored()
 	}
 	s.mu.Unlock()
-	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, managerCaps, caps, health, st, hasStats)
+	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, managerCaps, caps, health, lastPushed, st, hasStats)
 	return caps, firstErr
 }
 
@@ -718,14 +819,17 @@ func (s *Server) degradedDeliver(caps power.Vector, health []core.UnitHealth, la
 	return out
 }
 
-// observeRound publishes one decision round to the metrics registry and
-// the flight recorder. Called from the decision loop only, after the
-// round counter advanced. st carries the round's controller stats when
-// hasStats is true (the manager implements statsDecider). managerCaps is
-// the vector the manager decided; caps is what was delivered — they
-// differ only when degradedDeliver corrected a health-blind policy, and
-// the difference is what earns a unit the degraded_deliver reason.
-func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, managerCaps, caps power.Vector, health []core.UnitHealth, st core.RoundStats, hasStats bool) {
+// observeRound publishes one decision round to the metrics registry, the
+// flight recorder, and the watchdog's invariant audits. Called from the
+// decision loop only, after the round counter advanced. st carries the
+// round's controller stats when hasStats is true (the manager implements
+// statsDecider). managerCaps is the vector the manager decided; caps is
+// what was delivered — they differ only when degradedDeliver corrected a
+// health-blind policy, and the difference is what earns a unit the
+// degraded_deliver reason. lastPushed is the pre-round delivered-cap
+// vector (nil while health tracking is off), the reference the
+// health-pin audit checks non-fresh units against.
+func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Duration, interval power.Seconds, readings, prevCaps, managerCaps, caps power.Vector, health []core.UnitHealth, lastPushed power.Vector, st core.RoundStats, hasStats bool) {
 	m := &s.metrics
 	m.rounds.Inc()
 	m.decide.Observe(elapsed.Seconds())
@@ -821,6 +925,28 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		rec.Units[u] = ur
 	}
 	s.recorder.Append(rec)
+
+	if s.watcher != nil {
+		audit := watch.RoundAudit{
+			Round:             round,
+			Time:              started,
+			BudgetW:           rec.BudgetW,
+			CapSumW:           rec.CapSumW,
+			ProvenanceAudited: prov != nil,
+		}
+		for u := range caps {
+			if health != nil && health[u] != core.HealthFresh {
+				audit.PinAudited++
+				if caps[u] != lastPushed[u] {
+					audit.PinViolations++
+				}
+			}
+			if audit.ProvenanceAudited && rec.Units[u].CapDeltaW != 0 && rec.Units[u].Reason == "" {
+				audit.ProvenanceViolations++
+			}
+		}
+		s.watcher.ObserveRound(audit)
+	}
 }
 
 // Serve accepts agent connections on l and runs the decision loop until
@@ -848,6 +974,23 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 		}
 	}()
+	if s.sampler != nil {
+		// The sampler gets its own goroutine and ticker: scraping the
+		// registry and evaluating watch rules never shares the decision
+		// loop's schedule, so self-monitoring cannot delay a round.
+		go func() {
+			ticker := time.NewTicker(s.store.Config().RawInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+					s.SampleOnce()
+				}
+			}
+		}()
+	}
 
 	for {
 		conn, err := l.Accept()

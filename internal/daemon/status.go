@@ -31,6 +31,9 @@ type Status struct {
 	Health     []string `json:"health,omitempty"`
 	StaleUnits int      `json:"stale_units,omitempty"`
 	DeadUnits  int      `json:"dead_units,omitempty"`
+	// AlertsFiring is the number of watchdog rules currently firing;
+	// omitted (0) when the watchdog is disabled or everything is healthy.
+	AlertsFiring int `json:"alerts_firing,omitempty"`
 }
 
 // Snapshot assembles the current Status. It reads only the server's own
@@ -74,9 +77,10 @@ func (s *Server) Snapshot() Status {
 		CapSumW:    float64(caps.Sum()),
 		Priority:   prio,
 		Restored:   restored,
-		Health:     health,
-		StaleUnits: stale,
-		DeadUnits:  dead,
+		Health:       health,
+		StaleUnits:   stale,
+		DeadUnits:    dead,
+		AlertsFiring: s.watcher.FiringCount(),
 	}
 }
 
@@ -132,9 +136,12 @@ func (s *Server) Why(u, n int) []WhyRecord {
 //	GET /status        controller state as JSON
 //	GET /metrics       the telemetry registry in Prometheus text format
 //	GET /healthz       200 once at least one decision round has run
-//	GET /debug/rounds  the decision flight recorder as JSON (?n=K)
+//	GET /alerts        watchdog alert states as JSON ([] when disabled)
+//	GET /debug/rounds  the decision flight recorder as JSON (?n=K&unit=U)
 //	GET /debug/trace   recorded spans as Chrome trace_event JSON (?last=N)
 //	GET /debug/why     cap-change provenance for one unit (?unit=K&n=N)
+//	GET /debug/series  embedded metric history as JSON (?name=K&last=5m;
+//	                   404 when the series store is disabled)
 //
 // Returning the concrete mux lets the daemon binary mount extra debug
 // handlers (net/http/pprof) on the same listener.
@@ -154,8 +161,12 @@ func (s *Server) StatusHandler() *http.ServeMux {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("GET /alerts", s.watcher.Handler())
 	mux.Handle("GET /debug/rounds", s.recorder.Handler())
 	mux.Handle("GET /debug/trace", s.tracer.Handler())
+	if s.store != nil {
+		mux.Handle("GET /debug/series", s.store.Handler(func() time.Time { return s.now() }))
+	}
 	mux.HandleFunc("GET /debug/why", func(w http.ResponseWriter, r *http.Request) {
 		u, err := strconv.Atoi(r.URL.Query().Get("unit"))
 		if err != nil || u < 0 || u >= s.cfg.Units {

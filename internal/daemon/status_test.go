@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -101,8 +102,9 @@ func TestStatusForNonDPSPolicy(t *testing.T) {
 }
 
 // maskTimings blanks the values of wall-time histogram series whose
-// observations depend on the machine's clock, keeping the exposition's
-// structure (names, labels, ordering) exact.
+// observations depend on the machine's clock, and the toolchain-dependent
+// goversion label of dps_build_info, keeping the exposition's structure
+// (names, labels, ordering) exact.
 func maskTimings(body string) string {
 	lines := strings.Split(body, "\n")
 	for i, ln := range lines {
@@ -111,6 +113,9 @@ func maskTimings(body string) string {
 			if j := strings.LastIndexByte(ln, ' '); j >= 0 {
 				lines[i] = ln[:j] + " <T>"
 			}
+		}
+		if strings.HasPrefix(ln, "dps_build_info{") {
+			lines[i] = strings.Replace(ln, runtime.Version(), "<GO>", 1)
 		}
 	}
 	return strings.Join(lines, "\n")

@@ -283,4 +283,50 @@ func TestDebugRoundsGolden(t *testing.T) {
 		t.Errorf("/debug/rounds drifted from %s (UPDATE_GOLDEN=1 regenerates):\ngot:\n%s\nwant:\n%s",
 			golden, got, want)
 	}
+
+	// The ?unit= filter narrows every record to that unit's row and
+	// leaves the round-level fields untouched.
+	rec = httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?n=2&unit=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/rounds?unit=1 = %d", rec.Code)
+	}
+	var filtered []telemetry.RoundRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != len(rounds) {
+		t.Fatalf("unit filter changed record count: %d != %d", len(filtered), len(rounds))
+	}
+	for i, r := range filtered {
+		if len(r.Units) != 1 || r.Units[0].Unit != 1 {
+			t.Fatalf("record %d: want exactly unit 1, got %+v", i, r.Units)
+		}
+		if r.Round != rounds[i].Round || r.CapSumW != rounds[i].CapSumW {
+			t.Fatalf("record %d: round-level fields drifted under the unit filter", i)
+		}
+		if r.Units[0].CapW != rounds[i].Units[1].CapW {
+			t.Fatalf("record %d: filtered row differs from the unfiltered unit 1 row", i)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?unit=-1", nil))
+	if rec.Code != 400 {
+		t.Fatalf("/debug/rounds?unit=-1 = %d, want 400", rec.Code)
+	}
+
+	// A unit beyond every record's range yields records with no unit rows
+	// rather than an error: the recorder does not know the unit universe.
+	rec = httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?n=1&unit=99", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/rounds?unit=99 = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != 1 || len(filtered[0].Units) != 0 {
+		t.Fatalf("out-of-range unit filter: want 1 record with 0 unit rows, got %+v", filtered)
+	}
 }

@@ -1,0 +1,249 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/faultinject"
+	"dps/internal/power"
+	"dps/internal/telemetry/series"
+	"dps/internal/watch"
+)
+
+// newWatchServer builds a watch+series-enabled server around mgr with a
+// stubbed, manually advanced clock.
+func newWatchServer(t *testing.T, mgr core.Manager, units int) (*Server, *time.Time) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Manager:       mgr,
+		Units:         units,
+		Interval:      time.Second,
+		SeriesEnabled: true,
+		WatchEnabled:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0).UTC()
+	srv.now = func() time.Time { return now }
+	return srv, &now
+}
+
+func watchAlert(t *testing.T, srv *Server, rule string) watch.Alert {
+	t.Helper()
+	for _, a := range srv.Watcher().Alerts() {
+		if a.Rule == rule {
+			return a
+		}
+	}
+	t.Fatalf("no alert %q", rule)
+	return watch.Alert{}
+}
+
+// TestWatchBudgetFaultFiresWithinOneRound is the acceptance-criteria
+// chaos test at the daemon layer: a fault-injected manager inflates its
+// caps past the budget at a known round; budget_conservation must fire
+// within that exact round and resolve within one round of recovery.
+func TestWatchBudgetFaultFiresWithinOneRound(t *testing.T) {
+	const units = 4
+	inner, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault window: rounds [3,5). Scale 1.5 pushes the cap sum ~50% over.
+	mgr, err := faultinject.WrapManager(inner, faultinject.ManagerConfig{
+		FromRound: 3, UntilRound: 5, Scale: 1.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, now := newWatchServer(t, mgr, units)
+
+	states := make([]string, 0, 7)
+	for round := 1; round <= 7; round++ {
+		setReadings(srv, power.Vector{120, 120, 120, 120})
+		if _, err := srv.DecideOnce(1); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, watchAlert(t, srv, watch.RuleBudgetConservation).State)
+		*now = now.Add(time.Second)
+	}
+
+	want := []string{
+		watch.StateInactive, watch.StateInactive, // healthy rounds 1-2
+		watch.StateFiring, watch.StateFiring, // faulted rounds 3-4
+		watch.StateResolved, watch.StateResolved, watch.StateResolved, // recovered
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("budget_conservation per round = %v, want %v", states, want)
+		}
+	}
+	if a := watchAlert(t, srv, watch.RuleBudgetConservation); a.FiredCount != 1 {
+		t.Errorf("fired %d times across one fault window, want 1", a.FiredCount)
+	}
+
+	// The lifecycle is visible in /status and the exposition.
+	if s := srv.Snapshot(); s.AlertsFiring != 0 {
+		t.Errorf("alerts_firing = %d after recovery, want 0", s.AlertsFiring)
+	}
+	rec := httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	var alerts []watch.Alert
+	if err := json.Unmarshal(rec.Body.Bytes(), &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 3 {
+		t.Fatalf("/alerts returned %d rules, want the 3 builtins", len(alerts))
+	}
+}
+
+// TestWatchCleanRoundsStayQuiet pins the no-false-positive side: a healthy
+// DPS daemon run never moves any builtin audit off inactive.
+func TestWatchCleanRoundsStayQuiet(t *testing.T) {
+	const units = 4
+	mgr, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, now := newWatchServer(t, mgr, units)
+	for round := 0; round < 20; round++ {
+		setReadings(srv, power.Vector{30, 160, 90, 140})
+		if _, err := srv.DecideOnce(1); err != nil {
+			t.Fatal(err)
+		}
+		*now = now.Add(time.Second)
+	}
+	for _, a := range srv.Watcher().Alerts() {
+		if a.State != watch.StateInactive {
+			t.Errorf("rule %s = %s after clean rounds (value %g, %s)", a.Rule, a.State, a.Value, a.Message)
+		}
+	}
+}
+
+// TestWatchRuleOverSampledSeries drives the full self-monitoring path:
+// decision rounds update registry gauges, SampleOnce scrapes them into
+// the series store, and a configured threshold rule with a for-duration
+// walks pending → firing on the sampled history.
+func TestWatchRuleOverSampledSeries(t *testing.T) {
+	const units = 2
+	mgr, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Manager:      mgr,
+		Units:        units,
+		Interval:     time.Second,
+		WatchEnabled: true,
+		WatchRules: []watch.Rule{{
+			Name: "cap_sum_low", Kind: watch.KindThreshold,
+			Series: "dps_cap_sum_watts", Op: "<", Value: 1000, ForMS: 2000,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Series() == nil {
+		t.Fatal("configured watch rules did not imply a series store")
+	}
+	now := time.Unix(1_700_000_000, 0).UTC()
+	srv.now = func() time.Time { return now }
+
+	states := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		setReadings(srv, power.Vector{100, 100})
+		if _, err := srv.DecideOnce(1); err != nil {
+			t.Fatal(err)
+		}
+		srv.SampleOnce()
+		states = append(states, watchAlert(t, srv, "cap_sum_low").State)
+		now = now.Add(time.Second)
+	}
+	want := []string{watch.StatePending, watch.StatePending, watch.StateFiring, watch.StateFiring}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("cap_sum_low per scrape = %v, want %v", states, want)
+		}
+	}
+}
+
+// TestDebugSeriesEndpoint pins the /debug/series wiring: sampled daemon
+// metrics are queryable over HTTP with deterministic timestamps.
+func TestDebugSeriesEndpoint(t *testing.T) {
+	srv, now := newWatchServer(t, mustDPS(t, 2), 2)
+	for i := 0; i < 3; i++ {
+		setReadings(srv, power.Vector{50, 60})
+		if _, err := srv.DecideOnce(1); err != nil {
+			t.Fatal(err)
+		}
+		srv.SampleOnce()
+		*now = now.Add(time.Second)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/series?name=dps_cap_sum_watts", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/series = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out series.Series
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != 3 || out.Kind != series.KindGauge {
+		t.Fatalf("dps_cap_sum_watts history = %+v", out)
+	}
+
+	// The index lists sampled series; per-unit gauges carry their label
+	// signature in the key.
+	rec = httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/series", nil))
+	var idx struct {
+		Series []string `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range idx.Series {
+		if name == `dps_unit_cap_watts{unit="1"}` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("index missing labeled unit series: %v", idx.Series)
+	}
+}
+
+// TestDebugSeriesAbsentWhenDisabled pins the zero-cost-off contract's
+// visible half: without SeriesEnabled there is no store and no endpoint.
+func TestDebugSeriesAbsentWhenDisabled(t *testing.T) {
+	srv := newTestServer(t, 2)
+	if srv.Series() != nil || srv.Watcher() != nil {
+		t.Fatal("disabled server built self-monitoring state")
+	}
+	srv.SampleOnce() // must be a no-op, not a panic
+	rec := httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/series", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/series on a disabled server = %d, want 404", rec.Code)
+	}
+	// /alerts still exists and serves an empty list.
+	rec = httptest.NewRecorder()
+	srv.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/alerts on a disabled server = %d, want 200", rec.Code)
+	}
+}
+
+func mustDPS(t *testing.T, units int) *core.DPS {
+	t.Helper()
+	mgr, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}

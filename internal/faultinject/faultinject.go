@@ -46,6 +46,7 @@ type Counters struct {
 	devSpike      *telemetry.Counter
 	devCrash      *telemetry.Counter
 	reading       *telemetry.Counter
+	budget        *telemetry.Counter
 }
 
 // NewCounters registers the dps_fault_injected_total family in reg.
@@ -64,6 +65,7 @@ func NewCounters(reg *telemetry.Registry) *Counters {
 		devSpike:      kind("device_spike"),
 		devCrash:      kind("device_crash"),
 		reading:       kind("reading_corrupt"),
+		budget:        kind("budget"),
 	}
 }
 
@@ -114,5 +116,11 @@ func (c *Counters) incDevCrash() {
 func (c *Counters) incReading() {
 	if c != nil {
 		c.reading.Inc()
+	}
+}
+
+func (c *Counters) incBudget() {
+	if c != nil {
+		c.budget.Inc()
 	}
 }

@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"dps/internal/core"
+	"dps/internal/power"
+)
+
+// ManagerConfig schedules a budget fault: during decision rounds
+// [FromRound, UntilRound) (1-based, counting this wrapper's Decide calls)
+// the wrapped manager's caps are multiplied by Scale before delivery. A
+// Scale > 1 manufactures exactly the failure the watchdog's
+// budget_conservation audit exists to catch — a cap vector whose sum
+// exceeds the budget — at a deterministic round, so chaos tests can use
+// the alert itself as the oracle.
+type ManagerConfig struct {
+	// FromRound is the first faulted round, 1-based. Zero disables.
+	FromRound uint64
+	// UntilRound ends the fault window (exclusive). Zero means the fault
+	// never ends.
+	UntilRound uint64
+	// Scale multiplies every cap during the window. Values <= 0 are
+	// rejected.
+	Scale float64
+}
+
+func (c ManagerConfig) validate() error {
+	if c.FromRound > 0 && c.Scale <= 0 {
+		return fmt.Errorf("faultinject: non-positive cap scale %v", c.Scale)
+	}
+	return nil
+}
+
+// Manager wraps a core.Manager and scales its decided caps during a
+// configured round window. It intentionally does not implement the
+// stats-returning decision API: the daemon falls back to plain Decide, so
+// the corrupted vector flows through the delivery path like any
+// health-blind policy's would.
+type Manager struct {
+	inner    core.Manager
+	cfg      ManagerConfig
+	counters *Counters
+	rounds   uint64
+	out      power.Vector
+}
+
+// WrapManager wraps inner with a scheduled budget fault.
+func WrapManager(inner core.Manager, cfg ManagerConfig, counters *Counters) (*Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{inner: inner, cfg: cfg, counters: counters}, nil
+}
+
+// Name identifies the wrapper in /status.
+func (m *Manager) Name() string { return m.inner.Name() + "+fault" }
+
+// Budget returns the inner manager's envelope.
+func (m *Manager) Budget() power.Budget { return m.inner.Budget() }
+
+// Faulting reports whether the given 1-based round falls in the fault
+// window.
+func (m *Manager) faulting(round uint64) bool {
+	return m.cfg.FromRound > 0 && round >= m.cfg.FromRound &&
+		(m.cfg.UntilRound == 0 || round < m.cfg.UntilRound)
+}
+
+// Decide runs the inner manager, then corrupts the result inside the
+// fault window. The corrupted vector lives in the wrapper's own buffer —
+// the inner manager's state stays consistent, so recovery after the
+// window is immediate.
+func (m *Manager) Decide(snap core.Snapshot) power.Vector {
+	caps := m.inner.Decide(snap)
+	m.rounds++
+	if !m.faulting(m.rounds) {
+		return caps
+	}
+	m.counters.incBudget()
+	if m.out == nil {
+		m.out = make(power.Vector, len(caps))
+	}
+	for u, c := range caps {
+		m.out[u] = power.Watts(m.cfg.Scale) * c
+	}
+	return m.out
+}
+
+// Caps mirrors the inner manager's current assignment (the uncorrupted
+// view — what the controller believes).
+func (m *Manager) Caps() power.Vector { return m.inner.Caps() }

@@ -23,6 +23,7 @@ import (
 	"dps/internal/metrics"
 	"dps/internal/power"
 	"dps/internal/trace"
+	"dps/internal/watch"
 	"dps/internal/workload"
 )
 
@@ -70,6 +71,12 @@ type PairConfig struct {
 	// per decision interval on the sim lane, plus the controller's
 	// per-stage spans when the manager is a core.DPS.
 	Tracer *trace.Recorder
+	// Watcher, if non-nil, receives one RoundAudit per step (budget vs
+	// programmed cap sum, provenance when the manager is a core.DPS) so
+	// chaos experiments can use the watchdog itself as the oracle. Audit
+	// timestamps are virtual time mapped onto the Unix epoch, keeping the
+	// alert lifecycle deterministic for a fixed configuration.
+	Watcher *watch.Watcher
 }
 
 // withDefaults fills zero fields.
@@ -299,6 +306,25 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 		}
 		if err := mach.ApplyCaps(caps); err != nil {
 			return PairResult{}, err
+		}
+		if cfg.Watcher != nil {
+			// Audited before StepHook so a hook can read the alert state the
+			// step produced.
+			audit := watch.RoundAudit{
+				Round:   uint64(res.Steps + 1),
+				Time:    time.Unix(0, 0).Add(time.Duration(float64(t) * float64(time.Second))).UTC(),
+				BudgetW: float64(cfg.Budget.Total),
+				CapSumW: float64(caps.Sum()),
+			}
+			if dpsMgr != nil {
+				audit.ProvenanceAudited = true
+				for _, ch := range dpsMgr.Provenance() {
+					if ch.Reason == trace.ReasonNone && ch.Before != ch.After {
+						audit.ProvenanceViolations++
+					}
+				}
+			}
+			cfg.Watcher.ObserveRound(audit)
 		}
 		if cfg.StepHook != nil {
 			cfg.StepHook(t, readings, caps)

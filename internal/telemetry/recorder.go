@@ -126,7 +126,9 @@ func (r *FlightRecorder) Last(n int) []RoundRecord {
 
 // Handler serves the recorder as JSON for mounting at GET /debug/rounds.
 // The optional query parameter n limits the response to the newest n
-// records (default 16).
+// records (default 16); the optional unit parameter narrows each record's
+// Units to that one unit, so a single unit's history can be pulled
+// without shipping every other unit's rows to the client.
 func (r *FlightRecorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		n := 16
@@ -138,7 +140,27 @@ func (r *FlightRecorder) Handler() http.Handler {
 			}
 			n = v
 		}
+		unit := -1
+		if q := req.URL.Query().Get("unit"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "unit must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			unit = v
+		}
 		recs := r.Last(n)
+		if unit >= 0 {
+			// Re-slicing the returned records' Units headers never writes
+			// the ring's backing arrays.
+			for i := range recs {
+				if unit < len(recs[i].Units) {
+					recs[i].Units = recs[i].Units[unit : unit+1]
+				} else {
+					recs[i].Units = nil
+				}
+			}
+		}
 		if recs == nil {
 			recs = []RoundRecord{}
 		}

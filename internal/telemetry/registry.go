@@ -8,6 +8,23 @@
 // form. Nothing here imports outside the standard library: the paper's
 // 3-byte protocol argues for a controller with no heavyweight
 // dependencies, and the metrics path follows suit.
+//
+// # Histogram bucket choice
+//
+// Buckets are fixed at registration, so each histogram picks bounds for
+// the path it measures rather than falling back to a generic layout. The
+// rule: (1) the bucket range brackets the full plausible range of the
+// measured path — the fastest value the hardware can produce to the
+// slowest value that is still "working" rather than "stuck" — so the tail
+// quantiles fall inside finite buckets and a p99 estimated from bucket
+// counts (internal/telemetry/series) interpolates instead of saturating
+// at +Inf; (2) bounds follow a 1–2.5–5 progression per decade, giving
+// ~±25 % quantile resolution at every scale for ~3 buckets per decade;
+// (3) the bucket count stays small (≤ ~20) because every series carries
+// its full bucket vector in each exposition. DefSecondsBuckets applies
+// the rule to in-process stage timings (1 µs–1 s); paths with different
+// physics — e.g. the network-crossing apply-echo round trip — register
+// their own bounds instead of reusing it.
 package telemetry
 
 import (
@@ -302,6 +319,70 @@ func writeHistogram(b *strings.Builder, name, sig string, h *Histogram) {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Exported kind names, the values of Sample.Kind.
+const (
+	KindCounter   = kindCounter
+	KindGauge     = kindGauge
+	KindHistogram = kindHistogram
+)
+
+// Sample is one series' instantaneous state as delivered to Each: the
+// scrape-side view a sampler turns into time-series history.
+type Sample struct {
+	// Name is the metric family name.
+	Name string
+	// Labels is the canonical `{k="v",...}` signature, "" when unlabeled.
+	Labels string
+	// Kind is KindCounter, KindGauge or KindHistogram.
+	Kind string
+	// Value holds the counter count or gauge level; for histograms it is
+	// the sum of observations.
+	Value float64
+	// Count is the histogram observation count (0 for other kinds).
+	Count uint64
+	// Bounds are the histogram's upper bucket bounds (shared with the
+	// registry; callers must not mutate). Nil for other kinds.
+	Bounds []float64
+	// BucketCounts are the per-bucket (non-cumulative) observation counts,
+	// len(Bounds)+1 with the +Inf bucket last. The slice is a buffer
+	// reused across callbacks — copy it to retain it.
+	BucketCounts []uint64
+}
+
+// Each calls fn once per registered series with its current value,
+// families in name order and series in registration order. Like
+// WritePrometheus it walks a snapshot, so a concurrent first registration
+// never blocks on the visit; values are read atomically per series (a
+// scrape is not a cross-series atomic cut, which is true of any
+// Prometheus exposition too).
+func (r *Registry) Each(fn func(Sample)) {
+	var counts []uint64
+	for _, f := range r.snapshot() {
+		for i, sig := range f.order {
+			s := Sample{Name: f.name, Labels: sig, Kind: f.kind}
+			switch m := f.series[i].(type) {
+			case *Counter:
+				s.Value = float64(m.Value())
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				if cap(counts) < len(m.counts) {
+					counts = make([]uint64, len(m.counts))
+				}
+				counts = counts[:len(m.counts)]
+				for j := range m.counts {
+					counts[j] = m.counts[j].Load()
+				}
+				s.Bounds = m.bounds
+				s.BucketCounts = counts
+				s.Count = m.Count()
+				s.Value = m.Sum()
+			}
+			fn(s)
+		}
+	}
 }
 
 // Handler serves the registry at any path, for mounting as GET /metrics.

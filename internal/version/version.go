@@ -1,0 +1,22 @@
+// Package version carries the build version stamped into the binaries.
+// The Makefile overrides Version via
+//
+//	-ldflags "-X dps/internal/version.Version=$(VERSION)"
+//
+// so release builds report their tag while plain `go build` reports "dev".
+// Both daemons expose it as the dps_build_info{version,goversion} gauge
+// and print it under the -version flag.
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the build's version string, stamped at link time.
+var Version = "dev"
+
+// String renders "name version (goversion)" for -version flags.
+func String(name string) string {
+	return fmt.Sprintf("%s %s (%s)", name, Version, runtime.Version())
+}
