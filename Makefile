@@ -7,7 +7,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X dps/internal/version.Version=$(VERSION)"
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-json alloc-check chaos fuzz-smoke trace-smoke watch-smoke ci
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-json bench-ingest alloc-check chaos fuzz-smoke trace-smoke watch-smoke ci
 
 all: ci
 
@@ -51,6 +51,12 @@ bench-smoke:
 bench-json:
 	./scripts/bench_decide.sh
 
+# bench-ingest refreshes the committed BENCH_ingest.json: server-side
+# ingest throughput at 16k units across per-reading frames, raw node
+# frames, v2 batch frames, and sparse deltas.
+bench-ingest:
+	./scripts/bench_ingest.sh
+
 # chaos runs the full fault-injection suite under the race detector:
 # the deterministic kill/restart script, the wall-clock run over real TCP
 # with injected connection drops and device crash-restarts (with the
@@ -66,14 +72,16 @@ chaos:
 # watchdog audits) running beside the daemon's decision loop.
 alloc-check:
 	$(GO) test -run 'TestDecideStatsSteadyStateZeroAlloc|TestDecideTracerOffZeroAlloc' -count=1 ./internal/core
-	$(GO) test -run 'TestDecideSamplerSteadyStateZeroAlloc' -count=1 ./internal/daemon
+	$(GO) test -run 'TestDecideSamplerSteadyStateZeroAlloc|TestIngestSteadyStateZeroAlloc' -count=1 ./internal/daemon
 
 # fuzz-smoke gives the wire-protocol decoders a short fuzz shake on every
 # CI run (the corpus under internal/proto/testdata grows across runs).
-# `go test` accepts one -fuzz pattern per invocation, hence two commands.
+# `go test` accepts one -fuzz pattern per invocation, hence one command
+# per decoder (anchored: -fuzz must match exactly one target).
 fuzz-smoke:
-	$(GO) test -fuzz=FuzzReadHello -fuzztime=5s -run xxx ./internal/proto/
-	$(GO) test -fuzz=FuzzReadBatch -fuzztime=5s -run xxx ./internal/proto/
+	$(GO) test -fuzz='FuzzReadHello$$' -fuzztime=5s -run xxx ./internal/proto/
+	$(GO) test -fuzz='FuzzReadBatch$$' -fuzztime=5s -run xxx ./internal/proto/
+	$(GO) test -fuzz='FuzzReadBatchFrame$$' -fuzztime=5s -run xxx ./internal/proto/
 
 # trace-smoke runs a short traced simulation and validates the exported
 # Chrome trace_event JSON covers every pipeline stage in every round.

@@ -34,18 +34,21 @@ import (
 
 func main() {
 	var (
-		connect   = flag.String("connect", "localhost:7891", "controller address")
-		firstUnit = flag.Int("first-unit", 0, "this node's first global unit ID")
-		units     = flag.Int("units", 2, "sim backend: number of simulated sockets")
-		backend   = flag.String("backend", "sim", "power backend: sim|sysfs")
-		sysfsRoot = flag.String("sysfs-root", "/sys/class/powercap", "sysfs backend: powercap root")
-		wlName    = flag.String("workload", "GMM", "sim backend: workload demand trace to replay")
-		interval  = flag.Duration("interval", time.Second, "report period (match the controller)")
-		seed      = flag.Int64("seed", 1, "sim backend: jitter seed")
-		minCap    = flag.Float64("min-cap", 10, "lowest cap to accept, watts")
-		httpAddr  = flag.String("http", "", "serve agent /metrics, /healthz and /debug/pprof on this address (e.g. :7893)")
-		meterTol  = flag.Int("meter-tolerance", 0, "consecutive RAPL read errors to ride through on the last good sample (0 = default, negative = strict)")
+		connect     = flag.String("connect", "localhost:7891", "controller address")
+		firstUnit   = flag.Int("first-unit", 0, "this node's first global unit ID")
+		units       = flag.Int("units", 2, "sim backend: number of simulated sockets")
+		backend     = flag.String("backend", "sim", "power backend: sim|sysfs")
+		sysfsRoot   = flag.String("sysfs-root", "/sys/class/powercap", "sysfs backend: powercap root")
+		wlName      = flag.String("workload", "GMM", "sim backend: workload demand trace to replay")
+		interval    = flag.Duration("interval", time.Second, "report period (match the controller)")
+		seed        = flag.Int64("seed", 1, "sim backend: jitter seed")
+		minCap      = flag.Float64("min-cap", 10, "lowest cap to accept, watts")
+		httpAddr    = flag.String("http", "", "serve agent /metrics, /healthz and /debug/pprof on this address (e.g. :7893)")
+		meterTol    = flag.Int("meter-tolerance", 0, "consecutive RAPL read errors to ride through on the last good sample (0 = default, negative = strict)")
 		applyEcho   = flag.Bool("apply-echo", false, "acknowledge each cap batch with its apply duration (controller builds an end-to-end latency histogram; requires a v2-capable controller)")
+		batch       = flag.Bool("batch", false, "report over the batch/delta plane: only readings that moved past the delta epsilon go on the wire, quiet intervals heartbeat (requires a v2-capable controller)")
+		deltaEps    = flag.Float64("delta-epsilon", 0, "batch mode: local delta-suppression band in watts (0 = adopt the controller's advertised epsilon)")
+		refreshEvry = flag.Int("refresh-every", 0, "batch mode: force an unsuppressed full report every N reports (0 = default, negative = never)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -144,6 +147,9 @@ func main() {
 		Logf:                log.Printf,
 		MeterErrorTolerance: *meterTol,
 		ApplyEcho:           *applyEcho,
+		Batch:               *batch,
+		DeltaEpsilon:        power.Watts(*deltaEps),
+		RefreshEvery:        *refreshEvry,
 	})
 	if err != nil {
 		log.Fatalf("dps-agent: %v", err)

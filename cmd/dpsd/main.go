@@ -58,19 +58,12 @@ func main() {
 		httpAddr = flag.String("http", "", "serve /status, /metrics and /healthz on this address (e.g. :7892)")
 		confPath = flag.String("config", "", "JSON config file (overrides all other flags)")
 
-		staleAfter = flag.Duration("stale-after", 0, "freeze a unit's cap after this long without an accepted report (0 disables health tracking)")
-		deadAfter  = flag.Duration("dead-after", 0, "reserve a unit's budget at its last delivered cap after this long without a report (0 disables)")
-		readIdle   = flag.Duration("read-idle-timeout", 0, "reap agent connections silent for this long (0 disables)")
-		maxReading = flag.Float64("max-reading", 0, "reject inbound power reports above this many watts (0 = twice unit-max)")
-
-		traceOn    = flag.Bool("trace", false, "record round-scoped spans for /debug/trace (toggleable at runtime)")
-		traceSpans = flag.Int("trace-spans", 0, "span ring capacity (0 = default)")
-
-		seriesOn    = flag.Bool("series", false, "sample the registry into the embedded metric history (/debug/series)")
-		watchOn     = flag.Bool("watch", false, "run the watchdog: invariant audits plus -watch-rule rules (/alerts)")
-		budgetTol   = flag.Float64("budget-tolerance", 0, "slack in watts on the budget_conservation audit (0 = default)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	// Every per-setting server knob (health thresholds, ingest limits,
+	// delta epsilon, trace/series/watch toggles) registers from the
+	// daemon's knob table, so flag names and JSON keys cannot drift.
+	applyKnobFlags := daemon.RegisterServerFlags(flag.CommandLine)
 	var watchRules []watch.Rule
 	flag.Func("watch-rule", `alert rule as JSON (repeatable), e.g. '{"name":"cap_sum_high","kind":"threshold","series":"dps_cap_sum_watts","value":2100,"for_ms":5000}'`, func(v string) error {
 		var r watch.Rule
@@ -95,16 +88,8 @@ func main() {
 	listenAddr := *listen
 	interval_ := *interval
 	statusAddr := *httpAddr
-	staleAfter_ := *staleAfter
-	deadAfter_ := *deadAfter
-	readIdle_ := *readIdle
-	maxReading_ := power.Watts(*maxReading)
-	traceOn_ := *traceOn
-	traceSpans_ := *traceSpans
-	seriesOn_ := *seriesOn
-	watchOn_ := *watchOn
-	budgetTol_ := *budgetTol
 
+	var cfg daemon.ServerConfig
 	if *confPath != "" {
 		fc, err := daemon.LoadFileConfig(*confPath)
 		if err != nil {
@@ -118,16 +103,8 @@ func main() {
 		listenAddr = fc.Listen
 		interval_ = fc.Interval()
 		statusAddr = fc.HTTP
-		staleAfter_ = fc.StaleAfter()
-		deadAfter_ = fc.DeadAfter()
-		readIdle_ = fc.ReadIdleTimeout()
-		maxReading_ = power.Watts(fc.MaxReadingW)
-		traceOn_ = fc.Trace
-		traceSpans_ = fc.TraceSpans
-		seriesOn_ = fc.Series
-		watchOn_ = fc.Watch
+		fc.ApplyKnobs(&cfg)
 		watchRules = fc.WatchRules
-		budgetTol_ = fc.BudgetToleranceW
 	} else {
 		total := power.Watts(*budgetW)
 		if total == 0 {
@@ -149,9 +126,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("dpsd: %v", err)
 		}
+		applyKnobFlags(&cfg)
 	}
 
-	if len(watchRules) > 0 && !watchOn_ {
+	if len(watchRules) > 0 && !cfg.WatchEnabled {
 		log.Fatalf("dpsd: -watch-rule requires -watch")
 	}
 
@@ -159,22 +137,12 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv, err := daemon.NewServer(daemon.ServerConfig{
-		Manager:         mgr,
-		Units:           nUnits,
-		Interval:        interval_,
-		Logf:            logf,
-		StaleAfter:      staleAfter_,
-		DeadAfter:       deadAfter_,
-		ReadIdleTimeout: readIdle_,
-		MaxReading:      maxReading_,
-		TraceEnabled:     traceOn_,
-		TraceSpans:       traceSpans_,
-		SeriesEnabled:    seriesOn_,
-		WatchEnabled:     watchOn_,
-		WatchRules:       watchRules,
-		BudgetToleranceW: budgetTol_,
-	})
+	cfg.Manager = mgr
+	cfg.Units = nUnits
+	cfg.Interval = interval_
+	cfg.Logf = logf
+	cfg.WatchRules = watchRules
+	srv, err := daemon.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("dpsd: %v", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -43,11 +44,47 @@ type AgentConfig struct {
 	// enforced-cap latency histogram on its own clock. Off by default for
 	// wire compatibility with version-1 servers.
 	ApplyEcho bool
+	// Batch advertises the batch/delta capability: reports travel as
+	// sparse batch frames carrying only the units whose reading moved by
+	// more than the delta epsilon since last sent, and a fully quiet
+	// interval becomes a one-byte heartbeat. Off by default for wire
+	// compatibility with version-1 servers.
+	Batch bool
+	// DeltaEpsilon is the local delta-suppression band in watts: a unit's
+	// reading is withheld while it stays within ±epsilon of the last value
+	// actually sent (compared in wire deciwatts, so epsilon 0 still
+	// suppresses bit-identical readings and nothing else). Zero adopts the
+	// epsilon the server advertises in its handshake ack; a positive value
+	// overrides it. Ignored unless Batch is on.
+	DeltaEpsilon power.Watts
+	// RefreshEvery forces an unsuppressed full report every N reports on a
+	// batch session, healing any divergence without waiting for readings
+	// to move. Zero selects the default (DefaultRefreshEvery); negative
+	// disables periodic refresh (pure delta — heartbeats alone keep the
+	// session fresh). Ignored unless Batch is on.
+	RefreshEvery int
 }
 
 // DefaultMeterErrorTolerance is how many consecutive meter read errors an
 // agent absorbs by default before surfacing the failure.
 const DefaultMeterErrorTolerance = 3
+
+// DefaultRefreshEvery is how often a batch-mode agent forces a full
+// unsuppressed report by default: one complete refresh per 64 intervals
+// bounds how long any divergence between the agent's and the controller's
+// view of a quiet unit can persist.
+const DefaultRefreshEvery = 64
+
+// refreshEvery resolves the configured full-refresh period.
+func (c AgentConfig) refreshEvery() int {
+	switch {
+	case c.RefreshEvery < 0:
+		return 0
+	case c.RefreshEvery == 0:
+		return DefaultRefreshEvery
+	}
+	return c.RefreshEvery
+}
 
 // meterTolerance resolves the configured tolerance.
 func (c AgentConfig) meterTolerance() int {
@@ -68,6 +105,8 @@ func (c AgentConfig) validate() error {
 		return fmt.Errorf("daemon: %d devices exceed the protocol's per-node space", len(c.Devices))
 	case c.Interval <= 0:
 		return fmt.Errorf("daemon: non-positive agent interval %v", c.Interval)
+	case c.DeltaEpsilon < 0 || math.IsNaN(float64(c.DeltaEpsilon)) || math.IsInf(float64(c.DeltaEpsilon), 0):
+		return fmt.Errorf("daemon: invalid delta epsilon %v W", c.DeltaEpsilon)
 	}
 	return (proto.Hello{FirstUnit: c.FirstUnit, Units: len(c.Devices)}).Validate()
 }
@@ -80,6 +119,7 @@ type Agent struct {
 	cfg    AgentConfig
 	meters []*rapl.Meter
 	conn   net.Conn
+	sess   *proto.Session
 	// writeMu serializes the two upstream writers that exist once the
 	// apply-echo capability is on: report batches from the ticker goroutine
 	// and echo frames from the cap-receiving goroutine.
@@ -87,6 +127,15 @@ type Agent struct {
 
 	reportBuf []power.Watts
 	capBuf    []power.Watts
+	// lastSent is the per-unit value last put on the wire, in deciwatts
+	// (-1: never sent this session). Delta suppression compares against
+	// it, so within-epsilon drift can never accumulate past epsilon.
+	lastSent []int32
+	recs     []proto.Record
+	// sinceFull counts reports since the last complete vector went out;
+	// at refreshEvery it forces an unsuppressed report.
+	sinceFull int
+	epsDW     uint16
 	reports   atomic.Uint64
 	applied   atomic.Uint64
 
@@ -102,6 +151,8 @@ type agentMetrics struct {
 	applied      *telemetry.Counter
 	reportErrors *telemetry.Counter
 	reconnects   *telemetry.Counter
+	suppressed   *telemetry.Counter
+	heartbeats   *telemetry.Counter
 	connected    *telemetry.Gauge
 	backoff      *telemetry.Gauge
 }
@@ -113,6 +164,8 @@ func newAgentMetrics(reg *telemetry.Registry) agentMetrics {
 		applied:      reg.Counter("dps_agent_caps_applied_total", "Cap batches received and programmed."),
 		reportErrors: reg.Counter("dps_agent_report_errors_total", "Failed meter reads or report sends."),
 		reconnects:   reg.Counter("dps_agent_reconnects_total", "Connection attempts after a lost or failed session."),
+		suppressed:   reg.Counter("dps_agent_suppressed_readings_total", "Per-unit readings withheld by delta suppression (unchanged within epsilon)."),
+		heartbeats:   reg.Counter("dps_agent_heartbeats_total", "Heartbeat frames sent in place of fully-suppressed reports."),
 		connected:    reg.Gauge("dps_agent_connected", "1 while a handshaken controller session is live."),
 		backoff:      reg.Gauge("dps_agent_backoff_seconds", "Current reconnect backoff (0 while connected)."),
 	}
@@ -129,6 +182,8 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		meters:    make([]*rapl.Meter, len(cfg.Devices)),
 		reportBuf: make([]power.Watts, len(cfg.Devices)),
 		capBuf:    make([]power.Watts, len(cfg.Devices)),
+		lastSent:  make([]int32, len(cfg.Devices)),
+		recs:      make([]proto.Record, 0, len(cfg.Devices)),
 		tel:       reg,
 		am:        newAgentMetrics(reg),
 	}
@@ -168,14 +223,13 @@ func (a *Agent) logf(format string, args ...any) {
 }
 
 // Handshake introduces the agent on conn and waits for the server's
-// acknowledgement. The connection is retained for subsequent rounds.
+// acknowledgement. The connection is retained for subsequent rounds. On a
+// batch session the delta epsilon resolves here: the local configured
+// value when positive, else whatever the server's ack advertised.
 func (a *Agent) Handshake(conn net.Conn) error {
-	h := proto.Hello{FirstUnit: a.cfg.FirstUnit, Units: len(a.cfg.Devices), ApplyEcho: a.cfg.ApplyEcho}
-	if err := proto.WriteHello(conn, h); err != nil {
-		conn.Close()
-		return fmt.Errorf("daemon: agent handshake: %w", err)
-	}
-	if err := proto.ReadAck(conn); err != nil {
+	h := proto.Hello{FirstUnit: a.cfg.FirstUnit, Units: len(a.cfg.Devices), ApplyEcho: a.cfg.ApplyEcho, Batch: a.cfg.Batch}
+	sess, err := proto.Connect(conn, h)
+	if err != nil {
 		conn.Close()
 		return fmt.Errorf("daemon: agent handshake: %w", err)
 	}
@@ -186,11 +240,27 @@ func (a *Agent) Handshake(conn net.Conn) error {
 	// considers registered.
 	for _, m := range a.meters {
 		if _, err := m.Read(power.Seconds(a.cfg.Interval.Seconds())); err != nil {
+			sess.Release()
 			conn.Close()
 			return fmt.Errorf("daemon: priming meter: %w", err)
 		}
 	}
 	a.conn = conn
+	a.sess = sess
+	a.epsDW = 0
+	if a.cfg.Batch {
+		eps := a.cfg.DeltaEpsilon
+		if eps <= 0 {
+			eps = sess.DeltaEpsilon()
+		}
+		a.epsDW = proto.ToDeciwatts(eps)
+	}
+	// A fresh session starts from nothing: the first report is always a
+	// complete vector, whatever the suppression state of the last one.
+	for i := range a.lastSent {
+		a.lastSent[i] = -1
+	}
+	a.sinceFull = 0
 	a.am.connected.Set(1)
 	return nil
 }
@@ -198,7 +268,7 @@ func (a *Agent) Handshake(conn net.Conn) error {
 // ReportOnce reads every local meter over the given elapsed interval and
 // sends one power report batch.
 func (a *Agent) ReportOnce(elapsed power.Seconds) error {
-	if a.conn == nil {
+	if a.sess == nil {
 		return errors.New("daemon: agent not connected")
 	}
 	for i, m := range a.meters {
@@ -221,25 +291,61 @@ func (a *Agent) ReportOnce(elapsed power.Seconds) error {
 	return nil
 }
 
-// writeReportLocked sends one report batch, framed when the session
-// negotiated the apply-echo capability (the server then expects every
-// upstream message to carry a frame header). Caller holds writeMu.
+// writeReportLocked sends one report. On a non-batch session that is the
+// classic full batch (framed iff apply-echo negotiated). On a batch
+// session it is a delta: only units whose reading moved past epsilon
+// since their last sent value go on the wire — an omitted unit tells the
+// server "unchanged within epsilon, my reading stands" — and a fully
+// suppressed interval collapses to a one-byte heartbeat so liveness
+// never depends on readings moving. Caller holds writeMu.
 func (a *Agent) writeReportLocked() error {
-	if a.cfg.ApplyEcho {
-		if err := proto.WriteFrameHeader(a.conn, proto.FrameReport); err != nil {
-			return err
-		}
+	if !a.cfg.Batch {
+		return a.sess.WriteReport(a.reportBuf)
 	}
-	return proto.WriteBatch(a.conn, a.reportBuf)
+	full := a.lastSent[0] < 0
+	if n := a.cfg.refreshEvery(); n > 0 && a.sinceFull+1 >= n {
+		full = true
+	}
+	recs := a.recs[:0]
+	suppressed := 0
+	for i, w := range a.reportBuf {
+		dw := int32(proto.ToDeciwatts(w))
+		if !full && a.lastSent[i] >= 0 && absDelta(dw, a.lastSent[i]) <= int32(a.epsDW) {
+			suppressed++
+			continue
+		}
+		recs = append(recs, proto.Record{LocalUnit: uint8(i), Value: uint16(dw)})
+		a.lastSent[i] = dw
+	}
+	if suppressed > 0 {
+		a.am.suppressed.Add(uint64(suppressed))
+	}
+	if len(recs) == len(a.reportBuf) {
+		a.sinceFull = 0
+	} else {
+		a.sinceFull++
+	}
+	if len(recs) == 0 {
+		a.am.heartbeats.Inc()
+		return a.sess.WriteHeartbeat()
+	}
+	return a.sess.WriteDelta(recs)
+}
+
+func absDelta(a, b int32) int32 {
+	if a < b {
+		return b - a
+	}
+	return a - b
 }
 
 // ReceiveCaps blocks for one cap batch from the controller and programs
 // every local device.
 func (a *Agent) ReceiveCaps() error {
-	if a.conn == nil {
+	if a.sess == nil {
 		return errors.New("daemon: agent not connected")
 	}
-	if err := proto.ReadBatch(a.conn, a.capBuf); err != nil {
+	if err := a.sess.ReadCaps(a.capBuf); err != nil {
 		return fmt.Errorf("daemon: receiving caps: %w", err)
 	}
 	applyStart := time.Now()
@@ -252,7 +358,7 @@ func (a *Agent) ReceiveCaps() error {
 	a.am.applied.Inc()
 	if a.cfg.ApplyEcho {
 		a.writeMu.Lock()
-		err := proto.WriteApplyEcho(a.conn, time.Since(applyStart))
+		err := a.sess.WriteApplyEcho(time.Since(applyStart))
 		a.writeMu.Unlock()
 		if err != nil {
 			return fmt.Errorf("daemon: sending apply echo: %w", err)
@@ -273,7 +379,7 @@ func (a *Agent) Applied() uint64 { return a.applied.Load() }
 // reporting ticker on one side, a cap-applying read loop on the other.
 // The connection must already be handshaken.
 func (a *Agent) Run(ctx context.Context) error {
-	if a.conn == nil {
+	if a.sess == nil {
 		return errors.New("daemon: agent not connected")
 	}
 	errc := make(chan error, 2)
@@ -313,10 +419,12 @@ func (a *Agent) Run(ctx context.Context) error {
 
 	// Join both directions before returning: a reconnecting caller will
 	// reuse the agent's buffers, so no goroutine from this session may
-	// outlive it.
+	// outlive it. Only then can the session's scratch go back to the pool.
 	err := <-errc
 	a.conn.Close()
 	wg.Wait()
+	a.sess.Release()
+	a.sess = nil
 	a.am.connected.Set(0)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return nil

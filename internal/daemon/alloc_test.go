@@ -1,12 +1,15 @@
 package daemon
 
 import (
+	"bytes"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
 	"dps/internal/core"
 	"dps/internal/power"
+	"dps/internal/proto"
 )
 
 // TestDecideSamplerSteadyStateZeroAlloc extends the core hot-path
@@ -62,5 +65,91 @@ func TestDecideSamplerSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("watchdog-attached steady-state DecideStats allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+// ingestScriptConn is a synchronous net.Conn for the ingest alloc gate:
+// reads replay an in-memory frame script, writes are discarded. It lets
+// the test drive serveFrame on the calling goroutine, with no pipe or
+// scheduler noise between the measurement and the path being measured.
+type ingestScriptConn struct {
+	r *bytes.Reader
+}
+
+func (c *ingestScriptConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *ingestScriptConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *ingestScriptConn) Close() error                     { return nil }
+func (c *ingestScriptConn) LocalAddr() net.Addr              { return nil }
+func (c *ingestScriptConn) RemoteAddr() net.Addr             { return nil }
+func (c *ingestScriptConn) SetDeadline(time.Time) error      { return nil }
+func (c *ingestScriptConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *ingestScriptConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestIngestSteadyStateZeroAlloc is the batched-ingest allocation gate:
+// once a batch session is warm, receiving and landing a full batch, a
+// sparse delta, and a heartbeat must not allocate — the read buffers and
+// record scratch are session-owned and pooled, and the staleness-clock
+// walk is in-place. Health tracking is on so the gate covers the
+// clock-refresh path, not just the value stores.
+func TestIngestSteadyStateZeroAlloc(t *testing.T) {
+	const units = 128
+	mgr, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Manager:    mgr,
+		Units:      units,
+		Interval:   time.Second,
+		StaleAfter: time.Minute,
+		DeadAfter:  2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var hs bytes.Buffer
+	if err := proto.WriteHello(&hs, proto.Hello{FirstUnit: 0, Units: units, Batch: true}); err != nil {
+		t.Fatal(err)
+	}
+	conn := &ingestScriptConn{r: bytes.NewReader(hs.Bytes())}
+	sess, err := proto.Accept(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Release()
+	sc := &serverConn{conn: conn, sess: sess, hello: sess.Hello()}
+
+	// The frame script: one full batch, one sparse delta, one heartbeat —
+	// the three shapes a steady-state delta session produces.
+	var fb bytes.Buffer
+	full := make([]proto.Record, units)
+	for u := range full {
+		full[u] = proto.Record{LocalUnit: uint8(u), Value: uint16(900 + u)}
+	}
+	if err := proto.WriteBatchFrame(&fb, full); err != nil {
+		t.Fatal(err)
+	}
+	sparse := []proto.Record{{LocalUnit: 3, Value: 850}, {LocalUnit: 77, Value: 1410}}
+	if err := proto.WriteBatchFrame(&fb, sparse); err != nil {
+		t.Fatal(err)
+	}
+	fb.WriteByte(proto.FrameHeartbeat)
+	script := fb.Bytes()
+	const frames = 3
+
+	serve := func() {
+		conn.r.Reset(script)
+		for i := 0; i < frames; i++ {
+			if err := srv.serveFrame(sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serve() // warm the session's read scratch through every frame shape
+
+	if allocs := testing.AllocsPerRun(100, serve); allocs != 0 {
+		t.Errorf("warm batch ingest allocated %.1f times per %d-frame script, want 0", allocs, frames)
 	}
 }

@@ -1,0 +1,182 @@
+package daemon
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/power"
+	"dps/internal/proto"
+)
+
+// ingestManager is the cheapest possible core.Manager: the ingest
+// benchmarks never run a decision round, so the manager only has to
+// answer Caps/Budget during server construction. Using a stub instead of
+// a real core.DPS keeps 16k-unit benchmark setup out of the timing and
+// out of the allocation noise.
+type ingestManager struct {
+	caps   power.Vector
+	budget power.Budget
+}
+
+func (m *ingestManager) Name() string                      { return "bench" }
+func (m *ingestManager) Decide(core.Snapshot) power.Vector { return m.caps }
+func (m *ingestManager) Caps() power.Vector                { return m.caps }
+func (m *ingestManager) Budget() power.Budget              { return m.budget }
+
+// ingestBenchUnits is the cluster size of the ingest benchmarks: the
+// acceptance bar for the batched data plane is stated at 16k units.
+const ingestBenchUnits = 16384
+
+// benchIngest measures server-side ingest throughput: `conns` agent
+// connections over in-memory pipes, each owning `unitsPerConn` units,
+// each writing pre-encoded report frames as fast as the server consumes
+// them. One benchmark iteration lands one full reading per unit
+// (ingestBenchUnits readings). writeFrames writes one full refresh for a
+// connection (its pre-encoded bytes) and is the only per-mode code.
+func benchIngest(b *testing.B, conns, unitsPerConn int, handshake func(c net.Conn, first power.UnitID, n int) ([]byte, error)) {
+	units := conns * unitsPerConn
+	if units != ingestBenchUnits {
+		b.Fatalf("conns*unitsPerConn = %d, want %d", units, ingestBenchUnits)
+	}
+	mgr := &ingestManager{
+		caps:   make(power.Vector, units),
+		budget: power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10},
+	}
+	srv, err := NewServer(ServerConfig{Manager: mgr, Units: units, Interval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	type client struct {
+		conn  net.Conn
+		frame []byte
+	}
+	clients := make([]client, conns)
+	for i := range clients {
+		cc, sc := net.Pipe()
+		go srv.Handle(sc)
+		frame, err := handshake(cc, power.UnitID(i*unitsPerConn), unitsPerConn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = client{conn: cc, frame: frame}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.conn.Close()
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(conn net.Conn, frame []byte) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Write(frame); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c.conn, c.frame)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(conns), "conns")
+	b.ReportMetric(float64(ingestBenchUnits)*float64(b.N)/b.Elapsed().Seconds(), "readings/s")
+}
+
+// rawHandshake performs a legacy (v1, capability-free) handshake and
+// returns one pre-encoded raw report frame: unitsPerConn bare 3-byte
+// records, no header — the wire format every pre-batch agent speaks.
+func rawHandshake(c net.Conn, first power.UnitID, n int) ([]byte, error) {
+	if err := proto.WriteHello(c, proto.Hello{FirstUnit: first, Units: n}); err != nil {
+		return nil, err
+	}
+	if err := proto.ReadAck(c); err != nil {
+		return nil, err
+	}
+	frame := make([]byte, n*proto.RecordSize)
+	for i := 0; i < n; i++ {
+		proto.PutRecord(frame[i*proto.RecordSize:], proto.Record{
+			LocalUnit: uint8(i), Value: proto.ToDeciwatts(100.5),
+		})
+	}
+	return frame, nil
+}
+
+// BenchmarkIngestPerReading is the per-reading-frame baseline the batch
+// plane is measured against: one connection per unit, so every 3-byte
+// reading costs its own socket write, frame read, and ingest lock.
+func BenchmarkIngestPerReading(b *testing.B) {
+	benchIngest(b, ingestBenchUnits, 1, rawHandshake)
+}
+
+// BenchmarkIngestNodeFrame is the pre-batch deployed shape: one
+// connection per 128-unit node, readings amortized into one raw frame.
+func BenchmarkIngestNodeFrame(b *testing.B) {
+	benchIngest(b, ingestBenchUnits/128, 128, rawHandshake)
+}
+
+// batchHandshake negotiates a v2 batch session and returns one
+// pre-encoded full-refresh batch frame (header, count, unitsPerConn
+// records). The client session is released immediately: the benchmark
+// loop writes raw pre-encoded bytes, it never reads caps.
+func batchHandshake(c net.Conn, first power.UnitID, n int) ([]byte, error) {
+	sess, err := proto.Connect(c, proto.Hello{FirstUnit: first, Units: n, Batch: true})
+	if err != nil {
+		return nil, err
+	}
+	sess.Release()
+	recs := make([]proto.Record, n)
+	for i := range recs {
+		recs[i] = proto.Record{LocalUnit: uint8(i), Value: proto.ToDeciwatts(100.5)}
+	}
+	var buf bytes.Buffer
+	if err := proto.WriteBatchFrame(&buf, recs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// deltaHandshake negotiates a batch session and returns one sparse
+// delta frame: 8 of the connection's units carried, the rest asserted
+// unchanged by omission. One iteration still refreshes every unit (an
+// omitted unit is live information), so readings/s stays comparable.
+func deltaHandshake(c net.Conn, first power.UnitID, n int) ([]byte, error) {
+	sess, err := proto.Connect(c, proto.Hello{FirstUnit: first, Units: n, Batch: true})
+	if err != nil {
+		return nil, err
+	}
+	sess.Release()
+	recs := make([]proto.Record, 0, 8)
+	for i := 0; i < n && len(recs) < cap(recs); i += n / 8 {
+		recs = append(recs, proto.Record{LocalUnit: uint8(i), Value: proto.ToDeciwatts(100.5)})
+	}
+	var buf bytes.Buffer
+	if err := proto.WriteBatchFrame(&buf, recs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// BenchmarkIngestBatchNode is the batched data plane at the deployed
+// shape: one v2 connection per 128-unit node, each refresh one framed
+// batch carrying all 128 records.
+func BenchmarkIngestBatchNode(b *testing.B) {
+	benchIngest(b, ingestBenchUnits/128, 128, batchHandshake)
+}
+
+// BenchmarkIngestBatchDelta is the event-driven steady state: one v2
+// connection per 128-unit node, each interval a sparse 8-record delta
+// (quiet units suppressed at the agent).
+func BenchmarkIngestBatchDelta(b *testing.B) {
+	benchIngest(b, ingestBenchUnits/128, 128, deltaHandshake)
+}

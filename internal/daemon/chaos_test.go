@@ -186,6 +186,11 @@ func TestChaosWallClock(t *testing.T) {
 			FirstUnit: first,
 			Devices:   devs,
 			Interval:  10 * time.Millisecond,
+			// Chaos runs on the batch/delta plane: suppression and
+			// heartbeats must survive drops and re-handshakes with the
+			// same invariants as full per-interval reports.
+			Batch:        true,
+			DeltaEpsilon: 0.5,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -33,7 +33,9 @@ import (
 //	  "stale_after_ms": 3000,
 //	  "dead_after_ms": 10000,
 //	  "read_idle_timeout_ms": 5000,
-//	  "max_reading_w": 330
+//	  "max_reading_w": 330,
+//	  "delta_epsilon_w": 0.5,
+//	  "disable_batch_ingest": false
 //	}
 type FileConfig struct {
 	Listen     string  `json:"listen"`
@@ -62,6 +64,13 @@ type FileConfig struct {
 	DeadAfterMS       int     `json:"dead_after_ms,omitempty"`
 	ReadIdleTimeoutMS int     `json:"read_idle_timeout_ms,omitempty"`
 	MaxReadingW       float64 `json:"max_reading_w,omitempty"`
+
+	// Batched ingest. DeltaEpsilonW is the delta-suppression band
+	// advertised to batch-capable agents in the handshake ack;
+	// DisableBatchIngest rejects the batch capability outright, forcing
+	// full per-interval report frames.
+	DeltaEpsilonW      float64 `json:"delta_epsilon_w,omitempty"`
+	DisableBatchIngest bool    `json:"disable_batch_ingest,omitempty"`
 
 	// Trace starts the round-scoped span recorder enabled (it can also be
 	// toggled at runtime). TraceSpans sets the span ring capacity
@@ -142,26 +151,19 @@ func (fc FileConfig) validate() error {
 		return fmt.Errorf("non-positive interval %d ms", fc.IntervalMS)
 	case fc.Shards < 0:
 		return fmt.Errorf("negative shards %d", fc.Shards)
-	case fc.StaleAfterMS < 0:
-		return fmt.Errorf("negative stale_after_ms %d", fc.StaleAfterMS)
-	case fc.DeadAfterMS < 0:
-		return fmt.Errorf("negative dead_after_ms %d", fc.DeadAfterMS)
-	case fc.ReadIdleTimeoutMS < 0:
-		return fmt.Errorf("negative read_idle_timeout_ms %d", fc.ReadIdleTimeoutMS)
-	case fc.MaxReadingW < 0:
-		return fmt.Errorf("negative max_reading_w %v", fc.MaxReadingW)
-	case fc.TraceSpans < 0:
-		return fmt.Errorf("negative trace_spans %d", fc.TraceSpans)
-	case fc.StaleAfterMS > 0 && fc.DeadAfterMS > 0 && fc.DeadAfterMS < fc.StaleAfterMS:
+	}
+	// Per-knob range checks live in the knob table; only cross-field
+	// constraints remain here.
+	if err := fc.validateKnobs(); err != nil {
+		return err
+	}
+	if fc.StaleAfterMS > 0 && fc.DeadAfterMS > 0 && fc.DeadAfterMS < fc.StaleAfterMS {
 		return fmt.Errorf("dead_after_ms %d below stale_after_ms %d", fc.DeadAfterMS, fc.StaleAfterMS)
 	}
 	switch fc.Policy {
 	case "dps", "slurm", "constant":
 	default:
 		return fmt.Errorf("unknown policy %q (want dps, slurm or constant)", fc.Policy)
-	}
-	if fc.BudgetToleranceW < 0 {
-		return fmt.Errorf("negative budget_tolerance_w %v", fc.BudgetToleranceW)
 	}
 	if len(fc.WatchRules) > 0 && !fc.Watch {
 		return fmt.Errorf("watch_rules set but watch is false")

@@ -1,0 +1,124 @@
+package daemon
+
+import (
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/power"
+	"dps/internal/telemetry/series"
+	"dps/internal/watch"
+)
+
+// Option adjusts one field of a ServerConfig. Options compose left to
+// right over the defaults, mirroring dps.New:
+//
+//	srv, err := daemon.New(mgr,
+//	    daemon.WithInterval(time.Second),
+//	    daemon.WithStaleAfter(3*time.Second),
+//	    daemon.WithDeltaEpsilon(0.5),
+//	)
+//
+// NewServer(ServerConfig) remains the low-level path for callers that
+// build the whole config themselves.
+type Option func(*ServerConfig)
+
+// New builds a controller daemon for the manager's units: the unit count
+// comes from the manager's cap vector, the decision interval defaults to
+// the paper's one second, and the options are applied in order.
+func New(mgr core.Manager, opts ...Option) (*Server, error) {
+	cfg := ServerConfig{Manager: mgr, Interval: time.Second}
+	if mgr != nil {
+		cfg.Units = len(mgr.Caps())
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewServer(cfg)
+}
+
+// WithUnits overrides the unit count derived from the manager (callers
+// whose manager is sized lazily).
+func WithUnits(n int) Option {
+	return func(c *ServerConfig) { c.Units = n }
+}
+
+// WithInterval sets the decision loop period.
+func WithInterval(d time.Duration) Option {
+	return func(c *ServerConfig) { c.Interval = d }
+}
+
+// WithLogf routes operational log lines.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(c *ServerConfig) { c.Logf = logf }
+}
+
+// WithFlightRecorderSize sets how many decision rounds the flight
+// recorder retains for GET /debug/rounds.
+func WithFlightRecorderSize(n int) Option {
+	return func(c *ServerConfig) { c.FlightRecorderSize = n }
+}
+
+// WithStaleAfter freezes a unit's cap after this long without an
+// accepted report (0, with WithDeadAfter 0, disables health tracking).
+func WithStaleAfter(d time.Duration) Option {
+	return func(c *ServerConfig) { c.StaleAfter = d }
+}
+
+// WithDeadAfter reserves a unit's budget at its last delivered cap after
+// this long without a report.
+func WithDeadAfter(d time.Duration) Option {
+	return func(c *ServerConfig) { c.DeadAfter = d }
+}
+
+// WithReadIdleTimeout reaps agent connections silent for this long.
+func WithReadIdleTimeout(d time.Duration) Option {
+	return func(c *ServerConfig) { c.ReadIdleTimeout = d }
+}
+
+// WithMaxReading rejects inbound power reports above the ceiling.
+func WithMaxReading(w power.Watts) Option {
+	return func(c *ServerConfig) { c.MaxReading = w }
+}
+
+// WithDeltaEpsilon advertises the report-suppression band to
+// batch-capable agents.
+func WithDeltaEpsilon(w power.Watts) Option {
+	return func(c *ServerConfig) { c.DeltaEpsilon = w }
+}
+
+// WithoutBatchIngest rejects handshakes advertising the batch capability
+// (the delta-plane escape hatch).
+func WithoutBatchIngest() Option {
+	return func(c *ServerConfig) { c.DisableBatchIngest = true }
+}
+
+// WithTrace starts the round-scoped span recorder enabled, with the
+// given span ring capacity (0 = default).
+func WithTrace(spans int) Option {
+	return func(c *ServerConfig) {
+		c.TraceEnabled = true
+		c.TraceSpans = spans
+	}
+}
+
+// WithSeries enables the embedded metric-history store and sampler.
+func WithSeries(cfg series.Config) Option {
+	return func(c *ServerConfig) {
+		c.SeriesEnabled = true
+		c.SeriesConfig = cfg
+	}
+}
+
+// WithWatch enables the watchdog's invariant audits plus the given alert
+// rules.
+func WithWatch(rules ...watch.Rule) Option {
+	return func(c *ServerConfig) {
+		c.WatchEnabled = true
+		c.WatchRules = append(c.WatchRules, rules...)
+	}
+}
+
+// WithBudgetTolerance sets the slack on the budget_conservation audit.
+func WithBudgetTolerance(w float64) Option {
+	return func(c *ServerConfig) { c.BudgetToleranceW = w }
+}

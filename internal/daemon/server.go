@@ -70,6 +70,17 @@ type ServerConfig struct {
 	// reach the filter and do not refresh the unit's staleness clock.
 	// Zero selects twice the budget's per-unit maximum.
 	MaxReading power.Watts
+	// DeltaEpsilon is the report-suppression band advertised to
+	// batch-capable agents in the handshake ack: an agent may suppress a
+	// unit's report while the reading stays within this many watts of the
+	// last value it sent (quantized to deciwatts on the wire). Zero means
+	// "report exact changes only" — an agent still suppresses byte-identical
+	// readings but any movement is reported.
+	DeltaEpsilon power.Watts
+	// DisableBatchIngest rejects handshakes advertising the batch
+	// capability, forcing every agent onto full per-interval report frames.
+	// An escape hatch for debugging the delta plane; off by default.
+	DisableBatchIngest bool
 
 	// TraceEnabled starts the span recorder on. The recorder always
 	// exists (GET /debug/trace always mounts, and it can be enabled at
@@ -114,6 +125,8 @@ func (c ServerConfig) validate() error {
 		return fmt.Errorf("daemon: %d units exceed the protocol's addressable space", c.Units)
 	case c.Interval <= 0:
 		return fmt.Errorf("daemon: non-positive interval %v", c.Interval)
+	case c.DeltaEpsilon < 0 || math.IsNaN(float64(c.DeltaEpsilon)) || math.IsInf(float64(c.DeltaEpsilon), 0):
+		return fmt.Errorf("daemon: invalid delta epsilon %v", c.DeltaEpsilon)
 	}
 	for _, r := range c.WatchRules {
 		if err := r.Validate(); err != nil {
@@ -140,18 +153,40 @@ type Server struct {
 	sampler *series.Sampler
 	watcher *watch.Watcher
 
-	mu       sync.Mutex
+	// The server's shared state is split across two locks so the ingest
+	// plane never contends with decision bookkeeping. Lock order: a
+	// goroutine holding mu may take imu (register does); never the
+	// reverse.
+	//
+	// imu guards the ingest plane — the front buffer connection
+	// goroutines write every report frame into, and the staleness clocks
+	// those frames refresh. The decision loop holds it only long enough
+	// to copy the front buffer into its private snapshot (snapBuf) and
+	// classify health, so a decision round blocks ingest for one memcpy,
+	// and ingest never waits on conns/round bookkeeping.
+	imu      sync.Mutex
 	readings power.Vector
+	// lastReport is the per-unit staleness clock: the time of the last
+	// accepted (sanitized) reading or covering heartbeat, refreshed on
+	// (re-)registration so a re-handshaken agent rejoins fresh within one
+	// round.
+	lastReport []time.Time
+
+	// snapBuf and healthBuf are the decision loop's private back buffers
+	// (double buffering): DecideOnce is never concurrent with itself, so
+	// they need no lock once the imu-guarded copy completes.
+	snapBuf   power.Vector
+	healthBuf []core.UnitHealth
+
+	// mu guards the control plane: connections, ownership, and the
+	// per-round caches.
+	mu       sync.Mutex
 	lastCaps power.Vector // caps from the most recent decision round
 	// lastPushed tracks, per unit, the cap most recently delivered to an
 	// agent — what the node is actually enforcing. Degraded rounds pin
 	// non-fresh units here, and the budget-reservation argument is stated
 	// against this vector.
 	lastPushed power.Vector
-	// lastReport is the per-unit staleness clock: the time of the last
-	// accepted (sanitized) reading, refreshed on (re-)registration so a
-	// re-handshaken agent rejoins fresh within one round.
-	lastReport []time.Time
 	// health is the per-unit state machine output of the previous round,
 	// kept to detect transitions. Nil while health tracking is disabled.
 	health []core.UnitHealth
@@ -163,7 +198,7 @@ type Server struct {
 	owner        []*serverConn // per-unit owning connection, nil if unclaimed
 	conns        map[*serverConn]struct{}
 	closed       bool
-	rounds       uint64
+	rounds       atomic.Uint64 // advanced under mu; loaded lock-free by ingest tracing
 }
 
 // healthEnabled reports whether the per-unit health state machine is
@@ -199,8 +234,14 @@ type serverMetrics struct {
 	disconnects *telemetry.Counter
 	badReadings *telemetry.Counter
 	reaps       *telemetry.Counter
-	staleUnits  *telemetry.Gauge
-	deadUnits   *telemetry.Gauge
+	// Ingest-plane counters: one frame counter per upstream frame kind
+	// plus the total record count they carried.
+	ingestReports    *telemetry.Counter
+	ingestBatches    *telemetry.Counter
+	ingestHeartbeats *telemetry.Counter
+	ingestRecords    *telemetry.Counter
+	staleUnits       *telemetry.Gauge
+	deadUnits        *telemetry.Gauge
 	// transitions indexes dps_health_transitions_total{from,to} by
 	// from*3+to for the six possible state changes (nil where from == to).
 	transitions [9]*telemetry.Counter
@@ -256,9 +297,16 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 		disconnects: reg.Counter("dps_agent_disconnects_total", "Agent connections lost."),
 		badReadings: reg.Counter("dps_server_bad_readings_total", "Inbound readings rejected at the server boundary (NaN/Inf/negative/over-ceiling)."),
 		reaps:       reg.Counter("dps_conn_reaped_total", "Connections closed by the server-side idle read deadline."),
-		staleUnits:  reg.Gauge("dps_stale_units", "Units currently stale (cap frozen, awaiting reports)."),
-		deadUnits:   reg.Gauge("dps_dead_units", "Units currently dead (budget reserved at last delivered cap)."),
-		stages:      make(map[string]*telemetry.Histogram, 4),
+		ingestReports: reg.Counter("dps_ingest_frames_total", "Upstream frames ingested, by frame kind.",
+			telemetry.Label{Key: "kind", Value: "report"}),
+		ingestBatches: reg.Counter("dps_ingest_frames_total", "Upstream frames ingested, by frame kind.",
+			telemetry.Label{Key: "kind", Value: "batch"}),
+		ingestHeartbeats: reg.Counter("dps_ingest_frames_total", "Upstream frames ingested, by frame kind.",
+			telemetry.Label{Key: "kind", Value: "heartbeat"}),
+		ingestRecords: reg.Counter("dps_ingest_records_total", "Power records carried by ingested report and batch frames."),
+		staleUnits:    reg.Gauge("dps_stale_units", "Units currently stale (cap frozen, awaiting reports)."),
+		deadUnits:     reg.Gauge("dps_dead_units", "Units currently dead (budget reserved at last delivered cap)."),
+		stages:        make(map[string]*telemetry.Histogram, 4),
 	}
 	healthEnabled := cfg.StaleAfter > 0 || cfg.DeadAfter > 0
 	if healthEnabled {
@@ -299,9 +347,9 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 
 type serverConn struct {
 	conn    net.Conn
+	sess    *proto.Session
 	hello   proto.Hello
 	writeMu sync.Mutex
-	scratch []power.Watts
 
 	// Apply-echo bookkeeping (capability connections only): the reading
 	// snapshot time and round of the last successful cap push, so an
@@ -331,6 +379,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		metrics:    newServerMetrics(reg, cfg),
 		now:        time.Now,
 		readings:   make(power.Vector, cfg.Units),
+		snapBuf:    make(power.Vector, cfg.Units),
 		lastCaps:   cfg.Manager.Caps().Clone(),
 		lastPushed: cfg.Manager.Caps().Clone(),
 		owner:      make([]*serverConn, cfg.Units),
@@ -338,6 +387,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if s.healthEnabled() {
 		s.health = make([]core.UnitHealth, cfg.Units)
+		s.healthBuf = make([]core.UnitHealth, cfg.Units)
 		s.lastReport = make([]time.Time, cfg.Units)
 		// Units start with a full staleness clock: a unit that never
 		// registers an agent drifts to stale/dead on its own, reserved at
@@ -374,8 +424,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // stub is installed so construction-time stamps don't skew the first
 // round.
 func (s *Server) ResetHealthClocks() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.imu.Lock()
+	defer s.imu.Unlock()
 	now := s.now()
 	for u := range s.lastReport {
 		s.lastReport[u] = now
@@ -423,12 +473,12 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Handle serves one agent connection: handshake, then a report-reading
+// Handle serves one agent connection: handshake, then a frame-reading
 // loop until the connection fails or the server closes. It blocks; run it
 // in its own goroutine per connection (Serve does).
 func (s *Server) Handle(conn net.Conn) error {
 	s.armReadDeadline(conn)
-	hello, err := proto.ReadHello(conn)
+	sess, err := proto.Accept(conn)
 	if err != nil {
 		conn.Close()
 		var ne net.Error
@@ -437,13 +487,22 @@ func (s *Server) Handle(conn net.Conn) error {
 		}
 		return err
 	}
-	sc := &serverConn{conn: conn, hello: hello, scratch: make([]power.Watts, hello.Units)}
+	hello := sess.Hello()
+	if hello.Batch && s.cfg.DisableBatchIngest {
+		sess.Release()
+		conn.Close()
+		return fmt.Errorf("daemon: batch ingest disabled, rejecting batch agent for units [%d,%d)",
+			hello.FirstUnit, int(hello.FirstUnit)+hello.Units)
+	}
+	sc := &serverConn{conn: conn, sess: sess, hello: hello}
 	if err := s.register(sc); err != nil {
+		sess.Release()
 		conn.Close()
 		return err
 	}
-	if err := proto.WriteAck(conn); err != nil {
+	if err := sess.Ack(s.cfg.DeltaEpsilon); err != nil {
 		s.unregister(sc)
+		sess.Release()
 		conn.Close()
 		return err
 	}
@@ -452,41 +511,65 @@ func (s *Server) Handle(conn net.Conn) error {
 	defer func() {
 		s.unregister(sc)
 		conn.Close()
+		sess.Release()
 		s.logf("daemon: agent for units [%d,%d) disconnected", hello.FirstUnit, int(hello.FirstUnit)+hello.Units)
 	}()
 	for {
-		s.armReadDeadline(conn)
-		if hello.ApplyEcho {
-			// Capability connections interleave two framed upstream message
-			// kinds: report batches and cap-apply echoes.
-			frame, err := proto.ReadFrameHeader(conn)
-			if err != nil {
-				return s.connReadErr(hello, err)
-			}
-			if frame == proto.FrameApply {
-				applyDur, err := proto.ReadApplyEcho(conn)
-				if err != nil {
-					return s.connReadErr(hello, err)
-				}
-				s.observeApplyEcho(sc, applyDur)
-				continue
-			}
-		}
-		if err := proto.ReadBatch(conn, sc.scratch); err != nil {
+		if err := s.serveFrame(sc); err != nil {
 			return s.connReadErr(hello, err)
 		}
-		traceOn := s.tracer.On()
-		var ingestStart time.Time
-		if traceOn {
-			ingestStart = time.Now()
-		}
-		now := s.now()
-		ceiling := s.maxReading()
-		s.mu.Lock()
-		round := s.rounds + 1 // the decision round this batch will feed
-		for i, v := range sc.scratch {
-			u := int(hello.FirstUnit) + i
-			if bad := badReading(v, ceiling); bad {
+	}
+}
+
+// serveFrame reads and dispatches one upstream frame from a connection:
+// the hot receive path, factored out of Handle's loop so tests can drive
+// it synchronously and pin its per-reading allocation cost (zero, once
+// the session is warm).
+func (s *Server) serveFrame(sc *serverConn) error {
+	s.armReadDeadline(sc.conn)
+	frame, err := sc.sess.ReadFrame()
+	if err != nil {
+		return err
+	}
+	switch frame.Kind {
+	case proto.KindApply:
+		s.observeApplyEcho(sc, frame.ApplyDur)
+	case proto.KindHeartbeat:
+		// Touch before counting: once the counter is visible, the clock
+		// refresh is too (tests synchronize on the counters).
+		s.touchUnits(sc.hello)
+		s.metrics.ingestHeartbeats.Inc()
+	default:
+		s.ingest(sc, frame)
+	}
+	return nil
+}
+
+// ingest lands one report or batch frame in the front reading buffer.
+//
+// Staleness-clock rule: a frame refreshes the clock of every unit it
+// carries an *accepted* record for, and — on delta batches — of every
+// unit it omits: omission under delta reporting is the agent asserting
+// "unchanged within epsilon", which is live information. A unit whose
+// record is rejected by the sanitizer gets no refresh from its own
+// garbage (self-quarantine), exactly as on the full-report path.
+func (s *Server) ingest(sc *serverConn, frame proto.Frame) {
+	traceOn := s.tracer.On()
+	var ingestStart time.Time
+	if traceOn {
+		ingestStart = time.Now()
+	}
+	hello := sc.hello
+	first := int(hello.FirstUnit)
+	now := s.now()
+	ceiling := s.maxReading()
+	s.imu.Lock()
+	switch frame.Kind {
+	case proto.KindReport:
+		for _, rec := range frame.Records {
+			v := proto.FromDeciwatts(rec.Value)
+			u := first + int(rec.LocalUnit)
+			if badReading(v, ceiling) {
 				// Rejected readings never reach the filter and never refresh
 				// the staleness clock: a garbage-reporting agent quarantines
 				// itself into the stale state.
@@ -498,12 +581,63 @@ func (s *Server) Handle(conn net.Conn) error {
 				s.lastReport[u] = now
 			}
 		}
-		s.mu.Unlock()
-		if traceOn {
-			s.tracer.Record(round, trace.SpanIngest, trace.LaneIngest,
-				int32(hello.FirstUnit), ingestStart, time.Since(ingestStart))
+	case proto.KindBatch:
+		// Records arrive strictly increasing (the canonical encoding), so
+		// one walk covers both the carried units and the suppressed gaps
+		// between them.
+		next := 0
+		for _, rec := range frame.Records {
+			lu := int(rec.LocalUnit)
+			if s.lastReport != nil {
+				for ; next < lu; next++ {
+					s.lastReport[first+next] = now
+				}
+			}
+			next = lu + 1
+			v := proto.FromDeciwatts(rec.Value)
+			if badReading(v, ceiling) {
+				s.metrics.badReadings.Inc()
+				continue
+			}
+			s.readings[first+lu] = v
+			if s.lastReport != nil {
+				s.lastReport[first+lu] = now
+			}
+		}
+		if s.lastReport != nil {
+			for ; next < hello.Units; next++ {
+				s.lastReport[first+next] = now
+			}
 		}
 	}
+	s.imu.Unlock()
+	if frame.Kind == proto.KindBatch {
+		s.metrics.ingestBatches.Inc()
+	} else {
+		s.metrics.ingestReports.Inc()
+	}
+	s.metrics.ingestRecords.Add(uint64(len(frame.Records)))
+	if traceOn {
+		// the decision round this frame will feed
+		round := s.rounds.Load() + 1
+		s.tracer.Record(round, trace.SpanIngest, trace.LaneIngest,
+			int32(hello.FirstUnit), ingestStart, time.Since(ingestStart))
+	}
+}
+
+// touchUnits refreshes the staleness clock for every unit of a
+// connection — a heartbeat's whole meaning: alive, readings stand.
+func (s *Server) touchUnits(hello proto.Hello) {
+	if s.lastReport == nil {
+		return
+	}
+	now := s.now()
+	first := int(hello.FirstUnit)
+	s.imu.Lock()
+	for u := first; u < first+hello.Units; u++ {
+		s.lastReport[u] = now
+	}
+	s.imu.Unlock()
 }
 
 // connReadErr classifies a failed read on an established agent
@@ -576,15 +710,19 @@ func (s *Server) register(sc *serverConn) error {
 			return fmt.Errorf("daemon: unit %d already owned by another agent", u)
 		}
 	}
-	now := s.now()
 	for u := first; u < first+n; u++ {
 		s.owner[u] = sc
-		// A (re-)handshake restarts the staleness clock so the unit is
-		// fresh again by the next decision round, before its first report
-		// even lands.
-		if s.lastReport != nil {
+	}
+	// A (re-)handshake restarts the staleness clock so the unit is fresh
+	// again by the next decision round, before its first report even
+	// lands. (Lock order: mu held, imu nested inside.)
+	if s.lastReport != nil {
+		now := s.now()
+		s.imu.Lock()
+		for u := first; u < first+n; u++ {
 			s.lastReport[u] = now
 		}
+		s.imu.Unlock()
 	}
 	s.conns[sc] = struct{}{}
 	s.metrics.connects.Inc()
@@ -623,15 +761,13 @@ func (s *Server) Connected() int {
 
 // Rounds returns the number of completed decision rounds.
 func (s *Server) Rounds() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rounds
+	return s.rounds.Load()
 }
 
 // Readings returns a copy of the latest per-unit power reports.
 func (s *Server) Readings() power.Vector {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.imu.Lock()
+	defer s.imu.Unlock()
 	return s.readings.Clone()
 }
 
@@ -652,10 +788,20 @@ type statsDecider interface {
 // single-threaded); Serve guarantees that by calling it from one loop.
 func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	snapTime := s.now() // reading-snapshot stamp, the e2e latency origin
+
+	// Flip the double buffer: copy the ingest plane's front buffer into
+	// the decision loop's private back buffer and classify health from
+	// the report clocks. This is the only time the decision path holds
+	// imu, and it holds nothing else while it does.
+	s.imu.Lock()
+	copy(s.snapBuf, s.readings)
+	health := s.classifyHealthLocked()
+	s.imu.Unlock()
+
 	s.mu.Lock()
-	round := s.rounds + 1
-	health := s.evaluateHealthLocked()
-	snap := core.Snapshot{Power: s.readings.Clone(), Interval: interval, Health: health}
+	round := s.rounds.Load() + 1
+	s.recordHealthLocked(health)
+	snap := core.Snapshot{Power: s.snapBuf, Interval: interval, Health: health}
 	prevCaps := s.lastCaps.Clone()
 	var lastPushed power.Vector
 	if health != nil {
@@ -697,7 +843,7 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 			pushStart = time.Now()
 		}
 		sc.writeMu.Lock()
-		err := proto.WriteBatch(sc.conn, caps[first:first+n])
+		err := sc.sess.WriteCaps(caps[first : first+n])
 		sc.writeMu.Unlock()
 		if traceOn {
 			s.tracer.Record(round, trace.SpanPush, trace.LanePush,
@@ -713,7 +859,7 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		pushed = append(pushed, sc)
 	}
 	s.mu.Lock()
-	s.rounds = round
+	s.rounds.Store(round)
 	copy(s.lastCaps, caps)
 	for _, sc := range pushed {
 		first, n := int(sc.hello.FirstUnit), sc.hello.Units
@@ -728,17 +874,16 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	return caps, firstErr
 }
 
-// evaluateHealthLocked advances the per-unit health state machine from the
-// staleness clocks, records transitions, and returns a copy of the health
-// vector for the round (nil while health tracking is disabled). Caller
-// holds s.mu.
-func (s *Server) evaluateHealthLocked() []core.UnitHealth {
-	if s.health == nil {
+// classifyHealthLocked advances the per-unit health classification from
+// the staleness clocks into the decision loop's private health buffer
+// and returns it (nil while health tracking is disabled). Caller holds
+// s.imu; the buffer is valid until the next decision round.
+func (s *Server) classifyHealthLocked() []core.UnitHealth {
+	if s.healthBuf == nil {
 		return nil
 	}
 	now := s.now()
-	stale, dead := 0, 0
-	for u := range s.health {
+	for u := range s.healthBuf {
 		age := now.Sub(s.lastReport[u])
 		h := core.HealthFresh
 		switch {
@@ -747,12 +892,26 @@ func (s *Server) evaluateHealthLocked() []core.UnitHealth {
 		case s.cfg.StaleAfter > 0 && age >= s.cfg.StaleAfter:
 			h = core.HealthStale
 		}
+		s.healthBuf[u] = h
+	}
+	return s.healthBuf
+}
+
+// recordHealthLocked diffs the round's health classification against the
+// previous round's retained state, publishing transitions, gauges, and
+// logs. Caller holds s.mu.
+func (s *Server) recordHealthLocked(health []core.UnitHealth) {
+	if health == nil {
+		return
+	}
+	stale, dead := 0, 0
+	for u, h := range health {
 		if prev := s.health[u]; h != prev {
 			if c := s.metrics.transitions[int(prev)*3+int(h)]; c != nil {
 				c.Inc()
 			}
 			s.health[u] = h
-			s.logf("daemon: unit %d health %s -> %s (last report %v ago)", u, prev, h, age)
+			s.logf("daemon: unit %d health %s -> %s", u, prev, h)
 		}
 		s.metrics.unitHealth[u].Set(float64(h))
 		switch h {
@@ -764,7 +923,6 @@ func (s *Server) evaluateHealthLocked() []core.UnitHealth {
 	}
 	s.metrics.staleUnits.Set(float64(stale))
 	s.metrics.deadUnits.Set(float64(dead))
-	return append([]core.UnitHealth(nil), s.health...)
 }
 
 // degradedDeliver is the delivery-side guarantee of the degraded-mode

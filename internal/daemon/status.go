@@ -40,10 +40,13 @@ type Status struct {
 // round cache, never the controller: a /status scrape may overlap a
 // decision round, and the controller's accessors are not synchronized.
 func (s *Server) Snapshot() Status {
-	s.mu.Lock()
+	s.imu.Lock()
 	readings := s.readings.Clone()
+	s.imu.Unlock()
+	rounds := s.rounds.Load()
+
+	s.mu.Lock()
 	agents := len(s.conns)
-	rounds := s.rounds
 	caps := s.lastCaps.Clone()
 	var prio []bool
 	if s.lastPrio != nil {
@@ -67,16 +70,16 @@ func (s *Server) Snapshot() Status {
 	s.mu.Unlock()
 
 	return Status{
-		Policy:     s.cfg.Manager.Name(),
-		Units:      s.cfg.Units,
-		Agents:     agents,
-		Rounds:     rounds,
-		BudgetW:    float64(s.cfg.Manager.Budget().Total),
-		Readings:   toFloats(readings),
-		Caps:       toFloats(caps),
-		CapSumW:    float64(caps.Sum()),
-		Priority:   prio,
-		Restored:   restored,
+		Policy:       s.cfg.Manager.Name(),
+		Units:        s.cfg.Units,
+		Agents:       agents,
+		Rounds:       rounds,
+		BudgetW:      float64(s.cfg.Manager.Budget().Total),
+		Readings:     toFloats(readings),
+		Caps:         toFloats(caps),
+		CapSumW:      float64(caps.Sum()),
+		Priority:     prio,
+		Restored:     restored,
 		Health:       health,
 		StaleUnits:   stale,
 		DeadUnits:    dead,

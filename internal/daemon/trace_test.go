@@ -37,9 +37,9 @@ func newTracingServer(t *testing.T, units int) *Server {
 // setReadings injects a reading vector directly, standing in for agent
 // report batches in tests that exercise the decision path alone.
 func setReadings(srv *Server, readings power.Vector) {
-	srv.mu.Lock()
+	srv.imu.Lock()
 	copy(srv.readings, readings)
-	srv.mu.Unlock()
+	srv.imu.Unlock()
 }
 
 // TestApplyEchoEndToEnd drives the full capability path over a pipe: a

@@ -20,6 +20,11 @@ func FuzzReadHello(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seedV2.Bytes())
+	var seedBatch bytes.Buffer
+	if err := WriteHello(&seedBatch, Hello{FirstUnit: 18, Units: 2, ApplyEcho: true, Batch: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBatch.Bytes())
 	f.Add([]byte("DPS1garbage"))
 	f.Add([]byte{'D', 'P', 'S', '1', 2, 0, 18, 2, 0}) // v2, empty flags: must reject
 	f.Add([]byte{})
@@ -64,6 +69,54 @@ func FuzzReadBatch(f *testing.F) {
 			if w < 0 || w > FromDeciwatts(MaxDeciwatts) {
 				t.Fatalf("unit %d decoded to unrepresentable %v W", i, w)
 			}
+		}
+	})
+}
+
+// FuzzReadBatchFrame feeds arbitrary bytes to the delta-batch frame
+// parser: it must never panic and must only accept the canonical
+// encoding — which means every accepted frame re-encodes byte-identical
+// via WriteBatchFrame.
+func FuzzReadBatchFrame(f *testing.F) {
+	const units = 8
+	for _, recs := range [][]Record{
+		{{LocalUnit: 0, Value: 1105}},
+		{{LocalUnit: 1, Value: 425}, {LocalUnit: 3, Value: 0}, {LocalUnit: 7, Value: 0xFFFF}},
+		{{LocalUnit: 0, Value: 1}, {LocalUnit: 1, Value: 2}, {LocalUnit: 2, Value: 3},
+			{LocalUnit: 3, Value: 4}, {LocalUnit: 4, Value: 5}, {LocalUnit: 5, Value: 6},
+			{LocalUnit: 6, Value: 7}, {LocalUnit: 7, Value: 8}},
+	} {
+		var seed bytes.Buffer
+		if err := WriteBatchFrame(&seed, recs); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed.Bytes())
+	}
+	f.Add([]byte{FrameBatch, 0})                   // empty delta: must reject (that's a heartbeat)
+	f.Add([]byte{FrameBatch, 2, 1, 0, 1, 0, 0, 1}) // decreasing units: must reject
+	f.Add([]byte{FrameBatch, 1, 9, 0, 1})          // unit outside the session range
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 || data[0] != FrameBatch {
+			return
+		}
+		recs, err := ReadBatchFrame(bytes.NewReader(data[1:]), units, nil)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode to the same bytes it was read
+		// from: count in [1, units], strictly increasing local units, all
+		// inside the range.
+		var out bytes.Buffer
+		if err := WriteBatchFrame(&out, recs); err != nil {
+			t.Fatalf("accepted batch frame %+v cannot be re-encoded: %v", recs, err)
+		}
+		n := out.Len()
+		if len(data) < n {
+			t.Fatalf("accepted %d records from %d bytes, shorter than their own encoding (%d)", len(recs), len(data), n)
+		}
+		if !bytes.Equal(out.Bytes(), data[:n]) {
+			t.Fatalf("roundtrip mismatch: read %+v from %v, wrote %v", recs, data[:n], out.Bytes())
 		}
 	})
 }

@@ -27,13 +27,32 @@
 // Version 2 appends one capability-flags byte to the handshake. It is
 // opt-in and strictly additive: an agent advertising no capabilities
 // sends the byte-identical version-1 frame, and a version-1 server never
-// sees version-2 bytes unless the operator enabled a capability. The only
-// capability so far is FlagApplyEcho: the agent sends a 3-byte
-// apply-echo frame [ 'A' ][ apply duration : uint16 big-endian, µs ]
-// after programming each received cap batch, and prefixes each report
-// batch with [ 'R' ] so the two upstream frame types are
-// distinguishable. The duration saturates at ~65.5 ms; an echo's arrival
-// time is what gives the server its true reading→enforced-cap latency.
+// sees version-2 bytes unless the operator enabled a capability. Any
+// negotiated capability switches the upstream direction to framed
+// messages — a one-byte frame type before each body — so the kinds stay
+// distinguishable on a shared socket.
+//
+// FlagApplyEcho: the agent sends a 3-byte apply-echo frame
+// [ 'A' ][ apply duration : uint16 big-endian, µs ] after programming
+// each received cap batch, and prefixes each full report batch with
+// [ 'R' ]. The duration saturates at ~65.5 ms; an echo's arrival time is
+// what gives the server its true reading→enforced-cap latency.
+//
+// FlagBatch: the agent reports by delta instead of by full refresh. Its
+// reports travel as batch frames —
+//
+//	[ 'B' ][ record count : uint8 ][ count × 3-byte records ]
+//
+// carrying only the units whose power moved more than the delta epsilon
+// since their last sent value, in strictly increasing local-unit order
+// (the canonical encoding; anything else is rejected). A quiet interval
+// is a 1-byte heartbeat [ 'H' ]: it refreshes the server's health clock
+// for the session's units without touching readings, so a suppressed
+// agent never looks dead. The handshake ack on a batch session is
+// extended by two bytes carrying the server's advertised delta epsilon
+// in big-endian deciwatts. The Session type owns this negotiation and
+// the per-connection frame buffers; the free frame functions below
+// predate it and are deprecated.
 package proto
 
 import (
@@ -58,18 +77,27 @@ const (
 	// FlagApplyEcho: the agent will prefix report batches with FrameReport
 	// and send a FrameApply echo after applying each cap batch.
 	FlagApplyEcho = 1 << 0
+	// FlagBatch: the agent reports by delta — FrameBatch frames carrying
+	// only changed units, FrameHeartbeat when nothing changed — and the
+	// handshake ack is extended with the server's delta epsilon.
+	FlagBatch = 1 << 1
 
-	knownFlags = FlagApplyEcho
+	knownFlags = FlagApplyEcho | FlagBatch
 )
 
-// Upstream frame types (agent → server) once FlagApplyEcho is
-// negotiated. Without the capability the upstream carries raw report
+// Upstream frame types (agent → server) once any capability is
+// negotiated. Without capabilities the upstream carries raw report
 // batches, exactly as version 1.
 const (
-	// FrameReport precedes one report batch.
+	// FrameReport precedes one full report batch (apply-echo sessions).
 	FrameReport byte = 'R'
 	// FrameApply precedes one 2-byte apply-echo body.
 	FrameApply byte = 'A'
+	// FrameBatch precedes one delta batch: a count byte and that many
+	// records (batch sessions).
+	FrameBatch byte = 'B'
+	// FrameHeartbeat is a complete 1-byte liveness frame (batch sessions).
+	FrameHeartbeat byte = 'H'
 )
 
 // RecordSize is the size of one power/cap record on the wire: the
@@ -99,15 +127,32 @@ type Hello struct {
 	FirstUnit power.UnitID
 	// Units is the number of power-capping units on the node.
 	Units int
-	// ApplyEcho advertises the apply-echo capability. When set the hello
-	// goes out as a version-2 frame; when clear the encoding is the
-	// byte-identical version-1 frame of older agents.
+	// ApplyEcho advertises the apply-echo capability. Advertising any
+	// capability makes the hello a version-2 frame; with none set the
+	// encoding is the byte-identical version-1 frame of older agents.
 	ApplyEcho bool
+	// Batch advertises the delta-reporting capability: reports travel as
+	// batch frames and heartbeats, and the handshake ack carries the
+	// server's delta epsilon.
+	Batch bool
+}
+
+// flags returns the capability byte of a version-2 hello (zero when the
+// canonical encoding is version 1).
+func (h Hello) flags() byte {
+	var f byte
+	if h.ApplyEcho {
+		f |= FlagApplyEcho
+	}
+	if h.Batch {
+		f |= FlagBatch
+	}
+	return f
 }
 
 // EncodedSize returns the on-wire size of this hello (version-dependent).
 func (h Hello) EncodedSize() int {
-	if h.ApplyEcho {
+	if h.flags() != 0 {
 		return HelloV2Size
 	}
 	return HelloSize
@@ -137,9 +182,9 @@ func WriteHello(w io.Writer, h Hello) error {
 	buf[4] = Version
 	binary.BigEndian.PutUint16(buf[5:7], uint16(h.FirstUnit))
 	buf[7] = byte(h.Units)
-	if h.ApplyEcho {
+	if f := h.flags(); f != 0 {
 		buf[4] = Version2
-		buf[8] = FlagApplyEcho
+		buf[8] = f
 	}
 	_, err := w.Write(buf[:h.EncodedSize()])
 	return err
@@ -175,6 +220,7 @@ func ReadHello(r io.Reader) (Hello, error) {
 			return Hello{}, fmt.Errorf("proto: version 2 hello with no capabilities (use version 1)")
 		}
 		h.ApplyEcho = flags[0]&FlagApplyEcho != 0
+		h.Batch = flags[0]&FlagBatch != 0
 	default:
 		return Hello{}, fmt.Errorf("proto: unsupported version %d (want %d or %d)", buf[4], Version, Version2)
 	}
@@ -185,12 +231,18 @@ func ReadHello(r io.Reader) (Hello, error) {
 }
 
 // WriteAck sends the server's handshake acknowledgement.
+//
+// Deprecated: use Session.Ack, which also carries the delta epsilon on
+// batch sessions. Kept as a thin wrapper for one release.
 func WriteAck(w io.Writer) error {
 	_, err := w.Write(ackOK[:])
 	return err
 }
 
 // ReadAck consumes the server's handshake acknowledgement.
+//
+// Deprecated: use Connect, which consumes the version-appropriate ack.
+// Kept as a thin wrapper for one release.
 func ReadAck(r io.Reader) error {
 	var buf [2]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {

@@ -1,0 +1,410 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dps/internal/power"
+)
+
+// MaxBatchRecords is the most records one batch frame can carry — the
+// uint8 count, which also bounds a hello's unit range.
+const MaxBatchRecords = 0xFF
+
+// BatchAckSize is the extended handshake acknowledgement a batch session
+// receives: the 2-byte OK followed by the server's advertised delta
+// epsilon in big-endian deciwatts. Non-batch sessions get the classic
+// 2-byte ack.
+const BatchAckSize = 4
+
+// maxFrameSize bounds every frame either side of a session ever reads or
+// writes: a batch frame's header byte + count byte + 255 records.
+const maxFrameSize = 2 + MaxBatchRecords*RecordSize
+
+// FrameKind classifies one upstream frame delivered by Session.ReadFrame.
+type FrameKind uint8
+
+const (
+	// KindReport is a full report: one record per local unit, the classic
+	// per-interval refresh (raw version-1 framing or a FrameReport).
+	KindReport FrameKind = iota
+	// KindBatch is a delta batch: a sparse, strictly-increasing subset of
+	// the session's local units (FrameBatch).
+	KindBatch
+	// KindHeartbeat is a liveness-only frame: the agent had nothing worth
+	// reporting this interval but is alive and its readings stand
+	// (FrameHeartbeat).
+	KindHeartbeat
+	// KindApply is a cap-apply echo carrying the apply duration
+	// (FrameApply).
+	KindApply
+)
+
+// Frame is one upstream message read from a session. Records aliases the
+// session's scratch buffer: it is valid until the next ReadFrame call and
+// must be copied to retain.
+type Frame struct {
+	Kind FrameKind
+	// Records holds the frame's power records (KindReport and KindBatch).
+	Records []Record
+	// ApplyDur is the cap-apply duration (KindApply only).
+	ApplyDur time.Duration
+}
+
+// sessionBufs is the pooled per-session scratch: read and write frame
+// buffers plus the decoded-record slice. Pooling keeps reconnect churn
+// (an agent fleet riding out a controller restart) from allocating a
+// fresh ~2 KB per handshake.
+type sessionBufs struct {
+	read  [maxFrameSize]byte
+	write [maxFrameSize]byte
+	recs  [MaxBatchRecords]Record
+}
+
+var bufPool = sync.Pool{New: func() any { return new(sessionBufs) }}
+
+// Session owns one negotiated connection: the handshake outcome (version
+// + capability flags + the server's advertised delta epsilon) and the
+// per-connection frame buffers, so capability dispatch and buffer reuse
+// live in one place instead of being re-decided at every call site.
+//
+// A session supports one concurrent reader and one concurrent writer:
+// the read methods (ReadFrame, ReadCaps) must come from a single
+// goroutine, the write methods from one goroutine at a time (callers
+// with multiple writers — e.g. report loop plus apply echo — serialize
+// them, as daemon.Agent and daemon.Server do).
+type Session struct {
+	rw    io.ReadWriter
+	hello Hello
+	epsDW uint16
+	bufs  *sessionBufs
+}
+
+func newSession(rw io.ReadWriter, h Hello) *Session {
+	return &Session{rw: rw, hello: h, bufs: bufPool.Get().(*sessionBufs)}
+}
+
+// Accept reads an agent's handshake from rw and returns the server half
+// of the session. The caller validates the claimed unit range against its
+// own state and completes the handshake with Ack (or closes rw).
+func Accept(rw io.ReadWriter) (*Session, error) {
+	h, err := ReadHello(rw)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(rw, h), nil
+}
+
+// Connect writes the handshake for h to rw and consumes the server's
+// acknowledgement, returning the agent half of the session. On a batch
+// session the ack carries the server's advertised delta epsilon
+// (DeltaEpsilon); otherwise it is the classic 2-byte OK.
+func Connect(rw io.ReadWriter, h Hello) (*Session, error) {
+	if err := WriteHello(rw, h); err != nil {
+		return nil, err
+	}
+	var buf [BatchAckSize]byte
+	ack := buf[:2]
+	if h.Batch {
+		ack = buf[:BatchAckSize]
+	}
+	if _, err := io.ReadFull(rw, ack); err != nil {
+		return nil, fmt.Errorf("proto: reading ack: %w", err)
+	}
+	if [2]byte(ack[:2]) != ackOK {
+		return nil, fmt.Errorf("proto: bad ack %q", ack[:2])
+	}
+	s := newSession(rw, h)
+	if h.Batch {
+		s.epsDW = binary.BigEndian.Uint16(ack[2:])
+	}
+	return s, nil
+}
+
+// Ack completes the server side of the handshake. For a batch session it
+// writes the extended acknowledgement advertising epsilon — the delta
+// band agents should suppress within (quantized to deciwatts; agents may
+// override locally). Non-batch sessions get the classic 2-byte ack and
+// epsilon is ignored.
+func (s *Session) Ack(epsilon power.Watts) error {
+	if !s.hello.Batch {
+		return WriteAck(s.rw)
+	}
+	s.epsDW = ToDeciwatts(epsilon)
+	var buf [BatchAckSize]byte
+	copy(buf[:2], ackOK[:])
+	binary.BigEndian.PutUint16(buf[2:], s.epsDW)
+	_, err := s.rw.Write(buf[:])
+	return err
+}
+
+// Hello returns the negotiated handshake.
+func (s *Session) Hello() Hello { return s.hello }
+
+// DeltaEpsilon returns the delta-suppression epsilon carried by the
+// handshake ack (zero on non-batch sessions and before Ack).
+func (s *Session) DeltaEpsilon() power.Watts { return FromDeciwatts(s.epsDW) }
+
+// framed reports whether upstream messages carry a frame-type byte. Any
+// negotiated capability implies framing; a bare version-1 session speaks
+// raw report batches.
+func (s *Session) framed() bool { return s.hello.ApplyEcho || s.hello.Batch }
+
+// Release returns the session's scratch buffers to the pool. Call it
+// once, after the connection is torn down; no session method may be
+// called afterwards.
+func (s *Session) Release() {
+	if s.bufs != nil {
+		bufPool.Put(s.bufs)
+		s.bufs = nil
+	}
+}
+
+// ReadFrame reads one upstream frame (server side), dispatching on the
+// session's negotiated capabilities: a bare session yields only full
+// reports; FlagApplyEcho admits FrameReport/FrameApply; FlagBatch admits
+// FrameBatch/FrameHeartbeat (full refreshes travel as batch frames
+// carrying every unit). The returned Frame's Records alias the session
+// buffer and are valid until the next ReadFrame.
+func (s *Session) ReadFrame() (Frame, error) {
+	if !s.framed() {
+		recs, err := s.readReport()
+		return Frame{Kind: KindReport, Records: recs}, err
+	}
+	if _, err := io.ReadFull(s.rw, s.bufs.read[:1]); err != nil {
+		return Frame{}, fmt.Errorf("proto: reading frame header: %w", err)
+	}
+	switch hdr := s.bufs.read[0]; hdr {
+	case FrameReport:
+		if s.hello.Batch {
+			return Frame{}, fmt.Errorf("proto: raw report frame on a batch session (reports travel as batch frames)")
+		}
+		recs, err := s.readReport()
+		return Frame{Kind: KindReport, Records: recs}, err
+	case FrameApply:
+		if !s.hello.ApplyEcho {
+			return Frame{}, fmt.Errorf("proto: apply echo without the apply-echo capability")
+		}
+		d, err := ReadApplyEcho(s.rw)
+		return Frame{Kind: KindApply, ApplyDur: d}, err
+	case FrameBatch:
+		if !s.hello.Batch {
+			return Frame{}, fmt.Errorf("proto: batch frame without the batch capability")
+		}
+		recs, err := readBatchFrame(s.rw, s.hello.Units, s.bufs.recs[:0], s.bufs.read[:])
+		return Frame{Kind: KindBatch, Records: recs}, err
+	case FrameHeartbeat:
+		if !s.hello.Batch {
+			return Frame{}, fmt.Errorf("proto: heartbeat without the batch capability")
+		}
+		return Frame{Kind: KindHeartbeat}, nil
+	default:
+		return Frame{}, fmt.Errorf("proto: unknown frame type %#02x", hdr)
+	}
+}
+
+// readReport reads one full report: exactly Units records, each
+// addressing a local unit inside the range (classic ReadBatch wire
+// semantics, without the per-call buffer allocation).
+func (s *Session) readReport() ([]Record, error) {
+	n := s.hello.Units
+	buf := s.bufs.read[:n*RecordSize]
+	if _, err := io.ReadFull(s.rw, buf); err != nil {
+		return nil, fmt.Errorf("proto: reading batch of %d: %w", n, err)
+	}
+	recs := s.bufs.recs[:0]
+	for i := 0; i < n; i++ {
+		rec := GetRecord(buf[i*RecordSize:])
+		if int(rec.LocalUnit) >= n {
+			return nil, fmt.Errorf("proto: record for local unit %d in a %d-unit batch", rec.LocalUnit, n)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// WriteReport sends one full per-interval refresh for every local unit:
+// values[i] is local unit i. On a batch session it goes out as a batch
+// frame carrying all units; with apply-echo framing it is a FrameReport;
+// bare sessions write the classic raw record batch.
+func (s *Session) WriteReport(values []power.Watts) error {
+	if len(values) != s.hello.Units {
+		return fmt.Errorf("proto: report of %d values on a %d-unit session", len(values), s.hello.Units)
+	}
+	if s.hello.Batch {
+		recs := s.bufs.recs[:0]
+		for i, v := range values {
+			recs = append(recs, Record{LocalUnit: uint8(i), Value: ToDeciwatts(v)})
+		}
+		return s.WriteDelta(recs)
+	}
+	buf := s.bufs.write[:0]
+	if s.hello.ApplyEcho {
+		buf = append(buf, FrameReport)
+	}
+	for i, v := range values {
+		var rec [RecordSize]byte
+		PutRecord(rec[:], Record{LocalUnit: uint8(i), Value: ToDeciwatts(v)})
+		buf = append(buf, rec[:]...)
+	}
+	_, err := s.rw.Write(buf)
+	return err
+}
+
+// WriteDelta sends one batch frame: the given records, which must be
+// non-empty, strictly increasing by local unit, and inside the session's
+// unit range (the canonical encoding ReadBatchFrame accepts). A quiet
+// interval is a heartbeat, not an empty delta.
+func (s *Session) WriteDelta(recs []Record) error {
+	if !s.hello.Batch {
+		return fmt.Errorf("proto: batch frame without the batch capability")
+	}
+	if len(recs) > 0 && int(recs[len(recs)-1].LocalUnit) >= s.hello.Units {
+		return fmt.Errorf("proto: record for local unit %d on a %d-unit session",
+			recs[len(recs)-1].LocalUnit, s.hello.Units)
+	}
+	n, err := encodeBatchFrame(s.bufs.write[:], recs)
+	if err != nil {
+		return err
+	}
+	_, err = s.rw.Write(s.bufs.write[:n])
+	return err
+}
+
+// WriteHeartbeat sends a liveness-only frame: "nothing changed beyond
+// epsilon, readings stand, don't mark me stale".
+func (s *Session) WriteHeartbeat() error {
+	if !s.hello.Batch {
+		return fmt.Errorf("proto: heartbeat without the batch capability")
+	}
+	hb := [1]byte{FrameHeartbeat}
+	_, err := s.rw.Write(hb[:])
+	return err
+}
+
+// WriteApplyEcho sends a cap-apply echo (agent side, apply-echo sessions
+// only).
+func (s *Session) WriteApplyEcho(applyDur time.Duration) error {
+	if !s.hello.ApplyEcho {
+		return fmt.Errorf("proto: apply echo without the apply-echo capability")
+	}
+	return WriteApplyEcho(s.rw, applyDur)
+}
+
+// WriteCaps sends one cap assignment per local unit (server side). The
+// downstream wire is the same raw record batch at every protocol
+// version; the session just reuses its write buffer instead of
+// allocating per push.
+func (s *Session) WriteCaps(values []power.Watts) error {
+	if len(values) != s.hello.Units {
+		return fmt.Errorf("proto: cap batch of %d values on a %d-unit session", len(values), s.hello.Units)
+	}
+	buf := s.bufs.write[:len(values)*RecordSize]
+	for i, v := range values {
+		PutRecord(buf[i*RecordSize:], Record{LocalUnit: uint8(i), Value: ToDeciwatts(v)})
+	}
+	_, err := s.rw.Write(buf)
+	return err
+}
+
+// ReadCaps reads one cap batch into dst, which must have the session's
+// unit count (agent side).
+func (s *Session) ReadCaps(dst []power.Watts) error {
+	if len(dst) != s.hello.Units {
+		return fmt.Errorf("proto: cap buffer of %d values on a %d-unit session", len(dst), s.hello.Units)
+	}
+	n := len(dst)
+	buf := s.bufs.read[:n*RecordSize]
+	if _, err := io.ReadFull(s.rw, buf); err != nil {
+		return fmt.Errorf("proto: reading batch of %d: %w", n, err)
+	}
+	for i := 0; i < n; i++ {
+		rec := GetRecord(buf[i*RecordSize:])
+		if int(rec.LocalUnit) >= n {
+			return fmt.Errorf("proto: record for local unit %d in a %d-unit batch", rec.LocalUnit, n)
+		}
+		dst[rec.LocalUnit] = FromDeciwatts(rec.Value)
+	}
+	return nil
+}
+
+// ReadBatchFrame reads a batch frame body — the count byte and records
+// following a FrameBatch header the caller already consumed. It accepts
+// only the canonical encoding: a non-empty record list, strictly
+// increasing by local unit, every unit inside [0, units). Records are
+// appended to dst (pass a reusable slice to avoid allocation).
+func ReadBatchFrame(r io.Reader, units int, dst []Record) ([]Record, error) {
+	var buf [1 + MaxBatchRecords*RecordSize]byte
+	return readBatchFrame(r, units, dst, buf[:])
+}
+
+// readBatchFrame is ReadBatchFrame over caller-owned scratch: the
+// session read path passes its pooled buffer so a warm batch frame costs
+// no allocation (a local array would escape through the io.Reader call).
+func readBatchFrame(r io.Reader, units int, dst []Record, buf []byte) ([]Record, error) {
+	if _, err := io.ReadFull(r, buf[:1]); err != nil {
+		return nil, fmt.Errorf("proto: reading batch frame count: %w", err)
+	}
+	count := int(buf[0])
+	if count < 1 {
+		return nil, fmt.Errorf("proto: empty batch frame (a quiet interval is a heartbeat)")
+	}
+	if count > units {
+		return nil, fmt.Errorf("proto: batch frame of %d records for %d units", count, units)
+	}
+	body := buf[1 : 1+count*RecordSize]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("proto: reading batch frame of %d records: %w", count, err)
+	}
+	prev := -1
+	for i := 0; i < count; i++ {
+		rec := GetRecord(body[i*RecordSize:])
+		if int(rec.LocalUnit) <= prev {
+			return nil, fmt.Errorf("proto: batch frame records not strictly increasing (unit %d after %d)", rec.LocalUnit, prev)
+		}
+		if int(rec.LocalUnit) >= units {
+			return nil, fmt.Errorf("proto: record for local unit %d in a %d-unit session", rec.LocalUnit, units)
+		}
+		prev = int(rec.LocalUnit)
+		dst = append(dst, rec)
+	}
+	return dst, nil
+}
+
+// WriteBatchFrame writes one complete batch frame: the FrameBatch
+// header, the record count, and the records, which must be canonical
+// (non-empty, strictly increasing by local unit).
+func WriteBatchFrame(w io.Writer, recs []Record) error {
+	var buf [maxFrameSize]byte
+	n, err := encodeBatchFrame(buf[:], recs)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf[:n])
+	return err
+}
+
+// encodeBatchFrame encodes header + count + records into buf, enforcing
+// the canonical form, and returns the encoded length.
+func encodeBatchFrame(buf []byte, recs []Record) (int, error) {
+	if len(recs) < 1 {
+		return 0, fmt.Errorf("proto: empty batch frame (a quiet interval is a heartbeat)")
+	}
+	if len(recs) > MaxBatchRecords {
+		return 0, fmt.Errorf("proto: batch frame of %d records exceeds %d", len(recs), MaxBatchRecords)
+	}
+	buf[0] = FrameBatch
+	buf[1] = byte(len(recs))
+	prev := -1
+	for i, rec := range recs {
+		if int(rec.LocalUnit) <= prev {
+			return 0, fmt.Errorf("proto: batch frame records not strictly increasing (unit %d after %d)", rec.LocalUnit, prev)
+		}
+		prev = int(rec.LocalUnit)
+		PutRecord(buf[2+i*RecordSize:], rec)
+	}
+	return 2 + len(recs)*RecordSize, nil
+}

@@ -58,6 +58,11 @@ type PairConfig struct {
 	// MaxTime aborts a runaway experiment. Zero selects a generous bound
 	// derived from the workloads' table durations.
 	MaxTime power.Seconds
+	// MaxSteps, when positive, stops the experiment after this many
+	// decision intervals even if repeats are unfinished — fixed-length
+	// traces for tests and benchmarks, without overloading the MaxTime
+	// safety stop.
+	MaxSteps int
 	// StepHook, if non-nil, observes every step after caps are applied:
 	// virtual time, measured readings, and programmed caps. Slices are
 	// owned by the engine and only valid during the call.
@@ -231,6 +236,9 @@ func RunPair(cfg PairConfig, factory ManagerFactory) (PairResult, error) {
 	}
 
 	for !done() {
+		if cfg.MaxSteps > 0 && res.Steps >= cfg.MaxSteps {
+			break
+		}
 		if t >= cfg.MaxTime {
 			res.TimedOut = true
 			break

@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench_ingest.sh — run the server-side ingest benchmarks (per-reading
+# frames, raw node frames, v2 batch frames, sparse deltas) with -benchmem
+# and emit the machine-readable BENCH_ingest.json tracked per PR.
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 2s; use 1x for a smoke run)
+#   OUT        output JSON path (default BENCH_ingest.json in the repo root)
+#
+# The embedded baseline block records the pre-batch-plane numbers
+# (commit e3c962e, Intel Xeon @ 2.10GHz, benchtime 2s) so the JSON alone
+# is enough to compute the speedup without checking out the old tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_ingest.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run xxx -bench 'BenchmarkIngest' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/daemon | tee "$RAW"
+
+GOVER="$(go version | awk '{print $3}')"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+	COMMIT="${COMMIT}-dirty"
+fi
+
+awk -v gover="$GOVER" -v commit="$COMMIT" -v benchtime="$BENCHTIME" '
+/^BenchmarkIngest/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkIngest/, "", name)
+	iters = $2
+	metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $i
+		unit = $(i + 1)
+		if (metrics != "") metrics = metrics ", "
+		metrics = metrics "\"" unit "\": " val
+		if (unit == "readings/s") rps[name] = val
+	}
+	if (rows != "") rows = rows ",\n"
+	rows = rows "    {\"name\": \"" name "\", \"iterations\": " iters ", \"metrics\": {" metrics "}}"
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkIngest*\",\n"
+	printf "  \"generated_by\": \"scripts/bench_ingest.sh\",\n"
+	printf "  \"units\": 16384,\n"
+	printf "  \"go\": \"%s\",\n", gover
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"baseline\": {\n"
+	printf "    \"commit\": \"e3c962e\",\n"
+	printf "    \"host\": \"Intel Xeon @ 2.10GHz\",\n"
+	printf "    \"note\": \"pre-batch-plane ingest: per-call read buffers, no framing, no delta suppression\",\n"
+	printf "    \"per_reading\": {\"readings/s\": 751842, \"allocs/op\": 16791, \"B/op\": 68592},\n"
+	printf "    \"node_frame\": {\"readings/s\": 56950980, \"allocs/op\": 128, \"B/op\": 49166}\n"
+	printf "  },\n"
+	if (rps["PerReading"] != "" && rps["BatchNode"] != "" && rps["PerReading"] + 0 > 0) {
+		printf "  \"batch_vs_per_reading\": %.1f,\n", rps["BatchNode"] / rps["PerReading"]
+	}
+	printf "  \"results\": [\n%s\n  ]\n", rows
+	printf "}\n"
+}' "$RAW" >"$OUT"
+
+echo "wrote $OUT"
