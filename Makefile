@@ -32,18 +32,20 @@ test:
 # The race detector multiplies runtime ~10x; -short skips the longest
 # simulation suites while still exercising every concurrent code path
 # (daemon, agent, telemetry registry, flight recorder, sharded decision
-# core, series sampler).
+# core, series sampler) plus the dense/sparse equivalence suites
+# (TestSparse* in internal/core and internal/daemon), which run in full
+# under -short.
 race:
 	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# bench-smoke proves the sequential and sharded decision pipelines both
-# complete a cluster-scale round with -benchmem reporting, and that the
-# BENCH_decide.json emitter parses the output; it is a compile-and-run
-# check, not a timing run. The smoke JSON goes to an untracked path so it
-# never clobbers the committed timing record.
+# bench-smoke proves the sequential, sharded and sparse (dirty-fraction)
+# decision pipelines all complete a cluster-scale round with -benchmem
+# reporting, and that the BENCH_decide.json emitter parses the output; it
+# is a compile-and-run check, not a timing run. The smoke JSON goes to an
+# untracked path so it never clobbers the committed timing record.
 bench-smoke:
 	BENCHTIME=1x OUT=BENCH_decide.smoke.json ./scripts/bench_decide.sh
 
@@ -66,12 +68,14 @@ bench-ingest:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Conn|Device|Readings' ./internal/daemon/ ./internal/faultinject/
 
-# alloc-check is the allocation-regression gate: a warm sequential
-# DecideStats round must not allocate — bare, with a disabled tracer
-# attached, and with the full self-monitoring stack (series sampler +
-# watchdog audits) running beside the daemon's decision loop.
+# alloc-check is the allocation-regression gate: a warm DecideStats
+# round must not allocate — bare, with a disabled tracer attached, on
+# the sharded fork/join path, on the sparse path (masked and maskless,
+# sequential and sharded), and with the full self-monitoring stack
+# (series sampler + watchdog audits) running beside the daemon's
+# decision loop.
 alloc-check:
-	$(GO) test -run 'TestDecideStatsSteadyStateZeroAlloc|TestDecideTracerOffZeroAlloc' -count=1 ./internal/core
+	$(GO) test -run 'TestDecideStatsSteadyStateZeroAlloc|TestDecideTracerOffZeroAlloc|TestDecideShardedSteadyStateZeroAlloc|TestDecideSparseSteadyStateZeroAlloc|TestDecideSparseShardedSteadyStateZeroAlloc' -count=1 ./internal/core
 	$(GO) test -run 'TestDecideSamplerSteadyStateZeroAlloc|TestIngestSteadyStateZeroAlloc' -count=1 ./internal/daemon
 
 # fuzz-smoke gives the wire-protocol decoders a short fuzz shake on every

@@ -300,7 +300,7 @@ func BenchmarkControllerLoop20000(b *testing.B) { benchControllerLoop(b, 20000) 
 // show the per-unit stages scaling with core count; on one core the
 // sharded path measures pure coordination overhead.
 func BenchmarkDecideScaling(b *testing.B) {
-	for _, units := range []int{1024, 4096, 16384} {
+	for _, units := range []int{1024, 4096, 16384, 65536, 262144} {
 		budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
 		shardCounts := []int{1}
 		if p := runtime.GOMAXPROCS(0); p > 1 {
@@ -340,6 +340,89 @@ func BenchmarkDecideScaling(b *testing.B) {
 				}
 				b.ReportMetric(float64(priorityNS.Nanoseconds())/float64(b.N), "priority_ns")
 				b.ReportMetric(float64(kalmanNS.Nanoseconds())/float64(b.N), "kalman_ns")
+			})
+		}
+	}
+
+	// Sparse rows: the deployed configuration (sparse rounds on, dirty
+	// masks from ingest) at three dirty fractions. dirty=100 is the
+	// worst case — every unit changes every round, so the sparse
+	// machinery runs with nothing to skip; dirty=5 is the overprovisioned
+	// steady state the design targets, where 95% of units report no
+	// change and the round touches only the dirty set, the refresh block
+	// and the global stages.
+	for _, units := range []int{16384, 65536, 262144} {
+		budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+		for _, pct := range []int{100, 50, 5} {
+			b.Run(fmt.Sprintf("N=%d/shards=1/dirty=%d", units, pct), func(b *testing.B) {
+				cfg := core.DefaultConfig(units, budget)
+				cfg.SparseRounds = true
+				d, err := core.NewDPS(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				readings := make(power.Vector, units)
+				for u := range readings {
+					readings[u] = power.Watts(40 + u%40)
+				}
+				// The dirty set: contiguous 64-unit blocks spread evenly
+				// across the range, the shape delta-suppressing agents
+				// produce (whole busy nodes among quiet ones).
+				nDirty := units * pct / 100
+				dirty := make([]int, 0, nDirty)
+				mask := core.NewDirtyMask(units)
+				if pct == 100 {
+					for u := 0; u < units; u++ {
+						dirty = append(dirty, u)
+					}
+				} else {
+					blocks := nDirty / 64
+					stride := units / blocks
+					for blk := 0; blk < blocks; blk++ {
+						for j := 0; j < 64; j++ {
+							dirty = append(dirty, blk*stride+j)
+						}
+					}
+				}
+				// Dirty units warm up at their oscillation mean so their
+				// caps converge into the MIMD dead band before the timer
+				// starts — the steady state the rounds then measure is
+				// pipeline work, not cap churn.
+				for _, u := range dirty {
+					readings[u] = 94
+				}
+				// First round: everything is new (the handshake burst)...
+				first := core.NewDirtyMask(units)
+				first.SetAll()
+				d.Decide(core.Snapshot{Power: readings, Interval: 1, Dirty: first})
+				// ...then quiet rounds until the clean majority settles
+				// (rings uniform, Kalman filters at their fixed points).
+				empty := core.NewDirtyMask(units)
+				for i := 0; i < 200; i++ {
+					d.Decide(core.Snapshot{Power: readings, Interval: 1, Dirty: empty})
+				}
+				for _, u := range dirty {
+					mask.Mark(u)
+				}
+				snap := core.Snapshot{Power: readings, Interval: 1, Dirty: mask}
+				var skipped, dirtyCount uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// In-band oscillation: every dirty unit's reading moves
+					// every round, comfortably under its cap, so the rounds
+					// measure per-unit pipeline work rather than budget
+					// churn.
+					for _, u := range dirty {
+						readings[u] = power.Watts(92 + (u*7+i*13)%5)
+					}
+					_, st := d.DecideStats(snap)
+					skipped += uint64(st.SkippedUnits)
+					dirtyCount += uint64(st.DirtyUnits)
+				}
+				b.ReportMetric(float64(skipped)/float64(b.N), "skipped_units")
+				b.ReportMetric(float64(dirtyCount)/float64(b.N), "dirty_units")
 			})
 		}
 	}

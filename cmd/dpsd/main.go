@@ -111,11 +111,17 @@ func main() {
 			total = power.Watts(*units) * 110
 		}
 		budget := power.Budget{Total: total, UnitMax: power.Watts(*unitMax), UnitMin: power.Watts(*unitMin)}
+		// Knob flags land before the manager is built: some of them
+		// (-sparse-rounds, -sparse-refresh-every) are controller
+		// construction inputs, not server settings.
+		applyKnobFlags(&cfg)
 		switch *policy {
 		case "dps":
-			cfg := core.DefaultConfig(*units, budget)
-			cfg.Seed = *seed
-			mgr, err = core.NewDPS(cfg)
+			ccfg := core.DefaultConfig(*units, budget)
+			ccfg.Seed = *seed
+			ccfg.SparseRounds = cfg.SparseRounds
+			ccfg.SparseRefreshEvery = cfg.SparseRefreshEvery
+			mgr, err = core.NewDPS(ccfg)
 		case "slurm":
 			mgr, err = baseline.NewSLURM(*units, budget, stateless.DefaultConfig(), *seed)
 		case "constant":
@@ -126,7 +132,6 @@ func main() {
 		if err != nil {
 			log.Fatalf("dpsd: %v", err)
 		}
-		applyKnobFlags(&cfg)
 	}
 
 	if len(watchRules) > 0 && !cfg.WatchEnabled {

@@ -43,3 +43,91 @@ func TestDecideStatsSteadyStateZeroAlloc(t *testing.T) {
 		t.Errorf("steady-state DecideStats allocated %.1f times per round, want 0", allocs)
 	}
 }
+
+// warmAllocController builds a controller with the given shard and
+// sparse settings and warms it past every cold-start growth path.
+func warmAllocController(t *testing.T, shards int, sparse bool) (*DPS, power.Vector) {
+	t.Helper()
+	const units = 512
+	budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+	cfg := DefaultConfig(units, budget)
+	cfg.Shards = shards
+	cfg.SparseRounds = sparse
+	d, err := NewDPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	readings := make(power.Vector, units)
+	for i := range readings {
+		readings[i] = power.Watts(40 + rng.Float64()*120)
+	}
+	snap := Snapshot{Power: readings, Interval: 1}
+	for i := 0; i < 30; i++ {
+		readings[i%units] += power.Watts(rng.NormFloat64() * 2)
+		d.Decide(snap)
+	}
+	return d, readings
+}
+
+// TestDecideShardedSteadyStateZeroAlloc extends the allocation gate to
+// the parallel path: the fork/join itself must be allocation-free — the
+// task structs are all scalars, the WaitGroup lives in the pool, and the
+// stage closures are prebuilt at construction.
+func TestDecideShardedSteadyStateZeroAlloc(t *testing.T) {
+	d, readings := warmAllocController(t, 4, false)
+	defer d.Close()
+	snap := Snapshot{Power: readings, Interval: 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		readings[0] += 0.01
+		d.DecideStats(snap)
+	})
+	if allocs != 0 {
+		t.Errorf("sharded steady-state DecideStats allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+// TestDecideSparseSteadyStateZeroAlloc covers the sparse path's warm
+// round, with and without an ingest dirty mask: the masked stages, the
+// settle bookkeeping, and the lazy provenance baseline must all run out
+// of preallocated state.
+func TestDecideSparseSteadyStateZeroAlloc(t *testing.T) {
+	d, readings := warmAllocController(t, 1, true)
+	defer d.Close()
+	mask := NewDirtyMask(len(readings))
+	snap := Snapshot{Power: readings, Interval: 1, Dirty: mask}
+	allocs := testing.AllocsPerRun(100, func() {
+		mask.Reset()
+		readings[0] += 0.01
+		mask.Mark(0)
+		d.DecideStats(snap)
+	})
+	if allocs != 0 {
+		t.Errorf("sparse steady-state DecideStats allocated %.1f times per round, want 0", allocs)
+	}
+	snap.Dirty = nil // compare-fallback path
+	allocs = testing.AllocsPerRun(100, func() {
+		readings[0] += 0.01
+		d.DecideStats(snap)
+	})
+	if allocs != 0 {
+		t.Errorf("sparse maskless DecideStats allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+// TestDecideSparseShardedSteadyStateZeroAlloc combines both axes.
+func TestDecideSparseShardedSteadyStateZeroAlloc(t *testing.T) {
+	d, readings := warmAllocController(t, 4, true)
+	defer d.Close()
+	mask := NewDirtyMask(len(readings))
+	snap := Snapshot{Power: readings, Interval: 1, Dirty: mask}
+	allocs := testing.AllocsPerRun(100, func() {
+		mask.Reset()
+		readings[0] += 0.01
+		mask.Mark(0)
+		d.DecideStats(snap)
+	})
+	if allocs != 0 {
+		t.Errorf("sparse sharded DecideStats allocated %.1f times per round, want 0", allocs)
+	}
+}

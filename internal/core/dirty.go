@@ -1,0 +1,94 @@
+package core
+
+import "math/bits"
+
+// DirtyMask marks which units' readings changed since the previous
+// snapshot. The daemon's ingest path marks a unit whenever an accepted
+// report writes its reading slot; delta-suppressed gaps, heartbeats, and
+// liveness touches refresh clocks only and leave the bit clear. A clear
+// bit is therefore a guarantee: the unit's Power value in this snapshot
+// is bitwise identical to the previous one. The sparse decision path
+// leans on exactly that guarantee, so Mark must be called for every
+// reading write, even when the new value happens to equal the old.
+type DirtyMask struct {
+	words []uint64
+	n     int // unit count (bit capacity)
+	count int // set bits
+}
+
+// NewDirtyMask returns a mask covering units [0, n).
+func NewDirtyMask(n int) *DirtyMask {
+	if n < 0 {
+		n = 0
+	}
+	return &DirtyMask{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the unit count the mask covers.
+func (m *DirtyMask) Len() int { return m.n }
+
+// Count returns the number of marked units.
+func (m *DirtyMask) Count() int { return m.count }
+
+// Mark flags unit u as changed. Out-of-range units are ignored;
+// re-marking is idempotent.
+func (m *DirtyMask) Mark(u int) {
+	if u < 0 || u >= m.n {
+		return
+	}
+	w, b := u>>6, uint64(1)<<(u&63)
+	if m.words[w]&b == 0 {
+		m.words[w] |= b
+		m.count++
+	}
+}
+
+// Get reports whether unit u is marked.
+func (m *DirtyMask) Get(u int) bool {
+	if u < 0 || u >= m.n {
+		return false
+	}
+	return m.words[u>>6]&(uint64(1)<<(u&63)) != 0
+}
+
+// Reset clears every bit.
+func (m *DirtyMask) Reset() {
+	clear(m.words)
+	m.count = 0
+}
+
+// SetAll marks every unit. The daemon uses this for snapshots whose
+// provenance it cannot vouch for (e.g. immediately after a restart),
+// turning the sparse path conservative rather than wrong.
+func (m *DirtyMask) SetAll() {
+	for i := range m.words {
+		m.words[i] = ^uint64(0)
+	}
+	if tail := uint(m.n & 63); tail != 0 && len(m.words) > 0 {
+		m.words[len(m.words)-1] = (uint64(1) << tail) - 1
+	}
+	m.count = m.n
+}
+
+// CopyFrom makes m a copy of src. The masks must cover the same unit
+// count; the daemon uses this to double-buffer the live mask into the
+// snapshot the controller reads while ingest keeps marking the original.
+func (m *DirtyMask) CopyFrom(src *DirtyMask) {
+	copy(m.words, src.words)
+	m.count = src.count
+}
+
+// Words exposes the underlying bit words, least-significant bit of
+// words[0] being unit 0. The controller reads these directly; callers
+// must not mutate the slice.
+func (m *DirtyMask) Words() []uint64 { return m.words }
+
+// popcount is Count recomputed from the words; used by tests to check
+// the incremental counter.
+func (m *DirtyMask) popcount() int {
+	total := 0
+	for _, w := range m.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

@@ -43,6 +43,24 @@ type Config struct {
 	// identical to Shards: 1 for a fixed seed.
 	Shards int
 
+	// SparseRounds enables the sparse decision path: per-unit stage work
+	// (Kalman step, history push, priority classification) runs only for
+	// units whose state can have changed — dirty readings, unsettled
+	// histories, moved caps — instead of for all N units every round.
+	// The contract is bitwise: for any input sequence the decided caps
+	// and decision outcomes are identical to the dense path; only the
+	// work (and the DirtyUnits/SkippedUnits stats) differ. See DESIGN.md
+	// §13 for the exactness argument. Off by default at this level; the
+	// daemon turns it on unless rolled back with -sparse-rounds=false.
+	SparseRounds bool
+	// SparseRefreshEvery forces every unit through full dense per-unit
+	// processing at least once every this many rounds (a rotating block
+	// per round), bounding how long any unit's state goes unexercised
+	// and re-verifying the settle certificates against the live rings.
+	// 0 means DefaultSparseRefreshEvery; 1 refreshes everything every
+	// round. Only meaningful with SparseRounds.
+	SparseRefreshEvery int
+
 	// Ablation knobs (all false in the paper's system).
 
 	// DisableKalman feeds raw readings straight into the power history.
@@ -83,6 +101,9 @@ func (c Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("core: negative shard count %d", c.Shards)
 	}
+	if c.SparseRefreshEvery < 0 {
+		return fmt.Errorf("core: negative SparseRefreshEvery %d", c.SparseRefreshEvery)
+	}
 	if err := c.Stateless.Validate(); err != nil {
 		return err
 	}
@@ -117,24 +138,63 @@ type DPS struct {
 
 	prevPrio []bool
 
-	// Cap provenance: prov[u] records which module last moved unit u's cap
-	// this round and its before/after values. stageCaps is the diff
-	// baseline, advanced after every cap-mutating stage. Both are
-	// preallocated; maintaining provenance is a handful of O(units)
-	// compare passes per round and never allocates.
-	prov      []trace.CapChange
-	stageCaps power.Vector
+	// Cap provenance, maintained lazily: reasons[u] is the last module
+	// that moved unit u's cap this round, roundBefore the caps at the
+	// start of the last round that moved anything, and stageCaps the
+	// per-stage diff baseline. Provenance() materializes the CapChange
+	// view into prov on demand. provDirty marks that a round left tags
+	// behind, so the next round must re-baseline; moverless rounds skip
+	// all three O(units) passes — the sparse path's steady state.
+	prov        []trace.CapChange
+	reasons     []trace.Reason
+	roundBefore power.Vector
+	stageCaps   power.Vector
+	provDirty   bool
 
 	// tracer, when set and enabled, receives one span per pipeline stage
 	// per round. Nil by default; every site is guarded by tracer.On(), a
 	// nil-safe atomic load, so the disabled path costs one branch.
 	tracer *trace.Recorder
 
-	// Sharding state: nil/empty when shards == 1 (the sequential path).
-	shards     int
-	pool       *shardPool
-	shardHigh  []int // per-shard high-priority tallies
-	shardFlips []int // per-shard priority-flip tallies
+	// Sharding state. pool is nil when shards == 1 (the sequential
+	// path); tallies always holds max(shards, 1) entries so the
+	// sequential sparse path can reuse slot 0.
+	shards  int
+	pool    *shardPool
+	tallies []shardTally
+
+	// Prebuilt shard-stage closures: building them once (capturing only
+	// d) keeps pool.run allocation-free; the per-round inputs they need
+	// travel through the r* fields below.
+	denseKalmanFn    func(int)
+	denseClassifyFn  func(int)
+	sparseKalmanFn   func(int)
+	sparseClassifyFn func(int)
+	// Per-round stage inputs for the prebuilt closures, set by
+	// DecideStats before pool.run and read-only during a stage.
+	rPower                 power.Vector
+	rHealth                []UnitHealth
+	rDT                    power.Seconds
+	rRefreshLo, rRefreshHi int // refresh block unit range, half-open
+
+	// Sparse-round state (allocated only when cfg.SparseRounds).
+	sparse       bool
+	refreshEvery int
+	nWords       int
+	tailMask     uint64   // valid bits of the last mask word
+	settledW     []uint64 // units whose per-unit state is bitwise fixed
+	dirtyW       []uint64 // this round's changed-reading set
+	capMovedW    []uint64 // units whose caps moved during the previous round
+	roundMovedW  []uint64 // units whose caps moved so far this round
+	visitW       []uint64 // scratch: the MIMD decrease pass's visit mask
+	lastVal      power.Vector
+	lastStep     []uint64 // round of each unit's last dense processing
+	frozen       []priority.FrozenStats
+	lastDT       power.Seconds
+	highCount    int // maintained incrementally: count of true prio flags
+	cachedSum    power.Watts
+	sumValid     bool
+	anyMove      bool // any cap moved this round (stage notes maintain it)
 }
 
 // StageTimings is the wall time one Decide call spent in each stage of the
@@ -186,7 +246,21 @@ type RoundStats struct {
 	// Shards is the number of worker shards the per-unit stages ran
 	// across this round (1 = the sequential path).
 	Shards int
+	// DirtyUnits is the number of units whose reading changed since the
+	// previous round, DirtyFrac the same as a fraction of all units, and
+	// SkippedUnits the number of fresh units whose per-unit stage work
+	// the sparse path elided this round. All three are populated only
+	// when SparseRounds is enabled (the dense path doesn't track them).
+	DirtyUnits   int
+	SkippedUnits int
+	DirtyFrac    float64
 }
+
+// DefaultSparseRefreshEvery is the forced-refresh period the sparse path
+// uses when Config.SparseRefreshEvery is zero, mirroring the agent-side
+// delta plane's RefreshEvery default: every unit gets full dense
+// processing at least once per this many rounds.
+const DefaultSparseRefreshEvery = 64
 
 var _ Manager = (*DPS)(nil)
 
@@ -227,26 +301,76 @@ func NewDPS(cfg Config) (*DPS, error) {
 		changed:     make([]bool, cfg.Units),
 		prevPrio:    make([]bool, cfg.Units),
 		prov:        make([]trace.CapChange, cfg.Units),
+		reasons:     make([]trace.Reason, cfg.Units),
+		roundBefore: power.NewVector(cfg.Units, 0),
 		stageCaps:   power.NewVector(cfg.Units, 0),
 		shards:      cfg.shardCount(),
 	}
 	for i := range d.caps {
 		d.caps[i] = d.constantCap
 	}
+	copy(d.roundBefore, d.caps)
+	copy(d.stageCaps, d.caps)
 	// The rings maintain an O(1) tail-duration aggregate sized to the
 	// derivative window, so the priority stage's windowed derivative never
 	// rescans durations (DerivWindow samples span DerivWindow−1 intervals).
 	d.hist.SetTailWindow(cfg.Priority.DerivWindow - 1)
+	d.tallies = make([]shardTally, max(d.shards, 1))
+	if cfg.SparseRounds {
+		d.sparse = true
+		d.refreshEvery = cfg.SparseRefreshEvery
+		if d.refreshEvery == 0 {
+			d.refreshEvery = DefaultSparseRefreshEvery
+		}
+		d.nWords = (cfg.Units + 63) / 64
+		d.tailMask = ^uint64(0)
+		if tail := uint(cfg.Units & 63); tail != 0 {
+			d.tailMask = (uint64(1) << tail) - 1
+		}
+		d.settledW = make([]uint64, d.nWords)
+		d.dirtyW = make([]uint64, d.nWords)
+		d.capMovedW = make([]uint64, d.nWords)
+		d.roundMovedW = make([]uint64, d.nWords)
+		d.visitW = make([]uint64, d.nWords)
+		d.lastVal = power.NewVector(cfg.Units, 0)
+		d.lastStep = make([]uint64, cfg.Units)
+		d.frozen = make([]priority.FrozenStats, cfg.Units)
+		// Round 1 must visit everyone: no unit has a settle certificate
+		// yet and every cap is "new" to the MIMD decrease pass.
+		d.setAllWords(d.capMovedW)
+	}
 	if d.shards > 1 {
 		d.pool = newShardPool(d.shards - 1)
-		d.shardHigh = make([]int, d.shards)
-		d.shardFlips = make([]int, d.shards)
 		// Belt and braces: an abandoned controller must not leak its
 		// worker goroutines, so the collector closes the pool if the
 		// owner never calls Close.
 		runtime.SetFinalizer(d, func(d *DPS) { d.pool.close() })
 	}
+	// Prebuilt stage closures keep the warm sharded round allocation-free
+	// (a closure built per round escapes to the heap via the pool's task
+	// channel). They capture only d; per-round inputs ride in d's r*
+	// fields.
+	d.denseKalmanFn = func(s int) { d.denseKalmanShard(s) }
+	d.denseClassifyFn = func(s int) { d.denseClassifyShard(s) }
+	d.sparseKalmanFn = func(s int) {
+		lo, hi := shardRange(s, d.shards, d.nWords)
+		d.sparseKalmanWords(lo, hi, &d.tallies[s])
+	}
+	d.sparseClassifyFn = func(s int) {
+		lo, hi := shardRange(s, d.shards, d.nWords)
+		d.sparseClassifyWords(lo, hi, &d.tallies[s])
+	}
 	return d, nil
+}
+
+// setAllWords sets every valid unit bit in a sparse mask.
+func (d *DPS) setAllWords(w []uint64) {
+	for i := range w {
+		w[i] = ^uint64(0)
+	}
+	if d.nWords > 0 {
+		w[d.nWords-1] = d.tailMask
+	}
 }
 
 // Close stops the shard worker pool. It is optional — a collected
@@ -306,10 +430,25 @@ func (d *DPS) SetTracer(tr *trace.Recorder) { d.tracer = tr }
 // Provenance returns per-unit cap provenance for the most recent decision
 // round: which module last moved each unit's cap, and the round's
 // before/after values. The slice is owned by the controller and
-// overwritten by the next round; it obeys the same single-threaded
+// overwritten by the next call; it obeys the same single-threaded
 // contract as DecideStats (read it before the next round starts).
 // Entries with Reason trace.ReasonNone had Before == After.
-func (d *DPS) Provenance() []trace.CapChange { return d.prov }
+//
+// The view is materialized on call from the controller's running
+// provenance state (reason tags plus the round-start baseline), so
+// rounds in which no module moved any cap — the sparse path's steady
+// state — pay nothing for provenance upkeep. Allocation-free: the
+// backing slice is preallocated.
+func (d *DPS) Provenance() []trace.CapChange {
+	for u, c := range d.caps {
+		d.prov[u] = trace.CapChange{
+			Reason: d.reasons[u],
+			Before: float64(d.roundBefore[u]),
+			After:  float64(c),
+		}
+	}
+	return d.prov
+}
 
 // Decide implements Manager: one pass of the Figure 3 pipeline. Callers
 // that also need the round's stats should use DecideStats.
@@ -339,13 +478,16 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 	stats := RoundStats{Step: d.steps, Shards: d.shards}
 	start := time.Now()
 
-	// Provenance baseline: every unit starts the round unchanged. The
-	// diff passes after each cap-mutating stage advance stageCaps and tag
-	// the last mover.
-	for u, c := range d.caps {
-		d.prov[u] = trace.CapChange{Before: float64(c), After: float64(c)}
-		d.stageCaps[u] = c
+	// Provenance re-baseline, skipped when the previous round moved
+	// nothing: the tags are then still all ReasonNone and both baselines
+	// already equal the live caps bit for bit.
+	if d.provDirty {
+		clear(d.reasons)
+		copy(d.roundBefore, d.caps)
+		copy(d.stageCaps, d.caps)
+		d.provDirty = false
 	}
+	d.anyMove = false
 
 	// Degraded-mode setup: a round is degraded when any unit is non-fresh.
 	// Non-fresh units are pinned at their current caps — the caps their
@@ -376,25 +518,39 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 		}
 	}
 
+	// Per-round inputs for the per-unit stage bodies (the prebuilt shard
+	// closures read them from the controller rather than capturing them,
+	// keeping warm rounds allocation-free).
+	d.rPower, d.rHealth, d.rDT = snap.Power, health, dt
+	if d.sparse {
+		d.beginSparseRound(snap, dt, health, &stats)
+	}
+
 	// Kalman estimation feeds the power history (the controller's state).
 	// Per-unit and therefore shardable: each unit's filter and ring are
 	// touched by exactly one shard. Non-fresh units are skipped: their
 	// reading is a replay of the last accepted report, and pushing it
 	// would fabricate a flat, confident history out of no information.
-	if d.shards > 1 {
-		d.pool.run(d.shards, func(s int) {
-			lo, hi := shardRange(s, d.shards, d.cfg.Units)
-			for u := lo; u < hi; u++ {
-				if health != nil && health[u] != HealthFresh {
-					continue
-				}
-				est := snap.Power[u]
-				if !d.cfg.DisableKalman {
-					est = d.filters.Step(power.UnitID(u), est)
-				}
-				d.hist.Push(power.UnitID(u), est, dt)
-			}
-		})
+	// The sparse path processes only dirty, unsettled, or refresh-due
+	// units — eliding a settled unit's push is a proven bitwise no-op
+	// (see history.Ring.SettledFor).
+	if d.sparse {
+		for i := range d.tallies {
+			d.tallies[i] = shardTally{}
+		}
+		if d.shards > 1 {
+			d.pool.run(d.shards, d.sparseKalmanFn)
+		} else {
+			d.sparseKalmanWords(0, d.nWords, &d.tallies[0])
+		}
+		processed := 0
+		for i := range d.tallies {
+			processed += d.tallies[i].processed
+		}
+		stats.SkippedUnits = d.cfg.Units - processed - stats.StaleUnits - stats.DeadUnits
+		stats.DirtyFrac = float64(stats.DirtyUnits) / float64(d.cfg.Units)
+	} else if d.shards > 1 {
+		d.pool.run(d.shards, d.denseKalmanFn)
 	} else {
 		for u := 0; u < d.cfg.Units; u++ {
 			if health != nil && health[u] != HealthFresh {
@@ -415,9 +571,23 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 
 	// Stateless module: temporary cap allocation from current power alone.
 	// Global and sequential — its random visiting order is part of the
-	// deterministic contract.
-	d.statelessM.Apply(snap.Power, d.caps, d.cfg.Budget, d.changed)
-	d.noteStatelessChanges()
+	// deterministic contract. The sparse path masks the decrease pass to
+	// units whose (power, cap) pair can have changed since their last
+	// no-op visit; the increase pass always runs in full (it shares one
+	// budget pool and the seeded visiting order).
+	if d.sparse {
+		for i, w := range d.dirtyW {
+			d.visitW[i] = w | d.capMovedW[i]
+		}
+		decCh, raiseCh := d.statelessM.ApplyMasked(snap.Power, d.caps, d.cfg.Budget, d.changed, d.visitW, d.cachedSum, d.sumValid)
+		if decCh || raiseCh {
+			d.sumValid = false
+			d.noteStatelessChanges()
+		}
+	} else {
+		d.statelessM.Apply(snap.Power, d.caps, d.cfg.Budget, d.changed)
+		d.noteStatelessChanges()
+	}
 	now := time.Now()
 	stats.Timings.Stateless = now.Sub(mark)
 	if d.tracer.On() {
@@ -435,30 +605,30 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 		// heap, which would cost the sequential path one allocation per
 		// round. The closure reads the module's flags directly instead.
 		var prio []bool
-		if d.shards > 1 {
-			d.pool.run(d.shards, func(s int) {
-				prio := d.priorityM.Priorities()
-				lo, hi := shardRange(s, d.shards, d.cfg.Units)
-				high, flips := 0, 0
-				for u := lo; u < hi; u++ {
-					if health == nil || health[u] == HealthFresh {
-						d.priorityM.UpdateUnit(power.UnitID(u), d.hist.Unit(power.UnitID(u)), snap.Power[u], d.caps[u], d.constantCap)
-					}
-					p := prio[u]
-					if p {
-						high++
-					}
-					if p != d.prevPrio[u] {
-						flips++
-					}
-					d.prevPrio[u] = p
-				}
-				d.shardHigh[s], d.shardFlips[s] = high, flips
-			})
+		if d.sparse {
+			// Sparse classification: only units whose inputs can have
+			// changed — dirty reading, unsettled history, cap moved last
+			// round or by this round's MIMD pass, or refresh-due — are
+			// reclassified; settled off-mask units provably keep their
+			// flags. High/flip tallies are maintained incrementally from
+			// the observed transitions.
+			if d.shards > 1 {
+				d.pool.run(d.shards, d.sparseClassifyFn)
+			} else {
+				d.sparseClassifyWords(0, d.nWords, &d.tallies[0])
+			}
+			for i := range d.tallies {
+				d.highCount += d.tallies[i].high // high holds the delta
+				stats.PriorityFlips += d.tallies[i].flips
+			}
+			stats.HighPriority = d.highCount
+			prio = d.priorityM.Priorities()
+		} else if d.shards > 1 {
+			d.pool.run(d.shards, d.denseClassifyFn)
 			prio = d.priorityM.Priorities()
 			for s := 0; s < d.shards; s++ {
-				stats.HighPriority += d.shardHigh[s]
-				stats.PriorityFlips += d.shardFlips[s]
+				stats.HighPriority += d.tallies[s].high
+				stats.PriorityFlips += d.tallies[s].flips
 			}
 		} else if health != nil {
 			// Degraded sequential round: per-unit updates so non-fresh
@@ -502,7 +672,14 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 		if d.lastRestored {
 			d.noteCapChanges(trace.ReasonRestore)
 		} else {
-			outcome := d.readjustM.Readjust(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed)
+			var outcome readjust.Outcome
+			if d.sparse {
+				// The incrementally maintained high count replaces
+				// Readjust's O(N) priority rescan; same bits.
+				outcome = d.readjustM.ReadjustCounted(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed, d.highCount)
+			} else {
+				outcome = d.readjustM.Readjust(d.caps, prio, d.cfg.Budget, d.constantCap, d.changed)
+			}
 			stats.BudgetExhausted = outcome == readjust.OutcomeEqualize
 			switch outcome {
 			case readjust.OutcomeGrant:
@@ -544,10 +721,22 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 		}
 	}
 
-	stats.BudgetClamped = d.enforceBudget(health)
-	d.noteCapChanges(trace.ReasonClamp)
-	for u, c := range d.caps {
-		d.prov[u].After = float64(c)
+	// Final budget clamp, elided in the sparse steady state: when no
+	// module moved any cap this round, the caps are bit-for-bit the
+	// vector the previous round's clamp blessed — bounds still hold and
+	// the cached sum is exactly what caps.Sum() would return.
+	if d.sparse && !d.anyMove && health == nil && d.sumValid && d.cachedSum <= d.cfg.Budget.Total {
+		stats.BudgetClamped = false
+	} else {
+		var clampMoved bool
+		stats.BudgetClamped, clampMoved = d.enforceBudget(health)
+		if clampMoved || !d.sparse {
+			d.noteCapChanges(trace.ReasonClamp)
+		}
+	}
+	if d.sparse {
+		// This round's movers become the next round's revisit set.
+		d.capMovedW, d.roundMovedW = d.roundMovedW, d.capMovedW
 	}
 	stats.Total = time.Since(start)
 	if d.tracer.On() {
@@ -561,26 +750,46 @@ func (d *DPS) DecideStats(snap Snapshot) (power.Vector, RoundStats) {
 // and its increase loop re-raise it within one pass, and the net movement
 // is what the operator asks about.
 func (d *DPS) noteStatelessChanges() {
+	any := false
 	for u, c := range d.caps {
 		if c != d.stageCaps[u] {
 			if c < d.stageCaps[u] {
-				d.prov[u].Reason = trace.ReasonMIMDCut
+				d.reasons[u] = trace.ReasonMIMDCut
 			} else {
-				d.prov[u].Reason = trace.ReasonMIMDRaise
+				d.reasons[u] = trace.ReasonMIMDRaise
 			}
 			d.stageCaps[u] = c
+			if d.sparse {
+				d.roundMovedW[u>>6] |= uint64(1) << uint(u&63)
+			}
+			any = true
 		}
+	}
+	if any {
+		d.provDirty = true
+		d.anyMove = true
 	}
 }
 
 // noteCapChanges tags every unit whose cap moved since the previous
-// stage baseline with reason, and advances the baseline.
+// stage baseline with reason, and advances the baseline. In sparse mode
+// it also records the movers in the round's moved mask, which drives the
+// next round's revisit set.
 func (d *DPS) noteCapChanges(reason trace.Reason) {
+	any := false
 	for u, c := range d.caps {
 		if c != d.stageCaps[u] {
-			d.prov[u].Reason = reason
+			d.reasons[u] = reason
 			d.stageCaps[u] = c
+			if d.sparse {
+				d.roundMovedW[u>>6] |= uint64(1) << uint(u&63)
+			}
+			any = true
 		}
+	}
+	if any {
+		d.provDirty = true
+		d.anyMove = true
 	}
 }
 
@@ -606,7 +815,10 @@ const overBudgetEps = power.Watts(1e-6)
 // A pre-clamp excess is therefore expected in degraded rounds (the
 // stateless stage may have re-dealt a frozen unit's headroom), and only a
 // residual excess after the masked rescale counts as a violation.
-func (d *DPS) enforceBudget(health []UnitHealth) bool {
+// It also reports whether it moved any cap, and caches the cap sum it
+// computed (valid whenever the clamp left the caps untouched afterward),
+// which the sparse path reuses to skip redundant O(N) summations.
+func (d *DPS) enforceBudget(health []UnitHealth) (violated, moved bool) {
 	b := d.cfg.Budget
 	free := func(u int) bool { return health == nil || health[u] == HealthFresh }
 	for u, c := range d.caps {
@@ -615,15 +827,18 @@ func (d *DPS) enforceBudget(health []UnitHealth) bool {
 		}
 		if c < b.UnitMin {
 			d.caps[u] = b.UnitMin
+			moved = true
 		} else if c > b.UnitMax {
 			d.caps[u] = b.UnitMax
+			moved = true
 		}
 	}
 	total := d.caps.Sum()
 	if total <= b.Total {
-		return false
+		d.cachedSum, d.sumValid = total, true
+		return false, moved
 	}
-	violated := total > b.Total+overBudgetEps
+	violated = total > b.Total+overBudgetEps
 	// Scale down the free units' headroom above UnitMin proportionally.
 	excess := total - b.Total
 	var above power.Watts
@@ -633,7 +848,8 @@ func (d *DPS) enforceBudget(health []UnitHealth) bool {
 		}
 	}
 	if above <= 0 {
-		return violated
+		d.cachedSum, d.sumValid = total, true
+		return violated, moved
 	}
 	frac := excess / above
 	if frac > 1 {
@@ -644,12 +860,16 @@ func (d *DPS) enforceBudget(health []UnitHealth) bool {
 			d.caps[u] -= (d.caps[u] - b.UnitMin) * frac
 		}
 	}
+	moved = true
+	d.sumValid = false
 	if health != nil {
 		// Degraded rounds report a violation only if the masked rescale
 		// could not restore the invariant.
-		return d.caps.Sum() > b.Total+overBudgetEps
+		final := d.caps.Sum()
+		d.cachedSum, d.sumValid = final, true
+		return final > b.Total+overBudgetEps, moved
 	}
-	return violated
+	return violated, moved
 }
 
 // SetTotalBudget changes the cluster-wide power limit at runtime, keeping
@@ -667,6 +887,13 @@ func (d *DPS) SetTotalBudget(total power.Watts) error {
 	}
 	d.cfg.Budget = b
 	d.constantCap = b.ConstantCap(d.cfg.Units)
+	if d.sparse {
+		// A new budget changes classification inputs (the idle-revert
+		// floor tracks the constant cap) and the MIMD headroom, so every
+		// unit must be revisited; the settle certificates themselves
+		// stay valid — they describe filter and ring state only.
+		d.setAllWords(d.capMovedW)
+	}
 	return nil
 }
 
@@ -683,9 +910,22 @@ func (d *DPS) Reset() {
 		d.prevPrio[u] = false
 	}
 	d.lastRestored = false
-	for u := range d.prov {
-		d.prov[u] = trace.CapChange{Before: float64(d.constantCap), After: float64(d.constantCap)}
+	clear(d.reasons)
+	for u := range d.roundBefore {
+		d.roundBefore[u] = d.constantCap
 		d.stageCaps[u] = d.constantCap
+	}
+	d.provDirty = false
+	if d.sparse {
+		clear(d.settledW)
+		clear(d.dirtyW)
+		clear(d.roundMovedW)
+		d.setAllWords(d.capMovedW)
+		clear(d.lastVal)
+		clear(d.lastStep)
+		d.lastDT = 0
+		d.highCount = 0
+		d.sumValid = false
 	}
 	d.steps = 0
 }

@@ -67,6 +67,13 @@ type Snapshot struct {
 	// fresh units; managers that ignore it still stay budget-safe because
 	// the daemon re-pins delivered caps (see daemon.Server).
 	Health []UnitHealth
+	// Dirty optionally marks which units' Power values changed since the
+	// previous snapshot (see DirtyMask for the exact contract). Nil means
+	// unknown: sparse-round managers must then derive the changed set
+	// themselves by comparing against the previous snapshot. Managers
+	// that ignore it lose nothing — it is a pure work-avoidance hint and
+	// never affects the decided caps.
+	Dirty *DirtyMask
 }
 
 // Manager decides per-unit power caps from per-unit power readings.

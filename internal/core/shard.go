@@ -43,7 +43,6 @@ func (c Config) shardCount() int {
 type shardTask struct {
 	fn    func(shard int)
 	shard int
-	wg    *sync.WaitGroup
 }
 
 // shardPool is a reusable set of worker goroutines for the controller's
@@ -58,6 +57,12 @@ type shardPool struct {
 	tasks chan shardTask
 	stop  chan struct{}
 	once  sync.Once
+	// wg synchronizes one run call; owned by the pool rather than the
+	// stack so a warm round performs zero allocations (a per-call
+	// WaitGroup escapes to the heap through the task struct). run is
+	// never re-entered — decision rounds are single-threaded — so one
+	// WaitGroup suffices.
+	wg sync.WaitGroup
 }
 
 // newShardPool starts workers goroutines (one fewer than the shard count
@@ -77,22 +82,34 @@ func (p *shardPool) work() {
 			return
 		case t := <-p.tasks:
 			t.fn(t.shard)
-			t.wg.Done()
+			p.wg.Done()
 		}
 	}
 }
 
 // run executes fn(s) for every shard s in [0, shards): shards 1..P−1 on
 // pool workers, shard 0 on the calling goroutine. It returns after every
-// shard completed, so fn's writes are visible to the caller.
+// shard completed, so fn's writes are visible to the caller. Allocation-
+// free when fn is a prebuilt closure: the task struct is all scalars and
+// the WaitGroup lives in the pool. Not reentrant (one run at a time),
+// which the single-threaded decision-round contract already guarantees.
 func (p *shardPool) run(shards int, fn func(shard int)) {
-	var wg sync.WaitGroup
-	wg.Add(shards - 1)
+	p.wg.Add(shards - 1)
 	for s := 1; s < shards; s++ {
-		p.tasks <- shardTask{fn: fn, shard: s, wg: &wg}
+		p.tasks <- shardTask{fn: fn, shard: s}
 	}
 	fn(0)
-	wg.Wait()
+	p.wg.Wait()
+}
+
+// shardTally is one shard's integer tallies for a per-unit stage, padded
+// to a cache line so neighbouring shards' updates never write-share.
+// Which fields a stage uses is the stage's business: the dense classify
+// pass stores absolute high-priority counts in high, the sparse one
+// stores the round's high-count delta there.
+type shardTally struct {
+	high, flips, processed, dirty int
+	_                             [32]byte
 }
 
 // close stops the workers. Idempotent; safe from a finalizer.

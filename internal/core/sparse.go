@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dps/internal/power"
+)
+
+// This file holds the sparse decision path's per-round machinery: the
+// dirty-set intake, the masked Kalman/history stage, and the masked
+// classification stage, plus the dense sharded stage bodies (which share
+// the prebuilt-closure plumbing). The exactness contract — sparse caps
+// bitwise identical to dense caps for any input sequence — is documented
+// in DESIGN.md §13; the short version is that a unit is skipped only
+// when skipping is provably a bitwise no-op:
+//
+//   - its reading is unchanged (dirty bit clear, backed by the daemon's
+//     ingest marking or by direct comparison against lastVal),
+//   - its Kalman filter is at a bitwise fixed point (kalman.StepSettled),
+//   - its history ring is settled: full, uniform at exactly (est, dt),
+//     and closed under Push's and recompute's float arithmetic
+//     (history.Ring.SettledFor), and
+//   - its classification inputs are unchanged (settled ring, unchanged
+//     reading, cap untouched since its last classification) — cached as
+//     priority.FrozenStats for the rounds where only the cap moved.
+//
+// Elided ring pushes are accounted via Ring.AdvancePushes so the
+// periodic recompute fires on the same round as the dense path's.
+
+// beginSparseRound loads the round's dirty set, maintains the settle
+// bookkeeping that depends on round inputs (dt changes, non-fresh
+// units), clears the round-mover scratch mask, and computes the forced
+// refresh block.
+func (d *DPS) beginSparseRound(snap Snapshot, dt power.Seconds, health []UnitHealth, stats *RoundStats) {
+	units := d.cfg.Units
+	// A settle certificate is specific to the interval it was issued
+	// under (the ring must be uniform at exactly dt); a different
+	// interval voids all of them.
+	if dt != d.lastDT {
+		clear(d.settledW)
+		d.lastDT = dt
+	}
+	if snap.Dirty != nil {
+		if snap.Dirty.Len() != units {
+			panic(fmt.Sprintf("core: dirty mask for %d units, controller has %d", snap.Dirty.Len(), units))
+		}
+		copy(d.dirtyW, snap.Dirty.Words())
+		stats.DirtyUnits = snap.Dirty.Count()
+	} else {
+		// No provenance for the snapshot: derive the changed set by
+		// comparing against the last materialized values. O(N) compares,
+		// but still cheaper than dense processing — and it keeps the
+		// sparse path exact for callers (sim, tests) that never build a
+		// mask.
+		dirty := 0
+		for wi := 0; wi < d.nWords; wi++ {
+			base := wi << 6
+			end := min(base+64, units)
+			var w uint64
+			for u := base; u < end; u++ {
+				if snap.Power[u] != d.lastVal[u] {
+					w |= uint64(1) << uint(u-base)
+				}
+			}
+			d.dirtyW[wi] = w
+			dirty += bits.OnesCount64(w)
+		}
+		stats.DirtyUnits = dirty
+	}
+	clear(d.roundMovedW)
+	// The refresh block: round r forces block (r−1) mod E through full
+	// dense processing, so every unit is re-verified against its live
+	// ring at least once per E rounds.
+	k := int((d.steps - 1) % uint64(d.refreshEvery))
+	d.rRefreshLo, d.rRefreshHi = shardRange(k, d.refreshEvery, units)
+	if health != nil {
+		// Non-fresh units receive no push in either path, so their
+		// elided-push accounting must not cover these rounds: pin
+		// lastStep to now. A dirty non-fresh unit cannot happen through
+		// the daemon (an accepted report makes a unit fresh in the same
+		// snapshot), but if a caller hands us one, void its certificate
+		// — clearing is always safe.
+		for u, h := range health {
+			if h != HealthFresh {
+				d.lastStep[u] = d.steps
+				wi, bit := u>>6, uint64(1)<<uint(u&63)
+				if d.dirtyW[wi]&bit != 0 {
+					d.settledW[wi] &^= bit
+				}
+			}
+		}
+	}
+}
+
+// wordMaskForRange returns the bits of word wi (covering units
+// [wi*64, wi*64+64)) that fall inside the half-open unit range [lo, hi).
+func wordMaskForRange(lo, hi, base int) uint64 {
+	if hi <= base || lo >= base+64 {
+		return 0
+	}
+	s := lo - base
+	if s < 0 {
+		s = 0
+	}
+	e := hi - base
+	if e > 64 {
+		e = 64
+	}
+	m := ^uint64(0) >> uint(64-(e-s))
+	return m << uint(s)
+}
+
+// validWord returns the in-range unit bits of mask word wi.
+func (d *DPS) validWord(wi int) uint64 {
+	if wi == d.nWords-1 {
+		return d.tailMask
+	}
+	return ^uint64(0)
+}
+
+// sparseKalmanWords runs the masked Kalman/history stage over mask words
+// [wlo, whi): every dirty, unsettled, or refresh-due fresh unit gets the
+// full dense treatment (filter step, ring push) plus settle detection;
+// everything else is skipped under the bitwise no-op contract.
+func (d *DPS) sparseKalmanWords(wlo, whi int, t *shardTally) {
+	snapP, health, dt := d.rPower, d.rHealth, d.rDT
+	rlo, rhi := d.rRefreshLo, d.rRefreshHi
+	processed, dirtyCount := 0, 0
+	for wi := wlo; wi < whi; wi++ {
+		valid := d.validWord(wi)
+		base := wi << 6
+		dw := d.dirtyW[wi]
+		dirtyCount += bits.OnesCount64(dw & valid)
+		work := (dw | ^d.settledW[wi] | wordMaskForRange(rlo, rhi, base)) & valid
+		for w := work; w != 0; w &= w - 1 {
+			u := base + bits.TrailingZeros64(w)
+			if health != nil && health[u] != HealthFresh {
+				continue
+			}
+			bit := uint64(1) << uint(u&63)
+			p := snapP[u]
+			ring := d.hist.Unit(power.UnitID(u))
+			wasSettled := d.settledW[wi]&bit != 0
+			if wasSettled {
+				// Catch up the recompute schedule for the pushes elided
+				// while the unit was settled (each one a proven no-op).
+				if elided := d.steps - 1 - d.lastStep[u]; elided > 0 {
+					ring.AdvancePushes(int(elided))
+				}
+			}
+			est := p
+			fixed := true
+			if !d.cfg.DisableKalman {
+				est, fixed = d.filters.StepSettled(power.UnitID(u), p)
+			}
+			ring.Push(est, dt)
+			d.lastStep[u] = d.steps
+			processed++
+			if p == d.lastVal[u] && fixed && ring.SettledFor(est, dt) {
+				if !wasSettled {
+					d.settledW[wi] |= bit
+					d.frozen[u] = d.priorityM.Freeze(ring)
+				}
+				// Already settled: the ring is unchanged, so the frozen
+				// stats are still exact.
+			} else {
+				d.settledW[wi] &^= bit
+			}
+			d.lastVal[u] = p
+		}
+	}
+	t.processed, t.dirty = processed, dirtyCount
+}
+
+// sparseClassifyWords runs the masked classification stage over mask
+// words [wlo, whi). A unit is reclassified when any input can have
+// changed: dirty reading, unsettled ring, cap moved last round (by any
+// stage) or this round (by the MIMD pass), or refresh-due. Settled
+// off-refresh units classify from their FrozenStats without touching the
+// ring; refresh-due units take the dense path as a self-audit. The tally
+// records priority flips and the net high-count delta.
+func (d *DPS) sparseClassifyWords(wlo, whi int, t *shardTally) {
+	snapP, health := d.rPower, d.rHealth
+	rlo, rhi := d.rRefreshLo, d.rRefreshHi
+	prio := d.priorityM.Priorities()
+	flips, highDelta := 0, 0
+	for wi := wlo; wi < whi; wi++ {
+		base := wi << 6
+		refresh := wordMaskForRange(rlo, rhi, base)
+		work := (d.dirtyW[wi] | ^d.settledW[wi] | d.capMovedW[wi] | d.roundMovedW[wi] | refresh) & d.validWord(wi)
+		for w := work; w != 0; w &= w - 1 {
+			u := base + bits.TrailingZeros64(w)
+			if health != nil && health[u] != HealthFresh {
+				continue
+			}
+			bit := uint64(1) << uint(u&63)
+			before := prio[u]
+			if d.settledW[wi]&bit != 0 && refresh&bit == 0 {
+				d.priorityM.UpdateUnitFrozen(power.UnitID(u), d.frozen[u], snapP[u], d.caps[u], d.constantCap)
+			} else {
+				d.priorityM.UpdateUnit(power.UnitID(u), d.hist.Unit(power.UnitID(u)), snapP[u], d.caps[u], d.constantCap)
+			}
+			if after := prio[u]; after != before {
+				flips++
+				if after {
+					highDelta++
+				} else {
+					highDelta--
+				}
+			}
+		}
+	}
+	t.flips, t.high = flips, highDelta
+}
+
+// denseKalmanShard is the dense sharded Kalman/history stage body for
+// one shard, reading its per-round inputs from the controller's r*
+// fields (set by DecideStats before pool.run).
+func (d *DPS) denseKalmanShard(s int) {
+	snapP, health, dt := d.rPower, d.rHealth, d.rDT
+	lo, hi := shardRange(s, d.shards, d.cfg.Units)
+	for u := lo; u < hi; u++ {
+		if health != nil && health[u] != HealthFresh {
+			continue
+		}
+		est := snapP[u]
+		if !d.cfg.DisableKalman {
+			est = d.filters.Step(power.UnitID(u), est)
+		}
+		d.hist.Push(power.UnitID(u), est, dt)
+	}
+}
+
+// denseClassifyShard is the dense sharded classification stage body for
+// one shard: reclassify every fresh unit, tallying absolute high counts
+// and flips against prevPrio into the shard's padded tally slot.
+func (d *DPS) denseClassifyShard(s int) {
+	snapP, health := d.rPower, d.rHealth
+	prio := d.priorityM.Priorities()
+	lo, hi := shardRange(s, d.shards, d.cfg.Units)
+	high, flips := 0, 0
+	for u := lo; u < hi; u++ {
+		if health == nil || health[u] == HealthFresh {
+			d.priorityM.UpdateUnit(power.UnitID(u), d.hist.Unit(power.UnitID(u)), snapP[u], d.caps[u], d.constantCap)
+		}
+		p := prio[u]
+		if p {
+			high++
+		}
+		if p != d.prevPrio[u] {
+			flips++
+		}
+		d.prevPrio[u] = p
+	}
+	d.tallies[s].high, d.tallies[s].flips = high, flips
+}

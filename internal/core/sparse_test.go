@@ -1,0 +1,460 @@
+package core
+
+import (
+	"testing"
+
+	"dps/internal/power"
+)
+
+// runDeltaTrace drives one controller closed-loop over the demand trace
+// through a simulated report-on-change delta agent: each unit draws
+// min(demand, cap), but the controller sees a new value only when the
+// drawn power moved more than eps from the last reported value —
+// exactly the daemon's delta-suppression plane. With useMask the
+// snapshot carries a DirtyMask marking the units whose reported value
+// was rewritten this round (the daemon's ingest-side bookkeeping);
+// without it the controller must derive the changed set itself.
+func runDeltaTrace(t *testing.T, d *DPS, demand [][]power.Watts, eps power.Watts, useMask bool) ([]power.Vector, []RoundStats) {
+	t.Helper()
+	units := len(demand[0])
+	capsOut := make([]power.Vector, len(demand))
+	statsOut := make([]RoundStats, len(demand))
+	caps := d.Caps().Clone()
+	reported := make(power.Vector, units)
+	var mask *DirtyMask
+	if useMask {
+		mask = NewDirtyMask(units)
+	}
+	for step, row := range demand {
+		if mask != nil {
+			mask.Reset()
+		}
+		for u := range reported {
+			drawn := row[u]
+			if drawn > caps[u] {
+				drawn = caps[u]
+			}
+			diff := drawn - reported[u]
+			if diff < 0 {
+				diff = -diff
+			}
+			if step == 0 || diff > eps {
+				reported[u] = drawn
+				if mask != nil {
+					mask.Mark(u)
+				}
+			}
+		}
+		snap := Snapshot{Power: reported, Interval: 1, Dirty: mask}
+		next, st := d.DecideStats(snap)
+		capsOut[step] = next.Clone()
+		statsOut[step] = st
+		copy(caps, next)
+	}
+	return capsOut, statsOut
+}
+
+// assertSameDecisions compares two closed-loop runs round by round:
+// bitwise-identical caps and identical decision outcomes. Stage timings
+// and the sparse-only work counters are exempt — they are what is
+// allowed to differ.
+func assertSameDecisions(t *testing.T, name string, wantCaps, gotCaps []power.Vector, wantStats, gotStats []RoundStats) {
+	t.Helper()
+	for step := range wantCaps {
+		for u := range wantCaps[step] {
+			if wantCaps[step][u] != gotCaps[step][u] {
+				t.Fatalf("%s: step %d unit %d: cap %v, dense %v", name, step, u, gotCaps[step][u], wantCaps[step][u])
+			}
+		}
+		w, g := wantStats[step], gotStats[step]
+		if g.Restored != w.Restored || g.HighPriority != w.HighPriority ||
+			g.PriorityFlips != w.PriorityFlips || g.BudgetExhausted != w.BudgetExhausted ||
+			g.BudgetClamped != w.BudgetClamped || g.StaleUnits != w.StaleUnits || g.DeadUnits != w.DeadUnits {
+			t.Fatalf("%s: step %d stats diverged:\nsparse %+v\ndense  %+v", name, step, g, w)
+		}
+	}
+}
+
+// TestSparseDenseEquivalence is the sparse path's exactness gate: over a
+// 600-step closed-loop run behind simulated delta agents, the sparse
+// controller must produce bitwise-identical cap vectors and identical
+// decision outcomes to the dense controller — at epsilon 0 (report any
+// change), the daemon default band, and a large band; with and without
+// the ingest dirty mask; across refresh periods including every-round
+// and longer-than-the-run; and on the sharded path.
+func TestSparseDenseEquivalence(t *testing.T) {
+	const (
+		units = 96
+		steps = 600
+	)
+	budget := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	demand := mixedTrace(steps, units, 42)
+
+	build := func(sparse bool, refresh, shards int) *DPS {
+		cfg := DefaultConfig(units, budget)
+		cfg.Seed = 7
+		cfg.Shards = shards
+		cfg.SparseRounds = sparse
+		cfg.SparseRefreshEvery = refresh
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatalf("NewDPS: %v", err)
+		}
+		return d
+	}
+
+	cases := []struct {
+		name    string
+		eps     power.Watts
+		refresh int
+		shards  int
+		mask    bool
+	}{
+		{"eps=0/mask", 0, 0, 1, true},
+		{"eps=0/nomask", 0, 0, 1, false},
+		{"eps=default/mask", 2.5, 0, 1, true},
+		{"eps=default/nomask", 2.5, 0, 1, false},
+		{"eps=large/mask", 25, 0, 1, true},
+		{"refresh=1", 2.5, 1, 1, true},
+		{"refresh=3", 2.5, 3, 1, true},
+		{"refresh=longer-than-run", 2.5, 1000, 1, true},
+		{"shards=4", 2.5, 0, 4, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dense := build(false, 0, 1)
+			defer dense.Close()
+			wantCaps, wantStats := runDeltaTrace(t, dense, demand, tc.eps, false)
+
+			sparse := build(true, tc.refresh, tc.shards)
+			defer sparse.Close()
+			gotCaps, gotStats := runDeltaTrace(t, sparse, demand, tc.eps, tc.mask)
+
+			assertSameDecisions(t, tc.name, wantCaps, gotCaps, wantStats, gotStats)
+
+			// Non-vacuity: the run must exercise both the skip path and
+			// the interesting decision paths, or the proof is empty.
+			skipped, restores, flips := 0, 0, 0
+			for _, st := range gotStats {
+				skipped += st.SkippedUnits
+				if st.Restored {
+					restores++
+				}
+				flips += st.PriorityFlips
+			}
+			// At eps=0 the trace's per-step noise makes every unit dirty
+			// every round — the designed degenerate case where sparse IS
+			// dense — so only banded runs must demonstrate real skipping.
+			if tc.eps > 0 && tc.refresh != 1 && skipped == 0 {
+				t.Fatalf("sparse run skipped no unit-rounds; equivalence is vacuous")
+			}
+			if flips == 0 {
+				t.Fatalf("trace too tame: no priority flips")
+			}
+			// A large band suppresses the quiet window, so only runs at or
+			// below the default band must exercise the restore path.
+			if tc.eps <= 2.5 && restores == 0 {
+				t.Fatalf("trace too tame: no restores")
+			}
+			if st := gotStats[steps-1]; st.DirtyFrac < 0 || st.DirtyFrac > 1 {
+				t.Fatalf("DirtyFrac %v outside [0,1]", st.DirtyFrac)
+			}
+		})
+	}
+}
+
+// TestSparseDegradedEquivalence drives dense and sparse controllers
+// through health degradation: a unit dies while clean and settled (its
+// pinned cap must come from materialized state), another flaps stale,
+// and the dead unit revives with a jumped reading — the re-handshake
+// case: a fresh value lands mid-pending-window and must void the unit's
+// settle certificate.
+func TestSparseDegradedEquivalence(t *testing.T) {
+	const (
+		units = 64
+		steps = 400
+	)
+	budget := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	demand := mixedTrace(steps, units, 11)
+	// Unit 9 holds a constant in-band draw so it settles before dying.
+	for tstep := range demand {
+		demand[tstep][9] = 47
+	}
+
+	healthAt := func(step int) []UnitHealth {
+		h := make([]UnitHealth, units)
+		switch {
+		case step >= 120 && step < 200:
+			h[9] = HealthDead // dies while clean
+		case step >= 150 && step < 170:
+			h[21] = HealthStale
+		}
+		return h
+	}
+
+	run := func(d *DPS, useMask bool) ([]power.Vector, []RoundStats) {
+		capsOut := make([]power.Vector, steps)
+		statsOut := make([]RoundStats, steps)
+		caps := d.Caps().Clone()
+		reported := make(power.Vector, units)
+		var mask *DirtyMask
+		if useMask {
+			mask = NewDirtyMask(units)
+		}
+		for step := range demand {
+			if mask != nil {
+				mask.Reset()
+			}
+			health := healthAt(step)
+			for u := range reported {
+				if health[u] != HealthFresh {
+					continue // non-fresh: last reported value replays
+				}
+				drawn := demand[step][u]
+				if drawn > caps[u] {
+					drawn = caps[u]
+				}
+				if u == 9 && step == 200 {
+					drawn = 150 // revival with a jumped reading
+				}
+				if step == 0 || drawn != reported[u] {
+					reported[u] = drawn
+					if mask != nil {
+						mask.Mark(u)
+					}
+				}
+			}
+			next, st := d.DecideStats(Snapshot{Power: reported, Interval: 1, Health: health, Dirty: mask})
+			capsOut[step] = next.Clone()
+			statsOut[step] = st
+			copy(caps, next)
+		}
+		return capsOut, statsOut
+	}
+
+	build := func(sparse bool) *DPS {
+		cfg := DefaultConfig(units, budget)
+		cfg.Seed = 3
+		cfg.SparseRounds = sparse
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	dense := build(false)
+	wantCaps, wantStats := run(dense, false)
+	sparse := build(true)
+	gotCaps, gotStats := run(sparse, true)
+	assertSameDecisions(t, "degraded", wantCaps, gotCaps, wantStats, gotStats)
+
+	// The dead unit's cap must hold bitwise steady across the outage at
+	// its last delivered (materialized) value.
+	pinned := wantCaps[120][9]
+	for step := 121; step < 200; step++ {
+		if gotCaps[step][9] != pinned {
+			t.Fatalf("step %d: dead unit cap %v, want pinned %v", step, gotCaps[step][9], pinned)
+		}
+	}
+	degraded := 0
+	for _, st := range gotStats {
+		if st.DeadUnits > 0 || st.StaleUnits > 0 {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("health schedule never degraded a round")
+	}
+}
+
+// TestSparseRefreshBoundary pins the refresh schedule: with every unit
+// settled under constant readings, round r refreshes exactly block
+// (r−1) mod E, the blocks tile [0, units) over E consecutive rounds,
+// and SkippedUnits accounts for precisely the off-block units. E=1 must
+// leave no unit skipped (a full dense round every round).
+func TestSparseRefreshBoundary(t *testing.T) {
+	const units = 70 // deliberately not a multiple of 64 or E
+	budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+	for _, E := range []int{1, 3, 64, units + 5} {
+		cfg := DefaultConfig(units, budget)
+		cfg.SparseRounds = true
+		cfg.SparseRefreshEvery = E
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readings := make(power.Vector, units)
+		for u := range readings {
+			readings[u] = 95
+		}
+		snap := Snapshot{Power: readings, Interval: 1}
+		// Warm until everything settles (filter fixed point + full ring).
+		warm := 0
+		for ; warm < 400; warm++ {
+			_, st := d.DecideStats(snap)
+			if st.SkippedUnits > 0 && st.DirtyUnits == 0 {
+				break
+			}
+		}
+		if warm == 400 && E != 1 {
+			t.Fatalf("E=%d: no round ever skipped a unit", E)
+		}
+		// From a settled state, verify E consecutive rounds tile the
+		// unit range with refresh blocks.
+		refreshed := 0
+		for i := 0; i < E; i++ {
+			_, st := d.DecideStats(snap)
+			if st.DirtyUnits != 0 {
+				t.Fatalf("E=%d: constant readings reported %d dirty units", E, st.DirtyUnits)
+			}
+			block := units - st.SkippedUnits
+			refreshed += block
+			if E == 1 && st.SkippedUnits != 0 {
+				t.Fatalf("E=1 must refresh every unit every round; skipped %d", st.SkippedUnits)
+			}
+		}
+		if refreshed != units {
+			t.Fatalf("E=%d: %d unit-refreshes over E rounds, want exactly %d", E, refreshed, units)
+		}
+		d.Close()
+	}
+}
+
+// TestSparseStatsPopulation pins which mode populates the sparsity
+// stats: sparse rounds report DirtyUnits/SkippedUnits/DirtyFrac, dense
+// rounds leave them zero (so downstream JSON with omitempty — flight
+// recorder, /status — is byte-stable for dense deployments).
+func TestSparseStatsPopulation(t *testing.T) {
+	const units = 32
+	budget := power.Budget{Total: units * 110, UnitMax: 165, UnitMin: 10}
+	readings := make(power.Vector, units)
+	for u := range readings {
+		readings[u] = 60
+	}
+
+	dense, err := NewDPS(DefaultConfig(units, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		readings[0] = power.Watts(60 + i)
+		if _, st := dense.DecideStats(Snapshot{Power: readings, Interval: 1}); st.DirtyUnits != 0 || st.SkippedUnits != 0 || st.DirtyFrac != 0 {
+			t.Fatalf("dense round %d populated sparsity stats: %+v", i, st)
+		}
+	}
+
+	cfg := DefaultConfig(units, budget)
+	cfg.SparseRounds = true
+	sparse, err := NewDPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDirty bool
+	for i := 0; i < 5; i++ {
+		readings[0] = power.Watts(60 + i)
+		_, st := sparse.DecideStats(Snapshot{Power: readings, Interval: 1})
+		if st.DirtyUnits > 0 {
+			sawDirty = true
+			if want := float64(st.DirtyUnits) / units; st.DirtyFrac != want {
+				t.Fatalf("DirtyFrac %v, want %v", st.DirtyFrac, want)
+			}
+		}
+	}
+	if !sawDirty {
+		t.Fatal("sparse rounds never reported dirty units")
+	}
+}
+
+// TestSparseBudgetChange covers SetTotalBudget against the sparse
+// path's cached masks: after a budget change every unit must be
+// revisited (the idle-revert floor moved), and the caps must keep
+// matching the dense controller's bitwise.
+func TestSparseBudgetChange(t *testing.T) {
+	const (
+		units = 48
+		steps = 300
+	)
+	budget := power.Budget{Total: power.Watts(units) * 80, UnitMax: 165, UnitMin: 10}
+	demand := mixedTrace(steps, units, 5)
+
+	run := func(sparse bool) ([]power.Vector, []RoundStats) {
+		cfg := DefaultConfig(units, budget)
+		cfg.Seed = 9
+		cfg.SparseRounds = sparse
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capsOut := make([]power.Vector, steps)
+		statsOut := make([]RoundStats, steps)
+		caps := d.Caps().Clone()
+		reported := make(power.Vector, units)
+		for step := range demand {
+			if step == 150 {
+				if err := d.SetTotalBudget(power.Watts(units) * 60); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for u := range reported {
+				drawn := demand[step][u]
+				if drawn > caps[u] {
+					drawn = caps[u]
+				}
+				diff := drawn - reported[u]
+				if diff < 0 {
+					diff = -diff
+				}
+				if step == 0 || diff > 2.5 {
+					reported[u] = drawn
+				}
+			}
+			next, st := d.DecideStats(Snapshot{Power: reported, Interval: 1})
+			capsOut[step] = next.Clone()
+			statsOut[step] = st
+			copy(caps, next)
+		}
+		return capsOut, statsOut
+	}
+
+	wantCaps, wantStats := run(false)
+	gotCaps, gotStats := run(true)
+	assertSameDecisions(t, "budget-change", wantCaps, gotCaps, wantStats, gotStats)
+}
+
+// TestDirtyMask covers the mask's bookkeeping: idempotent marking, the
+// incremental count against a direct popcount, copy/reset, and the
+// tail-word handling of SetAll.
+func TestDirtyMask(t *testing.T) {
+	m := NewDirtyMask(70)
+	if m.Len() != 70 || m.Count() != 0 {
+		t.Fatalf("fresh mask: len=%d count=%d", m.Len(), m.Count())
+	}
+	for _, u := range []int{0, 63, 64, 69, 69, -1, 70, 1000} {
+		m.Mark(u)
+	}
+	if m.Count() != 4 || m.Count() != m.popcount() {
+		t.Fatalf("count %d (popcount %d), want 4", m.Count(), m.popcount())
+	}
+	for _, u := range []int{0, 63, 64, 69} {
+		if !m.Get(u) {
+			t.Fatalf("unit %d not marked", u)
+		}
+	}
+	if m.Get(1) || m.Get(70) || m.Get(-1) {
+		t.Fatal("unexpected marks")
+	}
+	cp := NewDirtyMask(70)
+	cp.CopyFrom(m)
+	m.Reset()
+	if m.Count() != 0 || m.popcount() != 0 {
+		t.Fatal("reset left bits")
+	}
+	if cp.Count() != 4 || !cp.Get(69) {
+		t.Fatal("copy lost bits")
+	}
+	cp.SetAll()
+	if cp.Count() != 70 || cp.popcount() != 70 {
+		t.Fatalf("SetAll: count=%d popcount=%d", cp.Count(), cp.popcount())
+	}
+}

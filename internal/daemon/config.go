@@ -72,6 +72,14 @@ type FileConfig struct {
 	DeltaEpsilonW      float64 `json:"delta_epsilon_w,omitempty"`
 	DisableBatchIngest bool    `json:"disable_batch_ingest,omitempty"`
 
+	// Sparse decision rounds (DPS policy only). SparseRounds is a pointer
+	// so "absent" (default on) is distinguishable from an explicit false —
+	// the rollback setting. SparseRefreshEvery forces every unit through a
+	// full decision pass at least once per this many rounds (0 = the core
+	// default).
+	SparseRounds       *bool `json:"sparse_rounds,omitempty"`
+	SparseRefreshEvery int   `json:"sparse_refresh_every,omitempty"`
+
 	// Trace starts the round-scoped span recorder enabled (it can also be
 	// toggled at runtime). TraceSpans sets the span ring capacity
 	// (0 = trace.DefaultSpanCapacity).
@@ -181,6 +189,12 @@ func (fc FileConfig) validate() error {
 	return fc.Budget().Validate(fc.Units)
 }
 
+// SparseRoundsEnabled resolves the tri-state sparse_rounds key: absent
+// means on (the default), an explicit false is the rollback.
+func (fc FileConfig) SparseRoundsEnabled() bool {
+	return fc.SparseRounds == nil || *fc.SparseRounds
+}
+
 // Budget derives the power envelope.
 func (fc FileConfig) Budget() power.Budget {
 	return power.Budget{
@@ -220,6 +234,8 @@ func (fc FileConfig) BuildManager() (core.Manager, error) {
 		cfg.HistoryLen = fc.HistoryLen
 		cfg.DisableRestore = fc.DisableRestore
 		cfg.Shards = fc.Shards
+		cfg.SparseRounds = fc.SparseRoundsEnabled()
+		cfg.SparseRefreshEvery = fc.SparseRefreshEvery
 		return core.NewDPS(cfg)
 	case "slurm":
 		return baseline.NewSLURM(fc.Units, budget, stateless.DefaultConfig(), fc.Seed)

@@ -109,6 +109,28 @@ var serverKnobs = []knob{
 		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.DisableBatchIngest = fc.DisableBatchIngest },
 	},
 	{
+		Flag: "sparse-rounds", JSON: "sparse_rounds",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.Bool("sparse-rounds", true, "run DPS decision rounds sparsely over the dirty set (-sparse-rounds=false restores dense rounds)")
+			return func(sc *ServerConfig) { sc.SparseRounds = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.SparseRounds = fc.SparseRoundsEnabled() },
+	},
+	{
+		Flag: "sparse-refresh-every", JSON: "sparse_refresh_every",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.Int("sparse-refresh-every", 0, "force every unit through a full decision pass at least once per this many sparse rounds (0 = default)")
+			return func(sc *ServerConfig) { sc.SparseRefreshEvery = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.SparseRefreshEvery = fc.SparseRefreshEvery },
+		check: func(fc FileConfig) error {
+			if fc.SparseRefreshEvery < 0 {
+				return fmt.Errorf("negative sparse_refresh_every %d", fc.SparseRefreshEvery)
+			}
+			return nil
+		},
+	},
+	{
 		Flag: "trace", JSON: "trace",
 		register: func(fs *flag.FlagSet) func(*ServerConfig) {
 			v := fs.Bool("trace", false, "record round-scoped spans for /debug/trace (toggleable at runtime)")

@@ -45,6 +45,14 @@ var knobParityCases = []struct {
 		want: func(sc ServerConfig) bool { return sc.DisableBatchIngest },
 	},
 	{
+		flag: "sparse-rounds", flagArg: "-sparse-rounds=false", jsonFrag: `"sparse_rounds": false`,
+		want: func(sc ServerConfig) bool { return !sc.SparseRounds },
+	},
+	{
+		flag: "sparse-refresh-every", flagArg: "-sparse-refresh-every=16", jsonFrag: `"sparse_refresh_every": 16`,
+		want: func(sc ServerConfig) bool { return sc.SparseRefreshEvery == 16 },
+	},
+	{
 		flag: "trace", flagArg: "-trace", jsonFrag: `"trace": true`,
 		want: func(sc ServerConfig) bool { return sc.TraceEnabled },
 	},
@@ -70,6 +78,17 @@ var knobParityCases = []struct {
 // flag and the config-file key produce identical ServerConfigs — the
 // property the knob table exists to hold.
 func TestKnobFlagJSONParity(t *testing.T) {
+	// The baseline a single-knob parse is compared against for the no-op
+	// check: flag defaults only. Not the zero ServerConfig — default-true
+	// knobs (sparse-rounds) make the two differ.
+	defFS := flag.NewFlagSet("dpsd", flag.ContinueOnError)
+	applyDefaults := RegisterServerFlags(defFS)
+	if err := defFS.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var defaults ServerConfig
+	applyDefaults(&defaults)
+
 	covered := map[string]bool{}
 	for _, tc := range knobParityCases {
 		covered[tc.flag] = true
@@ -103,8 +122,7 @@ func TestKnobFlagJSONParity(t *testing.T) {
 		if !reflect.DeepEqual(fromFlags, fromFile) {
 			t.Errorf("%s: flag and JSON configs diverge:\nflags: %+v\nfile:  %+v", tc.flag, fromFlags, fromFile)
 		}
-		var zero ServerConfig
-		if reflect.DeepEqual(fromFlags, zero) {
+		if reflect.DeepEqual(fromFlags, defaults) {
 			t.Errorf("%s: flag %q was a no-op", tc.flag, tc.flagArg)
 		}
 	}
@@ -160,6 +178,7 @@ func TestKnobValidation(t *testing.T) {
 		func(fc *FileConfig) { fc.ReadIdleTimeoutMS = -1 },
 		func(fc *FileConfig) { fc.MaxReadingW = -1 },
 		func(fc *FileConfig) { fc.DeltaEpsilonW = -0.5 },
+		func(fc *FileConfig) { fc.SparseRefreshEvery = -1 },
 		func(fc *FileConfig) { fc.TraceSpans = -1 },
 		func(fc *FileConfig) { fc.BudgetToleranceW = -1 },
 	}

@@ -81,6 +81,16 @@ type ServerConfig struct {
 	// capability, forcing every agent onto full per-interval report frames.
 	// An escape hatch for debugging the delta plane; off by default.
 	DisableBatchIngest bool
+	// SparseRounds and SparseRefreshEvery are manager-construction inputs:
+	// dpsd reads them when it builds a DPS controller (core.Config
+	// SparseRounds / SparseRefreshEvery), so the -sparse-rounds=false
+	// rollback knob reaches the decision engine on both the flag and the
+	// config-file path. NewServer itself does not consult them — the
+	// Manager it receives already embodies the choice, and the server's
+	// ingest-side dirty mask is maintained either way (a dense manager
+	// ignores it). SparseRounds defaults to true on every config surface.
+	SparseRounds       bool
+	SparseRefreshEvery int
 
 	// TraceEnabled starts the span recorder on. The recorder always
 	// exists (GET /debug/trace always mounts, and it can be enabled at
@@ -166,16 +176,24 @@ type Server struct {
 	// and ingest never waits on conns/round bookkeeping.
 	imu      sync.Mutex
 	readings power.Vector
+	// dirty marks the units whose reading was rewritten since the last
+	// decision snapshot — the ingest half of the sparse decision path's
+	// dirty-set contract (a clear bit guarantees the unit's reading is
+	// byte-identical to the previous snapshot). Maintained unconditionally:
+	// marking is one word-OR per accepted record, and managers that don't
+	// do sparse rounds simply ignore the mask.
+	dirty *core.DirtyMask
 	// lastReport is the per-unit staleness clock: the time of the last
 	// accepted (sanitized) reading or covering heartbeat, refreshed on
 	// (re-)registration so a re-handshaken agent rejoins fresh within one
 	// round.
 	lastReport []time.Time
 
-	// snapBuf and healthBuf are the decision loop's private back buffers
-	// (double buffering): DecideOnce is never concurrent with itself, so
-	// they need no lock once the imu-guarded copy completes.
+	// snapBuf, dirtyBuf and healthBuf are the decision loop's private back
+	// buffers (double buffering): DecideOnce is never concurrent with
+	// itself, so they need no lock once the imu-guarded copy completes.
 	snapBuf   power.Vector
+	dirtyBuf  *core.DirtyMask
 	healthBuf []core.UnitHealth
 
 	// mu guards the control plane: connections, ownership, and the
@@ -195,6 +213,11 @@ type Server struct {
 	// decision (nil/false for non-DPS managers).
 	lastPrio     []bool
 	lastRestored bool
+	// lastDirtyUnits/lastSkippedUnits/lastDirtyFrac cache the most recent
+	// round's sparse work counters for /status (zero on dense managers).
+	lastDirtyUnits   int
+	lastSkippedUnits int
+	lastDirtyFrac    float64
 	owner        []*serverConn // per-unit owning connection, nil if unclaimed
 	conns        map[*serverConn]struct{}
 	closed       bool
@@ -242,6 +265,10 @@ type serverMetrics struct {
 	ingestRecords    *telemetry.Counter
 	staleUnits       *telemetry.Gauge
 	deadUnits        *telemetry.Gauge
+	// Sparse-round work gauges: the most recent round's dirty and skipped
+	// unit counts (both stay 0 on dense controllers).
+	dirtyUnits   *telemetry.Gauge
+	skippedUnits *telemetry.Gauge
 	// transitions indexes dps_health_transitions_total{from,to} by
 	// from*3+to for the six possible state changes (nil where from == to).
 	transitions [9]*telemetry.Counter
@@ -306,6 +333,8 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 		ingestRecords: reg.Counter("dps_ingest_records_total", "Power records carried by ingested report and batch frames."),
 		staleUnits:    reg.Gauge("dps_stale_units", "Units currently stale (cap frozen, awaiting reports)."),
 		deadUnits:     reg.Gauge("dps_dead_units", "Units currently dead (budget reserved at last delivered cap)."),
+		dirtyUnits:    reg.Gauge("dps_decide_dirty_units", "Units whose reading changed since the previous decision snapshot (sparse rounds only)."),
+		skippedUnits:  reg.Gauge("dps_decide_skipped_units", "Units the controller skipped as settled in the last round (sparse rounds only)."),
 		stages:        make(map[string]*telemetry.Histogram, 4),
 	}
 	healthEnabled := cfg.StaleAfter > 0 || cfg.DeadAfter > 0
@@ -379,7 +408,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		metrics:    newServerMetrics(reg, cfg),
 		now:        time.Now,
 		readings:   make(power.Vector, cfg.Units),
+		dirty:      core.NewDirtyMask(cfg.Units),
 		snapBuf:    make(power.Vector, cfg.Units),
+		dirtyBuf:   core.NewDirtyMask(cfg.Units),
 		lastCaps:   cfg.Manager.Caps().Clone(),
 		lastPushed: cfg.Manager.Caps().Clone(),
 		owner:      make([]*serverConn, cfg.Units),
@@ -577,6 +608,7 @@ func (s *Server) ingest(sc *serverConn, frame proto.Frame) {
 				continue
 			}
 			s.readings[u] = v
+			s.dirty.Mark(u)
 			if s.lastReport != nil {
 				s.lastReport[u] = now
 			}
@@ -600,6 +632,7 @@ func (s *Server) ingest(sc *serverConn, frame proto.Frame) {
 				continue
 			}
 			s.readings[first+lu] = v
+			s.dirty.Mark(first + lu)
 			if s.lastReport != nil {
 				s.lastReport[first+lu] = now
 			}
@@ -795,13 +828,18 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	// imu, and it holds nothing else while it does.
 	s.imu.Lock()
 	copy(s.snapBuf, s.readings)
+	// Flip the dirty mask with the readings it describes: the front mask
+	// restarts empty for the next inter-round window, and the back copy
+	// tells the manager exactly which units this snapshot changed.
+	s.dirtyBuf.CopyFrom(s.dirty)
+	s.dirty.Reset()
 	health := s.classifyHealthLocked()
 	s.imu.Unlock()
 
 	s.mu.Lock()
 	round := s.rounds.Load() + 1
 	s.recordHealthLocked(health)
-	snap := core.Snapshot{Power: s.snapBuf, Interval: interval, Health: health}
+	snap := core.Snapshot{Power: s.snapBuf, Interval: interval, Health: health, Dirty: s.dirtyBuf}
 	prevCaps := s.lastCaps.Clone()
 	var lastPushed power.Vector
 	if health != nil {
@@ -869,6 +907,7 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 		s.lastPrio = append(s.lastPrio[:0], d.Priorities()...)
 		s.lastRestored = d.Restored()
 	}
+	s.lastDirtyUnits, s.lastSkippedUnits, s.lastDirtyFrac = st.DirtyUnits, st.SkippedUnits, st.DirtyFrac
 	s.mu.Unlock()
 	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, managerCaps, caps, health, lastPushed, st, hasStats)
 	return caps, firstErr
@@ -1030,6 +1069,8 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		rec.PriorityFlips = st.PriorityFlips
 		rec.BudgetExhausted = st.BudgetExhausted
 		rec.BudgetClamped = st.BudgetClamped
+		rec.DirtyUnits = st.DirtyUnits
+		rec.SkippedUnits = st.SkippedUnits
 
 		m.stages[stageKalman].Observe(rec.Stages.Kalman)
 		m.stages[stageStateless].Observe(rec.Stages.Stateless)
@@ -1045,6 +1086,8 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		if st.BudgetClamped {
 			m.violations.Inc()
 		}
+		m.dirtyUnits.Set(float64(st.DirtyUnits))
+		m.skippedUnits.Set(float64(st.SkippedUnits))
 	}
 	var prov []trace.CapChange
 	if d, ok := s.cfg.Manager.(*core.DPS); ok {

@@ -31,6 +31,12 @@ type Status struct {
 	Health     []string `json:"health,omitempty"`
 	StaleUnits int      `json:"stale_units,omitempty"`
 	DeadUnits  int      `json:"dead_units,omitempty"`
+	// Sparse-round work counters from the most recent decision round:
+	// units the snapshot marked changed, units the controller skipped as
+	// settled, and the dirty fraction. All omitted on dense controllers.
+	DirtyUnits   int     `json:"dirty_units,omitempty"`
+	SkippedUnits int     `json:"skipped_units,omitempty"`
+	DirtyFrac    float64 `json:"dirty_frac,omitempty"`
 	// AlertsFiring is the number of watchdog rules currently firing;
 	// omitted (0) when the watchdog is disabled or everything is healthy.
 	AlertsFiring int `json:"alerts_firing,omitempty"`
@@ -53,6 +59,7 @@ func (s *Server) Snapshot() Status {
 		prio = append([]bool(nil), s.lastPrio...)
 	}
 	restored := s.lastRestored
+	dirtyUnits, skippedUnits, dirtyFrac := s.lastDirtyUnits, s.lastSkippedUnits, s.lastDirtyFrac
 	var health []string
 	var stale, dead int
 	if s.health != nil {
@@ -83,6 +90,9 @@ func (s *Server) Snapshot() Status {
 		Health:       health,
 		StaleUnits:   stale,
 		DeadUnits:    dead,
+		DirtyUnits:   dirtyUnits,
+		SkippedUnits: skippedUnits,
+		DirtyFrac:    dirtyFrac,
 		AlertsFiring: s.watcher.FiringCount(),
 	}
 }

@@ -164,6 +164,77 @@ func (r *Ring) directTail(k int) float64 {
 	return s
 }
 
+// SettledFor reports whether pushing (p, dt) would leave the ring — the
+// stored samples, the running aggregates, and therefore every derived
+// statistic — bitwise unchanged. That holds when the ring is full and
+// uniform at exactly (p, dt), the aggregates survive the push's
+// evict-then-insert float round-trips bit for bit, and a recompute would
+// reproduce the stored aggregates exactly (so the periodic drift-wash is
+// also a no-op and its phase becomes unobservable). The sparse decision
+// path uses a true result to elide the per-round Push for unchanged
+// units; see AdvancePushes for how the elided pushes are accounted.
+//
+// Rings with no configured tail window (SetTailWindow 0) never report
+// settled: Push unconditionally accumulates into the tail-duration
+// aggregate, so it is never a bitwise no-op on them.
+func (r *Ring) SettledFor(p power.Watts, dt power.Seconds) bool {
+	if r.tailK <= 0 || r.n != len(r.powers) || r.n == 0 {
+		return false
+	}
+	// Uniformity: physical order equals logical content for a uniform
+	// ring, so head phase is irrelevant here.
+	for _, v := range r.powers {
+		if v != p {
+			return false
+		}
+	}
+	for _, d := range r.durations {
+		if d != dt {
+			return false
+		}
+	}
+	// Push round-trip identities, in Push's exact operation order:
+	// evict-subtract then insert-add must land back on the same bits.
+	fp, fdt := float64(p), float64(dt)
+	if (r.sum-fp)+fp != r.sum || (r.sumSq-fp*fp)+fp*fp != r.sumSq {
+		return false
+	}
+	if (r.durSum-fdt)+fdt != r.durSum || (r.tailDur-fdt)+fdt != r.tailDur {
+		return false
+	}
+	// Recompute identity: the drift-wash's sequential re-summation must
+	// reproduce the incremental aggregates exactly (same per-iteration
+	// order as recompute over a uniform ring).
+	var sum, sumSq, durSum float64
+	for i := 0; i < r.n; i++ {
+		sum += fp
+		sumSq += fp * fp
+		durSum += fdt
+	}
+	if sum != r.sum || sumSq != r.sumSq || durSum != r.durSum {
+		return false
+	}
+	if r.directTail(r.tailK) != r.tailDur {
+		return false
+	}
+	return true
+}
+
+// AdvancePushes accounts k elided pushes in the recompute schedule, as if
+// Push had been called k times. The caller must guarantee each elided
+// push would have been a bitwise no-op including its recompute (exactly
+// what SettledFor certifies): then the only dense-path state the elisions
+// touch is the push counter, whose evolution is pure arithmetic mod the
+// recompute period, and this catch-up keeps the next real recompute
+// firing on the same round as an always-dense ring — bit-identical
+// aggregates forever, not just until the next drift-wash.
+func (r *Ring) AdvancePushes(k int) {
+	if k <= 0 {
+		return
+	}
+	r.pushes = (r.pushes + k) % recomputeEvery
+}
+
 // At returns the i-th sample, 0 being the oldest. It panics if i is out of
 // range, mirroring slice semantics.
 func (r *Ring) At(i int) (power.Watts, power.Seconds) {

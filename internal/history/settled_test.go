@@ -1,0 +1,134 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"dps/internal/power"
+)
+
+// TestSettledForPushNoOp is the property backing the sparse decision
+// path: whenever SettledFor(p, dt) reports true, an actual Push(p, dt)
+// must leave the ring's stored samples and running aggregates bitwise
+// unchanged. The head index and push counter are exempt: head phase is
+// unobservable on a uniform ring (every read — At, Segments consumers,
+// recompute, directTail — is phase-invariant there), and the push
+// counter is what AdvancePushes re-synchronizes. Randomized over
+// capacities, fill histories, and values (including awkward floats
+// reached through accumulation).
+func TestSettledForPushNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	settledSeen := 0
+	for iter := 0; iter < 2000; iter++ {
+		capacity := 1 + rng.Intn(24)
+		r := NewRing(capacity)
+		r.SetTailWindow(1 + rng.Intn(capacity))
+		// Random prehistory so head phase and accumulated drift vary.
+		pre := rng.Intn(4 * capacity)
+		for i := 0; i < pre; i++ {
+			r.Push(power.Watts(rng.Float64()*200), power.Seconds(0.5+rng.Float64()))
+		}
+		p := power.Watts(rng.Float64() * 200)
+		dt := power.Seconds(0.5 + rng.Float64())
+		if rng.Intn(3) == 0 {
+			// Sometimes uniform-fill so the settled case actually occurs.
+			for i := 0; i < capacity+rng.Intn(capacity+1); i++ {
+				r.Push(p, dt)
+			}
+		}
+		settled := r.SettledFor(p, dt)
+		before := *r
+		beforePowers := append([]power.Watts(nil), r.powers...)
+		beforeDurs := append([]power.Seconds(nil), r.durations...)
+		r.Push(p, dt)
+		same := r.n == before.n &&
+			r.sum == before.sum && r.sumSq == before.sumSq &&
+			r.durSum == before.durSum && r.tailDur == before.tailDur
+		for i := range beforePowers {
+			// Physical slots (not logical indices): a uniform ring's arrays
+			// are invariant under the head rotation Push performs.
+			same = same && r.powers[i] == beforePowers[i] && r.durations[i] == beforeDurs[i]
+		}
+		if settled && !same {
+			t.Fatalf("iter %d: SettledFor true but Push changed the ring (cap=%d pre=%d p=%v dt=%v)",
+				iter, capacity, pre, p, dt)
+		}
+		if settled {
+			settledSeen++
+		}
+	}
+	if settledSeen == 0 {
+		t.Fatal("property never exercised the settled case")
+	}
+}
+
+// TestSettledForRejects pins the conservative refusals: not-full rings,
+// non-uniform content, mismatched dt, and rings without a tail window
+// must never certify.
+func TestSettledForRejects(t *testing.T) {
+	r := NewRing(4)
+	r.SetTailWindow(2)
+	if r.SettledFor(50, 1) {
+		t.Fatal("empty ring certified")
+	}
+	for i := 0; i < 3; i++ {
+		r.Push(50, 1)
+	}
+	if r.SettledFor(50, 1) {
+		t.Fatal("partial ring certified")
+	}
+	r.Push(50, 1)
+	if !r.SettledFor(50, 1) {
+		t.Fatal("uniform full ring refused")
+	}
+	if r.SettledFor(50.5, 1) || r.SettledFor(50, 2) {
+		t.Fatal("mismatched value or dt certified")
+	}
+	r.Push(60, 1)
+	if r.SettledFor(50, 1) {
+		t.Fatal("non-uniform ring certified")
+	}
+
+	noTail := NewRing(4)
+	for i := 0; i < 4; i++ {
+		noTail.Push(50, 1)
+	}
+	if noTail.SettledFor(50, 1) {
+		t.Fatal("ring without tail window certified (Push is never a no-op on it)")
+	}
+}
+
+// TestAdvancePushesMatchesElidedPushes verifies the recompute-schedule
+// catch-up: k elided no-op pushes accounted via AdvancePushes leave the
+// push counter — and therefore the round on which the next recompute
+// fires — identical to actually pushing k times on a settled ring.
+func TestAdvancePushesMatchesElidedPushes(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(8)
+		r.SetTailWindow(3)
+		for i := 0; i < 8; i++ {
+			r.Push(75, 1)
+		}
+		return r
+	}
+	for _, k := range []int{0, 1, 7, recomputeEvery - 1, recomputeEvery, 3 * recomputeEvery, 1000} {
+		pushed, advanced := build(), build()
+		if !pushed.SettledFor(75, 1) {
+			t.Fatal("setup ring not settled")
+		}
+		for i := 0; i < k; i++ {
+			pushed.Push(75, 1)
+		}
+		advanced.AdvancePushes(k)
+		// The dense ring's counter resets through real recomputes; the
+		// advanced one wraps arithmetically. Both must agree mod the
+		// recompute period — they then recompute on the same future push.
+		if pushed.pushes%recomputeEvery != advanced.pushes%recomputeEvery {
+			t.Fatalf("k=%d: pushes %d (dense) vs %d (advanced)", k, pushed.pushes, advanced.pushes)
+		}
+		if pushed.sum != advanced.sum || pushed.sumSq != advanced.sumSq ||
+			pushed.durSum != advanced.durSum || pushed.tailDur != advanced.tailDur {
+			t.Fatalf("k=%d: aggregates diverged", k)
+		}
+	}
+}

@@ -97,6 +97,36 @@ func (f *Filter) Step(z power.Watts) power.Watts {
 	return f.estimate
 }
 
+// StepSettled is Step with a bitwise fixed-point report: settled is true
+// when folding z left both the estimate and the variance bitwise
+// unchanged. Because the variance recursion v' = R(v+Q)/(v+Q+R) depends
+// only on v, and the estimate update adds fl(gain·(z−est)) to est,
+// settled==true implies every future StepSettled with the same z returns
+// the same bits again — the property the sparse decision path uses to
+// elide per-round filter work for unchanged readings. The arithmetic is
+// operation-for-operation identical to Step.
+func (f *Filter) StepSettled(z power.Watts) (est power.Watts, settled bool) {
+	if !f.primed {
+		f.estimate = z
+		f.primed = true
+		return f.estimate, false
+	}
+	pPrior := f.variance + f.cfg.ProcessNoise
+	denom := pPrior + f.cfg.MeasurementNoise
+	var gain float64
+	if denom > 0 {
+		gain = pPrior / denom
+	} else {
+		gain = 1
+	}
+	nextEst := f.estimate + power.Watts(gain*float64(z-f.estimate))
+	nextVar := (1 - gain) * pPrior
+	settled = nextEst == f.estimate && nextVar == f.variance
+	f.estimate = nextEst
+	f.variance = nextVar
+	return f.estimate, settled
+}
+
 // Estimate returns the current estimate without folding in a measurement.
 func (f *Filter) Estimate() power.Watts { return f.estimate }
 
@@ -144,6 +174,12 @@ func NewBank(n int, cfg Config) (*Bank, error) {
 // to call concurrently for distinct units (see the Bank doc comment).
 func (b *Bank) Step(u power.UnitID, z power.Watts) power.Watts {
 	return b.filters[u].Step(z)
+}
+
+// StepSettled is Step plus the filter's bitwise fixed-point report; see
+// Filter.StepSettled. Same concurrency contract as Step.
+func (b *Bank) StepSettled(u power.UnitID, z power.Watts) (power.Watts, bool) {
+	return b.filters[u].StepSettled(z)
 }
 
 // Unit returns the filter for unit u (a pointer into the bank's backing

@@ -1,0 +1,69 @@
+package kalman
+
+import (
+	"math/rand"
+	"testing"
+
+	"dps/internal/power"
+)
+
+// TestStepSettledMatchesStep pins StepSettled's core contract: its
+// estimate sequence is operation-for-operation identical to Step's on
+// any measurement stream.
+func TestStepSettledMatchesStep(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		z := power.Watts(rng.Float64() * 300)
+		ea := a.Step(z)
+		eb, _ := b.StepSettled(z)
+		if ea != eb || a.Variance() != b.Variance() {
+			t.Fatalf("step %d: Step %v/%v vs StepSettled %v/%v", i, ea, a.Variance(), eb, b.Variance())
+		}
+	}
+}
+
+// TestStepSettledFixedPoint verifies the settle behavior the sparse
+// decision path depends on: under a constant measurement the filter
+// reaches a bitwise fixed point quickly (well within the sparse path's
+// warmup budget), and once settled it stays settled with unchanged bits
+// forever.
+func TestStepSettledFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 50; iter++ {
+		f, _ := New(DefaultConfig())
+		// Random noisy prefix so the variance starts off its fixed point.
+		for i := 0; i < rng.Intn(40); i++ {
+			f.Step(power.Watts(rng.Float64() * 300))
+		}
+		z := power.Watts(rng.Float64() * 300)
+		settledAt := -1
+		for i := 0; i < 100; i++ {
+			if _, settled := f.StepSettled(z); settled {
+				settledAt = i
+				break
+			}
+		}
+		if settledAt < 0 {
+			t.Fatalf("iter %d: no fixed point within 100 constant steps (z=%v)", iter, z)
+		}
+		est, v := f.Estimate(), f.Variance()
+		for i := 0; i < 50; i++ {
+			got, settled := f.StepSettled(z)
+			if !settled || got != est || f.Variance() != v {
+				t.Fatalf("iter %d: fixed point not sticky at +%d (settled=%v est=%v→%v)", iter, i, settled, est, got)
+			}
+		}
+	}
+}
+
+// TestStepSettledUnprimed: the priming step adopts the measurement and
+// must never report settled (the estimate just changed from zero).
+func TestStepSettledUnprimed(t *testing.T) {
+	f, _ := New(DefaultConfig())
+	if est, settled := f.StepSettled(120); settled || est != 120 {
+		t.Fatalf("priming step: est=%v settled=%v", est, settled)
+	}
+}

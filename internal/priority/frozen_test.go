@@ -1,0 +1,95 @@
+package priority
+
+import (
+	"math/rand"
+	"testing"
+
+	"dps/internal/history"
+	"dps/internal/power"
+)
+
+// TestUpdateUnitFrozenMatchesUpdateUnit is the property the sparse
+// decision path rests on: for any ring state, Freeze followed by
+// UpdateUnitFrozen must produce exactly the priority and high-frequency
+// transitions UpdateUnit produces from the live ring — across random
+// live inputs (pNow, capNow) and random sticky-flag starting states.
+// (The sparse path only calls this for settled rings, but the
+// equivalence holds for any ring since both read the same statistics.)
+func TestUpdateUnitFrozenMatchesUpdateUnit(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 3000; iter++ {
+		ring := history.NewRing(2 + rng.Intn(20))
+		ring.SetTailWindow(cfg.DerivWindow - 1)
+		fill := rng.Intn(3 * ring.Cap())
+		mode := rng.Intn(4)
+		base := power.Watts(rng.Float64() * 150)
+		for i := 0; i < fill; i++ {
+			var p power.Watts
+			switch mode {
+			case 0: // constant (the settled shape)
+				p = base
+			case 1: // noisy
+				p = base + power.Watts(rng.NormFloat64()*5)
+			case 2: // flipper
+				if i%4 < 2 {
+					p = base + 60
+				} else {
+					p = base
+				}
+			default: // ramp
+				p = base + power.Watts(i)
+			}
+			ring.Push(p, 1)
+		}
+
+		live, _ := New(cfg, 1)
+		frozenM, _ := New(cfg, 1)
+		// Random sticky starting state, identical in both modules.
+		hf, pr := rng.Intn(2) == 1, rng.Intn(2) == 1
+		live.highFreq[0], live.prio[0] = hf, pr
+		frozenM.highFreq[0], frozenM.prio[0] = hf, pr
+
+		fs := frozenM.Freeze(ring)
+		for step := 0; step < 5; step++ {
+			pNow := power.Watts(rng.Float64() * 200)
+			capNow := power.Watts(10 + rng.Float64()*150)
+			constantCap := power.Watts(110)
+			live.UpdateUnit(0, ring, pNow, capNow, constantCap)
+			frozenM.UpdateUnitFrozen(0, fs, pNow, capNow, constantCap)
+			if live.prio[0] != frozenM.prio[0] || live.highFreq[0] != frozenM.highFreq[0] {
+				t.Fatalf("iter %d step %d (mode=%d fill=%d): live prio=%v hf=%v, frozen prio=%v hf=%v",
+					iter, step, mode, fill, live.prio[0], live.highFreq[0], frozenM.prio[0], frozenM.highFreq[0])
+			}
+		}
+	}
+}
+
+// TestFreezeDisableFrequency: with the frequency detector ablated,
+// Freeze must not run the peak scan and UpdateUnitFrozen must still
+// mirror UpdateUnit.
+func TestFreezeDisableFrequency(t *testing.T) {
+	cfg := DefaultConfig()
+	ring := history.NewRing(8)
+	ring.SetTailWindow(cfg.DerivWindow - 1)
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			ring.Push(150, 1)
+		} else {
+			ring.Push(20, 1)
+		}
+	}
+	live, _ := New(cfg, 1)
+	live.DisableFrequency = true
+	froz, _ := New(cfg, 1)
+	froz.DisableFrequency = true
+	fs := froz.Freeze(ring)
+	if fs.HighFreqNow {
+		t.Fatal("ablated Freeze ran the frequency detector")
+	}
+	live.UpdateUnit(0, ring, 80, 110, 110)
+	froz.UpdateUnitFrozen(0, fs, 80, 110, 110)
+	if live.prio[0] != froz.prio[0] {
+		t.Fatalf("ablated: live %v vs frozen %v", live.prio[0], froz.prio[0])
+	}
+}

@@ -253,6 +253,94 @@ func (m *Module) UpdateUnit(u power.UnitID, ring *history.Ring, pNow, capNow, co
 	}
 }
 
+// FrozenStats caches the ring-derived inputs of one unit's
+// classification, captured while the unit's history is settled (the ring
+// bitwise-fixed under its per-round push). While that holds, UpdateUnit's
+// ring reads return these exact values every round, so classification
+// can run from the cache without touching the ring at all — the point at
+// cluster scale, where the ring set is tens of megabytes and the frozen
+// stats stream through cache. The cache holds only ring-derived values;
+// live inputs (current power, current cap) stay parameters.
+type FrozenStats struct {
+	// N is ring.Len() at capture (the MinSamples gate input).
+	N int
+	// Std is ring.StdDev() at capture.
+	Std power.Watts
+	// Deriv is ring.WindowedDerivative(DerivWindow) at capture.
+	Deriv power.Watts
+	// HighFreqNow is the frequency detector's verdict at capture: the
+	// stddev screen combined with the prominent-peak scan.
+	HighFreqNow bool
+}
+
+// Freeze captures FrozenStats for a settled ring, evaluating the same
+// screen and peak scan as UpdateUnit so a later UpdateUnitFrozen call
+// reproduces UpdateUnit's decisions bit for bit.
+func (m *Module) Freeze(ring *history.Ring) FrozenStats {
+	fs := FrozenStats{
+		N:     ring.Len(),
+		Std:   ring.StdDev(),
+		Deriv: ring.WindowedDerivative(m.cfg.DerivWindow),
+	}
+	if !m.DisableFrequency {
+		n := float64(ring.Len())
+		if float64(ring.StdDev())*math.Sqrt(2*n) >= float64(m.cfg.PeakProminence)-1e-6 {
+			pa, pb := ring.Segments()
+			fs.HighFreqNow = signal.MoreProminentPeaksThan(pa, pb, m.cfg.PeakProminence, m.cfg.PeakCountThreshold)
+		}
+	}
+	return fs
+}
+
+// UpdateUnitFrozen is UpdateUnit with the ring reads replaced by a
+// FrozenStats capture; branch for branch identical, so for a settled
+// ring it produces exactly the priority/high-frequency transitions the
+// dense path would. pNow and capNow are live — the at-cap and
+// idle-reversion checks must see this round's values even when the
+// history is frozen.
+func (m *Module) UpdateUnitFrozen(u power.UnitID, fs FrozenStats, pNow, capNow, constantCap power.Watts) {
+	if fs.N < m.cfg.MinSamples {
+		return
+	}
+
+	if !m.DisableFrequency {
+		highFreqNow := fs.HighFreqNow
+		if !m.highFreq[u] {
+			if highFreqNow {
+				m.highFreq[u] = true
+				m.prio[u] = true
+				return
+			}
+		} else {
+			if !highFreqNow && fs.Std < m.cfg.StdThreshold {
+				m.highFreq[u] = false
+				m.prio[u] = false
+			} else {
+				m.prio[u] = true
+				return
+			}
+		}
+	}
+
+	atCap := m.cfg.AtCapFraction > 0 && capNow > 0 && pNow >= capNow*power.Watts(m.cfg.AtCapFraction)
+	if atCap {
+		m.prio[u] = true
+		return
+	}
+
+	d := fs.Deriv
+	switch {
+	case d > m.cfg.DerivIncThreshold:
+		m.prio[u] = true
+	case d < m.cfg.DerivDecThreshold:
+		m.prio[u] = false
+	default:
+		if m.cfg.IdleRevertFraction > 0 && pNow < constantCap*power.Watts(m.cfg.IdleRevertFraction) {
+			m.prio[u] = false
+		}
+	}
+}
+
 // Reset clears all flags to the initial (low priority, low frequency)
 // state.
 func (m *Module) Reset() {

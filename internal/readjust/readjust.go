@@ -147,6 +147,20 @@ func (m *Module) Readjust(caps power.Vector, prio []bool, budget power.Budget, c
 			countHigh++
 		}
 	}
+	return m.ReadjustCounted(caps, prio, budget, constantCap, changed, countHigh)
+}
+
+// ReadjustCounted is Readjust with the high-priority count supplied by
+// the caller instead of rescanned. The sparse decision path maintains
+// that count incrementally (classification touches only changed units,
+// so the O(N) tally here would otherwise dominate its quiet rounds);
+// countHigh must equal the number of true entries in prio. Bitwise
+// identical to Readjust given a correct count.
+func (m *Module) ReadjustCounted(caps power.Vector, prio []bool, budget power.Budget, constantCap power.Watts, changed []bool, countHigh int) Outcome {
+	n := len(caps)
+	if len(prio) != n {
+		panic(fmt.Sprintf("readjust: %d priorities for %d caps", len(prio), n))
+	}
 	if countHigh == 0 {
 		return OutcomeNone
 	}

@@ -25,6 +25,11 @@ type StageBreakdown struct {
 	PriorityFlips   uint64 `json:"priority_flips"`
 	BudgetExhausted uint64 `json:"budget_exhausted"`
 	BudgetClamped   uint64 `json:"budget_clamped"`
+	// Sparse-round work totals: unit-rounds the snapshots marked changed
+	// and unit-rounds the controller skipped as settled. Both stay zero
+	// for dense controllers.
+	DirtyUnits   uint64 `json:"dirty_units"`
+	SkippedUnits uint64 `json:"skipped_units"`
 	// ControllerMallocs counts heap allocations made by the controller's
 	// decision rounds (runtime.MemStats.Mallocs delta around each call).
 	// The sequential steady-state path is allocation-free (see
@@ -51,6 +56,8 @@ func (b *StageBreakdown) Add(st core.RoundStats) {
 	if st.BudgetClamped {
 		b.BudgetClamped++
 	}
+	b.DirtyUnits += uint64(st.DirtyUnits)
+	b.SkippedUnits += uint64(st.SkippedUnits)
 }
 
 // AddMallocs folds one round's controller heap-allocation count into the
@@ -88,5 +95,8 @@ func (b *StageBreakdown) Format() string {
 	}
 	fmt.Fprintf(&sb, "  restores=%d priority_flips=%d budget_exhausted=%d budget_clamped=%d allocs_per_round=%.2f",
 		b.Restores, b.PriorityFlips, b.BudgetExhausted, b.BudgetClamped, allocsPerRound)
+	if b.DirtyUnits > 0 || b.SkippedUnits > 0 {
+		fmt.Fprintf(&sb, "\n  sparse: dirty_units=%d skipped_units=%d", b.DirtyUnits, b.SkippedUnits)
+	}
 	return sb.String()
 }

@@ -13,6 +13,7 @@ package stateless
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"dps/internal/power"
@@ -75,7 +76,7 @@ func (c Config) Validate() error {
 type Module struct {
 	cfg   Config
 	rng   *rand.Rand
-	order []int // scratch permutation, reused across steps
+	order []int // scratch permutation of eligible units, reused across steps
 }
 
 // New returns a module with the given configuration and seed.
@@ -129,45 +130,158 @@ func (m *Module) Apply(powerNow power.Vector, caps power.Vector, budget power.Bu
 		}
 	}
 
-	// Second loop: increase caps of capped units, in random order.
+	// Second loop: increase caps of capped units, in random order. Only
+	// eligible (near-cap) units are collected and shuffled: a unit's
+	// eligibility is fixed once the decrease pass ends (raises touch only
+	// the raised unit's own cap), so the permutation of the ineligible
+	// majority could never matter — shuffling just the eligible set draws
+	// the same uniform visiting order over the units that act at O(capped)
+	// instead of O(n) PRNG cost. In an overprovisioned steady state the
+	// eligible set is empty and the pass is a predicate scan.
 	avail := budget.Total - caps.Sum()
 	if avail <= 0 {
 		return changed
 	}
-	m.shuffleOrder(n)
+	m.collectEligible(powerNow, caps)
+	m.shuffleOrder()
 	for _, u := range m.order {
 		if avail <= 0 {
 			break
 		}
-		if powerNow[u] > caps[u]*power.Watts(m.cfg.IncThreshold) {
-			next := caps[u] * power.Watts(m.cfg.IncFactor)
-			if max := caps[u] + avail; next > max {
-				next = max
-			}
-			if next > budget.UnitMax {
-				next = budget.UnitMax
-			}
-			if next > caps[u] {
-				avail -= next - caps[u]
-				caps[u] = next
-				changed[u] = true
-			}
+		next := caps[u] * power.Watts(m.cfg.IncFactor)
+		if max := caps[u] + avail; next > max {
+			next = max
+		}
+		if next > budget.UnitMax {
+			next = budget.UnitMax
+		}
+		if next > caps[u] {
+			avail -= next - caps[u]
+			caps[u] = next
+			changed[u] = true
 		}
 	}
 	return changed
 }
 
-// shuffleOrder refreshes m.order with a uniform random permutation of
-// [0,n), reusing the backing array.
-func (m *Module) shuffleOrder(n int) {
-	if cap(m.order) < n {
-		m.order = make([]int, n)
+// ApplyMasked is Apply with the decrease pass restricted to the units
+// whose bits are set in visit (least-significant bit of visit[0] = unit
+// 0). A clear bit is the caller's guarantee that the unit's
+// (powerNow[u], caps[u]) pair is unchanged since a previous
+// Apply/ApplyMasked step on this module in which the decrease pass left
+// its cap unchanged — skipping it is then a provable no-op and the
+// result is bitwise identical to Apply. The increase pass always runs in
+// full: it depends on the shared available-budget pool and the random
+// visiting order, not on per-unit staleness.
+//
+// cachedSum with sumValid=true must be the bitwise value caps.Sum()
+// would return on entry; it is used for the available-budget computation
+// only when the decrease pass moved nothing (otherwise the sum is
+// recomputed). The PRNG stream stays aligned with Apply's: the eligible
+// set is collected iff avail > 0 and shuffled iff non-empty, and both
+// avail and the set are bitwise identical by construction.
+//
+// decChanged/raiseChanged report whether the decrease or increase pass
+// moved any cap. changed must have length len(caps); it is reset and
+// filled exactly as Apply fills it.
+func (m *Module) ApplyMasked(powerNow power.Vector, caps power.Vector, budget power.Budget, changed []bool, visit []uint64, cachedSum power.Watts, sumValid bool) (decChanged, raiseChanged bool) {
+	n := len(caps)
+	if len(powerNow) != n {
+		panic(fmt.Sprintf("stateless: %d readings for %d caps", len(powerNow), n))
 	}
-	m.order = m.order[:n]
-	for i := range m.order {
-		m.order[i] = i
+	if len(changed) != n {
+		panic(fmt.Sprintf("stateless: %d changed flags for %d caps", len(changed), n))
 	}
-	m.rng.Shuffle(n, func(i, j int) {
+	if len(visit)*64 < n {
+		panic(fmt.Sprintf("stateless: visit mask covers %d units, need %d", len(visit)*64, n))
+	}
+	clear(changed)
+
+	for wi, w := range visit {
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		for w != 0 {
+			u := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if u >= n {
+				break
+			}
+			if powerNow[u] < caps[u]*power.Watts(m.cfg.DecThreshold) {
+				next := caps[u] * power.Watts(m.cfg.DecFactor)
+				if powerNow[u] > next {
+					next = powerNow[u]
+				}
+				if next < budget.UnitMin {
+					next = budget.UnitMin
+				}
+				if next != caps[u] {
+					caps[u] = next
+					changed[u] = true
+					decChanged = true
+				}
+			}
+		}
+	}
+
+	sum := cachedSum
+	if decChanged || !sumValid {
+		sum = caps.Sum()
+	}
+	avail := budget.Total - sum
+	if avail <= 0 {
+		return decChanged, false
+	}
+	m.collectEligible(powerNow, caps)
+	m.shuffleOrder()
+	for _, u := range m.order {
+		if avail <= 0 {
+			break
+		}
+		next := caps[u] * power.Watts(m.cfg.IncFactor)
+		if max := caps[u] + avail; next > max {
+			next = max
+		}
+		if next > budget.UnitMax {
+			next = budget.UnitMax
+		}
+		if next > caps[u] {
+			avail -= next - caps[u]
+			caps[u] = next
+			changed[u] = true
+			raiseChanged = true
+		}
+	}
+	return decChanged, raiseChanged
+}
+
+// collectEligible fills m.order with the units eligible for a raise, in
+// unit order. Apply and ApplyMasked both reach here with bitwise
+// identical (powerNow, caps), so both collect the same list and consume
+// the same PRNG draws — the alignment the masked path's equivalence
+// contract needs.
+func (m *Module) collectEligible(powerNow, caps power.Vector) {
+	if cap(m.order) < len(caps) {
+		m.order = make([]int, 0, len(caps))
+	}
+	m.order = m.order[:0]
+	thr := power.Watts(m.cfg.IncThreshold)
+	for u := range caps {
+		if powerNow[u] > caps[u]*thr {
+			m.order = append(m.order, u)
+		}
+	}
+}
+
+// shuffleOrder permutes m.order uniformly at random. The PRNG is only
+// consumed when the list is non-empty, and only len(order)-1 draws are
+// made — deterministic given the module's seed and input history.
+func (m *Module) shuffleOrder() {
+	if len(m.order) == 0 {
+		return
+	}
+	m.rng.Shuffle(len(m.order), func(i, j int) {
 		m.order[i], m.order[j] = m.order[j], m.order[i]
 	})
 }

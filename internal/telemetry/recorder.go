@@ -49,6 +49,11 @@ type RoundRecord struct {
 	BudgetClamped   bool         `json:"budget_clamped,omitempty"`
 	StaleUnits      int          `json:"stale_units,omitempty"`
 	DeadUnits       int          `json:"dead_units,omitempty"`
+	// Sparse-round work counters: how many units the round's snapshot
+	// marked changed and how many units the controller skipped under the
+	// settled-unit contract. Zero (omitted) on dense controllers.
+	DirtyUnits   int `json:"dirty_units,omitempty"`
+	SkippedUnits int `json:"skipped_units,omitempty"`
 	BudgetW         float64      `json:"budget_w"`
 	CapSumW         float64      `json:"cap_sum_w"`
 	Units           []UnitRecord `json:"units"`

@@ -7,9 +7,10 @@
 #   BENCHTIME  go test -benchtime value (default 20x; use 1x for a smoke run)
 #   OUT        output JSON path (default BENCH_decide.json in the repo root)
 #
-# The embedded baseline block records the pre-optimization sequential
-# numbers (commit 83434dd, Intel Xeon @ 2.70GHz) so the JSON alone is
-# enough to compute the speedup without checking out the old tree.
+# The embedded baseline block records the pre-sparse-rounds sequential
+# numbers (commit 3a289ac, Intel Xeon @ 2.10GHz: dense per-unit work
+# every round, O(n) increase-pass shuffle) so the JSON alone is enough
+# to compute the speedup without checking out the old tree.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -59,10 +60,10 @@ END {
 	printf "  \"commit\": \"%s\",\n", commit
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"baseline\": {\n"
-	printf "    \"commit\": \"83434dd\",\n"
-	printf "    \"host\": \"Intel Xeon @ 2.70GHz\",\n"
-	printf "    \"note\": \"pre-optimization sequential round: copying ring accessors, O(n) statistics, per-call scratch\",\n"
-	printf "    \"ns_per_op\": {\"N=1024/shards=1\": 214210, \"N=4096/shards=1\": 858422, \"N=16384/shards=1\": 3587409}\n"
+	printf "    \"commit\": \"3a289ac\",\n"
+	printf "    \"host\": \"Intel Xeon @ 2.10GHz\",\n"
+	printf "    \"note\": \"pre-sparse-rounds round: dense per-unit work every round, O(n) increase-pass shuffle, 4 allocs/op on the sharded path\",\n"
+	printf "    \"ns_per_op\": {\"N=1024/shards=1\": 63863, \"N=4096/shards=1\": 385972, \"N=16384/shards=1\": 1563029}\n"
 	printf "  },\n"
 	if (trace_off != "" && trace_on != "") {
 		pct = "null"
