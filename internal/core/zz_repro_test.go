@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"dps/internal/power"
+)
+
+// Repro attempt: with DisableKalman, raw readings feed the ring, so the
+// sample evicted at the settle round can differ macroscopically from the
+// fixed value — the ring's stats change that round, but the sparse path
+// drops the unit from the classify mask (settledW already set).
+func TestZZSettleRoundClassifyRepro(t *testing.T) {
+	const (
+		units = 8
+		steps = 300
+	)
+	budget := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	demand := make([][]power.Watts, steps)
+	for s := range demand {
+		demand[s] = make([]power.Watts, units)
+		for u := 0; u < units; u++ {
+			switch {
+			case u < 4 && s < 60:
+				// strong period-2 oscillation: sets highFreq=true
+				if s%2 == 0 {
+					demand[s][u] = 150
+				} else {
+					demand[s][u] = 20
+				}
+			case u < 4 && s == 60:
+				demand[s][u] = 150 // one last outlier entering the ring
+			case u < 4:
+				demand[s][u] = 80 // then flat: ring drains to uniform
+			default:
+				demand[s][u] = 50
+			}
+		}
+	}
+	build := func(sparse bool) *DPS {
+		cfg := DefaultConfig(units, budget)
+		cfg.Seed = 7
+		cfg.DisableKalman = true
+		cfg.SparseRounds = sparse
+		cfg.SparseRefreshEvery = 100000 // never refresh within the run
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatalf("NewDPS: %v", err)
+		}
+		return d
+	}
+	for _, eps := range []power.Watts{0, 2.5, 25} {
+		dense := build(false)
+		sparse := build(true)
+		wc, ws := runDeltaTrace(t, dense, demand, eps, true)
+		gc, gs := runDeltaTrace(t, sparse, demand, eps, true)
+		assertSameDecisions(t, "repro", wc, gc, ws, gs)
+	}
+}
