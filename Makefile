@@ -7,7 +7,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X dps/internal/version.Version=$(VERSION)"
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-json bench-ingest alloc-check chaos fuzz-smoke trace-smoke watch-smoke ci
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-json bench-ingest bench-restore alloc-check chaos fuzz-smoke trace-smoke watch-smoke failover-smoke ci
 
 all: ci
 
@@ -59,12 +59,21 @@ bench-json:
 bench-ingest:
 	./scripts/bench_ingest.sh
 
+# bench-restore refreshes the committed BENCH_restore.json: snapshot
+# encode/decode at 16k and 262k units, and cold-vs-warm takeover
+# time-to-first-caps at 16k and 64k.
+bench-restore:
+	./scripts/bench_restore.sh
+
 # chaos runs the full fault-injection suite under the race detector:
 # the deterministic kill/restart script, the wall-clock run over real TCP
 # with injected connection drops and device crash-restarts (with the
-# watchdog attached as a second oracle), and the faultinject package's
-# own determinism tests. The deterministic half also runs inside
-# `make ci` (race is -short); the wall-clock half only runs here.
+# watchdog attached as a second oracle), the high-availability pair —
+# kill/restore-from-snapshot against an uninterrupted bitwise twin, and
+# warm-standby takeover over a fault-injected replication link — and the
+# faultinject package's own determinism tests. The deterministic half
+# also runs inside `make ci` (race is -short); the wall-clock half only
+# runs here.
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Conn|Device|Readings' ./internal/daemon/ ./internal/faultinject/
 
@@ -76,7 +85,7 @@ chaos:
 # decision loop.
 alloc-check:
 	$(GO) test -run 'TestDecideStatsSteadyStateZeroAlloc|TestDecideTracerOffZeroAlloc|TestDecideShardedSteadyStateZeroAlloc|TestDecideSparseSteadyStateZeroAlloc|TestDecideSparseShardedSteadyStateZeroAlloc' -count=1 ./internal/core
-	$(GO) test -run 'TestDecideSamplerSteadyStateZeroAlloc|TestIngestSteadyStateZeroAlloc' -count=1 ./internal/daemon
+	$(GO) test -run 'TestDecideSamplerSteadyStateZeroAlloc|TestIngestSteadyStateZeroAlloc|TestReplicateSteadyStateZeroAlloc' -count=1 ./internal/daemon
 
 # fuzz-smoke gives the wire-protocol decoders a short fuzz shake on every
 # CI run (the corpus under internal/proto/testdata grows across runs).
@@ -86,6 +95,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='FuzzReadHello$$' -fuzztime=5s -run xxx ./internal/proto/
 	$(GO) test -fuzz='FuzzReadBatch$$' -fuzztime=5s -run xxx ./internal/proto/
 	$(GO) test -fuzz='FuzzReadBatchFrame$$' -fuzztime=5s -run xxx ./internal/proto/
+	$(GO) test -fuzz='FuzzSnapshotDecode$$' -fuzztime=5s -run xxx ./internal/snapshot/
 
 # trace-smoke runs a short traced simulation and validates the exported
 # Chrome trace_event JSON covers every pipeline stage in every round.
@@ -99,8 +109,16 @@ trace-smoke:
 watch-smoke:
 	$(GO) test -run 'TestWatchSmoke|TestWatchOracleCleanRun' -count=1 ./internal/sim/
 
+# failover-smoke is the high-availability end-to-end gate: an in-process
+# primary serving real reconnecting agents over TCP, a warm standby
+# following its replication stream, a deterministic faultinject crash of
+# the link, and convergence of every agent onto the standby — with the
+# standby's watchdog silent across the handover.
+failover-smoke:
+	$(GO) test -run TestFailoverSmoke -count=1 ./internal/daemon/
+
 # ci is the tier-1 gate: static checks, a full build, the complete test
 # suite, the race detector over the concurrency-bearing packages, the
-# allocation-regression gates, a protocol fuzz shake, the traced-sim and
-# watchdog smokes, and a smoke run of the scaling benchmark.
-ci: vet staticcheck build test race alloc-check fuzz-smoke trace-smoke watch-smoke bench-smoke
+# allocation-regression gates, a protocol fuzz shake, the traced-sim,
+# watchdog and failover smokes, and a smoke run of the scaling benchmark.
+ci: vet staticcheck build test race alloc-check fuzz-smoke trace-smoke watch-smoke failover-smoke bench-smoke

@@ -22,6 +22,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		connect     = flag.String("connect", "localhost:7891", "controller address")
+		connect     = flag.String("connect", "localhost:7891", "controller address, or a comma-separated failover list (primary,standby)")
 		firstUnit   = flag.Int("first-unit", 0, "this node's first global unit ID")
 		units       = flag.Int("units", 2, "sim backend: number of simulated sockets")
 		backend     = flag.String("backend", "sim", "power backend: sim|sysfs")
@@ -197,8 +198,13 @@ func main() {
 	if driver != nil {
 		go driver(ctx)
 	}
-	// Reconnect forever: a controller restart must not take agents down.
-	if err := agent.RunWithReconnect(ctx, "tcp", *connect, 0, 0); err != nil {
+	// Reconnect forever, rotating through the controller address list: a
+	// controller restart or a standby takeover must not take agents down.
+	addrs := strings.Split(*connect, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if err := agent.RunWithReconnectAddrs(ctx, "tcp", addrs, 0, 0); err != nil {
 		log.Fatalf("dps-agent: %v", err)
 	}
 }

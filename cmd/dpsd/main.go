@@ -21,6 +21,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -147,17 +148,23 @@ func main() {
 	cfg.Interval = interval_
 	cfg.Logf = logf
 	cfg.WatchRules = watchRules
+	if cfg.StandbyOf != "" && cfg.RestoreFrom != "" {
+		log.Fatalf("dpsd: -standby-of and -restore-from are mutually exclusive (a standby inherits state from its primary)")
+	}
 	srv, err := daemon.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("dpsd: %v", err)
 	}
-
-	l, err := net.Listen("tcp", listenAddr)
-	if err != nil {
-		log.Fatalf("dpsd: %v", err)
+	if cfg.RestoreFrom != "" {
+		// RestoreFromSnapshot logs the restored round/unit counts itself; a
+		// rejection (stale, corrupt, wrong shape) is fatal — the operator
+		// asked for continuity, and silently cold-starting instead would
+		// hand every unit the constant-cap round the restore was meant to
+		// avoid.
+		if err := srv.RestoreFromSnapshot(cfg.RestoreFrom); err != nil {
+			log.Fatalf("dpsd: %v", err)
+		}
 	}
-	log.Printf("dpsd: %s policy over %d units, budget %.0f W, listening on %s",
-		mgr.Name(), nUnits, mgr.Budget().Total, l.Addr())
 
 	var httpSrv *http.Server
 	if statusAddr != "" {
@@ -175,19 +182,68 @@ func main() {
 			}
 		}()
 	}
-
+	shutdownHTTP := func() {
+		if httpSrv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("dpsd: http shutdown: %v", err)
+		}
+		cancel()
+	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	if cfg.StandbyOf != "" {
+		// Warm standby: follow the primary's replication stream, and open
+		// the agent listener only at takeover — until then agents probing
+		// this address are refused and rotate back to the primary.
+		log.Printf("dpsd: warm standby of %s (%s policy, %d units); agents served on %s after takeover",
+			cfg.StandbyOf, mgr.Name(), nUnits, listenAddr)
+		var lmu sync.Mutex
+		var takeoverL net.Listener
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			<-sigc
+			log.Printf("dpsd: standby shutting down after %d decision rounds", srv.Rounds())
+			shutdownHTTP()
+			cancel()
+			srv.Close()
+			lmu.Lock()
+			if takeoverL != nil {
+				takeoverL.Close()
+			}
+			lmu.Unlock()
+		}()
+		err := srv.RunStandby(ctx, func() (net.Listener, error) {
+			l, err := net.Listen("tcp", listenAddr)
+			if err != nil {
+				return nil, err
+			}
+			lmu.Lock()
+			takeoverL = l
+			lmu.Unlock()
+			log.Printf("dpsd: serving agents on %s", l.Addr())
+			return l, nil
+		})
+		if err != nil {
+			log.Fatalf("dpsd: %v", err)
+		}
+		return
+	}
+
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		log.Fatalf("dpsd: %v", err)
+	}
+	log.Printf("dpsd: %s policy over %d units, budget %.0f W, listening on %s",
+		mgr.Name(), nUnits, mgr.Budget().Total, l.Addr())
+
 	go func() {
 		<-sigc
 		log.Printf("dpsd: shutting down after %d decision rounds", srv.Rounds())
-		if httpSrv != nil {
-			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-			if err := httpSrv.Shutdown(ctx); err != nil {
-				log.Printf("dpsd: http shutdown: %v", err)
-			}
-			cancel()
-		}
+		shutdownHTTP()
 		srv.Close()
 		l.Close()
 	}()

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+
+	"dps/internal/power"
+	"dps/internal/priority"
+	"dps/internal/snapshot"
+	"dps/internal/trace"
+)
+
+// This file implements the controller side of the high-availability
+// snapshot contract (DESIGN.md §14): ExportState captures everything a
+// DPS controller accumulates across rounds, RestoreState rebuilds a
+// controller from that capture, and the keystone guarantee is bitwise —
+// a controller restored from the state exported after round R produces
+// caps and decision outcomes identical to the uninterrupted controller
+// from round R+1 onward, for any input sequence.
+//
+// The export is taken *between* rounds, which is the controller's
+// quiescent point: stageCaps == caps (every cap-moving stage re-syncs
+// the diff baseline), the per-round scratch masks (dirtyW, visitW,
+// roundMovedW) are dead values the next round overwrites, and capMovedW
+// already holds the next round's revisit set (DecideStats swaps it with
+// roundMovedW on the way out). So the snapshot stores caps, the swapped
+// capMovedW, and the provenance residue (reasons, roundBefore,
+// provDirty) — and nothing that is recomputed from scratch each round.
+//
+// Cross-mode restores (dense snapshot into a sparse controller or vice
+// versa) are supported conservatively: the sparse bookkeeping is reset
+// to "revisit everything" — settle certificates dropped, capMovedW
+// fully set, lastStep pinned to the restored round so the elided-push
+// accounting never underflows. Extra visits of settled units are proven
+// bitwise no-ops (DESIGN.md §13), so the conservative reset trades one
+// expensive round for the same bit-exact cap stream.
+
+// ExportState fills st with the controller's complete post-round state,
+// reusing st's slices when their capacity suffices — a warm export into
+// a retained State allocates nothing. It must be called between Decide
+// rounds (the controller's only externally observable points), never
+// concurrently with one.
+func (d *DPS) ExportState(st *snapshot.State) {
+	n := d.cfg.Units
+	st.Units = n
+	st.Seed = d.cfg.Seed
+	st.BudgetTotal = d.cfg.Budget.Total
+	st.UnitMax = d.cfg.Budget.UnitMax
+	st.UnitMin = d.cfg.Budget.UnitMin
+	st.Sparse = d.sparse
+	st.SparseRefreshEvery = d.refreshEvery
+
+	st.HasCore = true
+	st.Steps = d.steps
+	st.LastRestored = d.lastRestored
+	st.ProvDirty = d.provDirty
+	st.HeldAllocated = d.held != nil
+
+	st.Caps = appendVec(st.Caps, d.caps)
+
+	if cap(st.Kalman) < n {
+		st.Kalman = make([]snapshot.KalmanState, n)
+	}
+	st.Kalman = st.Kalman[:n]
+	for u := 0; u < n; u++ {
+		st.Kalman[u] = d.filters.Unit(power.UnitID(u)).ExportState()
+	}
+
+	st.RingCap = d.cfg.HistoryLen
+	if cap(st.Rings) < n {
+		st.Rings = make([]snapshot.RingState, n)
+	}
+	st.Rings = st.Rings[:n]
+	for u := 0; u < n; u++ {
+		d.hist.Unit(power.UnitID(u)).ExportState(&st.Rings[u])
+	}
+
+	st.HighFreq = resizeBools(st.HighFreq, n)
+	st.Prio = resizeBools(st.Prio, n)
+	d.priorityM.ExportState(st.HighFreq, st.Prio)
+	st.PrevPrio = resizeBools(st.PrevPrio, n)
+	copy(st.PrevPrio, d.prevPrio)
+	if cap(st.Frozen) < n {
+		st.Frozen = make([]priority.FrozenStats, n)
+	}
+	st.Frozen = st.Frozen[:n]
+	if d.sparse {
+		copy(st.Frozen, d.frozen)
+	} else {
+		clear(st.Frozen)
+	}
+
+	st.RNGSeed = d.cfg.Seed
+	st.RNGDraws = d.statelessM.RNGDraws()
+
+	if cap(st.Reasons) < n {
+		st.Reasons = make([]uint8, n)
+	}
+	st.Reasons = st.Reasons[:n]
+	for u := 0; u < n; u++ {
+		st.Reasons[u] = uint8(d.reasons[u])
+	}
+	st.RoundBefore = appendVec(st.RoundBefore, d.roundBefore)
+
+	st.HasSparse = d.sparse
+	if d.sparse {
+		st.LastDT = d.lastDT
+		st.HighCount = d.highCount
+		st.CachedSum = d.cachedSum
+		st.SumValid = d.sumValid
+		st.SettledW = appendU64s(st.SettledW, d.settledW)
+		st.CapMovedW = appendU64s(st.CapMovedW, d.capMovedW)
+		st.LastVal = appendVec(st.LastVal, d.lastVal)
+		st.LastStep = appendU64s(st.LastStep, d.lastStep)
+	}
+}
+
+func appendVec(dst power.Vector, src power.Vector) power.Vector {
+	if cap(dst) < len(src) {
+		dst = make(power.Vector, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+func appendU64s(dst, src []uint64) []uint64 {
+	if cap(dst) < len(src) {
+		dst = make([]uint64, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+func resizeBools(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	return dst[:n]
+}
+
+// RestoreState overwrites the controller's state from st. The snapshot
+// must come from a controller with the same identity — unit count, seed,
+// per-unit cap bounds, and history length — or an error is returned and
+// the controller is left unchanged (identity checks run before any
+// mutation). The budget total is live state and is adopted from the
+// snapshot, not checked.
+//
+// After a successful restore of a same-mode snapshot, the controller's
+// future decisions are bitwise identical to the exporting controller's;
+// cross-mode restores are bitwise too, via the conservative
+// revisit-everything reset described in the file comment.
+func (d *DPS) RestoreState(st *snapshot.State) error {
+	if !st.HasCore {
+		return fmt.Errorf("core: snapshot carries no controller state")
+	}
+	if st.Units != d.cfg.Units {
+		return fmt.Errorf("core: snapshot for %d units, controller has %d", st.Units, d.cfg.Units)
+	}
+	if st.Seed != d.cfg.Seed {
+		return fmt.Errorf("core: snapshot seed %d, controller seeded %d", st.Seed, d.cfg.Seed)
+	}
+	if st.RingCap != d.cfg.HistoryLen {
+		return fmt.Errorf("core: snapshot history length %d, controller has %d", st.RingCap, d.cfg.HistoryLen)
+	}
+	if st.UnitMax != d.cfg.Budget.UnitMax || st.UnitMin != d.cfg.Budget.UnitMin {
+		return fmt.Errorf("core: snapshot unit bounds [%v,%v], controller has [%v,%v]",
+			st.UnitMin, st.UnitMax, d.cfg.Budget.UnitMin, d.cfg.Budget.UnitMax)
+	}
+	b := d.cfg.Budget
+	b.Total = st.BudgetTotal
+	if err := b.Validate(d.cfg.Units); err != nil {
+		return fmt.Errorf("core: snapshot budget: %w", err)
+	}
+	if len(st.Caps) != d.cfg.Units || len(st.Kalman) != d.cfg.Units ||
+		len(st.Rings) != d.cfg.Units || len(st.Prio) != d.cfg.Units ||
+		len(st.HighFreq) != d.cfg.Units || len(st.PrevPrio) != d.cfg.Units ||
+		len(st.Reasons) != d.cfg.Units || len(st.RoundBefore) != d.cfg.Units {
+		return fmt.Errorf("core: snapshot core sections incomplete for %d units", d.cfg.Units)
+	}
+	// Ring geometry is validated for every unit before any ring is
+	// touched, so a malformed snapshot cannot leave the bank
+	// half-restored.
+	for u := 0; u < d.cfg.Units; u++ {
+		if err := d.hist.Unit(power.UnitID(u)).CheckState(&st.Rings[u]); err != nil {
+			return fmt.Errorf("core: unit %d: %w", u, err)
+		}
+	}
+	if d.sparse && st.HasSparse {
+		words := (d.cfg.Units + 63) / 64
+		if len(st.SettledW) != words || len(st.CapMovedW) != words ||
+			len(st.LastVal) != d.cfg.Units || len(st.LastStep) != d.cfg.Units ||
+			len(st.Frozen) != d.cfg.Units {
+			return fmt.Errorf("core: snapshot sparse section incomplete for %d units", d.cfg.Units)
+		}
+	}
+	for u := 0; u < d.cfg.Units; u++ {
+		if err := d.hist.Unit(power.UnitID(u)).ImportState(&st.Rings[u]); err != nil {
+			panic(fmt.Sprintf("core: ring %d import failed after CheckState: %v", u, err))
+		}
+	}
+
+	d.cfg.Budget = b
+	d.constantCap = b.ConstantCap(d.cfg.Units)
+	d.steps = st.Steps
+	d.lastRestored = st.LastRestored
+	d.provDirty = st.ProvDirty
+
+	copy(d.caps, st.Caps)
+	// Between rounds every cap-moving stage has re-synced the diff
+	// baseline, so stageCaps == caps is an invariant of the quiescent
+	// point the export was taken at.
+	copy(d.stageCaps, d.caps)
+	copy(d.roundBefore, st.RoundBefore)
+	for u := range d.reasons {
+		d.reasons[u] = trace.Reason(st.Reasons[u])
+	}
+
+	for u := 0; u < d.cfg.Units; u++ {
+		d.filters.Unit(power.UnitID(u)).ImportState(st.Kalman[u])
+	}
+	if err := d.priorityM.ImportState(st.HighFreq, st.Prio); err != nil {
+		panic(fmt.Sprintf("core: priority import failed after length checks: %v", err))
+	}
+	d.statelessM.RestoreRNG(st.RNGSeed, st.RNGDraws)
+
+	if st.HeldAllocated && d.held == nil {
+		// Preserve the exporting controller's allocation profile: it had
+		// already paid for its degraded-round scratch, so the restored
+		// one must not re-pay it inside a decision round.
+		d.held = power.NewVector(d.cfg.Units, 0)
+	}
+
+	if d.sparse {
+		if st.HasSparse {
+			// Same-mode restore: adopt the sparse bookkeeping bitwise,
+			// settle certificates included.
+			d.lastDT = st.LastDT
+			d.highCount = st.HighCount
+			d.cachedSum = st.CachedSum
+			d.sumValid = st.SumValid
+			copy(d.settledW, st.SettledW)
+			copy(d.capMovedW, st.CapMovedW)
+			copy(d.lastVal, st.LastVal)
+			copy(d.lastStep, st.LastStep)
+			copy(d.frozen, st.Frozen)
+			copy(d.prevPrio, st.PrevPrio)
+		} else {
+			// Dense snapshot into a sparse controller: no certificates
+			// travel, so reset to revisit-everything. lastStep pins to
+			// the restored round — the elided-push accounting subtracts
+			// it from the current round and must never underflow.
+			clear(d.settledW)
+			d.setAllWords(d.capMovedW)
+			clear(d.lastVal)
+			for u := range d.lastStep {
+				d.lastStep[u] = st.Steps
+			}
+			clear(d.frozen)
+			d.lastDT = 0
+			d.sumValid = false
+			d.highCount = 0
+			for _, p := range st.Prio {
+				if p {
+					d.highCount++
+				}
+			}
+			copy(d.prevPrio, st.PrevPrio)
+		}
+		clear(d.dirtyW)
+		clear(d.roundMovedW)
+		d.anyMove = false
+	} else {
+		if st.HasSparse {
+			// Sparse snapshot into a dense controller: the sparse path
+			// never maintains prevPrio, so seed the dense flip counter
+			// from the current priorities instead of the stale vector.
+			copy(d.prevPrio, st.Prio)
+		} else {
+			copy(d.prevPrio, st.PrevPrio)
+		}
+	}
+	return nil
+}
+
+// ExportedHighCount returns the number of high-priority units in st —
+// the daemon's status plane wants it without re-deriving controller
+// internals.
+func ExportedHighCount(st *snapshot.State) int {
+	n := 0
+	for _, p := range st.Prio {
+		if p {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dps/internal/power"
+	"dps/internal/snapshot"
+)
+
+// loopState is the world-side state of a closed-loop delta-agent trace:
+// the caps currently applied and the last values each agent reported.
+// It survives a controller swap, exactly as real agents survive a
+// failover — they keep reporting to whoever holds the caps.
+type loopState struct {
+	caps     power.Vector
+	reported power.Vector
+	mask     *DirtyMask
+	eps      power.Watts
+}
+
+func newLoopState(d *DPS, eps power.Watts, useMask bool) *loopState {
+	ls := &loopState{
+		caps:     d.Caps().Clone(),
+		reported: make(power.Vector, len(d.Caps())),
+		eps:      eps,
+	}
+	if useMask {
+		ls.mask = NewDirtyMask(len(d.Caps()))
+	}
+	return ls
+}
+
+// drive runs d closed-loop over demand rows [lo, hi), continuing the
+// loop state from wherever it stands, and appends each round's caps and
+// stats to the returned slices. health, when non-nil, supplies the
+// per-round health vector.
+func drive(t *testing.T, d *DPS, demand [][]power.Watts, lo, hi int, ls *loopState, health func(step int) []UnitHealth) ([]power.Vector, []RoundStats) {
+	t.Helper()
+	capsOut := make([]power.Vector, 0, hi-lo)
+	statsOut := make([]RoundStats, 0, hi-lo)
+	for step := lo; step < hi; step++ {
+		row := demand[step]
+		var hv []UnitHealth
+		if health != nil {
+			hv = health(step)
+		}
+		if ls.mask != nil {
+			ls.mask.Reset()
+		}
+		for u := range ls.reported {
+			drawn := row[u]
+			if drawn > ls.caps[u] {
+				drawn = ls.caps[u]
+			}
+			if hv != nil && hv[u] != HealthFresh {
+				// A non-reporting agent's last value stays on the books.
+				continue
+			}
+			diff := drawn - ls.reported[u]
+			if diff < 0 {
+				diff = -diff
+			}
+			if step == 0 || diff > ls.eps {
+				ls.reported[u] = drawn
+				if ls.mask != nil {
+					ls.mask.Mark(u)
+				}
+			}
+		}
+		next, st := d.DecideStats(Snapshot{Power: ls.reported, Interval: 1, Dirty: ls.mask, Health: hv})
+		capsOut = append(capsOut, next.Clone())
+		statsOut = append(statsOut, st)
+		copy(ls.caps, next)
+	}
+	return capsOut, statsOut
+}
+
+// snapshotThrough round-trips d's state through the wire format and
+// restores it into into, failing the test on any step that errors. The
+// byte round trip is deliberate: the equivalence proof must cover the
+// serialized form, not just the in-memory State.
+func snapshotThrough(t *testing.T, d, into *DPS) {
+	t.Helper()
+	var st snapshot.State
+	d.ExportState(&st)
+	img := snapshot.Encode(nil, &st)
+	got, err := snapshot.Decode(img)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := into.RestoreState(got); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+}
+
+// TestRestoreEquivalence is the keystone high-availability gate: a
+// controller restored from the snapshot taken after round R produces
+// bitwise-identical caps and decision outcomes to the uninterrupted twin
+// from round R+1 onward, over a 600-step closed-loop trace, across
+// dense/sparse, sequential/sharded, masked/derived-dirty configurations
+// — including a budget change before the snapshot point and a second
+// one after the restore.
+func TestRestoreEquivalence(t *testing.T) {
+	const (
+		units   = 96
+		steps   = 600
+		cutAt   = 250 // snapshot after this many rounds
+		budget1 = power.Watts(units) * 55
+		budget2 = power.Watts(units) * 48
+		budget3 = power.Watts(units) * 60
+	)
+	bud := power.Budget{Total: budget1, UnitMax: 165, UnitMin: 10}
+	demand := mixedTrace(steps, units, 42)
+
+	build := func(sparse bool, refresh, shards int) *DPS {
+		cfg := DefaultConfig(units, bud)
+		cfg.Seed = 7
+		cfg.Shards = shards
+		cfg.SparseRounds = sparse
+		cfg.SparseRefreshEvery = refresh
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatalf("NewDPS: %v", err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+
+	cases := []struct {
+		name    string
+		sparse  bool
+		refresh int
+		shards  int
+		eps     power.Watts
+		useMask bool
+	}{
+		{name: "dense seq", sparse: false, shards: 1, eps: 0.5},
+		{name: "sparse seq default band", sparse: true, refresh: 64, shards: 1, eps: 0.5},
+		{name: "sparse seq masked", sparse: true, refresh: 64, shards: 1, eps: 0.5, useMask: true},
+		{name: "sparse seq refresh every round", sparse: true, refresh: 1, shards: 1, eps: 0},
+		{name: "sparse sharded", sparse: true, refresh: 64, shards: 4, eps: 0.5, useMask: true},
+		{name: "dense sharded", sparse: false, shards: 4, eps: 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Twin A: uninterrupted, with budget changes at 150 and 400.
+			a := build(tc.sparse, tc.refresh, tc.shards)
+			lsA := newLoopState(a, tc.eps, tc.useMask)
+			capsA1, statsA1 := drive(t, a, demand, 0, 150, lsA, nil)
+			if err := a.SetTotalBudget(budget2); err != nil {
+				t.Fatal(err)
+			}
+			capsA2, statsA2 := drive(t, a, demand, 150, 400, lsA, nil)
+			if err := a.SetTotalBudget(budget3); err != nil {
+				t.Fatal(err)
+			}
+			capsA3, statsA3 := drive(t, a, demand, 400, steps, lsA, nil)
+			capsA := append(append(capsA1, capsA2...), capsA3...)
+			statsA := append(append(statsA1, statsA2...), statsA3...)
+
+			// Twin B: identical through round cutAt, then its state moves
+			// through the wire format into a freshly built controller
+			// that finishes the trace.
+			b := build(tc.sparse, tc.refresh, tc.shards)
+			lsB := newLoopState(b, tc.eps, tc.useMask)
+			capsB1, statsB1 := drive(t, b, demand, 0, 150, lsB, nil)
+			if err := b.SetTotalBudget(budget2); err != nil {
+				t.Fatal(err)
+			}
+			capsB2, statsB2 := drive(t, b, demand, 150, cutAt, lsB, nil)
+
+			c := build(tc.sparse, tc.refresh, tc.shards)
+			snapshotThrough(t, b, c)
+			if got, want := c.Steps(), uint64(cutAt); got != want {
+				t.Fatalf("restored steps %d, want %d", got, want)
+			}
+			if got := c.Budget().Total; got != budget2 {
+				t.Fatalf("restored budget %v, want %v", got, budget2)
+			}
+			capsB3, statsB3 := drive(t, c, demand, cutAt, 400, lsB, nil)
+			if err := c.SetTotalBudget(budget3); err != nil {
+				t.Fatal(err)
+			}
+			capsB4, statsB4 := drive(t, c, demand, 400, steps, lsB, nil)
+
+			capsB := append(append(append(capsB1, capsB2...), capsB3...), capsB4...)
+			statsB := append(append(append(statsB1, statsB2...), statsB3...), statsB4...)
+			assertSameDecisions(t, tc.name, capsA, capsB, statsA, statsB)
+
+			// Non-vacuity: the post-restore segment must exercise real
+			// decision work.
+			moved := false
+			for s := cutAt + 1; s < steps && !moved; s++ {
+				for u := range capsA[s] {
+					if capsA[s][u] != capsA[s-1][u] {
+						moved = true
+						break
+					}
+				}
+			}
+			if !moved {
+				t.Fatalf("%s: no cap moved after the restore point; test is vacuous", tc.name)
+			}
+		})
+	}
+}
+
+// TestRestoreEquivalenceCrossMode checks the conservative cross-mode
+// restores: a dense snapshot into a sparse controller and a sparse
+// snapshot into a dense controller both continue the exporter's cap
+// stream bitwise (the revisit-everything reset is a proven no-op, not a
+// behavioral change).
+func TestRestoreEquivalenceCrossMode(t *testing.T) {
+	const (
+		units = 96
+		steps = 400
+		cutAt = 150
+	)
+	bud := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	demand := mixedTrace(steps, units, 42)
+	build := func(sparse bool) *DPS {
+		cfg := DefaultConfig(units, bud)
+		cfg.Seed = 7
+		cfg.SparseRounds = sparse
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatalf("NewDPS: %v", err)
+		}
+		return d
+	}
+
+	for _, tc := range []struct {
+		name               string
+		exporter, restorer bool // sparse flags
+	}{
+		{"dense snapshot into sparse controller", false, true},
+		{"sparse snapshot into dense controller", true, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// The reference twin runs the *restorer's* mode throughout —
+			// sparse and dense are bitwise equivalent, so it is also the
+			// exporter's uninterrupted cap stream.
+			a := build(tc.restorer)
+			lsA := newLoopState(a, 0.5, false)
+			capsA, statsA := drive(t, a, demand, 0, steps, lsA, nil)
+
+			b := build(tc.exporter)
+			lsB := newLoopState(b, 0.5, false)
+			capsB1, statsB1 := drive(t, b, demand, 0, cutAt, lsB, nil)
+			c := build(tc.restorer)
+			snapshotThrough(t, b, c)
+			capsB2, statsB2 := drive(t, c, demand, cutAt, steps, lsB, nil)
+
+			capsB := append(capsB1, capsB2...)
+			statsB := append(statsB1, statsB2...)
+			assertSameDecisions(t, tc.name, capsA, capsB, statsA, statsB)
+		})
+	}
+}
+
+// TestRestoreEquivalenceDegraded runs the trace with a health schedule
+// straddling the snapshot point: units go stale/dead before the cut and
+// recover after it, so the restored controller inherits health-pinned
+// caps and must keep them pinned bitwise.
+func TestRestoreEquivalenceDegraded(t *testing.T) {
+	const (
+		units = 64
+		steps = 300
+		cutAt = 140
+	)
+	bud := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	demand := mixedTrace(steps, units, 17)
+	health := func(step int) []UnitHealth {
+		if step < 100 || step >= 220 {
+			return nil
+		}
+		hv := make([]UnitHealth, units)
+		hv[3] = HealthStale
+		hv[11] = HealthDead
+		if step >= 160 {
+			hv[20] = HealthStale
+		}
+		return hv
+	}
+	build := func() *DPS {
+		cfg := DefaultConfig(units, bud)
+		cfg.Seed = 7
+		cfg.SparseRounds = true
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatalf("NewDPS: %v", err)
+		}
+		return d
+	}
+
+	a := build()
+	lsA := newLoopState(a, 0.5, true)
+	capsA, statsA := drive(t, a, demand, 0, steps, lsA, health)
+
+	b := build()
+	lsB := newLoopState(b, 0.5, true)
+	capsB1, statsB1 := drive(t, b, demand, 0, cutAt, lsB, health)
+	c := build()
+	snapshotThrough(t, b, c)
+	capsB2, statsB2 := drive(t, c, demand, cutAt, steps, lsB, health)
+	assertSameDecisions(t, "degraded", capsA, append(capsB1, capsB2...), statsA, append(statsB1, statsB2...))
+
+	// Non-vacuity: the schedule must actually have pinned units at the
+	// cut (their caps held constant through it).
+	if statsA[cutAt].StaleUnits == 0 || statsA[cutAt].DeadUnits == 0 {
+		t.Fatalf("health schedule not active at the snapshot point")
+	}
+}
+
+// TestExportStateWarmNoAlloc is the hot-path gate for the snapshot loop:
+// exporting into a retained State and re-encoding into a retained buffer
+// allocates nothing once warm, so a primary can assemble its replication
+// image every round without disturbing the decide loop's 0-alloc
+// contract.
+func TestExportStateWarmNoAlloc(t *testing.T) {
+	const units = 512
+	bud := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	cfg := DefaultConfig(units, bud)
+	cfg.SparseRounds = true
+	d, err := NewDPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := mixedTrace(40, units, 3)
+	ls := newLoopState(d, 0.5, true)
+	drive(t, d, demand, 0, 40, ls, nil)
+
+	var st snapshot.State
+	d.ExportState(&st)
+	buf := snapshot.Encode(nil, &st)
+	allocs := testing.AllocsPerRun(20, func() {
+		d.ExportState(&st)
+		buf = snapshot.Encode(buf, &st)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm export+encode allocates %v times", allocs)
+	}
+}
+
+// TestRestoreStateRejects exercises every identity check: a snapshot
+// from a different controller shape must be refused without mutating the
+// restorer.
+func TestRestoreStateRejects(t *testing.T) {
+	const units = 32
+	bud := power.Budget{Total: power.Watts(units) * 55, UnitMax: 165, UnitMin: 10}
+	newC := func(mut func(*Config)) *DPS {
+		cfg := DefaultConfig(units, bud)
+		cfg.Seed = 7
+		cfg.SparseRounds = true
+		if mut != nil {
+			mut(&cfg)
+		}
+		d, err := NewDPS(cfg)
+		if err != nil {
+			t.Fatalf("NewDPS: %v", err)
+		}
+		return d
+	}
+
+	src := newC(nil)
+	demand := mixedTrace(30, units, 5)
+	ls := newLoopState(src, 0.5, false)
+	drive(t, src, demand, 0, 30, ls, nil)
+	var good snapshot.State
+	src.ExportState(&good)
+
+	cases := []struct {
+		name string
+		dst  *DPS
+		mut  func(*snapshot.State)
+		want string
+	}{
+		{"no core", newC(nil), func(s *snapshot.State) { s.HasCore = false }, "no controller state"},
+		{"unit mismatch", newC(nil), func(s *snapshot.State) { s.Units = units + 1 }, "units"},
+		{"seed mismatch", newC(func(c *Config) { c.Seed = 8 }), nil, "seed"},
+		{"history mismatch", newC(func(c *Config) { c.HistoryLen = 10 }), nil, "history length"},
+		{"bounds mismatch", newC(func(c *Config) { c.Budget.UnitMax = 170 }), nil, "bounds"},
+		{"bad budget", newC(nil), func(s *snapshot.State) { s.BudgetTotal = -1 }, "budget"},
+		{"bad ring geometry", newC(nil), func(s *snapshot.State) { s.Rings[5].Head = 99 }, "unit 5"},
+		{"short section", newC(nil), func(s *snapshot.State) { s.Caps = s.Caps[:units-1] }, "incomplete"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := good // shallow copy; muts that touch slices clone first
+			if tc.mut != nil {
+				if tc.name == "bad ring geometry" {
+					rings := append([]snapshot.RingState(nil), good.Rings...)
+					st.Rings = rings
+				}
+				tc.mut(&st)
+			}
+			before := tc.dst.Caps().Clone()
+			err := tc.dst.RestoreState(&st)
+			if err == nil {
+				t.Fatalf("restore accepted a %s snapshot", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			for u, c := range tc.dst.Caps() {
+				if c != before[u] {
+					t.Fatalf("rejected restore mutated caps[%d]", u)
+				}
+			}
+			if tc.dst.Steps() != 0 {
+				t.Fatalf("rejected restore advanced steps to %d", tc.dst.Steps())
+			}
+		})
+	}
+
+	// And the happy path on a fresh twin still works after all that.
+	ok := newC(nil)
+	if err := ok.RestoreState(&good); err != nil {
+		t.Fatalf("valid restore failed: %v", err)
+	}
+	if ok.Steps() != 30 {
+		t.Fatalf("restored steps %d, want 30", ok.Steps())
+	}
+}

@@ -454,20 +454,43 @@ func (a *Agent) jitteredBackoff(backoff time.Duration) time.Duration {
 // is the safe direction (caps can only be stale, never absent). Counters
 // (Reports/Applied) accumulate across reconnections.
 func (a *Agent) RunWithReconnect(ctx context.Context, network, addr string, baseBackoff, maxBackoff time.Duration) error {
+	return a.RunWithReconnectAddrs(ctx, network, []string{addr}, baseBackoff, maxBackoff)
+}
+
+// RunWithReconnectAddrs is RunWithReconnect over an ordered controller
+// address list — typically [primary, standby]. Each reconnect attempt
+// targets the next address in rotation, so when the primary dies and its
+// warm standby takes over (DESIGN.md §14), agents land on the standby
+// within a backoff or two with no reconfiguration. Dial and handshake
+// are bounded by a deadline: a standby that has not taken over yet
+// refuses connections instantly, but a half-dead primary that accepts
+// and then hangs must not pin the agent to it forever.
+func (a *Agent) RunWithReconnectAddrs(ctx context.Context, network string, addrs []string, baseBackoff, maxBackoff time.Duration) error {
+	if len(addrs) == 0 {
+		return errors.New("daemon: no controller addresses")
+	}
 	if baseBackoff <= 0 {
 		baseBackoff = 250 * time.Millisecond
 	}
 	if maxBackoff < baseBackoff {
 		maxBackoff = 8 * time.Second
 	}
+	hsTimeout := 10 * a.cfg.Interval
+	if hsTimeout < 2*time.Second {
+		hsTimeout = 2 * time.Second
+	}
 	backoff := baseBackoff
-	for {
+	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		conn, err := net.Dial(network, addr)
+		addr := addrs[attempt%len(addrs)]
+		conn, err := net.DialTimeout(network, addr, hsTimeout)
 		if err == nil {
-			err = a.Handshake(conn)
+			conn.SetDeadline(time.Now().Add(hsTimeout))
+			if err = a.Handshake(conn); err == nil {
+				conn.SetDeadline(time.Time{})
+			}
 		}
 		if err == nil {
 			backoff = baseBackoff
@@ -480,15 +503,20 @@ func (a *Agent) RunWithReconnect(ctx context.Context, network, addr string, base
 		}
 		a.am.reconnects.Inc()
 		a.am.backoff.Set(backoff.Seconds())
-		a.logf("daemon: agent connection lost (%v); retrying in %v", err, backoff)
+		a.logf("daemon: agent connection to %s lost (%v); retrying in %v", addr, err, backoff)
 		select {
 		case <-ctx.Done():
 			return nil
 		case <-time.After(a.jitteredBackoff(backoff)):
 		}
-		backoff *= 2
-		if backoff > maxBackoff {
-			backoff = maxBackoff
+		// With one address this is plain exponential backoff; with several
+		// the doubling applies per full rotation, so trying the standby is
+		// never slower than retrying the dead primary would have been.
+		if attempt%len(addrs) == len(addrs)-1 {
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 		}
 	}
 }

@@ -1,0 +1,159 @@
+package daemon
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/power"
+	"dps/internal/snapshot"
+)
+
+// benchRestoreServer builds a DPS server at cluster scale with health
+// tracking off (the codec cost under measurement is the same either
+// way) and a few warm rounds behind it, so the exported state is the
+// settled mid-run shape, not a fresh-boot zero image.
+func benchRestoreServer(b *testing.B, units int, snapPath string) *Server {
+	b.Helper()
+	mgr, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Manager: mgr, Units: units, Interval: time.Second, SnapshotPath: snapPath, SnapshotEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	readings := make(power.Vector, units)
+	for u := range readings {
+		readings[u] = power.Watts(40 + (u*7)%100)
+	}
+	setReadings(srv, readings)
+	for i := 0; i < 3; i++ {
+		if _, err := srv.DecideOnce(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return srv
+}
+
+// benchSnapState builds a full snapshot State — controller plus daemon
+// sections — straight from a core.DPS export, bypassing the daemon so
+// the codec can be measured past the protocol's 64 Ki-unit ceiling.
+func benchSnapState(b *testing.B, units int) *snapshot.State {
+	b.Helper()
+	d, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := &snapshot.State{}
+	d.ExportState(st)
+	st.HasDaemon = true
+	st.SavedUnixMS = 1_700_000_000_000
+	st.Rounds = 3
+	st.LastCaps = make(power.Vector, units)
+	st.LastPushed = make(power.Vector, units)
+	st.Health = make([]uint8, units)
+	st.ReportAgeMS = make([]uint64, units)
+	st.Readings = make(power.Vector, units)
+	for u := 0; u < units; u++ {
+		st.LastCaps[u] = power.Watts(100 + u%60)
+		st.LastPushed[u] = st.LastCaps[u]
+		st.ReportAgeMS[u] = uint64(u % 900)
+		st.Readings[u] = power.Watts(40 + (u*7)%100)
+	}
+	return st
+}
+
+// BenchmarkSnapshotCodec times the state image's encode and decode at
+// cluster scale: the per-round cost a primary pays to assemble the
+// image, and the boot-time cost a restore or takeover pays to parse it.
+// Feeds scripts/bench_restore.sh.
+func BenchmarkSnapshotCodec(b *testing.B) {
+	for _, units := range []int{16384, 262144} {
+		st := benchSnapState(b, units)
+		img := snapshot.Encode(nil, st)
+		b.Run(fmt.Sprintf("encode/N=%d", units), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(img)))
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = snapshot.Encode(buf, st)
+			}
+		})
+		b.Run(fmt.Sprintf("decode/N=%d", units), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(img)))
+			var out snapshot.State
+			for i := 0; i < b.N; i++ {
+				if err := snapshot.DecodeInto(&out, img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTakeoverFirstRound times time-to-first-caps for the two boot
+// paths the HA design trades between: cold (a fresh controller's first
+// round — the constant-allocation round every unit pays for) and warm
+// (restore the snapshot, then decide — the takeover path, where the
+// first round continues the donor's trajectory). Feeds
+// scripts/bench_restore.sh.
+func BenchmarkTakeoverFirstRound(b *testing.B) {
+	// 65536 is the protocol's addressable ceiling; the codec benchmark
+	// above covers scaling beyond it.
+	for _, units := range []int{16384, 65536} {
+		// Donor: a settled primary whose graceful shutdown leaves the
+		// snapshot file a takeover would inherit.
+		path := filepath.Join(b.TempDir(), fmt.Sprintf("state-%d.dps", units))
+		donor := benchRestoreServer(b, units, path)
+		if err := donor.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		newBoot := func(b *testing.B) *Server {
+			b.Helper()
+			mgr, err := core.NewDPS(core.DefaultConfig(units, testBudget(units)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := NewServer(ServerConfig{Manager: mgr, Units: units, Interval: time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return srv
+		}
+
+		b.Run(fmt.Sprintf("cold/N=%d", units), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv := newBoot(b)
+				b.StartTimer()
+				if _, err := srv.DecideOnce(1); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				srv.Close()
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("warm/N=%d", units), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv := newBoot(b)
+				b.StartTimer()
+				if err := srv.RestoreFromSnapshot(path); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := srv.DecideOnce(1); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				srv.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -103,6 +103,16 @@ type FileConfig struct {
 	Watch            bool         `json:"watch,omitempty"`
 	WatchRules       []watch.Rule `json:"watch_rules,omitempty"`
 	BudgetToleranceW float64      `json:"budget_tolerance_w,omitempty"`
+
+	// High availability (DESIGN.md §14). SnapshotPath enables the periodic
+	// state snapshot file (written every SnapshotEvery rounds, 0 = the
+	// daemon default, plus once at graceful shutdown); RestoreFrom loads a
+	// snapshot at boot; StandbyOf runs this dpsd as a warm standby of the
+	// primary at that address, serving agents only after taking over.
+	SnapshotPath  string `json:"snapshot_path,omitempty"`
+	SnapshotEvery int    `json:"snapshot_every,omitempty"`
+	RestoreFrom   string `json:"restore_from,omitempty"`
+	StandbyOf     string `json:"standby_of,omitempty"`
 }
 
 // LoadFileConfig parses and normalizes a config file.
@@ -167,6 +177,9 @@ func (fc FileConfig) validate() error {
 	}
 	if fc.StaleAfterMS > 0 && fc.DeadAfterMS > 0 && fc.DeadAfterMS < fc.StaleAfterMS {
 		return fmt.Errorf("dead_after_ms %d below stale_after_ms %d", fc.DeadAfterMS, fc.StaleAfterMS)
+	}
+	if fc.StandbyOf != "" && fc.RestoreFrom != "" {
+		return fmt.Errorf("standby_of and restore_from are mutually exclusive (a standby inherits state from its primary)")
 	}
 	switch fc.Policy {
 	case "dps", "slurm", "constant":

@@ -169,6 +169,44 @@ var serverKnobs = []knob{
 		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.WatchEnabled = fc.Watch },
 	},
 	{
+		Flag: "snapshot-path", JSON: "snapshot_path",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.String("snapshot-path", "", "write the controller state snapshot to this file on a round cadence and at shutdown (empty disables)")
+			return func(sc *ServerConfig) { sc.SnapshotPath = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.SnapshotPath = fc.SnapshotPath },
+	},
+	{
+		Flag: "snapshot-every", JSON: "snapshot_every",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.Int("snapshot-every", 0, "rounds between snapshot file writes (0 = default)")
+			return func(sc *ServerConfig) { sc.SnapshotEvery = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.SnapshotEvery = fc.SnapshotEvery },
+		check: func(fc FileConfig) error {
+			if fc.SnapshotEvery < 0 {
+				return fmt.Errorf("negative snapshot_every %d", fc.SnapshotEvery)
+			}
+			return nil
+		},
+	},
+	{
+		Flag: "restore-from", JSON: "restore_from",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.String("restore-from", "", "restore controller state from this snapshot file at boot (empty = cold start)")
+			return func(sc *ServerConfig) { sc.RestoreFrom = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.RestoreFrom = fc.RestoreFrom },
+	},
+	{
+		Flag: "standby-of", JSON: "standby_of",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.String("standby-of", "", "run as a warm standby replicating from the primary dpsd at this address; serve agents only after taking over")
+			return func(sc *ServerConfig) { sc.StandbyOf = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.StandbyOf = fc.StandbyOf },
+	},
+	{
 		Flag: "budget-tolerance", JSON: "budget_tolerance_w",
 		register: func(fs *flag.FlagSet) func(*ServerConfig) {
 			v := fs.Float64("budget-tolerance", 0, "slack in watts on the budget_conservation audit (0 = default)")

@@ -72,6 +72,22 @@ var knobParityCases = []struct {
 		flag: "budget-tolerance", flagArg: "-budget-tolerance=0.01", jsonFrag: `"budget_tolerance_w": 0.01`,
 		want: func(sc ServerConfig) bool { return sc.BudgetToleranceW == 0.01 },
 	},
+	{
+		flag: "snapshot-path", flagArg: "-snapshot-path=/var/lib/dps/state.dps", jsonFrag: `"snapshot_path": "/var/lib/dps/state.dps"`,
+		want: func(sc ServerConfig) bool { return sc.SnapshotPath == "/var/lib/dps/state.dps" },
+	},
+	{
+		flag: "snapshot-every", flagArg: "-snapshot-every=25", jsonFrag: `"snapshot_every": 25`,
+		want: func(sc ServerConfig) bool { return sc.SnapshotEvery == 25 },
+	},
+	{
+		flag: "restore-from", flagArg: "-restore-from=/var/lib/dps/state.dps", jsonFrag: `"restore_from": "/var/lib/dps/state.dps"`,
+		want: func(sc ServerConfig) bool { return sc.RestoreFrom == "/var/lib/dps/state.dps" },
+	},
+	{
+		flag: "standby-of", flagArg: "-standby-of=primary:7891", jsonFrag: `"standby_of": "primary:7891"`,
+		want: func(sc ServerConfig) bool { return sc.StandbyOf == "primary:7891" },
+	},
 }
 
 // TestKnobFlagJSONParity proves, knob by knob, that the command-line
@@ -181,6 +197,7 @@ func TestKnobValidation(t *testing.T) {
 		func(fc *FileConfig) { fc.SparseRefreshEvery = -1 },
 		func(fc *FileConfig) { fc.TraceSpans = -1 },
 		func(fc *FileConfig) { fc.BudgetToleranceW = -1 },
+		func(fc *FileConfig) { fc.SnapshotEvery = -1 },
 	}
 	for i, mutate := range bad {
 		fc := base

@@ -122,3 +122,24 @@ func WithWatch(rules ...watch.Rule) Option {
 func WithBudgetTolerance(w float64) Option {
 	return func(c *ServerConfig) { c.BudgetToleranceW = w }
 }
+
+// WithSnapshotFile writes the controller state snapshot to path every
+// `every` rounds (0 = the daemon default) and once at graceful shutdown.
+func WithSnapshotFile(path string, every int) Option {
+	return func(c *ServerConfig) {
+		c.SnapshotPath = path
+		c.SnapshotEvery = every
+	}
+}
+
+// WithRestoreFrom loads a snapshot file at boot (the caller still
+// invokes RestoreFromSnapshot; this records the path in the config).
+func WithRestoreFrom(path string) Option {
+	return func(c *ServerConfig) { c.RestoreFrom = path }
+}
+
+// WithStandbyOf runs the server as a warm standby of the primary dpsd at
+// addr; it serves agents only after taking over (see RunStandby).
+func WithStandbyOf(addr string) Option {
+	return func(c *ServerConfig) { c.StandbyOf = addr }
+}

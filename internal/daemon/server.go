@@ -25,6 +25,7 @@ import (
 	"dps/internal/core"
 	"dps/internal/power"
 	"dps/internal/proto"
+	"dps/internal/snapshot"
 	"dps/internal/telemetry"
 	"dps/internal/telemetry/series"
 	"dps/internal/trace"
@@ -123,7 +124,37 @@ type ServerConfig struct {
 	// (absorbs float drift from the proportional rescale). Zero selects
 	// the watch package default (1e-3 W).
 	BudgetToleranceW float64
+
+	// High-availability state continuity (DESIGN.md §14). SnapshotPath,
+	// when set, makes the daemon assemble its full versioned state image
+	// after every decision round, write it to this file every
+	// SnapshotEvery rounds, and write it one final time on Close.
+	// RestoreFrom names a snapshot file for RestoreFromSnapshot (dpsd
+	// calls it at boot when -restore-from is set; NewServer itself does
+	// not, so callers control when the clock source is in place).
+	// StandbyOf marks this daemon a warm standby of the primary at that
+	// address: RunStandby subscribes to the primary's replication stream
+	// and serves agents only after takeover.
+	SnapshotPath  string
+	SnapshotEvery int
+	RestoreFrom   string
+	StandbyOf     string
+	// SnapshotMaxAge bounds how old (by its own save stamp) a snapshot
+	// file may be and still be restored; older files are rejected as
+	// stale. Zero selects DefaultSnapshotMaxAge. Deliberately not a CLI
+	// knob: an operator who wants an ancient snapshot back can touch up
+	// the config, but the default must protect the boot path from caps
+	// and health clocks from another epoch.
+	SnapshotMaxAge time.Duration
 }
+
+// DefaultSnapshotEvery is the default number of decision rounds between
+// snapshot file writes when SnapshotPath is set.
+const DefaultSnapshotEvery = 10
+
+// DefaultSnapshotMaxAge is the default rejection threshold for restoring
+// stale snapshot files.
+const DefaultSnapshotMaxAge = 24 * time.Hour
 
 func (c ServerConfig) validate() error {
 	switch {
@@ -137,6 +168,10 @@ func (c ServerConfig) validate() error {
 		return fmt.Errorf("daemon: non-positive interval %v", c.Interval)
 	case c.DeltaEpsilon < 0 || math.IsNaN(float64(c.DeltaEpsilon)) || math.IsInf(float64(c.DeltaEpsilon), 0):
 		return fmt.Errorf("daemon: invalid delta epsilon %v", c.DeltaEpsilon)
+	case c.SnapshotEvery < 0:
+		return fmt.Errorf("daemon: negative snapshot-every %d", c.SnapshotEvery)
+	case c.SnapshotMaxAge < 0:
+		return fmt.Errorf("daemon: negative snapshot max age %v", c.SnapshotMaxAge)
 	}
 	for _, r := range c.WatchRules {
 		if err := r.Validate(); err != nil {
@@ -218,10 +253,63 @@ type Server struct {
 	lastDirtyUnits   int
 	lastSkippedUnits int
 	lastDirtyFrac    float64
-	owner        []*serverConn // per-unit owning connection, nil if unclaimed
-	conns        map[*serverConn]struct{}
-	closed       bool
-	rounds       atomic.Uint64 // advanced under mu; loaded lock-free by ingest tracing
+	owner            []*serverConn // per-unit owning connection, nil if unclaimed
+	conns            map[*serverConn]struct{}
+	closed           bool
+	rounds           atomic.Uint64 // advanced under mu; loaded lock-free by ingest tracing
+
+	// inheritedRounds is how many of the round counter's rounds were run
+	// by a previous process (restored from a snapshot or inherited at
+	// standby takeover): uptime_rounds = rounds - inheritedRounds, while
+	// state_age_rounds = rounds. Zero on a fresh boot.
+	inheritedRounds atomic.Uint64
+
+	// The snapshot/replication plane (DESIGN.md §14), guarded by snapMu.
+	// Lock order: snapMu → mu → imu; only the decision loop (via
+	// replicateRound) and replica (un)registration take snapMu, so
+	// neither ingest nor cap pushes ever contend on it. All the buffers
+	// are reused round over round — a warm replication round allocates
+	// nothing.
+	snapMu    sync.Mutex
+	snapState snapshot.State // reused export target
+	snapEnc   []byte         // latest assembled image (complete rounds only)
+	nextEnc   []byte         // scratch the next image encodes into
+	curSecs   [][]byte       // section framings of snapEnc
+	prevSecs  [][]byte       // section framings of the previous image
+	deltaBuf  []byte         // FrameDelta payload scratch
+	replicas  map[*replicaConn]struct{}
+	// lastFileRound is the round of the most recent snapshot file write.
+	lastFileRound uint64
+
+	// dial is the standby's outbound connector toward its primary; tests
+	// override it to interpose fault injection. Nil means net.Dial.
+	dial func(network, addr string) (net.Conn, error)
+}
+
+// replicaConn is one warm-standby subscriber. synced flips once the full
+// snapshot image went out; until then the replica receives no deltas (a
+// delta against state it never saw would be garbage).
+type replicaConn struct {
+	conn   net.Conn
+	synced bool
+	// hdr is the frame-header scratch: heap storage retained with the
+	// connection, so a per-round frame write never allocates.
+	hdr [proto.StateFrameHeaderSize]byte
+}
+
+// writeFrame sends one state frame on the replica connection, staging
+// the header through the retained scratch.
+func (rc *replicaConn) writeFrame(frame byte, payload []byte) error {
+	var err error
+	rc.hdr, err = proto.StateFrameHeader(frame, len(payload))
+	if err != nil {
+		return err
+	}
+	if _, err := rc.conn.Write(rc.hdr[:]); err != nil {
+		return err
+	}
+	_, err = rc.conn.Write(payload)
+	return err
 }
 
 // healthEnabled reports whether the per-unit health state machine is
@@ -269,6 +357,13 @@ type serverMetrics struct {
 	// unit counts (both stay 0 on dense controllers).
 	dirtyUnits   *telemetry.Gauge
 	skippedUnits *telemetry.Gauge
+	// High-availability instrumentation: size and assembly time of the
+	// state snapshot, takeovers performed by this process, and (on a
+	// standby) how many primary rounds the replication stream skipped.
+	snapshotBytes *telemetry.Gauge
+	snapshotDur   *telemetry.Histogram
+	failovers     *telemetry.Counter
+	standbyLag    *telemetry.Gauge
 	// transitions indexes dps_health_transitions_total{from,to} by
 	// from*3+to for the six possible state changes (nil where from == to).
 	transitions [9]*telemetry.Counter
@@ -335,6 +430,10 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 		deadUnits:     reg.Gauge("dps_dead_units", "Units currently dead (budget reserved at last delivered cap)."),
 		dirtyUnits:    reg.Gauge("dps_decide_dirty_units", "Units whose reading changed since the previous decision snapshot (sparse rounds only)."),
 		skippedUnits:  reg.Gauge("dps_decide_skipped_units", "Units the controller skipped as settled in the last round (sparse rounds only)."),
+		snapshotBytes: reg.Gauge("dps_snapshot_bytes", "Size of the last assembled state snapshot image (0 until one is assembled)."),
+		snapshotDur:   reg.Histogram("dps_snapshot_duration_seconds", "Wall time to export and encode one state snapshot.", nil),
+		failovers:     reg.Counter("dps_failover_total", "Standby takeovers performed by this process."),
+		standbyLag:    reg.Gauge("dps_standby_lag_rounds", "Primary rounds the replication stream skipped between consecutive deltas (standby only; should stay 0)."),
 		stages:        make(map[string]*telemetry.Histogram, 4),
 	}
 	healthEnabled := cfg.StaleAfter > 0 || cfg.DeadAfter > 0
@@ -415,6 +514,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		lastPushed: cfg.Manager.Caps().Clone(),
 		owner:      make([]*serverConn, cfg.Units),
 		conns:      make(map[*serverConn]struct{}),
+		replicas:   make(map[*replicaConn]struct{}),
 	}
 	if s.healthEnabled() {
 		s.health = make([]core.UnitHealth, cfg.Units)
@@ -519,6 +619,11 @@ func (s *Server) Handle(conn net.Conn) error {
 		return err
 	}
 	hello := sess.Hello()
+	if hello.Replicate {
+		// Not an agent at all: a warm standby subscribing to the state
+		// stream. It claims no units and sends no frames.
+		return s.handleReplica(conn, sess)
+	}
 	if hello.Batch && s.cfg.DisableBatchIngest {
 		sess.Release()
 		conn.Close()
@@ -909,6 +1014,10 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 	}
 	s.lastDirtyUnits, s.lastSkippedUnits, s.lastDirtyFrac = st.DirtyUnits, st.SkippedUnits, st.DirtyFrac
 	s.mu.Unlock()
+	// The round is complete and published: assemble the state snapshot
+	// off the decision path proper and fan it out (file + replicas). A
+	// no-op unless snapshotting is configured or a standby is attached.
+	s.replicateRound(round)
 	s.observeRound(round, started, elapsed, interval, snap.Power, prevCaps, managerCaps, caps, health, lastPushed, st, hasStats)
 	return caps, firstErr
 }
@@ -1047,6 +1156,10 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		BudgetW:   float64(s.cfg.Manager.Budget().Total),
 		CapSumW:   float64(caps.Sum()),
 		Units:     make([]telemetry.UnitRecord, len(caps)),
+	}
+	if inherited := s.inheritedRounds.Load(); inherited != 0 {
+		rec.UptimeRounds = round - inherited
+		rec.StateAgeRounds = round
 	}
 	for _, h := range health {
 		switch h {
@@ -1211,8 +1324,11 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close marks the server closed and drops all agent connections. The
-// caller should also close the listener passed to Serve.
+// Close marks the server closed, drops all agent and replica
+// connections, and — when SnapshotPath is configured — writes the last
+// assembled state image as the final snapshot, so a graceful shutdown
+// loses at most the round that was in flight. The caller should also
+// close the listener passed to Serve.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -1224,5 +1340,22 @@ func (s *Server) Close() error {
 	for _, sc := range conns {
 		sc.conn.Close()
 	}
-	return nil
+	s.snapMu.Lock()
+	for rc := range s.replicas {
+		rc.conn.Close()
+		delete(s.replicas, rc)
+	}
+	var err error
+	if s.cfg.SnapshotPath != "" {
+		if len(s.snapEnc) == 0 {
+			s.logf("daemon: no completed round to snapshot on shutdown")
+		} else if err = writeFileAtomic(s.cfg.SnapshotPath, s.snapEnc); err != nil {
+			s.logf("daemon: final snapshot: %v", err)
+		} else {
+			s.logf("daemon: final snapshot written to %s (%d bytes, round %d)",
+				s.cfg.SnapshotPath, len(s.snapEnc), s.rounds.Load())
+		}
+	}
+	s.snapMu.Unlock()
+	return err
 }

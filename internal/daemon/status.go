@@ -16,16 +16,22 @@ import (
 // what each socket reported, what cap it was assigned, and whether the
 // budget holds.
 type Status struct {
-	Policy   string    `json:"policy"`
-	Units    int       `json:"units"`
-	Agents   int       `json:"agents"`
-	Rounds   uint64    `json:"rounds"`
-	BudgetW  float64   `json:"budget_w"`
-	CapSumW  float64   `json:"cap_sum_w"`
-	Readings []float64 `json:"readings_w"`
-	Caps     []float64 `json:"caps_w"`
-	Priority []bool    `json:"high_priority,omitempty"`
-	Restored bool      `json:"restored,omitempty"`
+	Policy string `json:"policy"`
+	Units  int    `json:"units"`
+	Agents int    `json:"agents"`
+	Rounds uint64 `json:"rounds"`
+	// UptimeRounds counts rounds decided by this process; StateAgeRounds
+	// counts rounds the controller state has accumulated, including rounds
+	// inherited through a snapshot restore or standby takeover. On a cold
+	// boot the three round counters coincide.
+	UptimeRounds   uint64    `json:"uptime_rounds"`
+	StateAgeRounds uint64    `json:"state_age_rounds"`
+	BudgetW        float64   `json:"budget_w"`
+	CapSumW        float64   `json:"cap_sum_w"`
+	Readings       []float64 `json:"readings_w"`
+	Caps           []float64 `json:"caps_w"`
+	Priority       []bool    `json:"high_priority,omitempty"`
+	Restored       bool      `json:"restored,omitempty"`
 	// Health is the per-unit degraded-mode state ("fresh"/"stale"/"dead");
 	// omitted while health tracking is disabled.
 	Health     []string `json:"health,omitempty"`
@@ -77,23 +83,25 @@ func (s *Server) Snapshot() Status {
 	s.mu.Unlock()
 
 	return Status{
-		Policy:       s.cfg.Manager.Name(),
-		Units:        s.cfg.Units,
-		Agents:       agents,
-		Rounds:       rounds,
-		BudgetW:      float64(s.cfg.Manager.Budget().Total),
-		Readings:     toFloats(readings),
-		Caps:         toFloats(caps),
-		CapSumW:      float64(caps.Sum()),
-		Priority:     prio,
-		Restored:     restored,
-		Health:       health,
-		StaleUnits:   stale,
-		DeadUnits:    dead,
-		DirtyUnits:   dirtyUnits,
-		SkippedUnits: skippedUnits,
-		DirtyFrac:    dirtyFrac,
-		AlertsFiring: s.watcher.FiringCount(),
+		Policy:         s.cfg.Manager.Name(),
+		Units:          s.cfg.Units,
+		Agents:         agents,
+		Rounds:         rounds,
+		UptimeRounds:   rounds - s.inheritedRounds.Load(),
+		StateAgeRounds: rounds,
+		BudgetW:        float64(s.cfg.Manager.Budget().Total),
+		Readings:       toFloats(readings),
+		Caps:           toFloats(caps),
+		CapSumW:        float64(caps.Sum()),
+		Priority:       prio,
+		Restored:       restored,
+		Health:         health,
+		StaleUnits:     stale,
+		DeadUnits:      dead,
+		DirtyUnits:     dirtyUnits,
+		SkippedUnits:   skippedUnits,
+		DirtyFrac:      dirtyFrac,
+		AlertsFiring:   s.watcher.FiringCount(),
 	}
 }
 

@@ -373,6 +373,74 @@ func (r *Ring) TailDuration(k int) power.Seconds {
 	return power.Seconds(r.directTail(k))
 }
 
+// State is one ring's complete serializable state: the raw sample slots
+// in physical order plus every running aggregate, bit for bit. The
+// aggregates are carried rather than re-derived because the incremental
+// values legitimately drift from an exact recomputation between
+// drift-washes; restoring recomputed values would fork the bitstream
+// from the exporting ring's. The capacity and tail window are
+// construction inputs and excluded (ImportState checks the capacity).
+type State struct {
+	Powers                      []power.Watts
+	Durations                   []power.Seconds
+	Head, N                     int
+	Sum, SumSq, DurSum, TailDur float64
+	Pushes                      int
+}
+
+// ExportState copies the ring's state into st, reusing st's slices when
+// they have capacity (allocation-free once warm).
+func (r *Ring) ExportState(st *State) {
+	if cap(st.Powers) < len(r.powers) {
+		st.Powers = make([]power.Watts, len(r.powers))
+	}
+	st.Powers = st.Powers[:len(r.powers)]
+	copy(st.Powers, r.powers)
+	if cap(st.Durations) < len(r.durations) {
+		st.Durations = make([]power.Seconds, len(r.durations))
+	}
+	st.Durations = st.Durations[:len(r.durations)]
+	copy(st.Durations, r.durations)
+	st.Head, st.N = r.head, r.n
+	st.Sum, st.SumSq, st.DurSum, st.TailDur = r.sum, r.sumSq, r.durSum, r.tailDur
+	st.Pushes = r.pushes
+}
+
+// ImportState overwrites the ring's samples and aggregates bitwise from
+// st. The configured tail window is kept — it is construction input —
+// and the stored TailDur is adopted as-is, NOT rebuilt via SetTailWindow:
+// a recomputed tail sum could differ in the last bit from the exporting
+// ring's incremental one and break restore equivalence. Errors (without
+// mutating) if CheckState rejects st.
+func (r *Ring) ImportState(st *State) error {
+	if err := r.CheckState(st); err != nil {
+		return err
+	}
+	copy(r.powers, st.Powers)
+	copy(r.durations, st.Durations)
+	r.head, r.n = st.Head, st.N
+	r.sum, r.sumSq, r.durSum, r.tailDur = st.Sum, st.SumSq, st.DurSum, st.TailDur
+	r.pushes = st.Pushes
+	return nil
+}
+
+// CheckState reports whether st can be imported into this ring without
+// checking anything bitwise: capacity match, head/count bounds, pushes
+// inside the recompute period. Callers restoring many rings atomically
+// validate them all with CheckState before the first ImportState.
+func (r *Ring) CheckState(st *State) error {
+	if len(st.Powers) != len(r.powers) || len(st.Durations) != len(r.durations) {
+		return fmt.Errorf("history: state capacity %d/%d, ring capacity %d", len(st.Powers), len(st.Durations), len(r.powers))
+	}
+	if st.N < 0 || st.N > len(r.powers) || st.Head < 0 || st.Head >= len(r.powers) {
+		return fmt.Errorf("history: state head=%d n=%d invalid for capacity %d", st.Head, st.N, len(r.powers))
+	}
+	if st.Pushes < 0 || st.Pushes >= recomputeEvery {
+		return fmt.Errorf("history: state pushes=%d outside [0,%d)", st.Pushes, recomputeEvery)
+	}
+	return nil
+}
+
 // Reset discards all samples but keeps the capacity and the configured
 // tail window. All running aggregates restart from exact zero.
 func (r *Ring) Reset() {

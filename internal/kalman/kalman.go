@@ -143,6 +143,31 @@ func (f *Filter) Reset() {
 	f.primed = false
 }
 
+// State is one filter's complete serializable state: the scalar estimate,
+// its variance, and whether the first measurement has been adopted. The
+// noise model (Config) is deliberately excluded — it is construction
+// input, and a snapshot restored into a differently-tuned filter would
+// not be the same controller.
+type State struct {
+	Estimate power.Watts
+	Variance float64
+	Primed   bool
+}
+
+// ExportState returns the filter's serializable state.
+func (f *Filter) ExportState() State {
+	return State{Estimate: f.estimate, Variance: f.variance, Primed: f.primed}
+}
+
+// ImportState overwrites the filter's state bitwise. Future Step calls
+// behave exactly as if this filter had processed the exporting filter's
+// measurement history.
+func (f *Filter) ImportState(s State) {
+	f.estimate = s.Estimate
+	f.variance = s.Variance
+	f.primed = s.Primed
+}
+
 // Bank is one filter per unit, the controller-side companion of the power
 // history set. The filters live in one contiguous value slice — not a
 // slice of pointers — so the controller's per-unit estimation loop walks

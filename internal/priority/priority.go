@@ -341,6 +341,29 @@ func (m *Module) UpdateUnitFrozen(u power.UnitID, fs FrozenStats, pNow, capNow, 
 	}
 }
 
+// ExportState copies the module's sticky per-unit flags into the given
+// slices, which must have the module's length. The flags are the
+// module's entire cross-round state (the config is construction input).
+func (m *Module) ExportState(highFreq, prio []bool) {
+	if len(highFreq) != len(m.highFreq) || len(prio) != len(m.prio) {
+		panic(fmt.Sprintf("priority: export buffers %d/%d for %d units", len(highFreq), len(prio), len(m.prio)))
+	}
+	copy(highFreq, m.highFreq)
+	copy(prio, m.prio)
+}
+
+// ImportState overwrites the module's sticky flags. Future Update calls
+// behave exactly as if this module had classified the exporting module's
+// input history.
+func (m *Module) ImportState(highFreq, prio []bool) error {
+	if len(highFreq) != len(m.highFreq) || len(prio) != len(m.prio) {
+		return fmt.Errorf("priority: state for %d/%d units, module for %d", len(highFreq), len(prio), len(m.prio))
+	}
+	copy(m.highFreq, highFreq)
+	copy(m.prio, prio)
+	return nil
+}
+
 // Reset clears all flags to the initial (low priority, low frequency)
 // state.
 func (m *Module) Reset() {

@@ -53,6 +53,21 @@
 // in big-endian deciwatts. The Session type owns this negotiation and
 // the per-connection frame buffers; the free frame functions below
 // predate it and are deprecated.
+//
+// FlagReplicate: the connection is not an agent at all but a warm
+// standby controller subscribing to the primary's state stream. After
+// the ack the direction of traffic inverts — the server streams state
+// frames downstream and the standby only reads:
+//
+//	[ 'S' ][ length : uint32 big-endian ][ snapshot image ]
+//	[ 'D' ][ length : uint32 big-endian ][ round : uint64 BE | raw sections ]
+//
+// A snapshot frame carries a complete versioned snapshot image
+// (internal/snapshot); a delta frame carries the primary's round counter
+// followed by the raw framings of just the sections whose bytes changed
+// that round. The unit range in a replicate hello is ignored (by
+// convention the standby sends FirstUnit 0, Units 1), and the flag is
+// exclusive — a hello combining it with agent capabilities is rejected.
 package proto
 
 import (
@@ -81,8 +96,12 @@ const (
 	// only changed units, FrameHeartbeat when nothing changed — and the
 	// handshake ack is extended with the server's delta epsilon.
 	FlagBatch = 1 << 1
+	// FlagReplicate: the connection is a warm-standby controller; after
+	// the ack the server streams snapshot/delta state frames downstream.
+	// Exclusive with the agent capabilities.
+	FlagReplicate = 1 << 2
 
-	knownFlags = FlagApplyEcho | FlagBatch
+	knownFlags = FlagApplyEcho | FlagBatch | FlagReplicate
 )
 
 // Upstream frame types (agent → server) once any capability is
@@ -99,6 +118,26 @@ const (
 	// FrameHeartbeat is a complete 1-byte liveness frame (batch sessions).
 	FrameHeartbeat byte = 'H'
 )
+
+// Downstream state-frame types (server → standby) on a replicate
+// session.
+const (
+	// FrameSnapshot carries a complete snapshot image.
+	FrameSnapshot byte = 'S'
+	// FrameDelta carries the primary's round counter plus the raw
+	// framings of the sections that changed this round.
+	FrameDelta byte = 'D'
+)
+
+// MaxStateFrame bounds a state frame's payload: large enough for a
+// full snapshot of the largest addressable cluster (~0.5 KB of state
+// per unit at 64 K units is well under 1 GiB), small enough that a
+// corrupt length field cannot demand an absurd allocation.
+const MaxStateFrame = 1 << 30
+
+// StateFrameHeaderSize is the fixed framing overhead of a state frame:
+// the type byte plus the 4-byte payload length.
+const StateFrameHeaderSize = 5
 
 // RecordSize is the size of one power/cap record on the wire: the
 // paper's 3 bytes.
@@ -135,6 +174,10 @@ type Hello struct {
 	// batch frames and heartbeats, and the handshake ack carries the
 	// server's delta epsilon.
 	Batch bool
+	// Replicate marks the connection as a warm-standby state subscriber
+	// instead of an agent. Exclusive with the agent capabilities; the
+	// unit range is ignored (send FirstUnit 0, Units 1).
+	Replicate bool
 }
 
 // flags returns the capability byte of a version-2 hello (zero when the
@@ -146,6 +189,9 @@ func (h Hello) flags() byte {
 	}
 	if h.Batch {
 		f |= FlagBatch
+	}
+	if h.Replicate {
+		f |= FlagReplicate
 	}
 	return f
 }
@@ -167,6 +213,8 @@ func (h Hello) Validate() error {
 		return fmt.Errorf("proto: unit count %d outside [1,255]", h.Units)
 	case int(h.FirstUnit)+h.Units > 0x10000:
 		return fmt.Errorf("proto: unit range [%d,%d) exceeds addressable space", h.FirstUnit, int(h.FirstUnit)+h.Units)
+	case h.Replicate && (h.ApplyEcho || h.Batch):
+		return fmt.Errorf("proto: replicate hello cannot also advertise agent capabilities")
 	}
 	return nil
 }
@@ -221,6 +269,7 @@ func ReadHello(r io.Reader) (Hello, error) {
 		}
 		h.ApplyEcho = flags[0]&FlagApplyEcho != 0
 		h.Batch = flags[0]&FlagBatch != 0
+		h.Replicate = flags[0]&FlagReplicate != 0
 	default:
 		return Hello{}, fmt.Errorf("proto: unsupported version %d (want %d or %d)", buf[4], Version, Version2)
 	}
@@ -383,4 +432,86 @@ func ReadApplyEcho(r io.Reader) (time.Duration, error) {
 		return 0, fmt.Errorf("proto: reading apply echo: %w", err)
 	}
 	return time.Duration(binary.BigEndian.Uint16(buf[:])) * time.Microsecond, nil
+}
+
+// StateFrameHeader builds the 5-byte framing header of a replication
+// state frame: the frame type and a big-endian payload length. It
+// returns the header by value so zero-allocation senders can park it in
+// storage they retain before writing — a stack array sliced into an
+// interface Write always escapes, which is exactly the allocation the
+// replication hot path must not make.
+func StateFrameHeader(frame byte, n int) ([StateFrameHeaderSize]byte, error) {
+	var hdr [StateFrameHeaderSize]byte
+	if frame != FrameSnapshot && frame != FrameDelta {
+		return hdr, fmt.Errorf("proto: unknown state frame type %#02x", frame)
+	}
+	if n > MaxStateFrame {
+		return hdr, fmt.Errorf("proto: state frame of %d bytes exceeds %d", n, MaxStateFrame)
+	}
+	hdr[0] = frame
+	binary.BigEndian.PutUint32(hdr[1:], uint32(n))
+	return hdr, nil
+}
+
+// WriteStateFrame sends one replication state frame: the frame type, a
+// 4-byte big-endian payload length, and the payload. Only FrameSnapshot
+// and FrameDelta are valid types. Convenience form; it allocates the
+// header, so per-round senders use StateFrameHeader with retained
+// storage instead.
+func WriteStateFrame(w io.Writer, frame byte, payload []byte) error {
+	hdr, err := StateFrameHeader(frame, len(payload))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadStateFrame reads one replication state frame into buf (grown when
+// too small, reused otherwise) and returns the frame type and the
+// payload slice aliasing buf. Unknown frame types and oversized lengths
+// are rejected before any payload is read. The header is staged through
+// buf as well, so a warm reader with a grown buf never allocates.
+func ReadStateFrame(r io.Reader, buf []byte) (frame byte, payload, bufOut []byte, err error) {
+	if cap(buf) < StateFrameHeaderSize {
+		buf = make([]byte, StateFrameHeaderSize)
+	}
+	hdr := buf[:StateFrameHeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, buf, fmt.Errorf("proto: reading state frame header: %w", err)
+	}
+	frame = hdr[0]
+	if frame != FrameSnapshot && frame != FrameDelta {
+		return 0, nil, buf, fmt.Errorf("proto: unknown state frame type %#02x", frame)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxStateFrame {
+		return 0, nil, buf, fmt.Errorf("proto: state frame of %d bytes exceeds %d", n, MaxStateFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, fmt.Errorf("proto: reading %d-byte state frame: %w", n, err)
+	}
+	return frame, payload, buf, nil
+}
+
+// DeltaRound extracts the primary's round counter from a FrameDelta
+// payload (the 8-byte big-endian prefix before the raw sections).
+func DeltaRound(payload []byte) (round uint64, sections []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("proto: delta frame of %d bytes lacks the round prefix", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload[:8]), payload[8:], nil
+}
+
+// PutDeltaRound writes the round prefix of a FrameDelta payload into the
+// first 8 bytes of dst.
+func PutDeltaRound(dst []byte, round uint64) {
+	binary.BigEndian.PutUint64(dst[:8], round)
 }

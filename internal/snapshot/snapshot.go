@@ -1,0 +1,848 @@
+// Package snapshot defines the controller's versioned state-snapshot
+// format: everything a DPS controller and its daemon accumulate across
+// decision rounds — caps, ring histories, Kalman bank, priority and
+// frozen stats, sparse bookkeeping, PRNG position, provenance, health
+// clocks — serialized so a restarted or warm-standby controller resumes
+// bit-for-bit where the original stopped (DESIGN.md §14).
+//
+// # Wire format
+//
+// A snapshot is a fixed header followed by self-framed sections:
+//
+//	header:  magic "DPSS" | version u16 | flags u16 (reserved, zero)
+//	section: id u16 | length u32 | payload [length] | crc32 u32
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns (the
+// format round-trips NaNs and signed zeros — restore equivalence is
+// bitwise, not numeric). Each section's CRC covers its id, length, and
+// payload, so a bit flip anywhere inside a section is caught at that
+// section. Decoders skip sections whose id they do not recognize
+// (forward compatibility: a newer writer can add sections without
+// breaking older readers), but only after the CRC validates — corrupt
+// bytes never parse as "unknown, ignore".
+//
+// # Incremental replication
+//
+// Sections are also the unit of delta replication: a primary daemon
+// re-encodes its state every round and streams only the sections whose
+// bytes changed; the standby overlays them onto its last full image
+// (Sections / Assemble). Because each section is independently framed
+// and checksummed, the overlay needs no format knowledge beyond the
+// section ids.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"dps/internal/history"
+	"dps/internal/kalman"
+	"dps/internal/power"
+	"dps/internal/priority"
+)
+
+// Version is the current snapshot format version. Decoders reject
+// snapshots with a newer version: a version bump signals an incompatible
+// reinterpretation of existing sections (new sections alone do not need
+// one — unknown ids are skipped).
+const Version = 1
+
+// magic identifies a DPS snapshot stream.
+var magic = [4]byte{'D', 'P', 'S', 'S'}
+
+// HeaderSize is the fixed prefix before the first section.
+const HeaderSize = 8
+
+// Section ids. Values are part of the wire format; never renumber.
+const (
+	SecConfig   uint16 = 0x0001 // config fingerprint + live budget
+	SecCore     uint16 = 0x0002 // controller scalars (steps, flags)
+	SecCaps     uint16 = 0x0003 // current cap vector
+	SecKalman   uint16 = 0x0004 // filter bank state
+	SecRings    uint16 = 0x0005 // power history rings, raw
+	SecPriority uint16 = 0x0006 // priority flags + frozen stats
+	SecSparse   uint16 = 0x0007 // sparse-round masks and caches
+	SecRNG      uint16 = 0x0008 // stateless module PRNG position
+	SecProv     uint16 = 0x0009 // provenance reasons + round baseline
+	SecDaemon   uint16 = 0x000A // daemon round caches + health clocks
+)
+
+// Sanity bounds for decoded counts, so a corrupted or adversarial length
+// field cannot demand absurd allocations before the CRC check would
+// reject it anyway.
+const (
+	maxUnits   = 1 << 22
+	maxRingCap = 1 << 16
+)
+
+// KalmanState is one unit's filter state (kalman.State): estimate,
+// variance, primed flag.
+type KalmanState = kalman.State
+
+// RingState is one unit's power-history state (history.State): raw slots
+// in physical order plus the running aggregates, bit for bit.
+type RingState = history.State
+
+// State is the in-memory form of a snapshot: the union of everything the
+// format can carry. Producers fill the parts they own and set the
+// corresponding Has* flags; Encode serializes only flagged parts, and
+// Decode sets the flags for the sections it found. All slices are reused
+// across Export/Encode cycles when their capacity suffices, so a warm
+// snapshot round allocates nothing.
+type State struct {
+	// Config fingerprint (SecConfig). Units/Seed/UnitMax/UnitMin identify
+	// the controller a snapshot belongs to; BudgetTotal is live state (it
+	// changes under SetTotalBudget) and is restored, not checked.
+	Units              int
+	Seed               int64
+	BudgetTotal        power.Watts
+	UnitMax, UnitMin   power.Watts
+	Sparse             bool
+	SparseRefreshEvery int
+
+	// Core controller state (SecCore, SecCaps, SecKalman, SecRings,
+	// SecPriority, SecRNG, SecProv).
+	HasCore       bool
+	Steps         uint64
+	LastRestored  bool
+	ProvDirty     bool
+	HeldAllocated bool
+	Caps          power.Vector
+	Kalman        []KalmanState
+	RingCap       int
+	Rings         []RingState
+	Prio          []bool
+	HighFreq      []bool
+	PrevPrio      []bool
+	Frozen        []priority.FrozenStats
+	RNGSeed       int64
+	RNGDraws      uint64
+	Reasons       []uint8
+	RoundBefore   power.Vector
+
+	// Sparse-round bookkeeping (SecSparse), present only for sparse
+	// controllers.
+	HasSparse bool
+	LastDT    power.Seconds
+	HighCount int
+	CachedSum power.Watts
+	SumValid  bool
+	SettledW  []uint64
+	CapMovedW []uint64
+	LastVal   power.Vector
+	LastStep  []uint64
+
+	// Daemon round caches (SecDaemon). Report ages are relative to
+	// SavedUnixMS — wall clocks differ across hosts, ages do not.
+	// Readings is the ingest front buffer at export time: a restored
+	// daemon that decides before any agent reports must feed the
+	// controller the same readings the primary would have, not zeros.
+	HasDaemon   bool
+	SavedUnixMS int64
+	Rounds      uint64
+	Health      []uint8
+	ReportAgeMS []uint64
+	LastCaps    power.Vector
+	LastPushed  power.Vector
+	Readings    power.Vector
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendBits packs a bool slice into 64-bit words, LSB of word 0 = index 0
+// — the same layout the controller's own masks use.
+func appendBits(b []byte, bits []bool) []byte {
+	var w uint64
+	for i, v := range bits {
+		if v {
+			w |= uint64(1) << uint(i&63)
+		}
+		if i&63 == 63 {
+			b = appendU64(b, w)
+			w = 0
+		}
+	}
+	if len(bits)&63 != 0 {
+		b = appendU64(b, w)
+	}
+	return b
+}
+
+// AppendHeader appends the snapshot header (magic + current version) to
+// dst. Used by Encode and by the standby when reassembling a full image
+// from replicated sections.
+func AppendHeader(dst []byte) []byte {
+	dst = append(dst, magic[:]...)
+	dst = appendU16(dst, Version)
+	dst = appendU16(dst, 0)
+	return dst
+}
+
+// beginSection appends a section header with a zero length placeholder
+// and returns the offset of the section start.
+func beginSection(b []byte, id uint16) ([]byte, int) {
+	start := len(b)
+	b = appendU16(b, id)
+	b = appendU32(b, 0)
+	return b, start
+}
+
+// endSection backfills the section length and appends the CRC over
+// id+length+payload.
+func endSection(b []byte, start int) []byte {
+	payloadLen := uint32(len(b) - start - 6)
+	b[start+2] = byte(payloadLen)
+	b[start+3] = byte(payloadLen >> 8)
+	b[start+4] = byte(payloadLen >> 16)
+	b[start+5] = byte(payloadLen >> 24)
+	crc := crc32.Checksum(b[start:], crc32.IEEETable)
+	return appendU32(b, crc)
+}
+
+// Encode serializes st into dst[:0] and returns the extended slice.
+// Sections are emitted in id order, config first; reusing dst across
+// calls makes a warm encode allocation-free. The output of
+// encode→decode→encode is byte-identical (property-tested).
+func Encode(dst []byte, st *State) []byte {
+	b := AppendHeader(dst[:0])
+
+	// SecConfig
+	var start int
+	b, start = beginSection(b, SecConfig)
+	b = appendU32(b, uint32(st.Units))
+	b = appendU64(b, uint64(st.Seed))
+	b = appendF64(b, float64(st.BudgetTotal))
+	b = appendF64(b, float64(st.UnitMax))
+	b = appendF64(b, float64(st.UnitMin))
+	b = appendBool(b, st.Sparse)
+	b = appendU32(b, uint32(st.SparseRefreshEvery))
+	b = endSection(b, start)
+
+	if st.HasCore {
+		b, start = beginSection(b, SecCore)
+		b = appendU64(b, st.Steps)
+		b = appendBool(b, st.LastRestored)
+		b = appendBool(b, st.ProvDirty)
+		b = appendBool(b, st.HeldAllocated)
+		b = endSection(b, start)
+
+		b, start = beginSection(b, SecCaps)
+		for _, c := range st.Caps {
+			b = appendF64(b, float64(c))
+		}
+		b = endSection(b, start)
+
+		b, start = beginSection(b, SecKalman)
+		for i := range st.Kalman {
+			k := &st.Kalman[i]
+			b = appendF64(b, float64(k.Estimate))
+			b = appendF64(b, k.Variance)
+			b = appendBool(b, k.Primed)
+		}
+		b = endSection(b, start)
+
+		b, start = beginSection(b, SecRings)
+		b = appendU32(b, uint32(st.RingCap))
+		for i := range st.Rings {
+			r := &st.Rings[i]
+			b = appendU32(b, uint32(r.Head))
+			b = appendU32(b, uint32(r.N))
+			b = appendU32(b, uint32(r.Pushes))
+			b = appendF64(b, r.Sum)
+			b = appendF64(b, r.SumSq)
+			b = appendF64(b, r.DurSum)
+			b = appendF64(b, r.TailDur)
+			for _, p := range r.Powers {
+				b = appendF64(b, float64(p))
+			}
+			for _, d := range r.Durations {
+				b = appendF64(b, float64(d))
+			}
+		}
+		b = endSection(b, start)
+
+		b, start = beginSection(b, SecPriority)
+		b = appendBits(b, st.Prio)
+		b = appendBits(b, st.HighFreq)
+		b = appendBits(b, st.PrevPrio)
+		for i := range st.Frozen {
+			f := &st.Frozen[i]
+			b = appendU32(b, uint32(f.N))
+			b = appendF64(b, float64(f.Std))
+			b = appendF64(b, float64(f.Deriv))
+			b = appendBool(b, f.HighFreqNow)
+		}
+		b = endSection(b, start)
+
+		b, start = beginSection(b, SecRNG)
+		b = appendU64(b, uint64(st.RNGSeed))
+		b = appendU64(b, st.RNGDraws)
+		b = endSection(b, start)
+
+		b, start = beginSection(b, SecProv)
+		b = append(b, st.Reasons...)
+		for _, c := range st.RoundBefore {
+			b = appendF64(b, float64(c))
+		}
+		b = endSection(b, start)
+	}
+
+	if st.HasSparse {
+		b, start = beginSection(b, SecSparse)
+		b = appendF64(b, float64(st.LastDT))
+		b = appendU64(b, uint64(int64(st.HighCount)))
+		b = appendF64(b, float64(st.CachedSum))
+		b = appendBool(b, st.SumValid)
+		for _, w := range st.SettledW {
+			b = appendU64(b, w)
+		}
+		for _, w := range st.CapMovedW {
+			b = appendU64(b, w)
+		}
+		for _, v := range st.LastVal {
+			b = appendF64(b, float64(v))
+		}
+		for _, s := range st.LastStep {
+			b = appendU64(b, s)
+		}
+		b = endSection(b, start)
+	}
+
+	if st.HasDaemon {
+		b, start = beginSection(b, SecDaemon)
+		b = appendU64(b, uint64(st.SavedUnixMS))
+		b = appendU64(b, st.Rounds)
+		b = append(b, st.Health...)
+		for _, a := range st.ReportAgeMS {
+			b = appendU64(b, a)
+		}
+		for _, c := range st.LastCaps {
+			b = appendF64(b, float64(c))
+		}
+		for _, c := range st.LastPushed {
+			b = appendF64(b, float64(c))
+		}
+		for _, c := range st.Readings {
+			b = appendF64(b, float64(c))
+		}
+		b = endSection(b, start)
+	}
+
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+// Decode errors. ErrCorrupt wraps every structural failure (bad magic,
+// truncation, CRC mismatch, inconsistent counts); ErrVersion marks a
+// snapshot written by a newer format.
+var (
+	ErrCorrupt = errors.New("snapshot: corrupt")
+	ErrVersion = errors.New("snapshot: unsupported version")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// reader is a bounds-checked cursor over one section's payload. Reads
+// past the end set err and return zero values — decoders check err once
+// per section instead of after every field, and malformed input can only
+// produce an error, never a panic.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = corruptf("truncated section payload at offset %d", r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// bits unpacks words(n) 64-bit words into dst (length n).
+func (r *reader) bits(dst []bool) {
+	var w uint64
+	for i := range dst {
+		if i&63 == 0 {
+			w = r.u64()
+		}
+		dst[i] = w&(uint64(1)<<uint(i&63)) != 0
+	}
+}
+
+// done errors unless the payload was consumed exactly: a known section
+// with trailing bytes is a framing bug, not forward compatibility
+// (format evolution adds sections, it does not extend old ones).
+func (r *reader) done(id uint16) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return corruptf("section 0x%04x: %d trailing bytes", id, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// Section is one framed section of a snapshot image. Raw spans the full
+// framing (id, length, payload, CRC) and aliases the image it was split
+// from; Payload is the inner payload alone.
+type Section struct {
+	ID      uint16
+	Payload []byte
+	Raw     []byte
+}
+
+// header validates the fixed prefix and returns the remainder.
+func header(data []byte) ([]byte, error) {
+	if len(data) < HeaderSize {
+		return nil, corruptf("%d bytes, want at least the %d-byte header", len(data), HeaderSize)
+	}
+	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		return nil, corruptf("bad magic %q", data[:4])
+	}
+	v := uint16(data[4]) | uint16(data[5])<<8
+	if v > Version {
+		return nil, fmt.Errorf("%w: snapshot version %d, decoder supports <= %d", ErrVersion, v, Version)
+	}
+	return data[HeaderSize:], nil
+}
+
+// AppendSections validates data's header and splits it into CRC-checked
+// sections appended to dst (reused across calls when its capacity
+// suffices). Every section's CRC is verified — including sections with
+// unknown ids — so a corrupted image fails here regardless of which
+// section the damage landed in.
+func AppendSections(dst []Section, data []byte) ([]Section, error) {
+	rest, err := header(data)
+	if err != nil {
+		return dst, err
+	}
+	for len(rest) > 0 {
+		if len(rest) < 6 {
+			return dst, corruptf("%d-byte trailing fragment", len(rest))
+		}
+		id := uint16(rest[0]) | uint16(rest[1])<<8
+		n := uint32(rest[2]) | uint32(rest[3])<<8 | uint32(rest[4])<<16 | uint32(rest[5])<<24
+		total := uint64(6) + uint64(n) + 4
+		if uint64(len(rest)) < total {
+			return dst, corruptf("section 0x%04x: length %d exceeds remaining %d bytes", id, n, len(rest))
+		}
+		raw := rest[:total]
+		crcOff := 6 + int(n)
+		want := uint32(raw[crcOff]) | uint32(raw[crcOff+1])<<8 | uint32(raw[crcOff+2])<<16 | uint32(raw[crcOff+3])<<24
+		if got := crc32.Checksum(raw[:crcOff], crc32.IEEETable); got != want {
+			return dst, corruptf("section 0x%04x: CRC 0x%08x, want 0x%08x", id, got, want)
+		}
+		dst = append(dst, Section{ID: id, Payload: raw[6:crcOff], Raw: raw[:total]})
+		rest = rest[total:]
+	}
+	return dst, nil
+}
+
+// Sections is AppendSections into a fresh slice.
+func Sections(data []byte) ([]Section, error) { return AppendSections(nil, data) }
+
+// Assemble builds a full snapshot image from raw section framings (each
+// as produced by Sections' Raw), appending to dst. The standby uses it
+// to materialize its overlay of replicated sections into a decodable
+// snapshot.
+func Assemble(dst []byte, raws ...[]byte) []byte {
+	dst = AppendHeader(dst[:0])
+	for _, r := range raws {
+		dst = append(dst, r...)
+	}
+	return dst
+}
+
+// resizeF64 returns v with length n, reusing capacity.
+func resizeVec(v power.Vector, n int) power.Vector {
+	if cap(v) < n {
+		return make(power.Vector, n)
+	}
+	return v[:n]
+}
+
+func resizeBool(v []bool, n int) []bool {
+	if cap(v) < n {
+		return make([]bool, n)
+	}
+	return v[:n]
+}
+
+func resizeU64(v []uint64, n int) []uint64 {
+	if cap(v) < n {
+		return make([]uint64, n)
+	}
+	return v[:n]
+}
+
+func resizeU8(v []uint8, n int) []uint8 {
+	if cap(v) < n {
+		return make([]uint8, n)
+	}
+	return v[:n]
+}
+
+// expectedLen returns the exact payload size a known section must have
+// for a snapshot of `units` units (known=false for unknown ids). For
+// SecRings the size depends on the ring capacity embedded in the payload
+// prefix; an undersized prefix reports the prefix size itself, which
+// cannot match a real payload.
+func expectedLen(id uint16, units int, payload []byte) (want int, known bool) {
+	words := (units + 63) / 64
+	switch id {
+	case SecConfig:
+		return 4 + 8 + 3*8 + 1 + 4, true
+	case SecCore:
+		return 8 + 3, true
+	case SecCaps:
+		return units * 8, true
+	case SecKalman:
+		return units * 17, true
+	case SecRings:
+		if len(payload) < 4 {
+			return 4, true
+		}
+		rc := int(uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24)
+		return 4 + units*(3*4+4*8+rc*16), true
+	case SecPriority:
+		return 3*words*8 + units*21, true
+	case SecRNG:
+		return 16, true
+	case SecProv:
+		return units * 9, true
+	case SecSparse:
+		return 8 + 8 + 8 + 1 + 2*words*8 + units*16, true
+	case SecDaemon:
+		return 16 + units*33, true
+	}
+	return 0, false
+}
+
+// DecodeInto parses a snapshot image into st, reusing st's slices. It
+// never panics on malformed input: every structural defect returns an
+// error wrapping ErrCorrupt (or ErrVersion), and unknown section ids are
+// skipped after their CRC validates. On error st's contents are
+// unspecified; on success the Has* flags report which parts were
+// present.
+func DecodeInto(st *State, data []byte) error {
+	rest, err := header(data)
+	if err != nil {
+		return err
+	}
+	st.HasCore, st.HasSparse, st.HasDaemon = false, false, false
+	seenConfig := false
+	var seen [11]bool // duplicate-section guard for known ids
+
+	for len(rest) > 0 {
+		if len(rest) < 6 {
+			return corruptf("%d-byte trailing fragment", len(rest))
+		}
+		id := uint16(rest[0]) | uint16(rest[1])<<8
+		n := uint32(rest[2]) | uint32(rest[3])<<8 | uint32(rest[4])<<16 | uint32(rest[5])<<24
+		total := uint64(6) + uint64(n) + 4
+		if uint64(len(rest)) < total {
+			return corruptf("section 0x%04x: length %d exceeds remaining %d bytes", id, n, len(rest))
+		}
+		crcOff := 6 + int(n)
+		want := uint32(rest[crcOff]) | uint32(rest[crcOff+1])<<8 | uint32(rest[crcOff+2])<<16 | uint32(rest[crcOff+3])<<24
+		if got := crc32.Checksum(rest[:crcOff], crc32.IEEETable); got != want {
+			return corruptf("section 0x%04x: CRC 0x%08x, want 0x%08x", id, got, want)
+		}
+		payload := rest[6:crcOff]
+		rest = rest[total:]
+
+		if int(id) < len(seen) {
+			if seen[id] {
+				return corruptf("duplicate section 0x%04x", id)
+			}
+			seen[id] = true
+		}
+		if id != SecConfig && int(id) < len(seen) && !seenConfig {
+			return corruptf("section 0x%04x before config section", id)
+		}
+		// Known sections have a payload size fully determined by the unit
+		// count (and, for rings, the embedded ring capacity). Checking it
+		// up front means a tiny crafted payload can never trigger a large
+		// per-unit allocation before failing.
+		if want, known := expectedLen(id, st.Units, payload); known && len(payload) != want {
+			return corruptf("section 0x%04x: payload %d bytes, want %d", id, len(payload), want)
+		}
+
+		r := reader{b: payload}
+		switch id {
+		case SecConfig:
+			units := r.u32()
+			if units == 0 || units > maxUnits {
+				return corruptf("unit count %d outside [1,%d]", units, maxUnits)
+			}
+			st.Units = int(units)
+			st.Seed = int64(r.u64())
+			st.BudgetTotal = power.Watts(r.f64())
+			st.UnitMax = power.Watts(r.f64())
+			st.UnitMin = power.Watts(r.f64())
+			st.Sparse = r.boolean()
+			st.SparseRefreshEvery = int(r.u32())
+			if err := r.done(id); err != nil {
+				return err
+			}
+			seenConfig = true
+
+		case SecCore:
+			st.Steps = r.u64()
+			st.LastRestored = r.boolean()
+			st.ProvDirty = r.boolean()
+			st.HeldAllocated = r.boolean()
+			if err := r.done(id); err != nil {
+				return err
+			}
+			st.HasCore = true
+
+		case SecCaps:
+			st.Caps = resizeVec(st.Caps, st.Units)
+			for i := range st.Caps {
+				st.Caps[i] = power.Watts(r.f64())
+			}
+			if err := r.done(id); err != nil {
+				return err
+			}
+
+		case SecKalman:
+			if cap(st.Kalman) < st.Units {
+				st.Kalman = make([]KalmanState, st.Units)
+			}
+			st.Kalman = st.Kalman[:st.Units]
+			for i := range st.Kalman {
+				st.Kalman[i].Estimate = power.Watts(r.f64())
+				st.Kalman[i].Variance = r.f64()
+				st.Kalman[i].Primed = r.boolean()
+			}
+			if err := r.done(id); err != nil {
+				return err
+			}
+
+		case SecRings:
+			rc := r.u32()
+			if r.err == nil && (rc == 0 || rc > maxRingCap) {
+				return corruptf("ring capacity %d outside [1,%d]", rc, maxRingCap)
+			}
+			st.RingCap = int(rc)
+			if cap(st.Rings) < st.Units {
+				st.Rings = make([]RingState, st.Units)
+			}
+			st.Rings = st.Rings[:st.Units]
+			for i := range st.Rings {
+				g := &st.Rings[i]
+				g.Head = int(r.u32())
+				g.N = int(r.u32())
+				g.Pushes = int(r.u32())
+				g.Sum = r.f64()
+				g.SumSq = r.f64()
+				g.DurSum = r.f64()
+				g.TailDur = r.f64()
+				if r.err != nil {
+					return r.err
+				}
+				if cap(g.Powers) < st.RingCap {
+					g.Powers = make([]power.Watts, st.RingCap)
+				}
+				g.Powers = g.Powers[:st.RingCap]
+				for j := range g.Powers {
+					g.Powers[j] = power.Watts(r.f64())
+				}
+				if cap(g.Durations) < st.RingCap {
+					g.Durations = make([]power.Seconds, st.RingCap)
+				}
+				g.Durations = g.Durations[:st.RingCap]
+				for j := range g.Durations {
+					g.Durations[j] = power.Seconds(r.f64())
+				}
+			}
+			if err := r.done(id); err != nil {
+				return err
+			}
+
+		case SecPriority:
+			st.Prio = resizeBool(st.Prio, st.Units)
+			st.HighFreq = resizeBool(st.HighFreq, st.Units)
+			st.PrevPrio = resizeBool(st.PrevPrio, st.Units)
+			r.bits(st.Prio)
+			r.bits(st.HighFreq)
+			r.bits(st.PrevPrio)
+			if cap(st.Frozen) < st.Units {
+				st.Frozen = make([]priority.FrozenStats, st.Units)
+			}
+			st.Frozen = st.Frozen[:st.Units]
+			for i := range st.Frozen {
+				st.Frozen[i].N = int(r.u32())
+				st.Frozen[i].Std = power.Watts(r.f64())
+				st.Frozen[i].Deriv = power.Watts(r.f64())
+				st.Frozen[i].HighFreqNow = r.boolean()
+			}
+			if err := r.done(id); err != nil {
+				return err
+			}
+
+		case SecRNG:
+			st.RNGSeed = int64(r.u64())
+			st.RNGDraws = r.u64()
+			if err := r.done(id); err != nil {
+				return err
+			}
+
+		case SecProv:
+			st.Reasons = resizeU8(st.Reasons, st.Units)
+			for i := range st.Reasons {
+				st.Reasons[i] = r.u8()
+			}
+			st.RoundBefore = resizeVec(st.RoundBefore, st.Units)
+			for i := range st.RoundBefore {
+				st.RoundBefore[i] = power.Watts(r.f64())
+			}
+			if err := r.done(id); err != nil {
+				return err
+			}
+
+		case SecSparse:
+			st.LastDT = power.Seconds(r.f64())
+			st.HighCount = int(int64(r.u64()))
+			st.CachedSum = power.Watts(r.f64())
+			st.SumValid = r.boolean()
+			words := (st.Units + 63) / 64
+			st.SettledW = resizeU64(st.SettledW, words)
+			for i := range st.SettledW {
+				st.SettledW[i] = r.u64()
+			}
+			st.CapMovedW = resizeU64(st.CapMovedW, words)
+			for i := range st.CapMovedW {
+				st.CapMovedW[i] = r.u64()
+			}
+			st.LastVal = resizeVec(st.LastVal, st.Units)
+			for i := range st.LastVal {
+				st.LastVal[i] = power.Watts(r.f64())
+			}
+			st.LastStep = resizeU64(st.LastStep, st.Units)
+			for i := range st.LastStep {
+				st.LastStep[i] = r.u64()
+			}
+			if err := r.done(id); err != nil {
+				return err
+			}
+			st.HasSparse = true
+
+		case SecDaemon:
+			st.SavedUnixMS = int64(r.u64())
+			st.Rounds = r.u64()
+			st.Health = resizeU8(st.Health, st.Units)
+			for i := range st.Health {
+				st.Health[i] = r.u8()
+			}
+			st.ReportAgeMS = resizeU64(st.ReportAgeMS, st.Units)
+			for i := range st.ReportAgeMS {
+				st.ReportAgeMS[i] = r.u64()
+			}
+			st.LastCaps = resizeVec(st.LastCaps, st.Units)
+			for i := range st.LastCaps {
+				st.LastCaps[i] = power.Watts(r.f64())
+			}
+			st.LastPushed = resizeVec(st.LastPushed, st.Units)
+			for i := range st.LastPushed {
+				st.LastPushed[i] = power.Watts(r.f64())
+			}
+			st.Readings = resizeVec(st.Readings, st.Units)
+			for i := range st.Readings {
+				st.Readings[i] = power.Watts(r.f64())
+			}
+			if err := r.done(id); err != nil {
+				return err
+			}
+			st.HasDaemon = true
+
+		default:
+			// Unknown section: CRC validated above, skip the payload.
+		}
+	}
+
+	if !seenConfig {
+		return corruptf("no config section")
+	}
+	if st.HasCore {
+		// HasCore promises the full core section family; a snapshot with
+		// SecCore but a missing companion is structurally incomplete.
+		switch {
+		case len(st.Caps) != st.Units, len(st.Kalman) != st.Units,
+			len(st.Rings) != st.Units, len(st.Prio) != st.Units,
+			len(st.Reasons) != st.Units:
+			return corruptf("core sections incomplete for %d units", st.Units)
+		}
+	}
+	return nil
+}
+
+// Decode is DecodeInto into a fresh State.
+func Decode(data []byte) (*State, error) {
+	st := &State{}
+	if err := DecodeInto(st, data); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

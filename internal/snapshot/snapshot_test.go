@@ -1,0 +1,406 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dps/internal/power"
+	"dps/internal/priority"
+)
+
+// fillState builds a fully-populated State with value patterns that
+// exercise the bitwise contract: NaNs, signed zeros, denormals, extreme
+// integers.
+func fillState(units, ringCap int, seed int64) *State {
+	rng := rand.New(rand.NewSource(seed))
+	st := &State{
+		Units:              units,
+		Seed:               seed,
+		BudgetTotal:        power.Watts(55 * units),
+		UnitMax:            120,
+		UnitMin:            power.Watts(math.Copysign(0, -1)), // -0.0 must round-trip
+		Sparse:             true,
+		SparseRefreshEvery: 64,
+
+		HasCore:       true,
+		Steps:         ^uint64(0) - 7,
+		LastRestored:  true,
+		ProvDirty:     true,
+		HeldAllocated: true,
+		RingCap:       ringCap,
+		RNGSeed:       seed,
+		RNGDraws:      1 << 40,
+
+		HasSparse: true,
+		LastDT:    1.0,
+		HighCount: units / 3,
+		CachedSum: power.Watts(math.NaN()),
+		SumValid:  true,
+
+		HasDaemon:   true,
+		SavedUnixMS: 1_700_000_000_123,
+		Rounds:      987654321,
+	}
+	words := (units + 63) / 64
+	for i := 0; i < units; i++ {
+		st.Caps = append(st.Caps, power.Watts(rng.NormFloat64()*40))
+		st.Kalman = append(st.Kalman, KalmanState{
+			Estimate: power.Watts(rng.Float64() * 100),
+			Variance: rng.Float64(),
+			Primed:   rng.Intn(2) == 0,
+		})
+		rs := RingState{
+			Head:    rng.Intn(ringCap),
+			N:       rng.Intn(ringCap + 1),
+			Pushes:  rng.Intn(256),
+			Sum:     rng.NormFloat64(),
+			SumSq:   rng.Float64(),
+			DurSum:  rng.Float64(),
+			TailDur: rng.Float64(),
+		}
+		for j := 0; j < ringCap; j++ {
+			rs.Powers = append(rs.Powers, power.Watts(rng.NormFloat64()))
+			rs.Durations = append(rs.Durations, power.Seconds(rng.Float64()))
+		}
+		st.Rings = append(st.Rings, rs)
+		st.Prio = append(st.Prio, rng.Intn(3) == 0)
+		st.HighFreq = append(st.HighFreq, rng.Intn(4) == 0)
+		st.PrevPrio = append(st.PrevPrio, rng.Intn(2) == 0)
+		st.Frozen = append(st.Frozen, priority.FrozenStats{
+			N:           rng.Intn(ringCap + 1),
+			Std:         power.Watts(rng.Float64()),
+			Deriv:       power.Watts(rng.NormFloat64()),
+			HighFreqNow: rng.Intn(2) == 0,
+		})
+		st.Reasons = append(st.Reasons, uint8(rng.Intn(6)))
+		st.RoundBefore = append(st.RoundBefore, power.Watts(rng.Float64()*55))
+		st.LastVal = append(st.LastVal, power.Watts(rng.Float64()*60))
+		st.LastStep = append(st.LastStep, rng.Uint64())
+		st.Health = append(st.Health, uint8(rng.Intn(3)))
+		st.ReportAgeMS = append(st.ReportAgeMS, uint64(rng.Intn(10_000)))
+		st.LastCaps = append(st.LastCaps, power.Watts(rng.Float64()*55))
+		st.LastPushed = append(st.LastPushed, power.Watts(rng.Float64()*55))
+		st.Readings = append(st.Readings, power.Watts(rng.Float64()*150))
+	}
+	for i := 0; i < words; i++ {
+		st.SettledW = append(st.SettledW, rng.Uint64())
+		st.CapMovedW = append(st.CapMovedW, rng.Uint64())
+	}
+	// Mask the tail word down to valid bits, matching producer behavior.
+	if tail := uint(units & 63); tail != 0 {
+		m := (uint64(1) << tail) - 1
+		st.SettledW[words-1] &= m
+		st.CapMovedW[words-1] &= m
+	}
+	return st
+}
+
+// eqF64 compares float64s bitwise (NaN == NaN, -0 != +0).
+func eqF64(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func assertStateEqual(t *testing.T, want, got *State) {
+	t.Helper()
+	if got.Units != want.Units || got.Seed != want.Seed ||
+		!eqF64(float64(got.BudgetTotal), float64(want.BudgetTotal)) ||
+		!eqF64(float64(got.UnitMax), float64(want.UnitMax)) ||
+		!eqF64(float64(got.UnitMin), float64(want.UnitMin)) ||
+		got.Sparse != want.Sparse || got.SparseRefreshEvery != want.SparseRefreshEvery {
+		t.Fatalf("config mismatch: got %+v", got)
+	}
+	if got.HasCore != want.HasCore || got.HasSparse != want.HasSparse || got.HasDaemon != want.HasDaemon {
+		t.Fatalf("presence flags: got %v/%v/%v want %v/%v/%v",
+			got.HasCore, got.HasSparse, got.HasDaemon, want.HasCore, want.HasSparse, want.HasDaemon)
+	}
+	if got.Steps != want.Steps || got.LastRestored != want.LastRestored ||
+		got.ProvDirty != want.ProvDirty || got.HeldAllocated != want.HeldAllocated {
+		t.Fatalf("core scalars mismatch")
+	}
+	for u := range want.Caps {
+		if !eqF64(float64(got.Caps[u]), float64(want.Caps[u])) {
+			t.Fatalf("caps[%d]: got %v want %v", u, got.Caps[u], want.Caps[u])
+		}
+		if got.Kalman[u].Primed != want.Kalman[u].Primed ||
+			!eqF64(float64(got.Kalman[u].Estimate), float64(want.Kalman[u].Estimate)) ||
+			!eqF64(got.Kalman[u].Variance, want.Kalman[u].Variance) {
+			t.Fatalf("kalman[%d] mismatch", u)
+		}
+		gw, ww := &got.Rings[u], &want.Rings[u]
+		if gw.Head != ww.Head || gw.N != ww.N || gw.Pushes != ww.Pushes ||
+			!eqF64(gw.Sum, ww.Sum) || !eqF64(gw.SumSq, ww.SumSq) ||
+			!eqF64(gw.DurSum, ww.DurSum) || !eqF64(gw.TailDur, ww.TailDur) {
+			t.Fatalf("ring[%d] scalars mismatch", u)
+		}
+		for j := range ww.Powers {
+			if !eqF64(float64(gw.Powers[j]), float64(ww.Powers[j])) ||
+				!eqF64(float64(gw.Durations[j]), float64(ww.Durations[j])) {
+				t.Fatalf("ring[%d] slot %d mismatch", u, j)
+			}
+		}
+		if got.Prio[u] != want.Prio[u] || got.HighFreq[u] != want.HighFreq[u] || got.PrevPrio[u] != want.PrevPrio[u] {
+			t.Fatalf("priority flags[%d] mismatch", u)
+		}
+		if got.Frozen[u] != want.Frozen[u] {
+			t.Fatalf("frozen[%d]: got %+v want %+v", u, got.Frozen[u], want.Frozen[u])
+		}
+		if got.Reasons[u] != want.Reasons[u] || !eqF64(float64(got.RoundBefore[u]), float64(want.RoundBefore[u])) {
+			t.Fatalf("provenance[%d] mismatch", u)
+		}
+	}
+	if got.RNGSeed != want.RNGSeed || got.RNGDraws != want.RNGDraws {
+		t.Fatalf("rng: got %d/%d want %d/%d", got.RNGSeed, got.RNGDraws, want.RNGSeed, want.RNGDraws)
+	}
+	if want.HasSparse {
+		if !eqF64(float64(got.LastDT), float64(want.LastDT)) || got.HighCount != want.HighCount ||
+			!eqF64(float64(got.CachedSum), float64(want.CachedSum)) || got.SumValid != want.SumValid {
+			t.Fatalf("sparse scalars mismatch")
+		}
+		for i := range want.SettledW {
+			if got.SettledW[i] != want.SettledW[i] || got.CapMovedW[i] != want.CapMovedW[i] {
+				t.Fatalf("sparse mask word %d mismatch", i)
+			}
+		}
+		for u := range want.LastVal {
+			if !eqF64(float64(got.LastVal[u]), float64(want.LastVal[u])) || got.LastStep[u] != want.LastStep[u] {
+				t.Fatalf("sparse lastVal/lastStep[%d] mismatch", u)
+			}
+		}
+	}
+	if want.HasDaemon {
+		if got.SavedUnixMS != want.SavedUnixMS || got.Rounds != want.Rounds {
+			t.Fatalf("daemon scalars mismatch")
+		}
+		for u := range want.Health {
+			if got.Health[u] != want.Health[u] || got.ReportAgeMS[u] != want.ReportAgeMS[u] ||
+				!eqF64(float64(got.LastCaps[u]), float64(want.LastCaps[u])) ||
+				!eqF64(float64(got.LastPushed[u]), float64(want.LastPushed[u])) ||
+				!eqF64(float64(got.Readings[u]), float64(want.Readings[u])) {
+				t.Fatalf("daemon unit %d mismatch", u)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, units := range []int{1, 64, 96, 200} {
+		st := fillState(units, 20, int64(units)+3)
+		img := Encode(nil, st)
+		got, err := Decode(img)
+		if err != nil {
+			t.Fatalf("units=%d: decode: %v", units, err)
+		}
+		assertStateEqual(t, st, got)
+	}
+}
+
+// TestEncodeByteIdentity is the property test the replication differ
+// depends on: encode→decode→encode produces the identical byte stream,
+// so section-level comparison of consecutive encodes is meaningful.
+func TestEncodeByteIdentity(t *testing.T) {
+	st := fillState(96, 20, 11)
+	img1 := Encode(nil, st)
+	got, err := Decode(img1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2 := Encode(nil, got)
+	if !bytes.Equal(img1, img2) {
+		t.Fatalf("encode→decode→encode changed bytes: %d vs %d", len(img1), len(img2))
+	}
+}
+
+// TestEncodeReuseNoAlloc checks the warm-path contract: re-encoding into
+// a retained buffer allocates nothing.
+func TestEncodeReuseNoAlloc(t *testing.T) {
+	st := fillState(128, 20, 5)
+	buf := Encode(nil, st)
+	allocs := testing.AllocsPerRun(10, func() {
+		buf = Encode(buf, st)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Encode allocates %v times", allocs)
+	}
+}
+
+func TestPartialStates(t *testing.T) {
+	full := fillState(40, 8, 9)
+
+	configOnly := &State{}
+	*configOnly = *full
+	configOnly.HasCore, configOnly.HasSparse, configOnly.HasDaemon = false, false, false
+	got, err := Decode(Encode(nil, configOnly))
+	if err != nil {
+		t.Fatalf("config-only: %v", err)
+	}
+	if got.HasCore || got.HasSparse || got.HasDaemon {
+		t.Fatalf("config-only decode reported sections: %+v", got)
+	}
+	if got.Units != full.Units || got.Seed != full.Seed {
+		t.Fatalf("config-only fingerprint lost")
+	}
+
+	noDaemon := &State{}
+	*noDaemon = *full
+	noDaemon.HasDaemon = false
+	got, err = Decode(Encode(nil, noDaemon))
+	if err != nil {
+		t.Fatalf("core+sparse: %v", err)
+	}
+	if !got.HasCore || !got.HasSparse || got.HasDaemon {
+		t.Fatalf("core+sparse flags wrong: %+v", got)
+	}
+}
+
+func TestUnknownSectionSkipped(t *testing.T) {
+	st := fillState(32, 8, 4)
+	img := Encode(nil, st)
+
+	// Append a future section (id 0x7777) with a valid CRC; the decoder
+	// must skip it and still return the known state.
+	var extra []byte
+	extra, start := beginSection(img, 0x7777)
+	extra = append(extra, []byte("future payload")...)
+	extra = endSection(extra, start)
+
+	got, err := Decode(extra)
+	if err != nil {
+		t.Fatalf("unknown section not skipped: %v", err)
+	}
+	assertStateEqual(t, st, got)
+
+	// Same section with a corrupted payload byte must fail: unknown ids
+	// are skipped, corrupt bytes are not.
+	extra[len(extra)-6] ^= 0x01
+	if _, err := Decode(extra); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt unknown section decoded: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	st := fillState(48, 8, 6)
+	img := Encode(nil, st)
+
+	t.Run("bit flips", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 200; trial++ {
+			mut := append([]byte(nil), img...)
+			pos := rng.Intn(len(mut))
+			mut[pos] ^= 1 << uint(rng.Intn(8))
+			got, err := Decode(mut)
+			if err == nil {
+				// A flip inside the header version (downgrade) or a flag
+				// byte can legitimately decode; state must then still
+				// differ only where permitted. A flip below HeaderSize is
+				// the only acceptable silent spot.
+				if pos >= HeaderSize {
+					t.Fatalf("trial %d: flip at %d decoded silently: %+v", trial, pos, got.Steps)
+				}
+			}
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		for cut := 0; cut < len(img); cut += 7 {
+			if _, err := Decode(img[:cut]); err == nil {
+				t.Fatalf("truncation to %d bytes decoded", cut)
+			}
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		mut := append([]byte(nil), img...)
+		mut[0] = 'X'
+		if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bad magic: %v", err)
+		}
+	})
+
+	t.Run("future version", func(t *testing.T) {
+		mut := append([]byte(nil), img...)
+		mut[4] = byte(Version + 1)
+		if _, err := Decode(mut); !errors.Is(err, ErrVersion) {
+			t.Fatalf("future version: %v", err)
+		}
+	})
+
+	t.Run("duplicate section", func(t *testing.T) {
+		secs, err := Sections(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dup := append(append([]byte(nil), img...), secs[0].Raw...)
+		if _, err := Decode(dup); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("duplicate config section: %v", err)
+		}
+	})
+}
+
+func TestSectionsAndAssemble(t *testing.T) {
+	st := fillState(64, 12, 8)
+	img := Encode(nil, st)
+	secs, err := Sections(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []uint16{SecConfig, SecCore, SecCaps, SecKalman, SecRings, SecPriority, SecRNG, SecProv, SecSparse, SecDaemon}
+	if len(secs) != len(wantIDs) {
+		t.Fatalf("%d sections, want %d", len(secs), len(wantIDs))
+	}
+	raws := make([][]byte, len(secs))
+	for i, s := range secs {
+		if s.ID != wantIDs[i] {
+			t.Fatalf("section %d id 0x%04x, want 0x%04x", i, s.ID, wantIDs[i])
+		}
+		raws[i] = s.Raw
+	}
+	// Reassembling the split sections must reproduce the image exactly —
+	// the standby's overlay path depends on it.
+	if got := Assemble(nil, raws...); !bytes.Equal(got, img) {
+		t.Fatalf("assemble changed bytes")
+	}
+	// Overlaying an updated section yields a decodable image carrying
+	// the update.
+	st2 := fillState(64, 12, 8)
+	st2.Rounds += 5
+	img2 := Encode(nil, st2)
+	secs2, err := Sections(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws[len(raws)-1] = secs2[len(secs2)-1].Raw // SecDaemon
+	merged, err := Decode(Assemble(nil, raws...))
+	if err != nil {
+		t.Fatalf("overlay: %v", err)
+	}
+	if merged.Rounds != st2.Rounds {
+		t.Fatalf("overlay lost daemon update: rounds %d want %d", merged.Rounds, st2.Rounds)
+	}
+}
+
+// FuzzSnapshotDecode asserts the decoder's only failure mode on
+// arbitrary input is a returned error: no panics, no runaway
+// allocations. Valid images must keep decoding.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DPSS"))
+	img := Encode(nil, fillState(8, 4, 2))
+	f.Add(img)
+	trunc := img[:len(img)/2]
+	f.Add(append([]byte(nil), trunc...))
+	flip := append([]byte(nil), img...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Successful decodes must re-encode without panicking, and the
+		// result must decode again (self-consistency on the happy path).
+		if _, err := Decode(Encode(nil, st)); err != nil {
+			t.Fatalf("re-encode of decoded state does not decode: %v", err)
+		}
+	})
+}

@@ -70,12 +70,43 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// countingSource wraps the standard PRNG source and counts every state
+// advance. math/rand's generator state is opaque, but it is a pure
+// function of (seed, number of advances): re-seeding and discarding the
+// same number of draws lands on the identical stream position. The count
+// is therefore the module's entire serializable PRNG state — snapshots
+// store (seed, draws) instead of the 607-word generator internals, and
+// the replayed stream stays bit-for-bit the one an uninterrupted module
+// would have produced. Both Int63 and Uint64 advance the underlying
+// generator exactly once, so a single counter covers every draw path
+// rand.Rand takes.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
 // Module is a reusable MIMD controller. It is deterministic given its seed:
 // the random visiting order of the cap-increasing loop comes from an owned
 // PRNG so experiments are reproducible.
 type Module struct {
 	cfg   Config
 	rng   *rand.Rand
+	src   *countingSource
 	order []int // scratch permutation of eligible units, reused across steps
 }
 
@@ -84,7 +115,27 @@ func New(cfg Config, seed int64) (*Module, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Module{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Module{cfg: cfg, rng: rand.New(src), src: src}, nil
+}
+
+// RNGDraws returns the number of PRNG state advances consumed so far —
+// together with the construction seed, the module's complete
+// serializable randomness state.
+func (m *Module) RNGDraws() uint64 { return m.src.draws }
+
+// RestoreRNG re-seeds the module's PRNG and fast-forwards it by draws
+// state advances, restoring the exact stream position RNGDraws reported.
+// The replay cost is linear in draws; a snapshot of a long-lived module
+// pays it once at restore time, never per round.
+func (m *Module) RestoreRNG(seed int64, draws uint64) {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	for i := uint64(0); i < draws; i++ {
+		src.src.Uint64()
+	}
+	src.draws = draws
+	m.src = src
+	m.rng = rand.New(src)
 }
 
 // Config returns the module's configuration.

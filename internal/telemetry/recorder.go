@@ -54,9 +54,15 @@ type RoundRecord struct {
 	// settled-unit contract. Zero (omitted) on dense controllers.
 	DirtyUnits   int `json:"dirty_units,omitempty"`
 	SkippedUnits int `json:"skipped_units,omitempty"`
-	BudgetW         float64      `json:"budget_w"`
-	CapSumW         float64      `json:"cap_sum_w"`
-	Units           []UnitRecord `json:"units"`
+	// UptimeRounds/StateAgeRounds split the round counter across process
+	// generations: uptime is rounds this process decided, state age counts
+	// rounds inherited through a snapshot restore or standby takeover too.
+	// Omitted (equal to Round) on processes that never inherited state.
+	UptimeRounds   uint64       `json:"uptime_rounds,omitempty"`
+	StateAgeRounds uint64       `json:"state_age_rounds,omitempty"`
+	BudgetW        float64      `json:"budget_w"`
+	CapSumW        float64      `json:"cap_sum_w"`
+	Units          []UnitRecord `json:"units"`
 }
 
 // FlightRecorder is a fixed-size ring buffer of decision records. Appends
