@@ -7,7 +7,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X dps/internal/version.Version=$(VERSION)"
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-json bench-ingest bench-restore alloc-check chaos fuzz-smoke trace-smoke watch-smoke failover-smoke ci
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-json bench-ingest bench-restore alloc-check chaos fuzz-smoke trace-smoke watch-smoke failover-smoke blackbox-smoke ci
 
 all: ci
 
@@ -80,12 +80,13 @@ chaos:
 # alloc-check is the allocation-regression gate: a warm DecideStats
 # round must not allocate — bare, with a disabled tracer attached, on
 # the sharded fork/join path, on the sparse path (masked and maskless,
-# sequential and sharded), and with the full self-monitoring stack
+# sequential and sharded), with the full self-monitoring stack
 # (series sampler + watchdog audits) running beside the daemon's
-# decision loop.
+# decision loop, and on the black-box recorder's warm append path.
 alloc-check:
 	$(GO) test -run 'TestDecideStatsSteadyStateZeroAlloc|TestDecideTracerOffZeroAlloc|TestDecideShardedSteadyStateZeroAlloc|TestDecideSparseSteadyStateZeroAlloc|TestDecideSparseShardedSteadyStateZeroAlloc' -count=1 ./internal/core
 	$(GO) test -run 'TestDecideSamplerSteadyStateZeroAlloc|TestIngestSteadyStateZeroAlloc|TestReplicateSteadyStateZeroAlloc' -count=1 ./internal/daemon
+	$(GO) test -run 'TestBlackboxWriterSteadyStateZeroAlloc' -count=1 ./internal/blackbox
 
 # fuzz-smoke gives the wire-protocol decoders a short fuzz shake on every
 # CI run (the corpus under internal/proto/testdata grows across runs).
@@ -93,9 +94,9 @@ alloc-check:
 # per decoder (anchored: -fuzz must match exactly one target).
 fuzz-smoke:
 	$(GO) test -fuzz='FuzzReadHello$$' -fuzztime=5s -run xxx ./internal/proto/
-	$(GO) test -fuzz='FuzzReadBatch$$' -fuzztime=5s -run xxx ./internal/proto/
 	$(GO) test -fuzz='FuzzReadBatchFrame$$' -fuzztime=5s -run xxx ./internal/proto/
 	$(GO) test -fuzz='FuzzSnapshotDecode$$' -fuzztime=5s -run xxx ./internal/snapshot/
+	$(GO) test -fuzz='FuzzBlackboxDecode$$' -fuzztime=5s -run xxx ./internal/blackbox/
 
 # trace-smoke runs a short traced simulation and validates the exported
 # Chrome trace_event JSON covers every pipeline stage in every round.
@@ -117,8 +118,17 @@ watch-smoke:
 failover-smoke:
 	$(GO) test -run TestFailoverSmoke -count=1 ./internal/daemon/
 
+# blackbox-smoke is the crash-safety gate for the black-box flight
+# recorder: a daemon appending rounds is killed with SIGKILL mid-run and
+# `dpsctl blackbox dump` must recover every completed round from the
+# dead process's on-disk ring (at most the one in-flight round may
+# tear).
+blackbox-smoke:
+	$(GO) test -run 'TestBlackboxSmoke$$' -count=1 -v ./cmd/dpsctl/
+
 # ci is the tier-1 gate: static checks, a full build, the complete test
 # suite, the race detector over the concurrency-bearing packages, the
 # allocation-regression gates, a protocol fuzz shake, the traced-sim,
-# watchdog and failover smokes, and a smoke run of the scaling benchmark.
-ci: vet staticcheck build test race alloc-check fuzz-smoke trace-smoke watch-smoke failover-smoke bench-smoke
+# watchdog, failover and black-box crash smokes, and a smoke run of the
+# scaling benchmark.
+ci: vet staticcheck build test race alloc-check fuzz-smoke trace-smoke watch-smoke failover-smoke blackbox-smoke bench-smoke

@@ -50,6 +50,9 @@ func main() {
 		batch       = flag.Bool("batch", false, "report over the batch/delta plane: only readings that moved past the delta epsilon go on the wire, quiet intervals heartbeat (requires a v2-capable controller)")
 		deltaEps    = flag.Float64("delta-epsilon", 0, "batch mode: local delta-suppression band in watts (0 = adopt the controller's advertised epsilon)")
 		refreshEvry = flag.Int("refresh-every", 0, "batch mode: force an unsuppressed full report every N reports (0 = default, negative = never)")
+		traceCtx    = flag.Bool("trace-ctx", false, "receive the controller round with each cap batch so local spans carry the round that caused them (requires a v2-capable controller)")
+		traceOn     = flag.Bool("trace", false, "record meter/report/apply spans into the local ring served at /debug/trace")
+		traceSpans  = flag.Int("trace-spans", 0, "span ring capacity (0 = default)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -151,6 +154,9 @@ func main() {
 		Batch:               *batch,
 		DeltaEpsilon:        power.Watts(*deltaEps),
 		RefreshEvery:        *refreshEvry,
+		TraceCtx:            *traceCtx,
+		Trace:               *traceOn,
+		TraceSpans:          *traceSpans,
 	})
 	if err != nil {
 		log.Fatalf("dps-agent: %v", err)

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"dps/internal/blackbox"
+	"dps/internal/daemon"
+	"dps/internal/trace"
+	"dps/internal/watch"
+)
+
+// fetchJSON GETs http://addr+path and decodes the body into out.
+func fetchJSON(client *http.Client, addr, path string, out any) error {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runStatus prints one fleet row per address. Controllers answer
+// /status; an address that doesn't (an agent, or a daemon that is down)
+// gets a role/error row instead of failing the whole sweep.
+func runStatus(w io.Writer, client *http.Client, addrs []string) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDR\tROLE\tPOLICY\tUNITS\tAGENTS\tROUNDS\tBUDGET_W\tCAP_SUM_W\tALERTS")
+	live := 0
+	for _, addr := range addrs {
+		var st daemon.Status
+		if err := fetchJSON(client, addr, "/status", &st); err != nil {
+			role := "down"
+			if probeAgent(client, addr) {
+				role = "agent"
+				live++
+			}
+			fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t-\t-\t-\t-\n", addr, role)
+			continue
+		}
+		live++
+		fmt.Fprintf(tw, "%s\tcontroller\t%s\t%d\t%d\t%d\t%.1f\t%.1f\t%d\n",
+			addr, st.Policy, st.Units, st.Agents, st.Rounds, st.BudgetW, st.CapSumW, st.AlertsFiring)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if live == 0 {
+		return fmt.Errorf("no address in %v answered", addrs)
+	}
+	return nil
+}
+
+// probeAgent reports whether addr serves the agent's metric surface (an
+// agent exposes /metrics but not /status).
+func probeAgent(client *http.Client, addr string) bool {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// runAlerts prints every watchdog alert state across the fleet.
+// Addresses without an /alerts endpoint (agents) are skipped.
+func runAlerts(w io.Writer, client *http.Client, addrs []string) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDR\tRULE\tKIND\tSTATE\tVALUE\tFIRED\tMESSAGE")
+	reached := 0
+	for _, addr := range addrs {
+		var alerts []watch.Alert
+		if err := fetchJSON(client, addr, "/alerts", &alerts); err != nil {
+			continue
+		}
+		reached++
+		for _, a := range alerts {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%g\t%d\t%s\n",
+				addr, a.Rule, a.Kind, a.State, a.Value, a.FiredCount, a.Message)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if reached == 0 {
+		return fmt.Errorf("no address in %v serves /alerts", addrs)
+	}
+	return nil
+}
+
+// unitRow is one unit's scraped gauges for the top table.
+type unitRow struct {
+	unit            int
+	powerW, capW    float64
+	prio            bool
+	health          string
+	hasPrio, hasHlt bool
+}
+
+// runTop scrapes the first controller that answers /status and prints a
+// per-unit power/cap table sorted by headroom pressure (power/cap,
+// descending) — the units closest to their cap first.
+func runTop(w io.Writer, client *http.Client, addrs []string) error {
+	for _, addr := range addrs {
+		var st daemon.Status
+		if err := fetchJSON(client, addr, "/status", &st); err != nil {
+			continue
+		}
+		rows := make([]unitRow, st.Units)
+		for u := 0; u < st.Units; u++ {
+			rows[u].unit = u
+			if u < len(st.Readings) {
+				rows[u].powerW = st.Readings[u]
+			}
+			if u < len(st.Caps) {
+				rows[u].capW = st.Caps[u]
+			}
+			if u < len(st.Priority) {
+				rows[u].prio, rows[u].hasPrio = st.Priority[u], true
+			}
+			if u < len(st.Health) {
+				rows[u].health, rows[u].hasHlt = st.Health[u], true
+			}
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			return pressure(rows[i]) > pressure(rows[j])
+		})
+		tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		fmt.Fprintf(tw, "# %s policy=%s round=%d budget=%.1fW cap_sum=%.1fW\n",
+			addr, st.Policy, st.Rounds, st.BudgetW, st.CapSumW)
+		fmt.Fprintln(tw, "UNIT\tPOWER_W\tCAP_W\tUSE%\tPRIO\tHEALTH")
+		for _, r := range rows {
+			prio, health := "-", "-"
+			if r.hasPrio {
+				prio = strconv.FormatBool(r.prio)
+			}
+			if r.hasHlt {
+				health = r.health
+			}
+			fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.0f\t%s\t%s\n",
+				r.unit, r.powerW, r.capW, 100*pressure(r), prio, health)
+		}
+		return tw.Flush()
+	}
+	return fmt.Errorf("no address in %v answered /status", addrs)
+}
+
+func pressure(r unitRow) float64 {
+	if r.capW <= 0 {
+		return 0
+	}
+	return r.powerW / r.capW
+}
+
+// runTrace fetches /debug/trace from the fleet. Without merge only the
+// first address is fetched and its trace passed through verbatim. With
+// merge every address's span ring is clock-aligned against the first
+// (the controller's RTT-inferred apply spans anchor each agent's
+// cap_apply spans) and written as one Chrome trace_event file.
+func runTrace(w io.Writer, client *http.Client, addrs []string, merge bool) error {
+	if !merge {
+		resp, err := client.Get("http://" + addrs[0] + "/debug/trace")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /debug/trace: %s", resp.Status)
+		}
+		_, err = io.Copy(w, resp.Body)
+		return err
+	}
+	var procs []trace.Process
+	var errs []string
+	for _, addr := range addrs {
+		resp, err := client.Get("http://" + addr + "/debug/trace")
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			errs = append(errs, fmt.Sprintf("%s: /debug/trace status %d", addr, resp.StatusCode))
+			continue
+		}
+		events, err := trace.ParseEvents(body)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", addr, err))
+			continue
+		}
+		procs = append(procs, trace.Process{Name: addr, Events: events})
+	}
+	if len(procs) == 0 {
+		return fmt.Errorf("no trace fetched: %s", strings.Join(errs, "; "))
+	}
+	return trace.Merge(w, procs)
+}
+
+// runBlackboxDump decodes every retained round of the on-disk ring,
+// oldest first. The table form is for eyes; -json emits one JSON object
+// per line for tooling.
+func runBlackboxDump(w io.Writer, dir string, asJSON bool) error {
+	rounds, err := blackbox.Dump(dir)
+	if err != nil {
+		return err
+	}
+	return writeRounds(w, rounds, asJSON)
+}
+
+// runBlackboxTail prints the newest n retained rounds, oldest first.
+func runBlackboxTail(w io.Writer, dir string, n int) error {
+	rounds, err := blackbox.Tail(dir, n)
+	if err != nil {
+		return err
+	}
+	return writeRounds(w, rounds, false)
+}
+
+func writeRounds(w io.Writer, rounds []blackbox.Round, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		for i := range rounds {
+			if err := enc.Encode(&rounds[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ROUND\tUNIX_NANO\tBUDGET_W\tCAP_SUM_W\tTOTAL_MS\tUNITS\tSTALE\tDEAD\tFLAGS")
+	for i := range rounds {
+		r := &rounds[i]
+		var flags []string
+		if r.Restored {
+			flags = append(flags, "restored")
+		}
+		if r.BudgetExhausted {
+			flags = append(flags, "exhausted")
+		}
+		if r.BudgetClamped {
+			flags = append(flags, "clamped")
+		}
+		fl := strings.Join(flags, ",")
+		if fl == "" {
+			fl = "-"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%.3f\t%d\t%d\t%d\t%s\n",
+			r.Round, r.UnixNano, r.BudgetW, r.CapSumW, 1000*r.TotalS, len(r.Units),
+			r.StaleUnits, r.DeadUnits, fl)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,122 @@
+// Command dpsctl inspects a running DPS fleet from the outside: it
+// scrapes the controller's and agents' HTTP endpoints, merges their trace
+// rings into one clock-aligned timeline, and decodes the black-box flight
+// recorder — including the ring a dead daemon left behind.
+//
+//	dpsctl -addrs primary:9070,standby:9072,agent:9073 status
+//	dpsctl -addrs primary:9070 alerts
+//	dpsctl -addrs primary:9070 top
+//	dpsctl -addrs primary:9070,agent:9073 trace --merge > fleet.json
+//	dpsctl blackbox dump -path /var/lib/dps/blackbox
+//	dpsctl blackbox tail -path /var/lib/dps/blackbox -n 10
+//
+// The -addrs list is ordered: the first address is the reference clock
+// for trace --merge (normally the primary controller). Subcommands that
+// scrape HTTP tolerate addresses that are down or serve a different role
+// (an agent answering a controller-only query is reported, not fatal).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dps/internal/version"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: dpsctl [-addrs host:port,...] <command> [args]
+
+commands:
+  status          one fleet row per address: role, rounds, budget, caps
+  alerts          watchdog alert states across the fleet
+  top             per-unit power/cap table from the first live controller
+  trace [--merge] fetch /debug/trace; --merge clock-aligns every address
+                  into one Chrome trace_event file (first address is the
+                  reference clock)
+  blackbox dump -path DIR [-json]   decode the on-disk round ring
+  blackbox tail -path DIR -n N      newest N rounds of the ring
+`)
+}
+
+func main() {
+	var (
+		addrsFlag   = flag.String("addrs", "localhost:7890", "comma-separated fleet HTTP addresses (primary,standby,agents); first is the trace reference clock")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-request HTTP timeout")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("dpsctl"))
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	addrs := splitAddrs(*addrsFlag)
+	client := &http.Client{Timeout: *timeout}
+
+	var err error
+	switch args[0] {
+	case "status":
+		err = runStatus(os.Stdout, client, addrs)
+	case "alerts":
+		err = runAlerts(os.Stdout, client, addrs)
+	case "top":
+		err = runTop(os.Stdout, client, addrs)
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		merge := fs.Bool("merge", false, "merge every address's trace into one clock-aligned timeline")
+		if err = fs.Parse(args[1:]); err == nil {
+			err = runTrace(os.Stdout, client, addrs, *merge)
+		}
+	case "blackbox":
+		if len(args) < 2 {
+			usage()
+			os.Exit(2)
+		}
+		fs := flag.NewFlagSet("blackbox", flag.ExitOnError)
+		path := fs.String("path", "", "black-box ring directory (the daemon's -blackbox-path)")
+		n := fs.Int("n", 10, "tail: newest rounds to print")
+		asJSON := fs.Bool("json", false, "dump: emit one JSON object per round instead of the table")
+		if err = fs.Parse(args[2:]); err != nil {
+			break
+		}
+		if *path == "" {
+			err = fmt.Errorf("blackbox %s: -path is required", args[1])
+			break
+		}
+		switch args[1] {
+		case "dump":
+			err = runBlackboxDump(os.Stdout, *path, *asJSON)
+		case "tail":
+			err = runBlackboxTail(os.Stdout, *path, *n)
+		default:
+			err = fmt.Errorf("unknown blackbox subcommand %q (want dump or tail)", args[1])
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("dpsctl: %v", err)
+	}
+}
+
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dps/internal/blackbox"
+	"dps/internal/core"
+	"dps/internal/daemon"
+	"dps/internal/power"
+)
+
+const smokeChildEnv = "DPSCTL_BB_SMOKE_DIR"
+
+// TestBlackboxSmokeChild is the re-exec target of TestBlackboxSmoke: a
+// controller appending black-box rounds as fast as it can, printing
+// "round N" after each append lands, until the parent kills it with
+// SIGKILL. It is skipped in a normal test run.
+func TestBlackboxSmokeChild(t *testing.T) {
+	dir := os.Getenv(smokeChildEnv)
+	if dir == "" {
+		t.Skip("re-exec child only")
+	}
+	units := 4
+	budget := power.Budget{Total: power.Watts(units) * 110, UnitMax: 165, UnitMin: 10}
+	mgr, err := core.NewDPS(core.DefaultConfig(units, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := daemon.NewServer(daemon.ServerConfig{
+		Manager: mgr, Units: units, Interval: time.Second,
+		BlackboxPath: dir, BlackboxRounds: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	for i := 1; i <= 100000; i++ {
+		if _, err := srv.DecideOnce(1); err != nil {
+			t.Fatal(err)
+		}
+		// The round is printed only after DecideOnce — and with it the
+		// blackbox append's write(2) — returned, so every printed round
+		// must be recoverable; only a round in flight at the kill may
+		// tear.
+		fmt.Fprintf(out, "round %d\n", i)
+		out.Flush()
+	}
+}
+
+// TestBlackboxSmoke kills a blackbox-writing controller with SIGKILL
+// mid-run and proves `dpsctl blackbox dump` recovers every completed
+// round from the dead daemon's ring — the crash-safety contract the
+// flight recorder exists for. Skipped under -short (it re-execs the test
+// binary).
+func TestBlackboxSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestBlackboxSmokeChild$", "-test.v")
+	cmd.Env = append(os.Environ(), smokeChildEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the child burn through at least 20 appended rounds, then pull
+	// the plug with the one signal it cannot flush against.
+	lastPrinted := 0
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		n, ok := strings.CutPrefix(line, "round ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.Atoi(n); err == nil {
+			lastPrinted = v
+		}
+		if lastPrinted >= 20 {
+			break
+		}
+	}
+	if lastPrinted < 20 {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("child died before 20 rounds (last %d)", lastPrinted)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // SIGKILL makes this an error by design
+
+	// Decode the dead daemon's ring through the same path `dpsctl
+	// blackbox dump -json` uses.
+	var buf bytes.Buffer
+	if err := runBlackboxDump(&buf, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	var rounds []blackbox.Round
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var r blackbox.Round
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("dump line %q: %v", line, err)
+		}
+		rounds = append(rounds, r)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("dump recovered nothing from the killed daemon")
+	}
+	maxRound := 0
+	seen := map[uint64]bool{}
+	for _, r := range rounds {
+		seen[r.Round] = true
+		if int(r.Round) > maxRound {
+			maxRound = int(r.Round)
+		}
+		if len(r.Units) != 4 {
+			t.Errorf("round %d recovered with %d units, want 4", r.Round, len(r.Units))
+		}
+	}
+	// Every printed round was fully appended before the print, so at
+	// most the one round in flight at the kill may be missing.
+	if maxRound < lastPrinted-1 {
+		t.Errorf("recovered through round %d, child reported %d (lost %d > 1 rounds)",
+			maxRound, lastPrinted, lastPrinted-maxRound)
+	}
+	for r := 1; r <= maxRound; r++ {
+		if !seen[uint64(r)] {
+			t.Errorf("recovered ring has a hole at round %d", r)
+		}
+	}
+	t.Logf("child reached round %d; dump recovered %d rounds through %d", lastPrinted, len(rounds), maxRound)
+}

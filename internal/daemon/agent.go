@@ -16,6 +16,7 @@ import (
 	"dps/internal/proto"
 	"dps/internal/rapl"
 	"dps/internal/telemetry"
+	"dps/internal/trace"
 )
 
 // AgentConfig configures one node's client.
@@ -63,6 +64,19 @@ type AgentConfig struct {
 	// disables periodic refresh (pure delta — heartbeats alone keep the
 	// session fresh). Ignored unless Batch is on.
 	RefreshEvery int
+	// TraceCtx advertises the trace-context capability: the controller
+	// prefixes each cap batch with its round counter, so the agent's own
+	// trace spans carry the round that caused them and a fleet-wide merge
+	// (dpsctl trace --merge) can nest them under the right controller
+	// round. Off by default for wire compatibility with version-1 servers.
+	TraceCtx bool
+	// Trace enables the agent's span recorder: meter read, report
+	// decision, and cap apply each become a span in a local ring served
+	// at GET /debug/trace. Off by default; recording is zero-cost when
+	// off.
+	Trace bool
+	// TraceSpans caps the span ring (trace.DefaultSpanCapacity when 0).
+	TraceSpans int
 }
 
 // DefaultMeterErrorTolerance is how many consecutive meter read errors an
@@ -138,9 +152,14 @@ type Agent struct {
 	epsDW     uint16
 	reports   atomic.Uint64
 	applied   atomic.Uint64
+	// lastRound is the newest controller round seen in a cap batch prefix
+	// (trace-context sessions; stays 0 otherwise). Read by the report
+	// goroutine to tag read/report spans, written by the cap goroutine.
+	lastRound atomic.Uint64
 
-	tel *telemetry.Registry
-	am  agentMetrics
+	tel    *telemetry.Registry
+	am     agentMetrics
+	tracer *trace.Recorder
 }
 
 // agentMetrics are the node client's registry handles: liveness of the
@@ -153,6 +172,7 @@ type agentMetrics struct {
 	reconnects   *telemetry.Counter
 	suppressed   *telemetry.Counter
 	heartbeats   *telemetry.Counter
+	spans        *telemetry.Counter
 	connected    *telemetry.Gauge
 	backoff      *telemetry.Gauge
 }
@@ -166,6 +186,7 @@ func newAgentMetrics(reg *telemetry.Registry) agentMetrics {
 		reconnects:   reg.Counter("dps_agent_reconnects_total", "Connection attempts after a lost or failed session."),
 		suppressed:   reg.Counter("dps_agent_suppressed_readings_total", "Per-unit readings withheld by delta suppression (unchanged within epsilon)."),
 		heartbeats:   reg.Counter("dps_agent_heartbeats_total", "Heartbeat frames sent in place of fully-suppressed reports."),
+		spans:        reg.Counter("dps_agent_trace_spans_total", "Spans recorded into the agent's trace ring."),
 		connected:    reg.Gauge("dps_agent_connected", "1 while a handshaken controller session is live."),
 		backoff:      reg.Gauge("dps_agent_backoff_seconds", "Current reconnect backoff (0 while connected)."),
 	}
@@ -186,7 +207,9 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		recs:      make([]proto.Record, 0, len(cfg.Devices)),
 		tel:       reg,
 		am:        newAgentMetrics(reg),
+		tracer:    trace.NewRecorder(cfg.TraceSpans),
 	}
+	a.tracer.SetEnabled(cfg.Trace)
 	for i, d := range cfg.Devices {
 		a.meters[i] = rapl.NewTolerantMeter(d, cfg.meterTolerance())
 	}
@@ -196,16 +219,22 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 // Telemetry returns the agent's metrics registry.
 func (a *Agent) Telemetry() *telemetry.Registry { return a.tel }
 
+// Trace returns the agent's span recorder (always non-nil; enabled per
+// AgentConfig.Trace).
+func (a *Agent) Trace() *trace.Recorder { return a.tracer }
+
 // DebugHandler returns the agent's HTTP mux:
 //
-//	GET /metrics  agent counters in Prometheus text format
-//	GET /healthz  200 while a controller session is live
+//	GET /metrics      agent counters in Prometheus text format
+//	GET /healthz      200 while a controller session is live
+//	GET /debug/trace  agent spans as Chrome trace_event JSON (?n=N)
 //
 // The concrete mux is returned so the agent binary can mount
 // net/http/pprof alongside.
 func (a *Agent) DebugHandler() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", a.tel.Handler())
+	mux.Handle("GET /debug/trace", a.tracer.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if a.am.connected.Value() == 0 {
 			http.Error(w, "not connected to a controller", http.StatusServiceUnavailable)
@@ -227,7 +256,13 @@ func (a *Agent) logf(format string, args ...any) {
 // batch session the delta epsilon resolves here: the local configured
 // value when positive, else whatever the server's ack advertised.
 func (a *Agent) Handshake(conn net.Conn) error {
-	h := proto.Hello{FirstUnit: a.cfg.FirstUnit, Units: len(a.cfg.Devices), ApplyEcho: a.cfg.ApplyEcho, Batch: a.cfg.Batch}
+	h := proto.Hello{
+		FirstUnit: a.cfg.FirstUnit,
+		Units:     len(a.cfg.Devices),
+		ApplyEcho: a.cfg.ApplyEcho,
+		Batch:     a.cfg.Batch,
+		TraceCtx:  a.cfg.TraceCtx,
+	}
 	sess, err := proto.Connect(conn, h)
 	if err != nil {
 		conn.Close()
@@ -266,10 +301,19 @@ func (a *Agent) Handshake(conn net.Conn) error {
 }
 
 // ReportOnce reads every local meter over the given elapsed interval and
-// sends one power report batch.
+// sends one power report batch. With tracing on, the meter read and the
+// report decision each record a span tagged with the round the report
+// will feed: the last round seen on the wire plus one (0+1 until the
+// first trace-context cap batch arrives).
 func (a *Agent) ReportOnce(elapsed power.Seconds) error {
 	if a.sess == nil {
 		return errors.New("daemon: agent not connected")
+	}
+	traceOn := a.tracer.On()
+	round := a.lastRound.Load() + 1
+	var readStart time.Time
+	if traceOn {
+		readStart = time.Now()
 	}
 	for i, m := range a.meters {
 		w, err := m.Read(elapsed)
@@ -279,12 +323,23 @@ func (a *Agent) ReportOnce(elapsed power.Seconds) error {
 		}
 		a.reportBuf[i] = w
 	}
+	var reportStart time.Time
+	if traceOn {
+		reportStart = time.Now()
+		a.tracer.Record(round, trace.SpanRead, trace.LaneAgent,
+			int32(a.cfg.FirstUnit), readStart, reportStart.Sub(readStart))
+	}
 	a.writeMu.Lock()
 	err := a.writeReportLocked()
 	a.writeMu.Unlock()
 	if err != nil {
 		a.am.reportErrors.Inc()
 		return fmt.Errorf("daemon: sending report: %w", err)
+	}
+	if traceOn {
+		a.tracer.Record(round, trace.SpanReport, trace.LaneAgent,
+			int32(a.cfg.FirstUnit), reportStart, time.Since(reportStart))
+		a.am.spans.Add(2)
 	}
 	a.reports.Add(1)
 	a.am.reports.Inc()
@@ -340,13 +395,20 @@ func absDelta(a, b int32) int32 {
 }
 
 // ReceiveCaps blocks for one cap batch from the controller and programs
-// every local device.
+// every local device. On a trace-context session the batch's round
+// prefix updates the agent's round clock and tags the cap_apply span —
+// the agent-clock twin of the server's RTT-inferred apply span, which is
+// what lets a fleet trace merge estimate the clock offset.
 func (a *Agent) ReceiveCaps() error {
 	if a.sess == nil {
 		return errors.New("daemon: agent not connected")
 	}
-	if err := a.sess.ReadCaps(a.capBuf); err != nil {
+	round, err := a.sess.ReadCapsRound(a.capBuf)
+	if err != nil {
 		return fmt.Errorf("daemon: receiving caps: %w", err)
+	}
+	if round > 0 {
+		a.lastRound.Store(round)
 	}
 	applyStart := time.Now()
 	for i, c := range a.capBuf {
@@ -354,11 +416,17 @@ func (a *Agent) ReceiveCaps() error {
 			return fmt.Errorf("daemon: capping unit %d: %w", int(a.cfg.FirstUnit)+i, err)
 		}
 	}
+	applyDur := time.Since(applyStart)
+	if a.tracer.On() {
+		a.tracer.Record(round, trace.SpanCapApply, trace.LaneAgent,
+			int32(a.cfg.FirstUnit), applyStart, applyDur)
+		a.am.spans.Inc()
+	}
 	a.applied.Add(1)
 	a.am.applied.Inc()
 	if a.cfg.ApplyEcho {
 		a.writeMu.Lock()
-		err := a.sess.WriteApplyEcho(time.Since(applyStart))
+		err := a.sess.WriteApplyEcho(applyDur)
 		a.writeMu.Unlock()
 		if err != nil {
 			return fmt.Errorf("daemon: sending apply echo: %w", err)

@@ -47,7 +47,7 @@ func TestHandshakePrimeFailureCleansUp(t *testing.T) {
 			srvErr <- err
 			return
 		}
-		srvErr <- proto.WriteAck(serverSide)
+		srvErr <- rawWriteAck(serverSide)
 	}()
 
 	if err := a.Handshake(agentSide); err == nil {

@@ -100,7 +100,7 @@ func rawHandshake(c net.Conn, first power.UnitID, n int) ([]byte, error) {
 	if err := proto.WriteHello(c, proto.Hello{FirstUnit: first, Units: n}); err != nil {
 		return nil, err
 	}
-	if err := proto.ReadAck(c); err != nil {
+	if err := rawReadAck(c); err != nil {
 		return nil, err
 	}
 	frame := make([]byte, n*proto.RecordSize)

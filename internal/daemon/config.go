@@ -113,6 +113,13 @@ type FileConfig struct {
 	SnapshotEvery int    `json:"snapshot_every,omitempty"`
 	RestoreFrom   string `json:"restore_from,omitempty"`
 	StandbyOf     string `json:"standby_of,omitempty"`
+
+	// Fleet observability (DESIGN.md §15). BlackboxPath enables the
+	// persistent black-box flight recorder: a segmented on-disk ring of
+	// the last BlackboxRounds decision rounds (0 = the daemon default),
+	// decodable offline with `dpsctl blackbox dump`.
+	BlackboxPath   string `json:"blackbox_path,omitempty"`
+	BlackboxRounds int    `json:"blackbox_rounds,omitempty"`
 }
 
 // LoadFileConfig parses and normalizes a config file.

@@ -526,7 +526,7 @@ func TestReplicateSteadyStateZeroAlloc(t *testing.T) {
 	if err := proto.WriteHello(client, proto.Hello{FirstUnit: 0, Units: 1, Replicate: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := proto.ReadAck(client); err != nil {
+	if err := rawReadAck(client); err != nil {
 		t.Fatal(err)
 	}
 	go func() {

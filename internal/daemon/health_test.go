@@ -48,13 +48,13 @@ func handshakeRaw(t *testing.T, srv *Server, first power.UnitID, units int) (net
 	if err := proto.WriteHello(client, proto.Hello{FirstUnit: first, Units: units}); err != nil {
 		t.Fatal(err)
 	}
-	if err := proto.ReadAck(client); err != nil {
+	if err := rawReadAck(client); err != nil {
 		t.Fatal(err)
 	}
 	go func() {
 		buf := make([]power.Watts, units)
 		for {
-			if err := proto.ReadBatch(client, buf); err != nil {
+			if err := rawReadCaps(client, buf); err != nil {
 				return
 			}
 		}
@@ -67,7 +67,7 @@ func handshakeRaw(t *testing.T, srv *Server, first power.UnitID, units int) (net
 func report(t *testing.T, srv *Server, conn net.Conn, first int, vals power.Vector, wantAccepted bool) {
 	t.Helper()
 	before := srv.metrics.badReadings.Value()
-	if err := proto.WriteBatch(conn, vals); err != nil {
+	if err := rawWriteReport(conn, vals); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -289,7 +289,7 @@ func TestReadDeadlineReapsSilentConnection(t *testing.T) {
 	if err := proto.WriteHello(client, proto.Hello{FirstUnit: 0, Units: units}); err != nil {
 		t.Fatal(err)
 	}
-	if err := proto.ReadAck(client); err != nil {
+	if err := rawReadAck(client); err != nil {
 		t.Fatal(err)
 	}
 	if got := srv.Connected(); got != 1 {

@@ -191,6 +191,28 @@ var serverKnobs = []knob{
 		},
 	},
 	{
+		Flag: "blackbox-path", JSON: "blackbox_path",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.String("blackbox-path", "", "append every decision round to the black-box flight recorder ring under this directory (empty disables)")
+			return func(sc *ServerConfig) { sc.BlackboxPath = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.BlackboxPath = fc.BlackboxPath },
+	},
+	{
+		Flag: "blackbox-rounds", JSON: "blackbox_rounds",
+		register: func(fs *flag.FlagSet) func(*ServerConfig) {
+			v := fs.Int("blackbox-rounds", 0, "decision rounds the black-box ring retains (0 = default)")
+			return func(sc *ServerConfig) { sc.BlackboxRounds = *v }
+		},
+		fromFile: func(fc FileConfig, sc *ServerConfig) { sc.BlackboxRounds = fc.BlackboxRounds },
+		check: func(fc FileConfig) error {
+			if fc.BlackboxRounds < 0 {
+				return fmt.Errorf("negative blackbox_rounds %d", fc.BlackboxRounds)
+			}
+			return nil
+		},
+	},
+	{
 		Flag: "restore-from", JSON: "restore_from",
 		register: func(fs *flag.FlagSet) func(*ServerConfig) {
 			v := fs.String("restore-from", "", "restore controller state from this snapshot file at boot (empty = cold start)")

@@ -81,6 +81,14 @@ var knobParityCases = []struct {
 		want: func(sc ServerConfig) bool { return sc.SnapshotEvery == 25 },
 	},
 	{
+		flag: "blackbox-path", flagArg: "-blackbox-path=/var/lib/dps/blackbox", jsonFrag: `"blackbox_path": "/var/lib/dps/blackbox"`,
+		want: func(sc ServerConfig) bool { return sc.BlackboxPath == "/var/lib/dps/blackbox" },
+	},
+	{
+		flag: "blackbox-rounds", flagArg: "-blackbox-rounds=1024", jsonFrag: `"blackbox_rounds": 1024`,
+		want: func(sc ServerConfig) bool { return sc.BlackboxRounds == 1024 },
+	},
+	{
 		flag: "restore-from", flagArg: "-restore-from=/var/lib/dps/state.dps", jsonFrag: `"restore_from": "/var/lib/dps/state.dps"`,
 		want: func(sc ServerConfig) bool { return sc.RestoreFrom == "/var/lib/dps/state.dps" },
 	},

@@ -1,0 +1,63 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+
+	"dps/internal/power"
+	"dps/internal/proto"
+)
+
+// Raw version-1 wire helpers for tests that deliberately speak the
+// legacy capability-free protocol byte-for-byte — a raw client against a
+// modern server, or a fake server half against a real agent. Production
+// code negotiates through proto.Session; these exist so the tests stay
+// pinned to the wire bytes rather than to whatever the session layer
+// currently does.
+
+// rawWriteAck sends the classic 2-byte handshake acknowledgement.
+func rawWriteAck(w io.Writer) error {
+	_, err := w.Write([]byte("OK"))
+	return err
+}
+
+// rawReadAck consumes and validates the classic 2-byte acknowledgement.
+func rawReadAck(r io.Reader) error {
+	var buf [2]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return fmt.Errorf("reading ack: %w", err)
+	}
+	if buf != [2]byte{'O', 'K'} {
+		return fmt.Errorf("bad ack %q", buf[:])
+	}
+	return nil
+}
+
+// rawWriteReport writes a bare version-1 report batch: one 3-byte record
+// per entry of vals, local unit i carrying vals[i], no framing.
+func rawWriteReport(w io.Writer, vals []power.Watts) error {
+	buf := make([]byte, len(vals)*proto.RecordSize)
+	for i, v := range vals {
+		proto.PutRecord(buf[i*proto.RecordSize:], proto.Record{LocalUnit: uint8(i), Value: proto.ToDeciwatts(v)})
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// rawReadCaps reads one downstream cap batch of len(dst) records into
+// dst by local unit (the version-1 downstream wire format).
+func rawReadCaps(r io.Reader, dst []power.Watts) error {
+	n := len(dst)
+	buf := make([]byte, n*proto.RecordSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		rec := proto.GetRecord(buf[i*proto.RecordSize:])
+		if int(rec.LocalUnit) >= n {
+			return fmt.Errorf("record for local unit %d in a %d-unit batch", rec.LocalUnit, n)
+		}
+		dst[rec.LocalUnit] = proto.FromDeciwatts(rec.Value)
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dps/internal/blackbox"
 	"dps/internal/core"
 	"dps/internal/power"
 	"dps/internal/proto"
@@ -146,6 +147,16 @@ type ServerConfig struct {
 	// the config, but the default must protect the boot path from caps
 	// and health clocks from another epoch.
 	SnapshotMaxAge time.Duration
+
+	// BlackboxPath, when set, enables the persistent black-box flight
+	// recorder (DESIGN.md §15): every completed decision round is
+	// appended to a segmented on-disk ring under this directory, off the
+	// decide path, so the last BlackboxRounds rounds survive a crash,
+	// kill -9, or standby takeover and can be decoded offline with
+	// `dpsctl blackbox dump`. BlackboxRounds bounds the ring's retention
+	// (blackbox.DefaultRounds when 0).
+	BlackboxPath   string
+	BlackboxRounds int
 }
 
 // DefaultSnapshotEvery is the default number of decision rounds between
@@ -172,6 +183,8 @@ func (c ServerConfig) validate() error {
 		return fmt.Errorf("daemon: negative snapshot-every %d", c.SnapshotEvery)
 	case c.SnapshotMaxAge < 0:
 		return fmt.Errorf("daemon: negative snapshot max age %v", c.SnapshotMaxAge)
+	case c.BlackboxRounds < 0:
+		return fmt.Errorf("daemon: negative blackbox-rounds %d", c.BlackboxRounds)
 	}
 	for _, r := range c.WatchRules {
 		if err := r.Validate(); err != nil {
@@ -280,6 +293,14 @@ type Server struct {
 	replicas  map[*replicaConn]struct{}
 	// lastFileRound is the round of the most recent snapshot file write.
 	lastFileRound uint64
+	// Black-box flight recorder (DESIGN.md §15): bb is the on-disk round
+	// ring, nil when BlackboxPath is unset. bbRound is the retained
+	// encode target — its Units slice is preallocated to cfg.Units in
+	// NewServer and re-filled every round, so a warm append allocates
+	// nothing. bbClosed stops appends racing the final flush in Close.
+	bb       *blackbox.Writer
+	bbRound  blackbox.Round
+	bbClosed bool
 
 	// dial is the standby's outbound connector toward its primary; tests
 	// override it to interpose fault injection. Nil means net.Dial.
@@ -364,6 +385,10 @@ type serverMetrics struct {
 	snapshotDur   *telemetry.Histogram
 	failovers     *telemetry.Counter
 	standbyLag    *telemetry.Gauge
+	// Black-box flight recorder accounting: bytes appended to the
+	// on-disk ring and rounds it failed to persist.
+	bbBytes   *telemetry.Counter
+	bbDropped *telemetry.Counter
 	// transitions indexes dps_health_transitions_total{from,to} by
 	// from*3+to for the six possible state changes (nil where from == to).
 	transitions [9]*telemetry.Counter
@@ -434,6 +459,8 @@ func newServerMetrics(reg *telemetry.Registry, cfg ServerConfig) serverMetrics {
 		snapshotDur:   reg.Histogram("dps_snapshot_duration_seconds", "Wall time to export and encode one state snapshot.", nil),
 		failovers:     reg.Counter("dps_failover_total", "Standby takeovers performed by this process."),
 		standbyLag:    reg.Gauge("dps_standby_lag_rounds", "Primary rounds the replication stream skipped between consecutive deltas (standby only; should stay 0)."),
+		bbBytes:       reg.Counter("dps_blackbox_bytes_total", "Bytes appended to the black-box flight recorder's on-disk ring."),
+		bbDropped:     reg.Counter("dps_blackbox_dropped_rounds_total", "Rounds the black-box recorder failed to persist (append errors; should stay 0)."),
 		stages:        make(map[string]*telemetry.Histogram, 4),
 	}
 	healthEnabled := cfg.StaleAfter > 0 || cfg.DeadAfter > 0
@@ -546,6 +573,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			Logf:             cfg.Logf,
 			BudgetToleranceW: cfg.BudgetToleranceW,
 		})
+	}
+	if cfg.BlackboxPath != "" {
+		bb, err := blackbox.Open(cfg.BlackboxPath, cfg.BlackboxRounds)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: opening black box: %w", err)
+		}
+		s.bb = bb
+		s.bbRound.Units = make([]blackbox.UnitRound, cfg.Units)
 	}
 	return s, nil
 }
@@ -986,7 +1021,7 @@ func (s *Server) DecideOnce(interval power.Seconds) (power.Vector, error) {
 			pushStart = time.Now()
 		}
 		sc.writeMu.Lock()
-		err := sc.sess.WriteCaps(caps[first : first+n])
+		err := sc.sess.WriteCapsRound(round, caps[first:first+n])
 		sc.writeMu.Unlock()
 		if traceOn {
 			s.tracer.Record(round, trace.SpanPush, trace.LanePush,
@@ -1261,6 +1296,66 @@ func (s *Server) observeRound(round uint64, started time.Time, elapsed time.Dura
 		}
 		s.watcher.ObserveRound(audit)
 	}
+
+	s.appendBlackbox(&rec, readings, caps, managerCaps, health, prio, prov)
+}
+
+// appendBlackbox writes one completed round into the black-box flight
+// recorder's on-disk ring. It runs on the decision goroutine after the
+// round is published, re-filling the retained s.bbRound so a warm append
+// allocates nothing; a failed append drops the round (counted by
+// dps_blackbox_dropped_rounds_total) rather than stalling the control
+// loop. snapMu orders it against the final flush in Close.
+func (s *Server) appendBlackbox(rec *telemetry.RoundRecord, readings, caps, managerCaps power.Vector, health []core.UnitHealth, prio []bool, prov []trace.CapChange) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.bb == nil || s.bbClosed {
+		return
+	}
+	r := &s.bbRound
+	r.Round = rec.Round
+	r.UnixNano = rec.Time.UnixNano()
+	r.IntervalS = rec.IntervalS
+	r.BudgetW = rec.BudgetW
+	r.CapSumW = rec.CapSumW
+	r.KalmanS = rec.Stages.Kalman
+	r.StatelessS = rec.Stages.Stateless
+	r.PriorityS = rec.Stages.Priority
+	r.ReadjustS = rec.Stages.Readjust
+	r.TotalS = rec.Stages.Total
+	r.Restored = rec.Restored
+	r.BudgetExhausted = rec.BudgetExhausted
+	r.BudgetClamped = rec.BudgetClamped
+	r.PriorityFlips = rec.PriorityFlips
+	r.StaleUnits = rec.StaleUnits
+	r.DeadUnits = rec.DeadUnits
+	r.DirtyUnits = rec.DirtyUnits
+	r.SkippedUnits = rec.SkippedUnits
+	r.Units = r.Units[:len(caps)]
+	for u := range caps {
+		ur := &r.Units[u]
+		ur.ReadingDW = proto.ToDeciwatts(readings[u])
+		ur.CapDW = proto.ToDeciwatts(caps[u])
+		ur.Prio = prio != nil && prio[u]
+		ur.Health = 0
+		if health != nil {
+			ur.Health = uint8(health[u])
+		}
+		ur.Reason = trace.ReasonNone
+		if prov != nil {
+			ur.Reason = prov[u].Reason
+		}
+		if caps[u] != managerCaps[u] {
+			ur.Reason = trace.ReasonDegradedDeliver
+		}
+	}
+	wrote, _, err := s.bb.Append(r)
+	if err != nil {
+		s.metrics.bbDropped.Inc()
+		s.logf("daemon: blackbox append: %v", err)
+		return
+	}
+	s.metrics.bbBytes.Add(uint64(wrote))
 }
 
 // Serve accepts agent connections on l and runs the decision loop until
@@ -1354,6 +1449,15 @@ func (s *Server) Close() error {
 		} else {
 			s.logf("daemon: final snapshot written to %s (%d bytes, round %d)",
 				s.cfg.SnapshotPath, len(s.snapEnc), s.rounds.Load())
+		}
+	}
+	if s.bb != nil && !s.bbClosed {
+		s.bbClosed = true
+		if cerr := s.bb.Close(); cerr != nil {
+			s.logf("daemon: closing black box: %v", cerr)
+			if err == nil {
+				err = cerr
+			}
 		}
 	}
 	s.snapMu.Unlock()

@@ -158,8 +158,10 @@ func (s *Server) Why(u, n int) []WhyRecord {
 //	GET /metrics       the telemetry registry in Prometheus text format
 //	GET /healthz       200 once at least one decision round has run
 //	GET /alerts        watchdog alert states as JSON ([] when disabled)
-//	GET /debug/rounds  the decision flight recorder as JSON (?n=K&unit=U)
-//	GET /debug/trace   recorded spans as Chrome trace_event JSON (?last=N)
+//	GET /debug/rounds  the decision flight recorder as JSON (?n=K&unit=U;
+//	                   last= is an accepted alias for n=)
+//	GET /debug/trace   recorded spans as Chrome trace_event JSON (?n=N;
+//	                   last= is an accepted alias for n=)
 //	GET /debug/why     cap-change provenance for one unit (?unit=K&n=N)
 //	GET /debug/series  embedded metric history as JSON (?name=K&last=5m;
 //	                   404 when the series store is disabled)

@@ -3,8 +3,6 @@ package proto
 import (
 	"bytes"
 	"testing"
-
-	"dps/internal/power"
 )
 
 // FuzzReadHello feeds arbitrary bytes to the handshake parser: it must
@@ -25,6 +23,11 @@ func FuzzReadHello(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seedBatch.Bytes())
+	var seedTrace bytes.Buffer
+	if err := WriteHello(&seedTrace, Hello{FirstUnit: 18, Units: 2, TraceCtx: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedTrace.Bytes())
 	f.Add([]byte("DPS1garbage"))
 	f.Add([]byte{'D', 'P', 'S', '1', 2, 0, 18, 2, 0}) // v2, empty flags: must reject
 	f.Add([]byte{})
@@ -46,29 +49,6 @@ func FuzzReadHello(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data[:n]) {
 			t.Fatalf("roundtrip mismatch: read %+v from %v, wrote %v", h, data[:n], out.Bytes())
-		}
-	})
-}
-
-// FuzzReadBatch feeds arbitrary bytes to the batch parser for a fixed unit
-// count: no panics, and every accepted value is representable.
-func FuzzReadBatch(f *testing.F) {
-	var seed bytes.Buffer
-	if err := WriteBatch(&seed, []power.Watts{110, 42.5}); err != nil {
-		f.Fatal(err)
-	}
-	f.Add(seed.Bytes())
-	f.Add([]byte{0, 1, 2, 3, 4, 5})
-	f.Add([]byte{})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		dst := make([]power.Watts, 2)
-		if err := ReadBatch(bytes.NewReader(data), dst); err != nil {
-			return
-		}
-		for i, w := range dst {
-			if w < 0 || w > FromDeciwatts(MaxDeciwatts) {
-				t.Fatalf("unit %d decoded to unrepresentable %v W", i, w)
-			}
 		}
 	})
 }

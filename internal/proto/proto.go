@@ -27,10 +27,11 @@
 // Version 2 appends one capability-flags byte to the handshake. It is
 // opt-in and strictly additive: an agent advertising no capabilities
 // sends the byte-identical version-1 frame, and a version-1 server never
-// sees version-2 bytes unless the operator enabled a capability. Any
-// negotiated capability switches the upstream direction to framed
-// messages — a one-byte frame type before each body — so the kinds stay
-// distinguishable on a shared socket.
+// sees version-2 bytes unless the operator enabled a capability. A
+// negotiated upstream capability (FlagApplyEcho or FlagBatch) switches
+// the upstream direction to framed messages — a one-byte frame type
+// before each body — so the kinds stay distinguishable on a shared
+// socket.
 //
 // FlagApplyEcho: the agent sends a 3-byte apply-echo frame
 // [ 'A' ][ apply duration : uint16 big-endian, µs ] after programming
@@ -51,8 +52,14 @@
 // agent never looks dead. The handshake ack on a batch session is
 // extended by two bytes carrying the server's advertised delta epsilon
 // in big-endian deciwatts. The Session type owns this negotiation and
-// the per-connection frame buffers; the free frame functions below
-// predate it and are deprecated.
+// the per-connection frame buffers.
+//
+// FlagTraceCtx: each downstream cap batch is prefixed with the
+// controller's decision-round counter as 8 big-endian bytes, so the
+// agent can tag its own trace spans (meter read, report decision, cap
+// apply) with the round that caused them and a fleet-wide trace merge
+// can correlate spans across processes. Downstream-only: it does not
+// switch the upstream direction to framed messages.
 //
 // FlagReplicate: the connection is not an agent at all but a warm
 // standby controller subscribing to the primary's state stream. After
@@ -100,8 +107,12 @@ const (
 	// the ack the server streams snapshot/delta state frames downstream.
 	// Exclusive with the agent capabilities.
 	FlagReplicate = 1 << 2
+	// FlagTraceCtx: downstream cap batches carry an 8-byte big-endian
+	// round-counter prefix so agent-side trace spans can be correlated
+	// with the controller round that produced them.
+	FlagTraceCtx = 1 << 3
 
-	knownFlags = FlagApplyEcho | FlagBatch | FlagReplicate
+	knownFlags = FlagApplyEcho | FlagBatch | FlagReplicate | FlagTraceCtx
 )
 
 // Upstream frame types (agent → server) once any capability is
@@ -178,6 +189,9 @@ type Hello struct {
 	// instead of an agent. Exclusive with the agent capabilities; the
 	// unit range is ignored (send FirstUnit 0, Units 1).
 	Replicate bool
+	// TraceCtx advertises the trace-context capability: downstream cap
+	// batches are prefixed with the controller's round counter.
+	TraceCtx bool
 }
 
 // flags returns the capability byte of a version-2 hello (zero when the
@@ -192,6 +206,9 @@ func (h Hello) flags() byte {
 	}
 	if h.Replicate {
 		f |= FlagReplicate
+	}
+	if h.TraceCtx {
+		f |= FlagTraceCtx
 	}
 	return f
 }
@@ -213,7 +230,7 @@ func (h Hello) Validate() error {
 		return fmt.Errorf("proto: unit count %d outside [1,255]", h.Units)
 	case int(h.FirstUnit)+h.Units > 0x10000:
 		return fmt.Errorf("proto: unit range [%d,%d) exceeds addressable space", h.FirstUnit, int(h.FirstUnit)+h.Units)
-	case h.Replicate && (h.ApplyEcho || h.Batch):
+	case h.Replicate && (h.ApplyEcho || h.Batch || h.TraceCtx):
 		return fmt.Errorf("proto: replicate hello cannot also advertise agent capabilities")
 	}
 	return nil
@@ -270,6 +287,7 @@ func ReadHello(r io.Reader) (Hello, error) {
 		h.ApplyEcho = flags[0]&FlagApplyEcho != 0
 		h.Batch = flags[0]&FlagBatch != 0
 		h.Replicate = flags[0]&FlagReplicate != 0
+		h.TraceCtx = flags[0]&FlagTraceCtx != 0
 	default:
 		return Hello{}, fmt.Errorf("proto: unsupported version %d (want %d or %d)", buf[4], Version, Version2)
 	}
@@ -277,30 +295,6 @@ func ReadHello(r io.Reader) (Hello, error) {
 		return Hello{}, err
 	}
 	return h, nil
-}
-
-// WriteAck sends the server's handshake acknowledgement.
-//
-// Deprecated: use Session.Ack, which also carries the delta epsilon on
-// batch sessions. Kept as a thin wrapper for one release.
-func WriteAck(w io.Writer) error {
-	_, err := w.Write(ackOK[:])
-	return err
-}
-
-// ReadAck consumes the server's handshake acknowledgement.
-//
-// Deprecated: use Connect, which consumes the version-appropriate ack.
-// Kept as a thin wrapper for one release.
-func ReadAck(r io.Reader) error {
-	var buf [2]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return fmt.Errorf("proto: reading ack: %w", err)
-	}
-	if buf != ackOK {
-		return fmt.Errorf("proto: bad ack %q", buf[:])
-	}
-	return nil
 }
 
 // ToDeciwatts quantizes a power value for the wire, clamping to the
@@ -340,63 +334,6 @@ func PutRecord(dst []byte, r Record) {
 func GetRecord(src []byte) Record {
 	_ = src[RecordSize-1]
 	return Record{LocalUnit: src[0], Value: binary.BigEndian.Uint16(src[1:3])}
-}
-
-// WriteBatch writes one record per entry of values: the agent's power
-// report or the server's cap assignment for a whole node. values[i]
-// becomes the record for local unit i.
-func WriteBatch(w io.Writer, values []power.Watts) error {
-	if len(values) > 0xFF+1 {
-		return fmt.Errorf("proto: batch of %d exceeds local unit space", len(values))
-	}
-	buf := make([]byte, len(values)*RecordSize)
-	for i, v := range values {
-		PutRecord(buf[i*RecordSize:], Record{LocalUnit: uint8(i), Value: ToDeciwatts(v)})
-	}
-	_, err := w.Write(buf)
-	return err
-}
-
-// ReadBatch reads exactly n records into dst (which must have length n),
-// placing each record's value at its local unit index. Records for units
-// at or beyond n are rejected.
-func ReadBatch(r io.Reader, dst []power.Watts) error {
-	n := len(dst)
-	buf := make([]byte, n*RecordSize)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("proto: reading batch of %d: %w", n, err)
-	}
-	for i := 0; i < n; i++ {
-		rec := GetRecord(buf[i*RecordSize:])
-		if int(rec.LocalUnit) >= n {
-			return fmt.Errorf("proto: record for local unit %d in a %d-unit batch", rec.LocalUnit, n)
-		}
-		dst[rec.LocalUnit] = FromDeciwatts(rec.Value)
-	}
-	return nil
-}
-
-// WriteFrameHeader writes one upstream frame-type byte (FrameReport
-// before a report batch). Only used once FlagApplyEcho is negotiated.
-func WriteFrameHeader(w io.Writer, frame byte) error {
-	if frame != FrameReport && frame != FrameApply {
-		return fmt.Errorf("proto: unknown frame type %#02x", frame)
-	}
-	buf := [1]byte{frame}
-	_, err := w.Write(buf[:])
-	return err
-}
-
-// ReadFrameHeader reads and validates one upstream frame-type byte.
-func ReadFrameHeader(r io.Reader) (byte, error) {
-	var buf [1]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, fmt.Errorf("proto: reading frame header: %w", err)
-	}
-	if buf[0] != FrameReport && buf[0] != FrameApply {
-		return 0, fmt.Errorf("proto: unknown frame type %#02x", buf[0])
-	}
-	return buf[0], nil
 }
 
 // applyEchoBodySize is the apply-echo payload after the frame byte.

@@ -3,7 +3,6 @@ package proto
 import (
 	"bytes"
 	"math"
-	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -149,31 +148,30 @@ func TestHelloV2RoundTrip(t *testing.T) {
 	}
 }
 
-func TestFrameHeaderRoundTrip(t *testing.T) {
-	for _, frame := range []byte{FrameReport, FrameApply} {
-		var buf bytes.Buffer
-		if err := WriteFrameHeader(&buf, frame); err != nil {
-			t.Fatal(err)
-		}
-		if buf.Len() != 1 {
-			t.Errorf("frame header is %d bytes, want 1", buf.Len())
-		}
-		got, err := ReadFrameHeader(&buf)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got != frame {
-			t.Errorf("roundtrip = %q, want %q", got, frame)
-		}
+// TestHelloTraceCtxRoundTrip: the trace-context capability negotiates
+// like any other agent capability and is exclusive with replicate.
+func TestHelloTraceCtxRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := Hello{FirstUnit: 18, Units: 2, ApplyEcho: true, Batch: true, TraceCtx: true}
+	if err := WriteHello(&buf, h); err != nil {
+		t.Fatal(err)
 	}
-	if err := WriteFrameHeader(&bytes.Buffer{}, 'Z'); err == nil {
-		t.Error("WriteFrameHeader accepted an unknown frame type")
+	if buf.Len() != HelloV2Size {
+		t.Errorf("trace-ctx handshake is %d bytes, want %d", buf.Len(), HelloV2Size)
 	}
-	if _, err := ReadFrameHeader(bytes.NewReader([]byte{'Z'})); err == nil {
-		t.Error("ReadFrameHeader accepted an unknown frame type")
+	if flags := buf.Bytes()[8]; flags != FlagApplyEcho|FlagBatch|FlagTraceCtx {
+		t.Errorf("capability byte = %#02x, want %#02x", flags, FlagApplyEcho|FlagBatch|FlagTraceCtx)
 	}
-	if _, err := ReadFrameHeader(bytes.NewReader(nil)); err == nil {
-		t.Error("ReadFrameHeader accepted EOF")
+	got, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("roundtrip = %+v, want %+v", got, h)
+	}
+	bad := Hello{FirstUnit: 0, Units: 1, Replicate: true, TraceCtx: true}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted replicate+tracectx")
 	}
 }
 
@@ -197,11 +195,7 @@ func TestApplyEchoRoundTrip(t *testing.T) {
 		if buf.Len() != 3 {
 			t.Errorf("apply echo frame is %d bytes, want 3 (the record size)", buf.Len())
 		}
-		frame, err := ReadFrameHeader(&buf)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if frame != FrameApply {
+		if frame, _ := buf.ReadByte(); frame != FrameApply {
 			t.Errorf("echo frame type %q, want %q", frame, FrameApply)
 		}
 		got, err := ReadApplyEcho(&buf)
@@ -214,66 +208,5 @@ func TestApplyEchoRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadApplyEcho(bytes.NewReader([]byte{1})); err == nil {
 		t.Error("ReadApplyEcho accepted truncated input")
-	}
-}
-
-func TestAckRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteAck(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if err := ReadAck(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if err := ReadAck(strings.NewReader("NO")); err == nil {
-		t.Error("ReadAck accepted a bad ack")
-	}
-	if err := ReadAck(strings.NewReader("")); err == nil {
-		t.Error("ReadAck accepted EOF")
-	}
-}
-
-func TestBatchRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	in := []power.Watts{110.5, 87.3, 0, 165}
-	if err := WriteBatch(&buf, in); err != nil {
-		t.Fatal(err)
-	}
-	if got := buf.Len(); got != len(in)*RecordSize {
-		t.Errorf("batch wire size = %d, want %d (3 bytes per unit)", got, len(in)*RecordSize)
-	}
-	out := make([]power.Watts, len(in))
-	if err := ReadBatch(&buf, out); err != nil {
-		t.Fatal(err)
-	}
-	for i := range in {
-		if math.Abs(float64(out[i]-in[i])) > 0.05 {
-			t.Errorf("batch[%d] = %v, want ~%v", i, out[i], in[i])
-		}
-	}
-}
-
-func TestReadBatchRejectsOutOfRangeUnit(t *testing.T) {
-	// A record claiming local unit 5 in a 2-unit batch is a protocol
-	// violation.
-	raw := make([]byte, 2*RecordSize)
-	PutRecord(raw[0:], Record{LocalUnit: 0, Value: 100})
-	PutRecord(raw[3:], Record{LocalUnit: 5, Value: 100})
-	dst := make([]power.Watts, 2)
-	if err := ReadBatch(bytes.NewReader(raw), dst); err == nil {
-		t.Error("ReadBatch accepted a record for a unit outside the batch")
-	}
-}
-
-func TestReadBatchShortInput(t *testing.T) {
-	dst := make([]power.Watts, 2)
-	if err := ReadBatch(bytes.NewReader([]byte{1, 2}), dst); err == nil {
-		t.Error("ReadBatch accepted truncated input")
-	}
-}
-
-func TestWriteBatchTooLarge(t *testing.T) {
-	if err := WriteBatch(&bytes.Buffer{}, make([]power.Watts, 300)); err == nil {
-		t.Error("WriteBatch accepted 300 units (exceeds uint8 local space)")
 	}
 }

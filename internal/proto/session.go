@@ -21,8 +21,9 @@ const MaxBatchRecords = 0xFF
 const BatchAckSize = 4
 
 // maxFrameSize bounds every frame either side of a session ever reads or
-// writes: a batch frame's header byte + count byte + 255 records.
-const maxFrameSize = 2 + MaxBatchRecords*RecordSize
+// writes: a trace-context cap batch's 8-byte round prefix, then a batch
+// frame's header byte + count byte + 255 records.
+const maxFrameSize = 8 + 2 + MaxBatchRecords*RecordSize
 
 // FrameKind classifies one upstream frame delivered by Session.ReadFrame.
 type FrameKind uint8
@@ -131,7 +132,8 @@ func Connect(rw io.ReadWriter, h Hello) (*Session, error) {
 // epsilon is ignored.
 func (s *Session) Ack(epsilon power.Watts) error {
 	if !s.hello.Batch {
-		return WriteAck(s.rw)
+		_, err := s.rw.Write(ackOK[:])
+		return err
 	}
 	s.epsDW = ToDeciwatts(epsilon)
 	var buf [BatchAckSize]byte
@@ -294,41 +296,70 @@ func (s *Session) WriteApplyEcho(applyDur time.Duration) error {
 	return WriteApplyEcho(s.rw, applyDur)
 }
 
-// WriteCaps sends one cap assignment per local unit (server side). The
-// downstream wire is the same raw record batch at every protocol
-// version; the session just reuses its write buffer instead of
-// allocating per push.
+// WriteCaps sends one cap assignment per local unit (server side) with
+// no round context (round 0 on trace-context sessions).
 func (s *Session) WriteCaps(values []power.Watts) error {
+	return s.WriteCapsRound(0, values)
+}
+
+// WriteCapsRound sends one cap assignment per local unit (server side).
+// The downstream wire is the same raw record batch at every protocol
+// version; a trace-context session prefixes it with the controller's
+// round counter as 8 big-endian bytes so the agent can tag its apply
+// spans. The session reuses its write buffer, so a warm push allocates
+// nothing.
+func (s *Session) WriteCapsRound(round uint64, values []power.Watts) error {
 	if len(values) != s.hello.Units {
 		return fmt.Errorf("proto: cap batch of %d values on a %d-unit session", len(values), s.hello.Units)
 	}
-	buf := s.bufs.write[:len(values)*RecordSize]
+	off := 0
+	if s.hello.TraceCtx {
+		binary.BigEndian.PutUint64(s.bufs.write[:8], round)
+		off = 8
+	}
+	buf := s.bufs.write[:off+len(values)*RecordSize]
 	for i, v := range values {
-		PutRecord(buf[i*RecordSize:], Record{LocalUnit: uint8(i), Value: ToDeciwatts(v)})
+		PutRecord(buf[off+i*RecordSize:], Record{LocalUnit: uint8(i), Value: ToDeciwatts(v)})
 	}
 	_, err := s.rw.Write(buf)
 	return err
 }
 
 // ReadCaps reads one cap batch into dst, which must have the session's
-// unit count (agent side).
+// unit count (agent side), discarding any round context.
 func (s *Session) ReadCaps(dst []power.Watts) error {
+	_, err := s.ReadCapsRound(dst)
+	return err
+}
+
+// ReadCapsRound reads one cap batch into dst, which must have the
+// session's unit count (agent side), and returns the controller round
+// that produced it (zero on sessions without the trace-context
+// capability).
+func (s *Session) ReadCapsRound(dst []power.Watts) (round uint64, err error) {
 	if len(dst) != s.hello.Units {
-		return fmt.Errorf("proto: cap buffer of %d values on a %d-unit session", len(dst), s.hello.Units)
+		return 0, fmt.Errorf("proto: cap buffer of %d values on a %d-unit session", len(dst), s.hello.Units)
 	}
 	n := len(dst)
-	buf := s.bufs.read[:n*RecordSize]
+	off := 0
+	if s.hello.TraceCtx {
+		off = 8
+	}
+	buf := s.bufs.read[:off+n*RecordSize]
 	if _, err := io.ReadFull(s.rw, buf); err != nil {
-		return fmt.Errorf("proto: reading batch of %d: %w", n, err)
+		return 0, fmt.Errorf("proto: reading batch of %d: %w", n, err)
+	}
+	if s.hello.TraceCtx {
+		round = binary.BigEndian.Uint64(buf[:8])
 	}
 	for i := 0; i < n; i++ {
-		rec := GetRecord(buf[i*RecordSize:])
+		rec := GetRecord(buf[off+i*RecordSize:])
 		if int(rec.LocalUnit) >= n {
-			return fmt.Errorf("proto: record for local unit %d in a %d-unit batch", rec.LocalUnit, n)
+			return round, fmt.Errorf("proto: record for local unit %d in a %d-unit batch", rec.LocalUnit, n)
 		}
 		dst[rec.LocalUnit] = FromDeciwatts(rec.Value)
 	}
-	return nil
+	return round, nil
 }
 
 // ReadBatchFrame reads a batch frame body — the count byte and records

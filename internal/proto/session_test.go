@@ -47,6 +47,8 @@ func TestSessionNegotiation(t *testing.T) {
 		{FirstUnit: 4, Units: 2, ApplyEcho: true},
 		{FirstUnit: 4, Units: 2, Batch: true},
 		{FirstUnit: 4, Units: 2, ApplyEcho: true, Batch: true},
+		{FirstUnit: 4, Units: 2, TraceCtx: true},
+		{FirstUnit: 4, Units: 2, ApplyEcho: true, Batch: true, TraceCtx: true},
 	}
 	for _, h := range cases {
 		agent, server := pipePair(t, h, 1.5)
@@ -176,6 +178,64 @@ func TestSessionCapsRoundTrip(t *testing.T) {
 		if math.Abs(float64(out[i]-in[i])) > 0.05 {
 			t.Errorf("cap[%d] = %v, want ~%v", i, out[i], in[i])
 		}
+	}
+}
+
+// TestSessionCapsRoundTripTraceCtx: on a trace-context session the cap
+// push carries the controller round, recovered by ReadCapsRound; without
+// the capability the round prefix is absent and reads back as zero.
+func TestSessionCapsRoundTripTraceCtx(t *testing.T) {
+	agent, server := pipePair(t, Hello{FirstUnit: 0, Units: 3, TraceCtx: true}, 0)
+	in := []power.Watts{110, 42.5, 165}
+	go func() { server.WriteCapsRound(7, in) }()
+	out := make([]power.Watts, 3)
+	round, err := agent.ReadCapsRound(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 7 {
+		t.Fatalf("round = %d, want 7", round)
+	}
+	for i := range in {
+		if math.Abs(float64(out[i]-in[i])) > 0.05 {
+			t.Errorf("cap[%d] = %v, want ~%v", i, out[i], in[i])
+		}
+	}
+
+	// ReadCaps (round-discarding form) still works on a trace-context
+	// session.
+	go func() { server.WriteCapsRound(8, in) }()
+	if err := agent.ReadCaps(out); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain session ignores the round argument entirely.
+	agent2, server2 := pipePair(t, Hello{FirstUnit: 0, Units: 3}, 0)
+	go func() { server2.WriteCapsRound(99, in) }()
+	round, err = agent2.ReadCapsRound(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 0 {
+		t.Fatalf("plain session round = %d, want 0", round)
+	}
+}
+
+// TestTraceCtxCapsWireFormat pins the trace-context cap batch bytes: an
+// 8-byte big-endian round, then the raw records.
+func TestTraceCtxCapsWireFormat(t *testing.T) {
+	var out bytes.Buffer
+	s := newSession(&out, Hello{FirstUnit: 0, Units: 2, TraceCtx: true})
+	if err := s.WriteCapsRound(0x0102030405060708, []power.Watts{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		1, 2, 3, 4, 5, 6, 7, 8, // round, big-endian
+		0, 0, 10, // unit 0: 1 W = 10 dW
+		1, 0, 20, // unit 1: 2 W = 20 dW
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("trace-ctx cap batch = %v, want %v", out.Bytes(), want)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"dps/internal/trace"
 )
 
 // StageSeconds is the wall time one decision round spent in each pipeline
@@ -136,20 +138,16 @@ func (r *FlightRecorder) Last(n int) []RoundRecord {
 }
 
 // Handler serves the recorder as JSON for mounting at GET /debug/rounds.
-// The optional query parameter n limits the response to the newest n
-// records (default 16); the optional unit parameter narrows each record's
-// Units to that one unit, so a single unit's history can be pulled
-// without shipping every other unit's rows to the client.
+// The optional query parameter n (canonical; last is an accepted alias)
+// limits the response to the newest n records (default 16); the optional
+// unit parameter narrows each record's Units to that one unit, so a
+// single unit's history can be pulled without shipping every other
+// unit's rows to the client.
 func (r *FlightRecorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		n := 16
-		if q := req.URL.Query().Get("n"); q != "" {
-			v, err := strconv.Atoi(q)
-			if err != nil || v <= 0 {
-				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, ok := trace.CountParam(w, req, 16)
+		if !ok {
+			return
 		}
 		unit := -1
 		if q := req.URL.Query().Get("unit"); q != "" {

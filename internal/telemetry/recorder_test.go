@@ -75,6 +75,27 @@ func TestFlightRecorderHandler(t *testing.T) {
 		t.Errorf("bad n: code = %d", rec.Code)
 	}
 
+	// The last= spelling of the trace endpoint is accepted as an alias.
+	rec = httptest.NewRecorder()
+	fr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?last=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("?last=2: code = %d", rec.Code)
+	}
+	got = nil
+	if err := json.NewDecoder(rec.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Round != 6 {
+		t.Errorf("?last=2 records = %+v", got)
+	}
+
+	// Supplying both spellings is ambiguous, not silently resolved.
+	rec = httptest.NewRecorder()
+	fr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?n=2&last=3", nil))
+	if rec.Code != 400 {
+		t.Errorf("n+last: code = %d, want 400", rec.Code)
+	}
+
 	// Empty recorder serves [] rather than null.
 	empty := NewFlightRecorder(2)
 	rec = httptest.NewRecorder()

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// export runs a recorder through its own JSON exporter and parses the
+// result back, so merge tests consume exactly what /debug/trace serves.
+func export(t *testing.T, r *Recorder) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseEvents(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestEstimateOffsetUS(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	skew := -3 * time.Second // the agent's clock runs 3 s behind
+
+	server := NewRecorder(64)
+	server.SetEnabled(true)
+	agent := NewRecorder(64)
+	agent.SetEnabled(true)
+	for round := uint64(1); round <= 5; round++ {
+		applyAt := base.Add(time.Duration(round) * time.Second)
+		// The server's RTT-inferred view of the same apply, off by the
+		// one-way push latency.
+		server.Record(round, SpanApply, LaneAgent, 0, applyAt.Add(200*time.Microsecond), time.Millisecond)
+		agent.Record(round, SpanCapApply, LaneAgent, 0, applyAt.Add(skew), time.Millisecond)
+	}
+	// An unrelated agent span must not disturb the match.
+	agent.Record(6, SpanRead, LaneAgent, 0, base.Add(skew), time.Millisecond)
+
+	offset, ok := EstimateOffsetUS(export(t, server), export(t, agent))
+	if !ok {
+		t.Fatal("no anchor pair matched")
+	}
+	want := float64(-skew/time.Microsecond) + 200
+	if offset != want {
+		t.Fatalf("offset = %v µs, want %v", offset, want)
+	}
+
+	// No shared rounds → no estimate.
+	lone := NewRecorder(8)
+	lone.SetEnabled(true)
+	lone.Record(99, SpanCapApply, LaneAgent, 0, base, time.Millisecond)
+	if _, ok := EstimateOffsetUS(export(t, server), export(t, lone)); ok {
+		t.Fatal("offset estimated with no matching rounds")
+	}
+}
+
+func TestMergeAlignsAndOrders(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	skew := 2 * time.Second // agent clock runs 2 s ahead
+
+	server := NewRecorder(64)
+	server.SetEnabled(true)
+	agent := NewRecorder(64)
+	agent.SetEnabled(true)
+	for round := uint64(1); round <= 3; round++ {
+		start := base.Add(time.Duration(round) * time.Second)
+		server.Record(round, SpanDecide, LaneDecide, -1, start, 2*time.Millisecond)
+		server.Record(round, SpanPush, LanePush, 0, start.Add(2*time.Millisecond), 100*time.Microsecond)
+		applyAt := start.Add(3 * time.Millisecond)
+		server.Record(round, SpanApply, LaneAgent, 0, applyAt, time.Millisecond)
+		agent.Record(round, SpanCapApply, LaneAgent, 0, applyAt.Add(skew), time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	err := Merge(&buf, []Process{
+		{Name: "primary:9070", Events: export(t, server)},
+		{Name: "agent:9071", Events: export(t, agent)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ParseEvents(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := map[int]string{}
+	var prevTs float64
+	sawSpan := false
+	for _, ev := range merged {
+		if ev.Ph == "M" {
+			if sawSpan {
+				t.Fatal("metadata event after span events")
+			}
+			if ev.Name == "process_name" {
+				names[ev.Pid] = ev.Args["name"].(string)
+			}
+			continue
+		}
+		sawSpan = true
+		if ev.Ts < prevTs {
+			t.Fatalf("span events out of order: %v after %v", ev.Ts, prevTs)
+		}
+		prevTs = ev.Ts
+	}
+	if names[1] != "primary:9070" || names[2] != "agent:9071" {
+		t.Fatalf("process names = %v", names)
+	}
+
+	// After alignment, each agent cap_apply lands at the server's
+	// RTT-inferred apply time: nested inside [decide start, next decide)
+	// of its own round.
+	for _, ev := range merged {
+		if ev.Ph != "X" || ev.Name != SpanCapApply {
+			continue
+		}
+		if ev.Pid != 2 {
+			t.Fatalf("cap_apply on pid %d, want the agent process 2", ev.Pid)
+		}
+		round, ok := argNum(ev.Args, "trace_id")
+		if !ok {
+			t.Fatal("cap_apply lost its trace_id")
+		}
+		roundStart := float64(base.Add(time.Duration(round)*time.Second).UnixNano()) / 1e3
+		if ev.Ts < roundStart || ev.Ts > roundStart+1e6 {
+			t.Fatalf("aligned cap_apply of round %d at %v µs, want within [%v, %v)",
+				round, ev.Ts, roundStart, roundStart+1e6)
+		}
+	}
+}
+
+func TestParseEventsRejectsGarbage(t *testing.T) {
+	if _, err := ParseEvents([]byte("not json")); err == nil {
+		t.Fatal("accepted non-JSON")
+	}
+	events, err := ParseEvents([]byte(`[{"name":"x","ph":"X","pid":1,"tid":0,"ts":1}]`))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("bare array: %v %v", events, err)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	r := NewRecorder(8)
+	r.SetEnabled(true)
+	r.Record(1, SpanDecide, LaneDecide, -1, base, time.Millisecond)
+	events := export(t, r)
+	var a, b bytes.Buffer
+	if err := Merge(&a, []Process{{Name: "p", Events: events}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(&b, []Process{{Name: "p", Events: events}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("merge output not deterministic")
+	}
+	var js map[string]any
+	if err := json.Unmarshal(a.Bytes(), &js); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v", err)
+	}
+}

@@ -120,6 +120,7 @@ var laneNames = [laneCount]string{"decide", "ingest", "push", "agent", "sim"}
 // static strings (these constants) so recording never allocates.
 const (
 	SpanRead      = "read"       // agent: meter read for one report
+	SpanReport    = "report"     // agent: suppression decision + report write
 	SpanIngest    = "ingest"     // server: sanitize+store one report batch
 	SpanKalman    = "kalman"     // core: filtering plus history push
 	SpanStateless = "stateless"  // core: Algorithm 1
@@ -128,7 +129,8 @@ const (
 	SpanHealthPin = "health_pin" // core: degraded-round pinning
 	SpanDecide    = "decide"     // core: the whole decision round
 	SpanPush      = "push"       // server: cap batch write to one agent
-	SpanApply     = "apply"      // agent: programming received caps
+	SpanApply     = "apply"      // server: agent apply, inferred from the echo RTT
+	SpanCapApply  = "cap_apply"  // agent: programming received caps, on the agent's clock
 	SpanSimStep   = "sim_step"   // sim: one discrete step (machine+controller)
 )
 
@@ -305,20 +307,43 @@ func (r *Recorder) WriteTraceEvents(w io.Writer, lastN int) error {
 	return enc.Encode(tf)
 }
 
+// CountParam parses a positive record-count limit from a debug
+// endpoint's query. The canonical parameter is n; last is accepted as an
+// alias (the two debug endpoints historically disagreed on the
+// spelling). Malformed values and supplying both spellings are a 400,
+// written to w; ok is false when the caller should return without
+// serving. An absent parameter yields the given default.
+func CountParam(w http.ResponseWriter, req *http.Request, def int) (n int, ok bool) {
+	q := req.URL.Query()
+	nq, lq := q.Get("n"), q.Get("last")
+	if nq != "" && lq != "" {
+		http.Error(w, "specify n or last (n is canonical), not both", http.StatusBadRequest)
+		return 0, false
+	}
+	if nq == "" {
+		nq = lq
+	}
+	if nq == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(nq)
+	if err != nil || v <= 0 {
+		http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
 // Handler serves the recorder for mounting at GET /debug/trace. The
-// optional query parameter last limits the export to the newest N spans
-// (default: all held). The response downloads as trace.json so it can be
-// dragged straight into ui.perfetto.dev.
+// optional query parameter n (canonical; last is an accepted alias)
+// limits the export to the newest N spans (default: all held). The
+// response downloads as trace.json so it can be dragged straight into
+// ui.perfetto.dev.
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		n := 0
-		if q := req.URL.Query().Get("last"); q != "" {
-			v, err := strconv.Atoi(q)
-			if err != nil || v <= 0 {
-				http.Error(w, "last must be a positive integer", http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, ok := CountParam(w, req, 0)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)

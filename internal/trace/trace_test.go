@@ -217,6 +217,24 @@ func TestHandler(t *testing.T) {
 			t.Errorf("?last=bogus status %d, want 400", resp.StatusCode)
 		}
 	}
+
+	// n= is the canonical spelling; both at once is ambiguous.
+	if resp, err := srv.Client().Get(srv.URL + "?n=2"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("?n=2 status %d, want 200", resp.StatusCode)
+		}
+	}
+	if resp, err := srv.Client().Get(srv.URL + "?n=2&last=2"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("?n=2&last=2 status %d, want 400", resp.StatusCode)
+		}
+	}
 }
 
 func TestRecorderConcurrent(t *testing.T) {
